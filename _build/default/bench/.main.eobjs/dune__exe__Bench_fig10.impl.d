@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Clock Det_rng Fabric_sim Ledger_baselines Ledger_bench_util Ledger_storage Ledgerdb_app List Printf Table Timing Workload

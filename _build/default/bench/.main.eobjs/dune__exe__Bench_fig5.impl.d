@@ -1,0 +1,1 @@
+bench/bench_fig5.ml: Attack Ledger_bench_util Ledger_timenotary List Printf Table

@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Audit Clock Det_rng Format Hash Ledger Ledger_bench_util Ledger_core Ledger_crypto Ledger_storage Ledger_timenotary List Printf Roles T_ledger Table Tsa

@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Accumulator Bamt Det_rng Fam Hash Ledger_bench_util Ledger_crypto Ledger_merkle List Printf Table Timing Workload

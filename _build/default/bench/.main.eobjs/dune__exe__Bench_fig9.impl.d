@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Accumulator Array Ccmpt Cm_tree Det_rng Gc Hash Ledger_bench_util Ledger_cmtree Ledger_crypto Ledger_merkle Ledger_mpt List Printf Table Timing Workload

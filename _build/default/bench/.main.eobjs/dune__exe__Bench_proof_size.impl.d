@@ -1,0 +1,1 @@
+bench/bench_proof_size.ml: Accumulator Bytes Cm_tree Fam Hash Ledger_bench_util Ledger_cmtree Ledger_crypto Ledger_merkle Ledger_mpt List Option Printf Proof_codec Table Wire Workload

@@ -1,0 +1,1 @@
+bench/bench_storage.ml: Accumulator Bim Fam Hash Ledger_bench_util Ledger_crypto Ledger_merkle List Printf Table

@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Ledger_baselines Ledger_bench_util List System_profile Table

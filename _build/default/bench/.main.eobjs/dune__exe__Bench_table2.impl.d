@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Clock Det_rng Ledger_baselines Ledger_bench_util Ledger_storage Ledgerdb_app Printf Qldb_sim Table Timing

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablations Bench_fig10 Bench_fig5 Bench_fig7 Bench_fig8 Bench_fig9 Bench_micro Bench_proof_size Bench_storage Bench_table1 Bench_table2 List Printf String Sys

@@ -1,0 +1,135 @@
+(* Bechamel microbenchmarks: one Test.make per table/figure family,
+   measuring the hot primitive under each experiment. *)
+
+open Bechamel
+open Toolkit
+open Ledger_crypto
+open Ledger_merkle
+open Ledger_cmtree
+open Ledger_baselines
+open Ledger_storage
+
+let leaf i = Hash.digest_string ("leaf" ^ string_of_int i)
+
+let test_fig7_ecdsa_verify =
+  (* Fig. 7 who factor: one real signature verification *)
+  let priv, pub = Ecdsa.generate ~seed:"bench" in
+  let digest = Hash.digest_string "bench message" in
+  let signature = Ecdsa.sign priv digest in
+  Test.make ~name:"fig7/ecdsa-verify"
+    (Staged.stage (fun () -> assert (Ecdsa.verify pub digest signature)))
+
+let test_fig8_fam_append =
+  let fam = Fam.create ~delta:15 in
+  let i = ref 0 in
+  Test.make ~name:"fig8a/fam15-append"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Fam.append fam (leaf !i));
+         ignore (Fam.commitment fam)))
+
+let test_fig8_tim_append =
+  let acc = Accumulator.create () in
+  let i = ref 0 in
+  Test.make ~name:"fig8a/tim-append"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Accumulator.append acc (leaf !i));
+         ignore (Accumulator.root acc)))
+
+let test_fig8_fam_getproof =
+  let fam = Fam.create ~delta:8 in
+  for i = 0 to (1 lsl 12) - 1 do
+    ignore (Fam.append fam (leaf i))
+  done;
+  let anchor = Fam.make_anchor fam in
+  let commitment = Fam.commitment fam in
+  let i = ref 0 in
+  Test.make ~name:"fig8b/fam-aoa-getproof"
+    (Staged.stage (fun () ->
+         i := (!i + 997) land ((1 lsl 12) - 1);
+         let p = Fam.prove_anchored fam anchor !i in
+         assert (
+           Fam.verify_anchored anchor ~current_commitment:commitment
+             ~leaf:(leaf !i) p)))
+
+let test_fig9_cmtree_verify =
+  let cm = Cm_tree.create () in
+  for i = 0 to 49 do
+    ignore (Cm_tree.insert cm ~clue:"target" (leaf i))
+  done;
+  for i = 50 to 1000 do
+    ignore (Cm_tree.insert cm ~clue:(Printf.sprintf "bg%d" (i mod 97)) (leaf i))
+  done;
+  let known = List.init 50 (fun v -> (v, leaf v)) in
+  Test.make ~name:"fig9/cmtree-verify-50"
+    (Staged.stage (fun () ->
+         let proof = Option.get (Cm_tree.prove_clue cm ~clue:"target" ()) in
+         assert (Cm_tree.verify_clue ~root:(Cm_tree.root_hash cm) ~known proof)))
+
+let test_table2_qldb_verify =
+  let clock = Clock.create () in
+  let qldb = Qldb_sim.create ~clock () in
+  Qldb_sim.preload qldb (1 lsl 16);
+  Qldb_sim.insert qldb ~id:"doc" (Bytes.make 1024 'x');
+  Test.make ~name:"table2/qldb-getrevision"
+    (Staged.stage (fun () -> assert (Qldb_sim.verify qldb ~id:"doc")))
+
+let test_fig10_fabric_submit =
+  let clock = Clock.create () in
+  let fab = Fabric_sim.create ~clock () in
+  let i = ref 0 in
+  Test.make ~name:"fig10/fabric-submit"
+    (Staged.stage (fun () ->
+         incr i;
+         Fabric_sim.submit fab ~key:(string_of_int !i) (Bytes.make 256 'y')))
+
+let test_fig5_tsa_endorse =
+  let clock = Clock.create () in
+  let tsa = Ledger_timenotary.Tsa.create ~endorse_rtt_ms:0. ~clock "bench" in
+  let digest = Hash.digest_string "anchor" in
+  Test.make ~name:"fig5/tsa-endorse"
+    (Staged.stage (fun () -> ignore (Ledger_timenotary.Tsa.endorse tsa digest)))
+
+let tests =
+  Test.make_grouped ~name:"ledgerdb" ~fmt:"%s %s"
+    [
+      test_fig5_tsa_endorse;
+      test_fig7_ecdsa_verify;
+      test_fig8_fam_append;
+      test_fig8_tim_append;
+      test_fig8_fam_getproof;
+      test_fig9_cmtree_verify;
+      test_fig10_fabric_submit;
+      test_table2_qldb_verify;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let run () =
+  print_endline "\nBechamel microbenchmarks (ns per run)";
+  print_endline "=====================================";
+  Bechamel_notty.Unit.add Instance.monotonic_clock "ns";
+  let results = benchmark () in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image

@@ -1,0 +1,12 @@
+(* Table I: qualitative comparison of ledger systems. *)
+
+open Ledger_baselines
+open Ledger_bench_util
+
+let run () =
+  Table.print_title "Table I — Comparison of verification in ledger systems";
+  Table.print_table ~header:System_profile.header
+    (List.map System_profile.to_row System_profile.all);
+  print_endline
+    "\n(Rows marked with a module name are exercised by this repository's\n\
+     tests and benches; the others are reproduced from the paper.)"

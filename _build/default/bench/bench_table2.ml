@@ -1,0 +1,89 @@
+(* Table II: public-cloud service comparison — LedgerDB vs QLDB.
+
+   Both run as cloud services on simulated clocks: every API call pays a
+   cloud round trip.  QLDB documents are 32 KB [index, data] pairs; its
+   lineage uses the paper's [key, data, prehash, sig] schema where every
+   version is verified individually. *)
+
+open Ledger_storage
+open Ledger_baselines
+open Ledger_bench_util
+
+let run () =
+  Table.print_title
+    "Table II — Application latency on public cloud: QLDB vs LedgerDB (seconds)";
+  let rng = Det_rng.create ~seed:31 in
+  let clock_q = Clock.create () in
+  let clock_l = Clock.create () in
+  let qldb = Qldb_sim.create ~clock:clock_q () in
+  let ldb = Ledgerdb_app.create_cloud ~clock:clock_l in
+  (* production-scale accumulator so QLDB proofs have real height; the
+     probe documents are sandwiched so they sit at full proof depth *)
+  Qldb_sim.preload qldb (1 lsl 19);
+  let doc = Det_rng.bytes rng 32768 in
+  (* some pre-existing documents *)
+  for i = 0 to 63 do
+    let d = Det_rng.bytes rng 32768 in
+    Qldb_sim.insert qldb ~id:(Printf.sprintf "pre-%d" i) d;
+    Ledgerdb_app.insert ldb ~id:(Printf.sprintf "pre-%d" i) d
+  done;
+  let _, q_insert =
+    Timing.simulated_ms clock_q (fun () -> Qldb_sim.insert qldb ~id:"doc-x" doc)
+  in
+  let _, l_insert =
+    Timing.simulated_ms clock_l (fun () -> Ledgerdb_app.insert ldb ~id:"doc-x" doc)
+  in
+  Qldb_sim.preload qldb (1 lsl 19);
+  let rq, q_retrieve =
+    Timing.simulated_ms clock_q (fun () -> Qldb_sim.retrieve qldb ~id:"doc-x")
+  in
+  let rl, l_retrieve =
+    Timing.simulated_ms clock_l (fun () -> Ledgerdb_app.retrieve ldb ~id:"doc-x")
+  in
+  assert (rq <> None && rl <> None);
+  let vq, q_verify =
+    Timing.simulated_ms clock_q (fun () -> Qldb_sim.verify qldb ~id:"doc-x")
+  in
+  let vl, l_verify =
+    Timing.simulated_ms clock_l (fun () -> Ledgerdb_app.verify ldb ~id:"doc-x")
+  in
+  assert (vq && vl);
+  (* lineage: same key with 5 and 100 versions *)
+  let lineage versions =
+    let key = Printf.sprintf "asset-%d" versions in
+    for _ = 1 to versions do
+      let d = Det_rng.bytes rng 1024 in
+      Qldb_sim.put_version qldb ~key d;
+      Ledgerdb_app.put_version ldb ~key d
+    done;
+    Qldb_sim.preload qldb (1 lsl 16);
+    let okq, q_ms =
+      Timing.simulated_ms clock_q (fun () -> Qldb_sim.verify_lineage qldb ~key)
+    in
+    let okl, l_ms =
+      Timing.simulated_ms clock_l (fun () -> Ledgerdb_app.verify_lineage ldb ~key)
+    in
+    assert (okq && okl);
+    (q_ms, l_ms)
+  in
+  let q5, l5 = lineage 5 in
+  let q100, l100 = lineage 100 in
+  let s ms = Printf.sprintf "%.3f" (ms /. 1000.) in
+  Table.print_table
+    ~header:[ "Application"; "Operation"; "QLDB (s)"; "LedgerDB (s)"; "speedup" ]
+    [
+      [ "Notarization"; "Insert"; s q_insert; s l_insert;
+        Printf.sprintf "%.1fx" (q_insert /. l_insert) ];
+      [ "Notarization"; "Retrieve"; s q_retrieve; s l_retrieve;
+        Printf.sprintf "%.1fx" (q_retrieve /. l_retrieve) ];
+      [ "Notarization"; "Verify"; s q_verify; s l_verify;
+        Printf.sprintf "%.0fx" (q_verify /. l_verify) ];
+      [ "Lineage (5 versions)"; "Verify"; s q5; s l5;
+        Printf.sprintf "%.0fx" (q5 /. l5) ];
+      [ "Lineage (100 versions)"; "Verify"; s q100; s l100;
+        Printf.sprintf "%.0fx" (q100 /. l100) ];
+    ];
+  print_endline
+    "\nPaper figures: insert 0.065 vs 0.027; retrieve 0.036 vs 0.028; verify\n\
+     1.557 vs 0.028 (56x); lineage verify 7.786 vs 0.028 (278x at 5 versions)\n\
+     and 155.9 vs 0.030 (5197x at 100 versions)."

@@ -1,0 +1,70 @@
+(* LedgerDB reproduction benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (§VI):
+
+     table1  — Table I  qualitative system comparison
+     fig5    — Fig. 5   timestamp attack windows
+     fig7    — Fig. 7   Dasein verification latency breakdown
+     fig8    — Fig. 8   Append/GetProof: tim vs fam-5..25
+     fig9    — Fig. 9   clue verification: CM-Tree vs ccMPT
+     fig10   — Fig. 10  application comparison vs Hyperledger Fabric
+     table2  — Table II application comparison vs QLDB
+     ablation — anchor & Shrubs ablations
+     micro   — Bechamel microbenchmarks
+
+   Flags: --big (larger sweeps), --n <int> (Fig. 7 journal count). *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|all]\n\
+    \       [--big] [--n <journals-for-fig7>]";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let big = List.mem "--big" args in
+  let n_fig7 =
+    let rec find = function
+      | "--n" :: v :: _ -> (
+          match int_of_string_opt v with Some n when n > 0 -> n | _ -> usage ())
+      | _ :: rest -> find rest
+      | [] -> 100
+    in
+    find args
+  in
+  let targets =
+    List.filter
+      (fun a -> (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+                && (match int_of_string_opt a with Some _ -> false | None -> true))
+      args
+  in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let run_target = function
+    | "table1" -> Bench_table1.run ()
+    | "fig5" -> Bench_fig5.run ()
+    | "fig7" -> Bench_fig7.run ~n:n_fig7 ()
+    | "fig8" | "fig8a" | "fig8b" -> Bench_fig8.run ~big ()
+    | "fig9" | "fig9a" | "fig9b" -> Bench_fig9.run ~big ()
+    | "fig10" | "fig10a" | "fig10b" | "fig10c" | "fig10d" ->
+        Bench_fig10.run ~big ()
+    | "table2" -> Bench_table2.run ()
+    | "ablation" | "ablations" -> Bench_ablations.run ()
+    | "storage" -> Bench_storage.run ()
+    | "proofsize" | "proof-size" -> Bench_proof_size.run ()
+    | "micro" -> Bench_micro.run ()
+    | "all" ->
+        Bench_table1.run ();
+        Bench_fig5.run ();
+        Bench_fig7.run ~n:n_fig7 ();
+        Bench_fig8.run ~big ();
+        Bench_fig9.run ~big ();
+        Bench_fig10.run ~big ();
+        Bench_table2.run ();
+        Bench_ablations.run ();
+        Bench_storage.run ();
+        Bench_proof_size.run ()
+    | other ->
+        Printf.printf "unknown target: %s\n" other;
+        usage ()
+  in
+  List.iter run_target targets

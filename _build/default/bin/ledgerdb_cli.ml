@@ -1,0 +1,179 @@
+(* ledgerdb — command-line front end for the LedgerDB reproduction.
+
+   Subcommands:
+     demo     build a small ledger, tamper (optionally), audit it
+     attack   replay the Fig. 5 timestamp attacks
+     systems  print the Table I system comparison
+     snapshot build a ledger, save it to disk, reload, re-audit
+   Run `ledgerdb_cli <cmd> --help` for options. *)
+
+open Cmdliner
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+
+(* --- demo ------------------------------------------------------------------ *)
+
+let run_demo journals tamper real_crypto =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~clock "cli-tsa" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "cli"; block_size = 16; fam_delta = 8;
+      crypto =
+        (if real_crypto then Crypto_profile.Real
+         else Crypto_profile.default_simulated) }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"cli-user" ~role:Roles.Regular_user in
+  let receipts = ref [] in
+  for i = 0 to journals - 1 do
+    Clock.advance_ms clock 100.;
+    let r =
+      Ledger.append ledger ~member:user ~priv:key
+        ~clues:[ "item-" ^ string_of_int (i mod 5) ]
+        (Bytes.of_string (Printf.sprintf "record %d" i))
+    in
+    receipts := r :: !receipts;
+    if (i + 1) mod 8 = 0 then begin
+      Clock.advance_ms clock 1000.;
+      match Ledger.anchor_via_t_ledger ledger with
+      | Ok _ -> ()
+      | Error _ -> prerr_endline "warning: anchor rejected"
+    end
+  done;
+  Ledger.seal_block ledger;
+  Printf.printf "ledger built: %d journals, %d blocks, commitment %s\n"
+    (Ledger.size ledger) (Ledger.block_count ledger)
+    (Hash.short_hex (Ledger.commitment ledger));
+  (match tamper with
+  | Some jsn when jsn >= 0 && jsn < Ledger.size ledger ->
+      Printf.printf "tampering with journal %d (threat-B)...\n" jsn;
+      Ledger.Unsafe.rewrite_payload ledger ~jsn (Bytes.of_string "TAMPERED")
+  | Some jsn -> Printf.printf "tamper target %d out of range, skipping\n" jsn
+  | None -> ());
+  let report = Audit.run ~receipts:!receipts ledger in
+  Format.printf "%a@." Audit.pp_report report;
+  if report.Audit.ok then 0 else 1
+
+let demo_cmd =
+  let journals =
+    Arg.(value & opt int 32 & info [ "n"; "journals" ] ~doc:"Journals to append.")
+  in
+  let tamper =
+    Arg.(value & opt (some int) None
+         & info [ "tamper" ] ~docv:"JSN" ~doc:"Rewrite journal $(docv) before auditing.")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real-crypto" ] ~doc:"Use real ECDSA instead of the simulated profile.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Build a ledger, optionally tamper, run a Dasein audit")
+    Term.(const run_demo $ journals $ tamper $ real)
+
+(* --- attack ----------------------------------------------------------------- *)
+
+let run_attack delta_tau delays =
+  let outcomes = Attack.sweep ~delta_tau_s:delta_tau ~delays_s:delays in
+  List.iter
+    (fun (o : Attack.outcome) ->
+      Printf.printf "%-26s delay=%10.1fs window=%8.2fs bounded=%b\n"
+        o.Attack.protocol o.Attack.attempted_delay_s o.Attack.window_s
+        o.Attack.bounded)
+    outcomes;
+  0
+
+let attack_cmd =
+  let delta_tau =
+    Arg.(value & opt float 1.0 & info [ "delta-tau" ] ~doc:"Notary interval (s).")
+  in
+  let delays =
+    Arg.(value & opt (list float) [ 1.; 10.; 100. ]
+         & info [ "delays" ] ~doc:"Adversary stall times (s).")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Replay the Fig. 5 timestamp attacks")
+    Term.(const run_attack $ delta_tau $ delays)
+
+(* --- systems ----------------------------------------------------------------- *)
+
+let run_systems () =
+  List.iter
+    (fun p ->
+      print_endline (String.concat " | " (Ledger_baselines.System_profile.to_row p)))
+    Ledger_baselines.System_profile.all;
+  0
+
+let systems_cmd =
+  Cmd.v
+    (Cmd.info "systems" ~doc:"Print the Table I ledger-system comparison")
+    Term.(const run_systems $ const ())
+
+(* --- snapshot ----------------------------------------------------------------- *)
+
+let run_snapshot journals dir =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~clock "snap-tsa" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "snapshot"; block_size = 16;
+      fam_delta = 8; crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"snap-user" ~role:Roles.Regular_user in
+  for i = 0 to journals - 1 do
+    Clock.advance_ms clock 50.;
+    ignore
+      (Ledger.append ledger ~member:user ~priv:key
+         ~clues:[ "item-" ^ string_of_int (i mod 4) ]
+         (Bytes.of_string (Printf.sprintf "record %d" i)))
+  done;
+  Ledger.seal_block ledger;
+  Ledger.save ledger ~dir;
+  Printf.printf "saved %d journals to %s (commitment %s)
+" (Ledger.size ledger)
+    dir
+    (Hash.short_hex (Ledger.commitment ledger));
+  match Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir () with
+  | Error e ->
+      Printf.printf "reload FAILED: %s
+" e;
+      1
+  | Ok restored ->
+      Printf.printf "reloaded %d journals (commitment %s)
+"
+        (Ledger.size restored)
+        (Hash.short_hex (Ledger.commitment restored));
+      let report = Audit.run restored in
+      Format.printf "%a@." Audit.pp_report report;
+      if report.Audit.ok then 0 else 1
+
+let snapshot_cmd =
+  let journals =
+    Arg.(value & opt int 64 & info [ "n"; "journals" ] ~doc:"Journals to append.")
+  in
+  let dir =
+    Arg.(value & opt string "/tmp/ledgerdb-snapshot"
+         & info [ "dir" ] ~doc:"Snapshot directory.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Save a ledger to disk, reload it, re-audit")
+    Term.(const run_snapshot $ journals $ dir)
+
+let main =
+  Cmd.group
+    (Cmd.info "ledgerdb_cli" ~version:"1.0.0"
+       ~doc:"LedgerDB ubiquitous-verification reproduction CLI")
+    [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd ]
+
+let () =
+  (* -v / --verbosity via LEDGERDB_VERBOSE; cmdliner subcommands keep their
+     own argument vectors simple *)
+  (match Sys.getenv_opt "LEDGERDB_VERBOSE" with
+  | Some ("debug" | "1") -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some _ | None -> Logs.set_level (Some Logs.Warning));
+  Logs.set_reporter (Logs.format_reporter ());
+  exit (Cmd.eval' main)

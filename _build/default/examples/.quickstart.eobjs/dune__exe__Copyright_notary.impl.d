@@ -1,0 +1,1 @@
+examples/copyright_notary.ml: Audit Bytes Clock Crypto_profile Format Journal Ledger Ledger_core Ledger_storage Ledger_timenotary List Option Printf Receipt Roles T_ledger Tsa

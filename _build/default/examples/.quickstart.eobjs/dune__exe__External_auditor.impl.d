@@ -1,0 +1,1 @@
+examples/external_auditor.ml: Audit Bytes Clock Format Hash Ledger Ledger_client Ledger_core Ledger_crypto Ledger_storage Ledger_timenotary List Option Printf Roles T_ledger Tsa Verify_api

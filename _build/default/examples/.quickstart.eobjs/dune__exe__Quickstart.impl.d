@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Bytes Clock Format Hash Journal Ledger Ledger_core Ledger_crypto Ledger_storage Ledger_timenotary Printf Receipt Roles T_ledger Tsa

@@ -1,0 +1,1 @@
+examples/remote_client.ml: Bytes Clock Cm_tree Fam Hash Ledger Ledger_cmtree Ledger_core Ledger_crypto Ledger_merkle Ledger_storage List Printf Receipt Roles Service

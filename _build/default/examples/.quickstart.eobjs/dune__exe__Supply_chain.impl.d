@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Audit Bytes Clock Crypto_profile Format Hash Journal Ledger Ledger_core Ledger_crypto Ledger_storage Ledger_timenotary List Option Printf Receipt Roles T_ledger Tsa

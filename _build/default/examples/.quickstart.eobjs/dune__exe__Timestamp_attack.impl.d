@@ -1,0 +1,1 @@
+examples/timestamp_attack.ml: Attack Ledger_timenotary List Printf

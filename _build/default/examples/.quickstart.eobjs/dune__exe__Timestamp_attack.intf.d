@@ -1,0 +1,1 @@
+examples/timestamp_attack.mli:

@@ -1,0 +1,1 @@
+lib/baselines/fabric_sim.ml: Array Bim Bytes Clock Hash Hashtbl Int64 Ledger_crypto Ledger_merkle Ledger_storage List Option

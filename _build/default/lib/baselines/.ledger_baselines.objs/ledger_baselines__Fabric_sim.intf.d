@@ -1,0 +1,1 @@
+lib/baselines/fabric_sim.mli: Clock Ledger_storage

@@ -1,0 +1,1 @@
+lib/baselines/factom_sim.ml: Array Bim Bytes Clock Hash Hashtbl Int64 Ledger_crypto Ledger_merkle Ledger_storage List Merkle_tree Proof String

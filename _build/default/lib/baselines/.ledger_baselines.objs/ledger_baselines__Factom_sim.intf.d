@@ -1,0 +1,1 @@
+lib/baselines/factom_sim.mli: Clock Hash Ledger_crypto Ledger_storage

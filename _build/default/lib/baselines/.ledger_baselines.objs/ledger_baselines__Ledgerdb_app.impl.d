@@ -1,0 +1,1 @@
+lib/baselines/ledgerdb_app.ml: Clock Crypto_profile Ecdsa Int64 Latency_model Ledger Ledger_core Ledger_crypto Ledger_storage Roles

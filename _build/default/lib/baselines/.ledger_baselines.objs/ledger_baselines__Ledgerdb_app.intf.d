@@ -1,0 +1,1 @@
+lib/baselines/ledgerdb_app.mli: Clock Ledger Ledger_core Ledger_storage

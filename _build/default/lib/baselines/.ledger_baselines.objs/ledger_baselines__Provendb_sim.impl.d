@@ -1,0 +1,1 @@
+lib/baselines/provendb_sim.ml: Bytes Clock Hash Hashtbl Ledger_crypto Ledger_storage Ledger_timenotary Option Pegging

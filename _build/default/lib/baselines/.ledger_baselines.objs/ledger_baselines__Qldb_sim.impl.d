@@ -1,0 +1,1 @@
+lib/baselines/qldb_sim.ml: Accumulator Bytes Clock Hash Hashtbl Ledger_crypto Ledger_merkle Ledger_storage List Option Printf Proof

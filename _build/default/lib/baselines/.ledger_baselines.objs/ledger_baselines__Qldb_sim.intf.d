@@ -1,0 +1,1 @@
+lib/baselines/qldb_sim.mli: Clock Ledger_storage

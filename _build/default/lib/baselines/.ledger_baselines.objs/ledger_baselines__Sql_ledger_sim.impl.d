@@ -1,0 +1,1 @@
+lib/baselines/sql_ledger_sim.ml: Bytes Clock Hash Hashtbl Ledger_crypto Ledger_merkle Ledger_storage List Option Printf

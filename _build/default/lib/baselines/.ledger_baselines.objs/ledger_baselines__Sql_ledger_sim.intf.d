@@ -1,0 +1,1 @@
+lib/baselines/sql_ledger_sim.mli: Clock Hash Ledger_crypto Ledger_storage

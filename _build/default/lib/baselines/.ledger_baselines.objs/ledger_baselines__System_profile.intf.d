@@ -1,0 +1,1 @@
+lib/baselines/system_profile.mli:

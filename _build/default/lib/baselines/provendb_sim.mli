@@ -1,0 +1,32 @@
+(** A ProvenDB-style CLD: a document database whose digests are pegged
+    one-way to a public blockchain (paper §III-B1, Table I).
+
+    The operator chooses when queued digests are anchored — this is the
+    protocol flaw exploited by the infinite time amplification attack
+    (Fig. 5(a)); {!Ledger_timenotary.Attack.one_way_amplification} drives
+    exactly this surface. *)
+
+open Ledger_crypto
+open Ledger_storage
+
+type t
+
+val create : ?anchor_interval_ms:float -> clock:Clock.t -> unit -> t
+
+val put : t -> key:string -> bytes -> unit
+val get : t -> key:string -> bytes option
+
+val pending_digests : t -> int
+val anchor_now : t -> (int * int64) option
+(** Operator-triggered anchoring of the oldest queued digest; returns the
+    ticket and assigned timestamp. *)
+
+val anchored_time : t -> key:string -> int64 option
+(** The externally provable timestamp of a key's latest version, if its
+    digest has been anchored. *)
+
+val verify : t -> key:string -> bool
+(** Forward-integrity check: the stored document matches its queued or
+    anchored digest. *)
+
+val digest_of : t -> key:string -> Hash.t option

@@ -1,0 +1,98 @@
+type efficiency = High | Medium | Low
+
+type profile = {
+  system : string;
+  trusted_dependency : string;
+  dasein_support : string;
+  verify_efficiency : efficiency;
+  storage_overhead : string;
+  verifiable_mutation : bool;
+  verifiable_n_lineage : bool;
+  implemented : string option;
+}
+
+let all =
+  [
+    {
+      system = "LedgerDB";
+      trusted_dependency = "TSA (non-LSP)";
+      dasein_support = "what-when-who";
+      verify_efficiency = High;
+      storage_overhead = "Lowest";
+      verifiable_mutation = true;
+      verifiable_n_lineage = true;
+      implemented = Some "Ledger_core.Ledger";
+    };
+    {
+      system = "SQL Ledger";
+      trusted_dependency = "LSP & Storage";
+      dasein_support = "what-when-who";
+      verify_efficiency = High;
+      storage_overhead = "Medium";
+      verifiable_mutation = true;
+      verifiable_n_lineage = false;
+      implemented = Some "Ledger_baselines.Sql_ledger_sim";
+    };
+    {
+      system = "QLDB";
+      trusted_dependency = "LSP";
+      dasein_support = "what";
+      verify_efficiency = Medium;
+      storage_overhead = "Medium";
+      verifiable_mutation = false;
+      verifiable_n_lineage = false;
+      implemented = Some "Ledger_baselines.Qldb_sim";
+    };
+    {
+      system = "ProvenDB";
+      trusted_dependency = "LSP & Bitcoin";
+      dasein_support = "what-when (bounded)";
+      verify_efficiency = Medium;
+      storage_overhead = "Medium";
+      verifiable_mutation = true;
+      verifiable_n_lineage = false;
+      implemented = Some "Ledger_baselines.Provendb_sim";
+    };
+    {
+      system = "Hyperledger";
+      trusted_dependency = "Consortium";
+      dasein_support = "what-who";
+      verify_efficiency = Low;
+      storage_overhead = "High";
+      verifiable_mutation = false;
+      verifiable_n_lineage = false;
+      implemented = Some "Ledger_baselines.Fabric_sim";
+    };
+    {
+      system = "Factom";
+      trusted_dependency = "Bitcoin";
+      dasein_support = "what-when-who";
+      verify_efficiency = Medium;
+      storage_overhead = "Highest";
+      verifiable_mutation = false;
+      verifiable_n_lineage = false;
+      implemented = Some "Ledger_baselines.Factom_sim";
+    };
+  ]
+
+let efficiency_to_string = function
+  | High -> "High"
+  | Medium -> "Medium"
+  | Low -> "Low"
+
+let header =
+  [ "System"; "Trusted Dependency"; "Dasein Support"; "Verify-Efficiency";
+    "Storage Overhead"; "Verifiable Mutation"; "Verifiable N-lineage";
+    "Implemented as" ]
+
+let to_row p =
+  [
+    p.system;
+    p.trusted_dependency;
+    p.dasein_support;
+    efficiency_to_string p.verify_efficiency;
+    p.storage_overhead;
+    (if p.verifiable_mutation then "yes" else "no");
+    (if p.verifiable_n_lineage then "yes" else "no");
+    Option.value p.implemented ~default:"(paper row)";
+  ]

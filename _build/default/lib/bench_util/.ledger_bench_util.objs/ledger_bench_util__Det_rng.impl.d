@@ -1,0 +1,1 @@
+lib/bench_util/det_rng.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/bench_util/timing.ml: Clock Int64 Ledger_storage List Unix

@@ -1,0 +1,1 @@
+lib/bench_util/timing.mli: Clock Ledger_storage

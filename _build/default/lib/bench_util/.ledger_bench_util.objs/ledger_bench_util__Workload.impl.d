@@ -1,0 +1,1 @@
+lib/bench_util/workload.ml: Array Det_rng Printf

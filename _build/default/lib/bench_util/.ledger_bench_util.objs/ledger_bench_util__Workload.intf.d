@@ -1,0 +1,1 @@
+lib/bench_util/workload.mli: Det_rng

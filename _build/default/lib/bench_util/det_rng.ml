@@ -1,0 +1,30 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Det_rng.int: bound";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = next t in
+    let take = min 8 (n - !i) in
+    for k = 0 to take - 1 do
+      Bytes.set b (!i + k)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (k * 8)) land 0xFF))
+    done;
+    i := !i + take
+  done;
+  b
+
+let pick t arr = arr.(int t (Array.length arr))

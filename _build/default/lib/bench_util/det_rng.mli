@@ -1,0 +1,17 @@
+(** Deterministic splitmix64 PRNG for reproducible workloads.
+
+    Every benchmark and generated workload seeds one of these, so repeated
+    runs produce identical journals, clue assignments and access
+    patterns. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform in [\[0, bound)].  @raise Invalid_argument if [bound <= 0]. *)
+
+val bytes : t -> int -> bytes
+(** Pseudo-random payload of the given size. *)
+
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,36 @@
+open Ledger_storage
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let wall_throughput ~n f =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt <= 0. then infinity else float_of_int n /. dt
+
+let simulated_ms clock f =
+  let t0 = Clock.now clock in
+  let r = f () in
+  (r, Clock.ms_of_us (Int64.sub (Clock.now clock) t0))
+
+let simulated_throughput clock ~n f =
+  let t0 = Clock.now clock in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  let dt_us = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+  if dt_us <= 0. then infinity else float_of_int n /. (dt_us /. 1_000_000.)
+
+let repeat_median_ms ?(repeats = 5) f =
+  let samples =
+    List.init repeats (fun _ ->
+        let _, dt = wall f in
+        dt *. 1000.)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeats / 2)

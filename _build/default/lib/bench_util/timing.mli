@@ -1,0 +1,20 @@
+(** Measurement helpers: wall-clock timing for algorithmic costs and
+    simulated-clock deltas for modeled latencies. *)
+
+open Ledger_storage
+
+val wall : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall seconds. *)
+
+val wall_throughput : n:int -> (int -> unit) -> float
+(** Run [f 0 .. f (n-1)], return operations per wall second. *)
+
+val simulated_ms : Clock.t -> (unit -> 'a) -> 'a * float
+(** Result and elapsed {e simulated} milliseconds. *)
+
+val simulated_throughput : Clock.t -> n:int -> (int -> unit) -> float
+(** Operations per {e simulated} second (infinity if no time was
+    charged). *)
+
+val repeat_median_ms : ?repeats:int -> (unit -> unit) -> float
+(** Median wall milliseconds over several runs. *)

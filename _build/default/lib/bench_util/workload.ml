@@ -1,0 +1,34 @@
+type journal_workload = { payloads : bytes array; clues : string array }
+
+let notarization ~rng ~n ~payload_size =
+  {
+    payloads = Array.init n (fun _ -> Det_rng.bytes rng payload_size);
+    clues = Array.init n (fun i -> Printf.sprintf "doc-%08d" i);
+  }
+
+let lineage ~rng ~clue_count ~min_entries ~max_entries ~payload_size =
+  let assignments = ref [] in
+  for c = 0 to clue_count - 1 do
+    let entries = min_entries + Det_rng.int rng (max_entries - min_entries + 1) in
+    for _ = 1 to entries do
+      assignments := Printf.sprintf "clue-%06d" c :: !assignments
+    done
+  done;
+  (* shuffle so clue entries interleave as they would in production *)
+  let arr = Array.of_list !assignments in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Det_rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  {
+    payloads = Array.init (Array.length arr) (fun _ -> Det_rng.bytes rng payload_size);
+    clues = arr;
+  }
+
+let size_label n =
+  if n >= 1 lsl 30 then Printf.sprintf "%dG" (n lsr 30)
+  else if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
+  else if n >= 1 lsl 10 then Printf.sprintf "%dK" (n lsr 10)
+  else string_of_int n

@@ -1,0 +1,19 @@
+(** Workload generators matching the paper's evaluation setups. *)
+
+type journal_workload = { payloads : bytes array; clues : string array }
+
+val notarization : rng:Det_rng.t -> n:int -> payload_size:int -> journal_workload
+(** [n] journals, each with a unique notarization id clue. *)
+
+val lineage :
+  rng:Det_rng.t ->
+  clue_count:int ->
+  min_entries:int ->
+  max_entries:int ->
+  payload_size:int ->
+  journal_workload
+(** Journals spread over [clue_count] clues, each clue receiving a uniform
+    1–100-style number of entries (the §VI-C setup). *)
+
+val size_label : int -> string
+(** "32K", "2^20" style labels for geometric sweeps. *)

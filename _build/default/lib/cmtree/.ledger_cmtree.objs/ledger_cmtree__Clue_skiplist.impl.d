@@ -1,0 +1,1 @@
+lib/cmtree/clue_skiplist.ml: Array Int64 List Option

@@ -1,0 +1,1 @@
+lib/cmtree/clue_skiplist.mli:

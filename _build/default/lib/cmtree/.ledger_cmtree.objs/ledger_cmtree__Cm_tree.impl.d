@@ -1,0 +1,1 @@
+lib/cmtree/cm_tree.ml: Buffer Bytes Hash Hashtbl Ledger_crypto Ledger_merkle Ledger_mpt List Mpt Nibble Option Proof Proof_codec Range_proof Shrubs

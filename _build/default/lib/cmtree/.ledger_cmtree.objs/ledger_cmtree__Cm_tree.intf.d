@@ -1,0 +1,1 @@
+lib/cmtree/cm_tree.mli: Hash Ledger_crypto Ledger_merkle Ledger_mpt Mpt Range_proof

@@ -1,0 +1,162 @@
+open Ledger_crypto
+open Ledger_merkle
+open Ledger_mpt
+module Wire = Ledger_crypto.Wire
+
+type t = {
+  trie : Mpt.t; (* CM-Tree1 *)
+  accumulators : (string, Shrubs.t) Hashtbl.t; (* CM-Tree2 per clue *)
+}
+
+let create () = { trie = Mpt.create (); accumulators = Hashtbl.create 64 }
+
+(* The CM-Tree1 value: size and peak set of the clue's CM-Tree2, so a
+   verifier can rebuild the node-set commitment from the trie alone. *)
+let encode_value shrubs =
+  let peaks = Shrubs.peaks shrubs in
+  let buf = Buffer.create (16 + (32 * List.length peaks)) in
+  Buffer.add_string buf (string_of_int (Shrubs.size shrubs));
+  Buffer.add_char buf '\000';
+  List.iter (fun h -> Buffer.add_bytes buf (Hash.to_bytes h)) peaks;
+  Buffer.to_bytes buf
+
+let decode_value b =
+  match Bytes.index_opt b '\000' with
+  | None -> None
+  | Some sep -> (
+      match int_of_string_opt (Bytes.sub_string b 0 sep) with
+      | None -> None
+      | Some size ->
+          let rest = Bytes.length b - sep - 1 in
+          if rest mod 32 <> 0 then None
+          else begin
+            let peaks =
+              List.init (rest / 32) (fun i ->
+                  Hash.of_bytes (Bytes.sub b (sep + 1 + (32 * i)) 32))
+            in
+            Some (size, peaks)
+          end)
+
+let accumulator t clue =
+  match Hashtbl.find_opt t.accumulators clue with
+  | Some s -> s
+  | None ->
+      let s = Shrubs.create () in
+      Hashtbl.replace t.accumulators clue s;
+      s
+
+let insert t ~clue digest =
+  let shrubs = accumulator t clue in
+  let version = Shrubs.append shrubs digest in
+  Mpt.insert_string t.trie ~key:clue (encode_value shrubs);
+  version
+
+let entries t ~clue =
+  match Hashtbl.find_opt t.accumulators clue with
+  | Some s -> Shrubs.size s
+  | None -> 0
+
+let entry t ~clue i =
+  match Hashtbl.find_opt t.accumulators clue with
+  | Some s -> Shrubs.leaf s i
+  | None -> invalid_arg "Cm_tree.entry: unknown clue"
+
+let clue_count t = Hashtbl.length t.accumulators
+let root_hash t = Mpt.root_hash t.trie
+
+let clue_commitment t ~clue =
+  Option.map Shrubs.commitment (Hashtbl.find_opt t.accumulators clue)
+
+let mpt_lookup_depth t ~clue =
+  Mpt.lookup_depth t.trie ~key:(Nibble.of_hash (Hash.scatter clue))
+
+type clue_proof = {
+  clue : string;
+  version_range : int * int;
+  accumulator_proof : Range_proof.t;
+  trie_proof : Mpt.proof;
+  committed_value : bytes;
+}
+
+let prove_clue t ~clue ?first ?last () =
+  match Hashtbl.find_opt t.accumulators clue with
+  | None -> None
+  | Some shrubs ->
+      let n = Shrubs.size shrubs in
+      if n = 0 then None
+      else begin
+        let first = Option.value first ~default:0 in
+        let last = Option.value last ~default:(n - 1) in
+        match Mpt.prove_string t.trie ~key:clue with
+        | None -> None
+        | Some trie_proof ->
+            Some
+              {
+                clue;
+                version_range = (first, last);
+                accumulator_proof =
+                  Range_proof.prove (Shrubs.forest shrubs) ~first ~last;
+                trie_proof;
+                committed_value = encode_value shrubs;
+              }
+      end
+
+let verify_clue ~root ~known proof =
+  match decode_value proof.committed_value with
+  | None -> false
+  | Some (size, peaks) ->
+      (* layer 2: reconstruct the clue accumulator's peaks *)
+      size = proof.accumulator_proof.Range_proof.size
+      && Proof.node_set_equal peaks proof.accumulator_proof.Range_proof.peak_set
+      && Range_proof.verify ~known proof.accumulator_proof
+      (* layer 1: the trie walk commits the value under the ledger root *)
+      && Mpt.verify_proof_string ~root ~key:proof.clue
+           ~value:proof.committed_value proof.trie_proof
+
+let verify_clue_server t ~known ~clue =
+  match Hashtbl.find_opt t.accumulators clue with
+  | None -> false
+  | Some shrubs ->
+      known <> []
+      && List.for_all
+           (fun (i, h) ->
+             i >= 0 && i < Shrubs.size shrubs && Hash.equal (Shrubs.leaf shrubs i) h)
+           known
+
+let stored_digests t =
+  Hashtbl.fold (fun _ s acc -> acc + Shrubs.stored_digests s) t.accumulators 0
+
+(* --- wire codec ------------------------------------------------------------ *)
+
+let w_clue_proof w p =
+  Wire.w_string w p.clue;
+  Wire.w_int w (fst p.version_range);
+  Wire.w_int w (snd p.version_range);
+  Proof_codec.w_range_proof w p.accumulator_proof;
+  Mpt.w_proof w p.trie_proof;
+  Wire.w_bytes w p.committed_value
+
+let r_clue_proof r =
+  let clue = Wire.r_string r in
+  let first = Wire.r_int r in
+  let last = Wire.r_int r in
+  let accumulator_proof = Proof_codec.r_range_proof r in
+  let trie_proof = Mpt.r_proof r in
+  let committed_value = Wire.r_bytes r in
+  { clue; version_range = (first, last); accumulator_proof; trie_proof;
+    committed_value }
+
+(* --- lineage extension proofs --------------------------------------------- *)
+
+let prove_clue_extension t ~clue ~old_size =
+  match Hashtbl.find_opt t.accumulators clue with
+  | None -> None
+  | Some shrubs ->
+      if old_size <= 0 || old_size > Shrubs.size shrubs then None
+      else Some (Shrubs.prove_consistency shrubs ~old_size)
+
+let verify_clue_extension ~old_value ~new_value proof =
+  match (decode_value old_value, decode_value new_value) with
+  | Some (old_size, old_peaks), Some (new_size, new_peaks) ->
+      Shrubs.verify_consistency ~old_size ~old_peaks ~new_size ~new_peaks proof
+  | _ -> false

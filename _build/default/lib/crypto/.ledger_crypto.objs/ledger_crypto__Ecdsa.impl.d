@@ -1,0 +1,1 @@
+lib/crypto/ecdsa.ml: Bytes Char Format Hash Hmac_sha256 Secp256k1 Sha256 String Uint256

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Buffer Bytes Char Format Hashtbl Printf Sha256 Sha3 String

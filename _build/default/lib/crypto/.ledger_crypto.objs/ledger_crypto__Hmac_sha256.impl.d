@@ -1,0 +1,1 @@
+lib/crypto/hmac_sha256.ml: Bytes Char Sha256

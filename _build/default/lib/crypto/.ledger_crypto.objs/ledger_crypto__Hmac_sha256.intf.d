@@ -1,0 +1,1 @@
+lib/crypto/hmac_sha256.mli:

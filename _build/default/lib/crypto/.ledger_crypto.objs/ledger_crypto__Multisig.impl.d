@@ -1,0 +1,1 @@
+lib/crypto/multisig.ml: Ecdsa Hash List

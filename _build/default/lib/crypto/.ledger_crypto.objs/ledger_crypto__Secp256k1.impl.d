@@ -1,0 +1,1 @@
+lib/crypto/secp256k1.ml: Array Uint256

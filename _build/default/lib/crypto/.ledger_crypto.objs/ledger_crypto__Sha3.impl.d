@@ -1,0 +1,1 @@
+lib/crypto/sha3.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/crypto/uint256.ml: Array Buffer Bytes Char Format Printf Stdlib String

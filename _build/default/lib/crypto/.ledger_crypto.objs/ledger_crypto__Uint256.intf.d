@@ -1,0 +1,1 @@
+lib/crypto/uint256.mli: Format

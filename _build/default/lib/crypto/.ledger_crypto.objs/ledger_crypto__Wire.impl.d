@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: Buffer Bytes Char Hash Int64 List

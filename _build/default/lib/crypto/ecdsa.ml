@@ -1,0 +1,104 @@
+type private_key = Uint256.t
+type public_key = Secp256k1.point
+type signature = { r : Uint256.t; s : Uint256.t }
+
+let n = Secp256k1.n
+let n_minus_1 = fst (Uint256.sub n Uint256.one)
+
+(* Map 32 bytes to [1, n-1]. *)
+let scalar_of_bytes b =
+  let v = Uint256.of_bytes_be b in
+  let v = snd (Uint256.div_mod v n_minus_1) in
+  fst (Uint256.add v Uint256.one)
+
+let generate ~seed =
+  let d = scalar_of_bytes (Sha256.digest_string ("ledgerdb-key:" ^ seed)) in
+  (d, Secp256k1.scalar_mul d Secp256k1.generator)
+
+let public_key d = Secp256k1.scalar_mul d Secp256k1.generator
+
+(* Deterministic nonce in the spirit of RFC 6979: chained HMAC over the
+   private key and digest, with a retry counter. *)
+let nonce d msg_hash attempt =
+  let key = Uint256.to_bytes_be d in
+  let data = Bytes.create 33 in
+  Bytes.blit (Hash.to_bytes msg_hash) 0 data 0 32;
+  Bytes.set data 32 (Char.chr (attempt land 0xFF));
+  scalar_of_bytes (Hmac_sha256.mac ~key data)
+
+let z_of_hash h = snd (Uint256.div_mod (Uint256.of_bytes_be (Hash.to_bytes h)) n)
+
+let sign d msg_hash =
+  let z = z_of_hash msg_hash in
+  let rec attempt i =
+    if i > 100 then failwith "Ecdsa.sign: could not find a valid nonce";
+    let k = nonce d msg_hash i in
+    let kg = Secp256k1.scalar_mul k Secp256k1.generator in
+    match Secp256k1.to_affine kg with
+    | None -> attempt (i + 1)
+    | Some (x, _) ->
+        let r = snd (Uint256.div_mod x n) in
+        if Uint256.is_zero r then attempt (i + 1)
+        else begin
+          let kinv = Uint256.inv_mod k n in
+          let rd = Uint256.mul_mod r d n in
+          let s = Uint256.mul_mod kinv (Uint256.add_mod z rd n) n in
+          if Uint256.is_zero s then attempt (i + 1) else { r; s }
+        end
+  in
+  attempt 0
+
+let in_range v = not (Uint256.is_zero v) && Uint256.compare v n < 0
+
+let verify q msg_hash { r; s } =
+  if not (in_range r && in_range s) then false
+  else if Secp256k1.is_infinity q then false
+  else begin
+    let z = z_of_hash msg_hash in
+    let w = Uint256.inv_mod s n in
+    let u1 = Uint256.mul_mod z w n in
+    let u2 = Uint256.mul_mod r w n in
+    let pt = Secp256k1.double_scalar_mul u1 Secp256k1.generator u2 q in
+    match Secp256k1.to_affine pt with
+    | None -> false
+    | Some (x, _) -> Uint256.equal (snd (Uint256.div_mod x n)) r
+  end
+
+let public_key_to_bytes q =
+  match Secp256k1.to_affine q with
+  | None -> invalid_arg "Ecdsa.public_key_to_bytes: infinity"
+  | Some (x, y) ->
+      let b = Bytes.create 64 in
+      Bytes.blit (Uint256.to_bytes_be x) 0 b 0 32;
+      Bytes.blit (Uint256.to_bytes_be y) 0 b 32 32;
+      b
+
+let public_key_of_bytes b =
+  if Bytes.length b <> 64 then None
+  else begin
+    let x = Uint256.of_bytes_be (Bytes.sub b 0 32) in
+    let y = Uint256.of_bytes_be (Bytes.sub b 32 32) in
+    if Secp256k1.is_on_curve x y then Some (Secp256k1.of_affine x y) else None
+  end
+
+let public_key_id q = Hash.digest_bytes (public_key_to_bytes q)
+
+let signature_to_bytes { r; s } =
+  let b = Bytes.create 64 in
+  Bytes.blit (Uint256.to_bytes_be r) 0 b 0 32;
+  Bytes.blit (Uint256.to_bytes_be s) 0 b 32 32;
+  b
+
+let signature_of_bytes b =
+  if Bytes.length b <> 64 then None
+  else
+    Some
+      {
+        r = Uint256.of_bytes_be (Bytes.sub b 0 32);
+        s = Uint256.of_bytes_be (Bytes.sub b 32 32);
+      }
+
+let pp_signature fmt { r; s } =
+  Format.fprintf fmt "sig(r=%s…, s=%s…)"
+    (String.sub (Uint256.to_hex r) 0 8)
+    (String.sub (Uint256.to_hex s) 0 8)

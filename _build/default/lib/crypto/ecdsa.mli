@@ -1,0 +1,40 @@
+(** ECDSA over secp256k1 with deterministic nonces.
+
+    This is the non-repudiation primitive of the ledger (paper §III-C):
+    clients sign requests (π_c), the LSP signs receipts (π_s), and the TSA
+    signs digest–timestamp pairs (π_t).  Nonces are derived RFC-6979-style
+    from HMAC-SHA256, so signing is deterministic and needs no entropy
+    source inside the sealed test environment. *)
+
+type private_key
+type public_key
+
+type signature = { r : Uint256.t; s : Uint256.t }
+
+val generate : seed:string -> private_key * public_key
+(** Derive a keypair deterministically from a seed string.  Distinct seeds
+    give (overwhelmingly) distinct keys. *)
+
+val public_key : private_key -> public_key
+
+val sign : private_key -> Hash.t -> signature
+(** Sign a 32-byte message digest. *)
+
+val verify : public_key -> Hash.t -> signature -> bool
+(** Check a signature against a digest; total (never raises). *)
+
+val public_key_to_bytes : public_key -> bytes
+(** 64-byte uncompressed encoding (x ∥ y). *)
+
+val public_key_of_bytes : bytes -> public_key option
+(** Parse and validate a 64-byte encoding; [None] if not on the curve. *)
+
+val public_key_id : public_key -> Hash.t
+(** Digest of the encoded public key — used as a member identifier. *)
+
+val signature_to_bytes : signature -> bytes
+(** 64-byte encoding (r ∥ s). *)
+
+val signature_of_bytes : bytes -> signature option
+
+val pp_signature : Format.formatter -> signature -> unit

@@ -1,0 +1,55 @@
+type t = bytes
+
+let size = 32
+
+let of_bytes b =
+  if Bytes.length b <> size then invalid_arg "Hash.of_bytes: need 32 bytes";
+  Bytes.copy b
+
+let to_bytes t = Bytes.copy t
+
+let of_hex s =
+  if String.length s <> 64 then invalid_arg "Hash.of_hex: need 64 hex digits";
+  let b = Bytes.create size in
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Hash.of_hex: bad digit"
+  in
+  for i = 0 to size - 1 do
+    Bytes.set b i (Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+  done;
+  b
+
+let to_hex t =
+  let buf = Buffer.create 64 in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let equal = Bytes.equal
+let compare = Bytes.compare
+let hash t = Hashtbl.hash (Bytes.to_string t)
+let zero = Bytes.make size '\000'
+let digest_bytes b = Sha256.digest_bytes b
+let digest_string s = Sha256.digest_string s
+
+let combine l r =
+  let b = Bytes.create (2 * size) in
+  Bytes.blit l 0 b 0 size;
+  Bytes.blit r 0 b size size;
+  Sha256.digest_bytes b
+
+let combine_tagged tag l r =
+  let tl = String.length tag in
+  let b = Bytes.create (tl + (2 * size)) in
+  Bytes.blit_string tag 0 b 0 tl;
+  Bytes.blit l 0 b tl size;
+  Bytes.blit r 0 b (tl + size) size;
+  Sha256.digest_bytes b
+
+let scatter key = Sha3.digest_string key
+
+let short_hex t = String.sub (to_hex t) 0 8
+let pp fmt t = Format.pp_print_string fmt (short_hex t)

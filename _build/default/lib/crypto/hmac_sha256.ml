@@ -1,0 +1,25 @@
+let block_size = 64
+
+let mac ~key msg =
+  let key =
+    if Bytes.length key > block_size then Sha256.digest_bytes key else key
+  in
+  let pad_key c =
+    let b = Bytes.make block_size c in
+    for i = 0 to Bytes.length key - 1 do
+      Bytes.set b i (Char.chr (Char.code (Bytes.get key i) lxor Char.code c))
+    done;
+    b
+  in
+  let ipad = pad_key '\x36' and opad = pad_key '\x5c' in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let mac_string ~key msg =
+  mac ~key:(Bytes.of_string key) (Bytes.of_string msg)

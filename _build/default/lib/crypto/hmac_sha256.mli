@@ -1,0 +1,6 @@
+(** HMAC-SHA256 (RFC 2104), used for deterministic ECDSA nonces. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. *)
+
+val mac_string : key:string -> string -> bytes

@@ -1,0 +1,34 @@
+type entry = { signer : Ecdsa.public_key; signature : Ecdsa.signature }
+type t = { digest : Hash.t; entries : entry list }
+
+let empty digest = { digest; entries = [] }
+let digest t = t.digest
+
+let remove_signer entries id =
+  List.filter (fun e -> not (Hash.equal (Ecdsa.public_key_id e.signer) id)) entries
+
+let add t ~signer priv =
+  let signature = Ecdsa.sign priv t.digest in
+  let entries = remove_signer t.entries (Ecdsa.public_key_id signer) in
+  { t with entries = { signer; signature } :: entries }
+
+let add_signature t ~signer signature =
+  let entries = remove_signer t.entries (Ecdsa.public_key_id signer) in
+  { t with entries = { signer; signature } :: entries }
+
+let signer_ids t = List.map (fun e -> Ecdsa.public_key_id e.signer) t.entries
+
+let verify_all t =
+  List.for_all (fun e -> Ecdsa.verify e.signer t.digest e.signature) t.entries
+
+let covers t ~required =
+  verify_all t
+  && List.for_all
+       (fun pk ->
+         let id = Ecdsa.public_key_id pk in
+         List.exists
+           (fun e -> Hash.equal (Ecdsa.public_key_id e.signer) id)
+           t.entries)
+       required
+
+let cardinal t = List.length t.entries

@@ -1,0 +1,32 @@
+(** Multi-signature sets over a single digest.
+
+    Purge journals require signatures from the DBA and every affected member
+    (Prerequisite 1); occult journals require DBA and regulator signatures
+    (Prerequisite 2).  A [Multisig.t] carries the set of (signer id,
+    signature) pairs over one digest and can be checked against a required
+    signer set. *)
+
+type t
+
+val empty : Hash.t -> t
+(** [empty digest] is a signature set over [digest] with no signatures. *)
+
+val digest : t -> Hash.t
+
+val add : t -> signer:Ecdsa.public_key -> Ecdsa.private_key -> t
+(** Sign the digest with [signer]'s private key and record it.
+    Re-signing by the same member replaces the previous signature. *)
+
+val add_signature : t -> signer:Ecdsa.public_key -> Ecdsa.signature -> t
+(** Record an externally produced signature (not validated here). *)
+
+val signer_ids : t -> Hash.t list
+
+val verify_all : t -> bool
+(** Every recorded signature is valid for the digest. *)
+
+val covers : t -> required:Ecdsa.public_key list -> bool
+(** [covers t ~required] holds when every required member has a valid
+    signature in [t] (extra signatures are allowed). *)
+
+val cardinal : t -> int

@@ -1,0 +1,56 @@
+(** The secp256k1 elliptic curve: y² = x³ + 7 over F_p.
+
+    Field arithmetic uses the pseudo-Mersenne structure of
+    p = 2²⁵⁶ − 2³² − 977 for fast reduction; points are manipulated in
+    Jacobian coordinates to avoid per-operation field inversions.  This is
+    the curve substrate beneath {!Ecdsa}. *)
+
+type fe = Uint256.t
+(** A field element, canonical (< p). *)
+
+type point
+(** A curve point in Jacobian coordinates (the point at infinity is
+    representable). *)
+
+val p : Uint256.t
+(** The field prime. *)
+
+val n : Uint256.t
+(** The group order. *)
+
+val generator : point
+
+val infinity : point
+val is_infinity : point -> bool
+
+val of_affine : fe -> fe -> point
+(** [of_affine x y] builds a point; the caller asserts it is on the curve
+    (use {!is_on_curve} to check untrusted input). *)
+
+val to_affine : point -> (fe * fe) option
+(** [None] for the point at infinity. *)
+
+val is_on_curve : fe -> fe -> bool
+
+val double : point -> point
+val add : point -> point -> point
+val negate : point -> point
+
+val scalar_mul : Uint256.t -> point -> point
+(** [scalar_mul k pt] by MSB-first double-and-add. *)
+
+val double_scalar_mul : Uint256.t -> point -> Uint256.t -> point -> point
+(** [double_scalar_mul a pt_a b pt_b] computes [a·pt_a + b·pt_b] with a
+    single shared doubling chain (Shamir's trick) — the hot path of ECDSA
+    verification. *)
+
+val equal : point -> point -> bool
+(** Structural equality of the represented affine points. *)
+
+(** {1 Field helpers (exposed for tests)} *)
+
+val fe_add : fe -> fe -> fe
+val fe_sub : fe -> fe -> fe
+val fe_mul : fe -> fe -> fe
+val fe_sqr : fe -> fe
+val fe_inv : fe -> fe

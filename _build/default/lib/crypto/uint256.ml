@@ -1,0 +1,419 @@
+(* 256-bit unsigned integers as 16 little-endian limbs of 16 bits.
+   Limb products fit in 32 bits and column sums in ~36 bits, so all
+   intermediate values stay well inside OCaml's 63-bit native int. *)
+
+let limb_count = 16
+let limb_bits = 16
+let limb_mask = 0xFFFF
+
+type t = int array
+
+let zero = Array.make limb_count 0
+let one =
+  let a = Array.make limb_count 0 in
+  a.(0) <- 1;
+  a
+
+let of_int n =
+  if n < 0 then invalid_arg "Uint256.of_int: negative";
+  let a = Array.make limb_count 0 in
+  let rec fill i n =
+    if n <> 0 && i < limb_count then begin
+      a.(i) <- n land limb_mask;
+      fill (i + 1) (n lsr limb_bits)
+    end
+  in
+  fill 0 n;
+  a
+
+let to_int_opt x =
+  (* An OCaml int holds 62 usable bits here: accept values below 2^62. *)
+  let rec high_zero i = i >= limb_count || (x.(i) = 0 && high_zero (i + 1)) in
+  if not (high_zero 4) then None
+  else begin
+    let v =
+      x.(0) lor (x.(1) lsl 16) lor (x.(2) lsl 32) lor (x.(3) lsl 48)
+    in
+    if v < 0 then None else Some v
+  end
+
+let of_bytes_be b =
+  let len = Bytes.length b in
+  if len > 32 then invalid_arg "Uint256.of_bytes_be: more than 32 bytes";
+  let a = Array.make limb_count 0 in
+  for i = 0 to len - 1 do
+    (* byte i (from the most significant end) contributes to bit position *)
+    let byte = Char.code (Bytes.get b (len - 1 - i)) in
+    let limb = i / 2 in
+    let shift = (i mod 2) * 8 in
+    a.(limb) <- a.(limb) lor (byte lsl shift)
+  done;
+  a
+
+let to_bytes_be x =
+  let b = Bytes.create 32 in
+  for i = 0 to 31 do
+    let limb = i / 2 in
+    let shift = (i mod 2) * 8 in
+    Bytes.set b (31 - i) (Char.chr ((x.(limb) lsr shift) land 0xFF))
+  done;
+  b
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Uint256.of_hex: bad digit"
+
+let of_hex s =
+  let n = String.length s in
+  if n = 0 || n > 64 then invalid_arg "Uint256.of_hex: bad length";
+  let a = Array.make limb_count 0 in
+  for i = 0 to n - 1 do
+    (* digit i counted from the least significant end *)
+    let d = hex_digit s.[n - 1 - i] in
+    let limb = i / 4 in
+    let shift = (i mod 4) * 4 in
+    a.(limb) <- a.(limb) lor (d lsl shift)
+  done;
+  a
+
+let to_hex x =
+  let buf = Buffer.create 64 in
+  for i = limb_count - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%04x" x.(i))
+  done;
+  Buffer.contents buf
+
+let is_zero x =
+  let rec go i = i >= limb_count || (x.(i) = 0 && go (i + 1)) in
+  go 0
+
+let is_odd x = x.(0) land 1 = 1
+
+let equal a b =
+  let rec go i = i >= limb_count || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let rec go i =
+    if i < 0 then 0
+    else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+    else go (i - 1)
+  in
+  go (limb_count - 1)
+
+let num_bits x =
+  let rec top i = if i < 0 then -1 else if x.(i) <> 0 then i else top (i - 1) in
+  let i = top (limb_count - 1) in
+  if i < 0 then 0
+  else begin
+    let v = x.(i) in
+    let rec width w = if v lsr w = 0 then w else width (w + 1) in
+    (i * limb_bits) + width 1
+  end
+
+let bit x i =
+  if i >= limb_count * limb_bits then false
+  else (x.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+
+let add a b =
+  let r = Array.make limb_count 0 in
+  let carry = ref 0 in
+  for i = 0 to limb_count - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  (r, !carry <> 0)
+
+let sub a b =
+  let r = Array.make limb_count 0 in
+  let borrow = ref 0 in
+  for i = 0 to limb_count - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + (limb_mask + 1);
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  (r, !borrow <> 0)
+
+let shift_left x k =
+  if k <= 0 then Array.copy x
+  else if k >= limb_count * limb_bits then Array.make limb_count 0
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let r = Array.make limb_count 0 in
+    for i = limb_count - 1 downto 0 do
+      let src = i - limb_shift in
+      if src >= 0 then begin
+        let v = x.(src) lsl bit_shift in
+        r.(i) <- r.(i) lor (v land limb_mask);
+        if bit_shift > 0 && i + 1 < limb_count then
+          r.(i + 1) <- r.(i + 1) lor (v lsr limb_bits)
+      end
+    done;
+    r
+  end
+
+let shift_right x k =
+  if k <= 0 then Array.copy x
+  else if k >= limb_count * limb_bits then Array.make limb_count 0
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let r = Array.make limb_count 0 in
+    for i = 0 to limb_count - 1 do
+      let src = i + limb_shift in
+      if src < limb_count then begin
+        let v = x.(src) lsr bit_shift in
+        r.(i) <- r.(i) lor v;
+        if bit_shift > 0 && src + 1 < limb_count then
+          r.(i) <-
+            r.(i) lor ((x.(src + 1) lsl (limb_bits - bit_shift)) land limb_mask)
+      end
+    done;
+    r
+  end
+
+let mul_wide a b =
+  let r = Array.make (2 * limb_count) 0 in
+  for i = 0 to limb_count - 1 do
+    if a.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to limb_count - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let k = ref (i + limb_count) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  r
+
+(* Long division on raw limb arrays.  [bits] is the bit width of the
+   dividend.  The remainder accumulator has one spare limb so that the
+   shift-then-compare step cannot overflow. *)
+let div_mod_raw dividend bits m =
+  let qlen = (bits + limb_bits - 1) / limb_bits in
+  let q = Array.make (max qlen 1) 0 in
+  let rlen = limb_count + 1 in
+  let r = Array.make rlen 0 in
+  let r_ge_m () =
+    if r.(limb_count) <> 0 then true
+    else begin
+      let rec go i =
+        if i < 0 then true
+        else if r.(i) <> m.(i) then r.(i) > m.(i)
+        else go (i - 1)
+      in
+      go (limb_count - 1)
+    end
+  in
+  let r_sub_m () =
+    let borrow = ref 0 in
+    for i = 0 to limb_count - 1 do
+      let s = r.(i) - m.(i) - !borrow in
+      if s < 0 then begin
+        r.(i) <- s + (limb_mask + 1);
+        borrow := 1
+      end else begin
+        r.(i) <- s;
+        borrow := 0
+      end
+    done;
+    r.(limb_count) <- r.(limb_count) - !borrow
+  in
+  for i = bits - 1 downto 0 do
+    (* r := (r << 1) | bit i of dividend *)
+    let carry = ref ((dividend.(i / limb_bits) lsr (i mod limb_bits)) land 1) in
+    for j = 0 to rlen - 1 do
+      let v = (r.(j) lsl 1) lor !carry in
+      r.(j) <- v land limb_mask;
+      carry := v lsr limb_bits
+    done;
+    if r_ge_m () then begin
+      r_sub_m ();
+      q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    end
+  done;
+  (q, Array.sub r 0 limb_count)
+
+let div_mod a m =
+  if is_zero m then raise Division_by_zero;
+  let bits = num_bits a in
+  if bits = 0 then (zero, zero)
+  else if compare a m < 0 then (zero, Array.copy a)
+  else begin
+    let q, r = div_mod_raw a bits m in
+    let qt = Array.make limb_count 0 in
+    Array.blit q 0 qt 0 (min (Array.length q) limb_count);
+    (qt, r)
+  end
+
+let mod_wide w m =
+  if is_zero m then raise Division_by_zero;
+  let bits =
+    let rec top i = if i < 0 then 0 else if w.(i) <> 0 then i else top (i - 1) in
+    let i = top (Array.length w - 1) in
+    if i = 0 && w.(0) = 0 then 0
+    else begin
+      let v = w.(i) in
+      let rec width k = if v lsr k = 0 then k else width (k + 1) in
+      (i * limb_bits) + width 1
+    end
+  in
+  if bits = 0 then zero
+  else
+    let _, r = div_mod_raw w bits m in
+    r
+
+let add_mod a b m =
+  let s, carry = add a b in
+  if carry || compare s m >= 0 then fst (sub s m) else s
+
+let sub_mod a b m =
+  let d, borrow = sub a b in
+  if borrow then fst (add d m) else d
+
+let mul_mod a b m = mod_wide (mul_wide a b) m
+
+let pow_mod b e m =
+  let result = ref (snd (div_mod one m)) in
+  let base = ref (snd (div_mod b m)) in
+  let nb = num_bits e in
+  for i = 0 to nb - 1 do
+    if bit e i then result := mul_mod !result !base m;
+    base := mul_mod !base !base m
+  done;
+  !result
+
+(* Binary extended GCD inversion for odd modulus.  Works on local mutable
+   limb arrays with an explicit spare carry so that (x + m) / 2 is exact. *)
+let inv_mod x m =
+  if not (is_odd m) then invalid_arg "Uint256.inv_mod: modulus must be odd";
+  let x = snd (div_mod x m) in
+  if is_zero x then invalid_arg "Uint256.inv_mod: zero has no inverse";
+  let u = Array.copy x and v = Array.copy m in
+  let x1 = Array.copy one and x2 = Array.copy zero in
+  let arr_is_one a =
+    a.(0) = 1
+    &&
+    let rec go i = i >= limb_count || (a.(i) = 0 && go (i + 1)) in
+    go 1
+  in
+  let arr_is_zero a =
+    let rec go i = i >= limb_count || (a.(i) = 0 && go (i + 1)) in
+    go 0
+  in
+  let arr_even a = a.(0) land 1 = 0 in
+  let arr_ge a b =
+    let rec go i =
+      if i < 0 then true else if a.(i) <> b.(i) then a.(i) > b.(i) else go (i - 1)
+    in
+    go (limb_count - 1)
+  in
+  let arr_sub_inplace a b =
+    let borrow = ref 0 in
+    for i = 0 to limb_count - 1 do
+      let s = a.(i) - b.(i) - !borrow in
+      if s < 0 then begin
+        a.(i) <- s + (limb_mask + 1);
+        borrow := 1
+      end else begin
+        a.(i) <- s;
+        borrow := 0
+      end
+    done
+  in
+  (* a := a / 2, where a may carry one extra bit in [carry]. *)
+  let arr_half a carry =
+    for i = 0 to limb_count - 2 do
+      a.(i) <- (a.(i) lsr 1) lor ((a.(i + 1) land 1) lsl (limb_bits - 1))
+    done;
+    a.(limb_count - 1) <-
+      (a.(limb_count - 1) lsr 1) lor (if carry then 1 lsl (limb_bits - 1) else 0)
+  in
+  (* a := (a + m) with carry-out returned *)
+  let arr_add_m a =
+    let carry = ref 0 in
+    for i = 0 to limb_count - 1 do
+      let s = a.(i) + m.(i) + !carry in
+      a.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    !carry <> 0
+  in
+  let half_mod a =
+    if arr_even a then arr_half a false
+    else begin
+      let c = arr_add_m a in
+      arr_half a c
+    end
+  in
+  let sub_mod_inplace a b =
+    (* a := (a - b) mod m *)
+    if arr_ge a b then arr_sub_inplace a b
+    else begin
+      (* a := a + m - b; a + m may exceed 2^256, handle via spare word *)
+      let tmp = Array.make (limb_count + 1) 0 in
+      Array.blit a 0 tmp 0 limb_count;
+      let carry = ref 0 in
+      for i = 0 to limb_count - 1 do
+        let s = tmp.(i) + m.(i) + !carry in
+        tmp.(i) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      tmp.(limb_count) <- !carry;
+      let borrow = ref 0 in
+      for i = 0 to limb_count - 1 do
+        let s = tmp.(i) - b.(i) - !borrow in
+        if s < 0 then begin
+          tmp.(i) <- s + (limb_mask + 1);
+          borrow := 1
+        end else begin
+          tmp.(i) <- s;
+          borrow := 0
+        end
+      done;
+      Array.blit tmp 0 a 0 limb_count
+    end
+  in
+  while not (arr_is_one u) && not (arr_is_one v) do
+    while arr_even u do
+      arr_half u false;
+      half_mod x1
+    done;
+    while arr_even v do
+      arr_half v false;
+      half_mod x2
+    done;
+    if arr_ge u v then begin
+      arr_sub_inplace u v;
+      sub_mod_inplace x1 x2
+    end else begin
+      arr_sub_inplace v u;
+      sub_mod_inplace x2 x1
+    end;
+    if arr_is_zero u || arr_is_zero v then
+      invalid_arg "Uint256.inv_mod: not coprime"
+  done;
+  let r = if arr_is_one u then x1 else x2 in
+  snd (div_mod r m)
+
+let limbs x = x
+let of_limbs a =
+  if Array.length a <> limb_count then invalid_arg "Uint256.of_limbs";
+  Array.copy a
+
+let pp fmt x = Format.pp_print_string fmt (to_hex x)

@@ -1,0 +1,1 @@
+lib/ledger_core/audit.ml: Block Ecdsa Fam Format Hash Int64 Journal Ledger Ledger_crypto Ledger_merkle Ledger_timenotary List Logs Merkle_tree Option Printf Receipt Roles T_ledger Tsa Unix

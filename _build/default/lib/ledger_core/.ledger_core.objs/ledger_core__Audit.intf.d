@@ -1,0 +1,1 @@
+lib/ledger_core/audit.mli: Format Ledger Receipt

@@ -1,0 +1,1 @@
+lib/ledger_core/block.ml: Buffer Hash Int64 Ledger_crypto

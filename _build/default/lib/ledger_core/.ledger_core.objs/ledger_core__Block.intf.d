@@ -1,0 +1,1 @@
+lib/ledger_core/block.mli: Hash Ledger_crypto

@@ -1,0 +1,1 @@
+lib/ledger_core/crypto_profile.ml: Bytes Clock Ecdsa Hash Hmac_sha256 Int64 Ledger_crypto Ledger_storage

@@ -1,0 +1,1 @@
+lib/ledger_core/crypto_profile.mli: Clock Ecdsa Hash Ledger_crypto Ledger_storage

@@ -1,0 +1,1 @@
+lib/ledger_core/journal.ml: Buffer Bytes Ecdsa Format Hash Int64 Ledger_crypto Ledger_timenotary List Tsa

@@ -1,0 +1,1 @@
+lib/ledger_core/journal.mli: Ecdsa Format Hash Ledger_crypto Ledger_timenotary Tsa

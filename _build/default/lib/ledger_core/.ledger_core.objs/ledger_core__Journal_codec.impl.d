@@ -1,0 +1,1 @@
+lib/ledger_core/journal_codec.ml: Buffer Bytes Char Ecdsa Hash Int64 Journal Ledger_crypto Ledger_timenotary List String Tsa

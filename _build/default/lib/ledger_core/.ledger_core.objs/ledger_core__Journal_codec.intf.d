@@ -1,0 +1,1 @@
+lib/ledger_core/journal_codec.mli: Hash Journal Ledger_crypto

@@ -1,0 +1,1 @@
+lib/ledger_core/ledger_client.ml: Ecdsa Fam Hash Ledger_crypto Ledger_merkle List Receipt

@@ -1,0 +1,1 @@
+lib/ledger_core/receipt.ml: Buffer Ecdsa Hash Int64 Ledger_crypto

@@ -1,0 +1,1 @@
+lib/ledger_core/receipt.mli: Ecdsa Hash Ledger_crypto

@@ -1,0 +1,1 @@
+lib/ledger_core/replica.ml: Block Bytes Char Filename Hash Ledger Ledger_crypto List Printf Service String Sys

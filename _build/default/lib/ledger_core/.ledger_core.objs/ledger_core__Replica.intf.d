@@ -1,0 +1,1 @@
+lib/ledger_core/replica.mli: Clock Ledger Ledger_storage Ledger_timenotary T_ledger Tsa

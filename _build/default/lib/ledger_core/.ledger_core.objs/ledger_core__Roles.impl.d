@@ -1,0 +1,1 @@
+lib/ledger_core/roles.ml: Ecdsa Hash Hashtbl Ledger_crypto List String

@@ -1,0 +1,1 @@
+lib/ledger_core/roles.mli: Ecdsa Hash Ledger_crypto

@@ -1,0 +1,1 @@
+lib/ledger_core/service.ml: Block Bytes Cm_tree Ecdsa Fam Hash Journal Journal_codec Ledger Ledger_cmtree Ledger_crypto Ledger_merkle List Option Proof_codec Receipt Roles Wire

@@ -1,0 +1,1 @@
+lib/ledger_core/service.mli: Block Cm_tree Ecdsa Fam Hash Ledger Ledger_cmtree Ledger_crypto Ledger_merkle Receipt Roles Wire

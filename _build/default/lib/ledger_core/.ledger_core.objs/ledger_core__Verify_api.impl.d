@@ -1,0 +1,1 @@
+lib/ledger_core/verify_api.ml: Format Hash Journal Ledger Ledger_crypto List Printf Receipt

@@ -1,0 +1,1 @@
+lib/ledger_core/verify_api.mli: Format Hash Ledger Ledger_crypto Receipt

@@ -1,0 +1,59 @@
+(** Dasein-complete audit — paper §V, steps 1–6.
+
+    An external auditor replays the ledger end to end and verifies all
+    three Dasein factors:
+
+    - {e who}: client signatures (π_c) on every journal, multi-signatures
+      on purge journals (Prerequisite 1) and occult journals
+      (Prerequisite 2), and the LSP's receipt signatures (π_s) for any
+      receipts the caller holds (step 1 and step 5);
+    - {e when}: TSA token signatures on time journals, T-Ledger entry
+      existence, and monotone consistency of journal timestamps with the
+      bracketing anchors (step 2);
+    - {e what}: sequential replay — recompute each journal's tx-hash from
+      its stored content, rebuild the fam accumulation, compare the
+      reconstructed commitment against every anchored digest and the
+      ledger's current commitment, recompute per-block transaction roots
+      and check the block hash chain (steps 3–4).
+
+    Occulted journals are handled by Protocol 2 (the retained hash stands
+    in for the hidden content); a purged prefix is handled by Protocol 1
+    (the audit restarts from the pseudo-genesis and journals are checked
+    by fam existence proofs instead of full replay).
+
+    Any failed sub-verification is recorded; per §V the conjunction of all
+    proofs decides the verdict ({!report.ok}). *)
+
+
+type factor = What | When | Who | Chain
+
+type failure = { jsn : int option; factor : factor; message : string }
+
+type report = {
+  ok : bool;
+  journals_checked : int;
+  blocks_checked : int;
+  time_anchors_checked : int;
+  signatures_checked : int;
+  what_seconds : float;
+  when_seconds : float;
+  who_seconds : float;
+  failures : failure list;
+}
+
+val run :
+  ?from_jsn:int ->
+  ?upto_jsn:int ->
+  ?before_ts:int64 ->
+  ?receipts:Receipt.t list ->
+  Ledger.t ->
+  report
+(** Audit journals in [[from_jsn, upto_jsn)] (defaults: the pseudo-genesis
+    if one exists, else 0; and the ledger size).  [before_ts] is the §V
+    temporal predicate ("audit all transactions committed before …"): it
+    further restricts the scope to journals whose server timestamp
+    precedes the bound.  [receipts] are client-held LSP receipts to
+    validate in step 5. *)
+
+val pp_report : Format.formatter -> report -> unit
+val factor_to_string : factor -> string

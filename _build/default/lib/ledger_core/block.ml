@@ -1,0 +1,32 @@
+open Ledger_crypto
+
+type t = {
+  height : int;
+  start_jsn : int;
+  count : int;
+  prev_hash : Hash.t;
+  journal_commitment : Hash.t;
+  clue_root : Hash.t;
+  world_state_root : Hash.t;
+  tx_root : Hash.t;
+  timestamp : int64;
+}
+
+let hash t =
+  let buf = Buffer.create 200 in
+  Buffer.add_string buf "block:";
+  Buffer.add_string buf (string_of_int t.height);
+  Buffer.add_string buf (string_of_int t.start_jsn);
+  Buffer.add_string buf (string_of_int t.count);
+  Buffer.add_bytes buf (Hash.to_bytes t.prev_hash);
+  Buffer.add_bytes buf (Hash.to_bytes t.journal_commitment);
+  Buffer.add_bytes buf (Hash.to_bytes t.clue_root);
+  Buffer.add_bytes buf (Hash.to_bytes t.world_state_root);
+  Buffer.add_bytes buf (Hash.to_bytes t.tx_root);
+  Buffer.add_string buf (Int64.to_string t.timestamp);
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let links_to prev next =
+  next.height = prev.height + 1
+  && Hash.equal next.prev_hash (hash prev)
+  && next.start_jsn = prev.start_jsn + prev.count

@@ -1,0 +1,36 @@
+open Ledger_crypto
+open Ledger_storage
+
+type t =
+  | Real
+  | Simulated of { sign_us : float; verify_us : float }
+
+let default_simulated = Simulated { sign_us = 30.; verify_us = 70. }
+
+(* A simulated signature binds (public key, digest) deterministically, so
+   any payload tampering still breaks verification. *)
+let simulated_signature pub digest =
+  let key = Hash.to_bytes (Ecdsa.public_key_id pub) in
+  let mac = Hmac_sha256.mac ~key (Hash.to_bytes digest) in
+  let b = Bytes.create 64 in
+  Bytes.blit mac 0 b 0 32;
+  Bytes.blit mac 0 b 32 32;
+  match Ecdsa.signature_of_bytes b with Some s -> s | None -> assert false
+
+let charge clock us = Clock.advance clock (Int64.of_float us)
+
+let sign t clock ~priv ~pub digest =
+  match t with
+  | Real -> Ecdsa.sign priv digest
+  | Simulated { sign_us; _ } ->
+      charge clock sign_us;
+      ignore priv;
+      simulated_signature pub digest
+
+let verify t clock ~pub digest signature =
+  match t with
+  | Real -> Ecdsa.verify pub digest signature
+  | Simulated { verify_us; _ } ->
+      charge clock verify_us;
+      Ecdsa.signature_to_bytes (simulated_signature pub digest)
+      = Ecdsa.signature_to_bytes signature

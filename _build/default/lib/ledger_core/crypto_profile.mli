@@ -1,0 +1,32 @@
+(** Signature execution profile.
+
+    The paper's deployment signs with hardware-accelerated ECDSA
+    (microseconds per operation); this reproduction's from-scratch ECDSA
+    costs milliseconds.  To keep benchmark {e shapes} faithful without
+    hours of wall-clock, the ledger can run in one of two profiles:
+
+    - [Real] — every signature is produced and verified with {!Ecdsa}.
+      Used by correctness and threat-model tests, and by the Fig. 7
+      latency measurements.
+    - [Simulated] — signatures are deterministic MAC-like digests bound to
+      (public key, message); producing/checking one {e advances the
+      simulated clock} by a calibrated hardware-crypto cost instead of
+      burning CPU.  Payload tampering is still detected (the digest
+      changes); only signature {e forgery} resistance is out of scope,
+      which no throughput benchmark relies on. *)
+
+open Ledger_crypto
+open Ledger_storage
+
+type t =
+  | Real
+  | Simulated of { sign_us : float; verify_us : float }
+
+val default_simulated : t
+(** 30 µs sign / 70 µs verify — OpenSSL-class secp256k1 numbers. *)
+
+val sign :
+  t -> Clock.t -> priv:Ecdsa.private_key -> pub:Ecdsa.public_key -> Hash.t ->
+  Ecdsa.signature
+
+val verify : t -> Clock.t -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature -> bool

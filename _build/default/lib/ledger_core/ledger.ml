@@ -1,0 +1,1197 @@
+open Ledger_crypto
+open Ledger_storage
+open Ledger_merkle
+open Ledger_cmtree
+module Cm_tree_index = Clue_skiplist
+open Ledger_timenotary
+
+let log = Logs.Src.create "ledgerdb.ledger" ~doc:"LedgerDB kernel events"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type config = {
+  name : string;
+  block_size : int;
+  fam_delta : int;
+  latency : Latency_model.t;
+  crypto : Crypto_profile.t;
+  member_ca : Ecdsa.public_key option;
+}
+
+let default_config =
+  {
+    name = "ledger";
+    block_size = 64;
+    fam_delta = 15;
+    latency = Latency_model.default;
+    crypto = Crypto_profile.Real;
+    member_ca = None;
+  }
+
+(* In-memory journal slot: the journal record survives purge/occult as a
+   tombstone so tx hashes and kinds stay available to verification. *)
+type slot = {
+  mutable journal : Journal.t;
+  mutable tx : Hash.t;
+  mutable store_index : int; (* record index in the journal stream *)
+  mutable request_hash : Hash.t;
+}
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  store : Stream_store.t;
+  journal_stream : Stream_store.stream;
+  survival_stream : Stream_store.stream;
+  mutable slots : slot array;
+  mutable count : int;
+  fam : Fam.t;
+  cm : Cm_tree.t;
+  world_state : Accumulator.t;
+  mutable blocks : Block.t list; (* newest first *)
+  mutable block_count : int;
+  mutable pending_txs : Hash.t list; (* newest first, current block *)
+  occult_bits : Bitmap_index.t;
+  mutable occult_pending : int list; (* async-occulted, not yet erased *)
+  registry : Roles.registry;
+  lsp_priv : Ecdsa.private_key;
+  lsp_pub : Ecdsa.public_key;
+  lsp_id : Hash.t;
+  t_ledger : T_ledger.t option;
+  tsa : Tsa.pool option;
+  clue_index : (string, Cm_tree_index.t) Hashtbl.t; (* clue -> jsn skip list *)
+  state_index : (string, int list ref) Hashtbl.t; (* clue -> world-state leaves *)
+  mutable time_journals : int list; (* jsns, newest first *)
+  mutable pseudo_genesis_jsn : int option;
+  mutable survivor_jsns : int list;
+  mutable nonce : int;
+}
+
+(* placeholder slot for unoccupied array cells; always overwritten before
+   first read (guarded by [count]) *)
+let dummy_slot =
+  {
+    journal =
+      {
+        Journal.jsn = -1;
+        kind = Journal.Normal;
+        client_id = Hash.zero;
+        payload = Bytes.empty;
+        clues = [];
+        client_ts = 0L;
+        server_ts = 0L;
+        nonce = 0;
+        request_hash = Hash.zero;
+        client_sig = None;
+        cosigners = [];
+      };
+    tx = Hash.zero;
+    store_index = -1;
+    request_hash = Hash.zero;
+  }
+
+let create ?(config = default_config) ?t_ledger ?tsa ~clock () =
+  let store = Stream_store.create () in
+  let lsp_priv, lsp_pub = Ecdsa.generate ~seed:("lsp:" ^ config.name) in
+  {
+    cfg = config;
+    clock;
+    store;
+    journal_stream = Stream_store.stream store "journals";
+    survival_stream = Stream_store.stream store "survival";
+    slots = Array.make 64 dummy_slot;
+    count = 0;
+    fam = Fam.create ~delta:config.fam_delta;
+    cm = Cm_tree.create ();
+    world_state = Accumulator.create ();
+    blocks = [];
+    block_count = 0;
+    pending_txs = [];
+    occult_bits = Bitmap_index.create ();
+    occult_pending = [];
+    registry = Roles.create_registry ();
+    lsp_priv;
+    lsp_pub;
+    lsp_id = Ecdsa.public_key_id lsp_pub;
+    t_ledger;
+    tsa;
+    clue_index = Hashtbl.create 64;
+    state_index = Hashtbl.create 64;
+    time_journals = [];
+    pseudo_genesis_jsn = None;
+    survivor_jsns = [];
+    nonce = 0;
+  }
+
+let config t = t.cfg
+let clock t = t.clock
+let uri t = "ledger://" ^ t.cfg.name
+let registry t = t.registry
+let lsp_public_key t = t.lsp_pub
+let register_member t ?certificate ~name ~role pub =
+  (match t.cfg.member_ca with
+  | Some ca_pub -> (
+      match certificate with
+      | Some cert when Roles.verify_certificate ~ca_pub pub cert -> ()
+      | Some _ ->
+          invalid_arg ("Ledger.register_member: invalid certificate for " ^ name)
+      | None ->
+          invalid_arg
+            ("Ledger.register_member: this ledger requires CA-certified \
+              members (" ^ name ^ ")"))
+  | None -> ());
+  let member = Roles.register t.registry ~name ~role pub in
+  (match certificate with
+  | Some cert -> Roles.record_certificate t.registry cert
+  | None -> ());
+  member
+
+let new_member ?ca_priv t ~name ~role =
+  let priv, pub = Ecdsa.generate ~seed:(t.cfg.name ^ ":" ^ name) in
+  let certificate = Option.map (fun ca_priv -> Roles.certify ~ca_priv pub) ca_priv in
+  (register_member t ?certificate ~name ~role pub, priv)
+
+let sign_with_profile t ~priv ~pub digest =
+  Crypto_profile.sign t.cfg.crypto t.clock ~priv ~pub digest
+
+let verify_with_profile t ~pub digest signature =
+  Crypto_profile.verify t.cfg.crypto t.clock ~pub digest signature
+
+let size t = t.count
+
+let slot t jsn =
+  if jsn < 0 || jsn >= t.count then
+    invalid_arg (Printf.sprintf "Ledger: jsn %d out of range [0,%d)" jsn t.count);
+  t.slots.(jsn)
+
+let journal t jsn = (slot t jsn).journal
+let tx_hash_of t jsn = (slot t jsn).tx
+
+let payload t jsn =
+  let s = slot t jsn in
+  if s.store_index < 0 then None
+  else
+    Stream_store.read_opt
+      ~latency:(t.cfg.latency, t.clock)
+      t.journal_stream s.store_index
+
+let iter_journals t f =
+  for i = 0 to t.count - 1 do
+    f t.slots.(i).journal
+  done
+
+(* --- block building ---------------------------------------------------- *)
+
+let latest_block_hash t =
+  match t.blocks with [] -> Hash.zero | b :: _ -> Block.hash b
+
+let seal_block t =
+  if t.pending_txs <> [] then begin
+    let txs = List.rev t.pending_txs in
+    let count = List.length txs in
+    let block =
+      {
+        Block.height = t.block_count;
+        start_jsn = t.count - count;
+        count;
+        prev_hash = latest_block_hash t;
+        journal_commitment = Fam.commitment t.fam;
+        clue_root = Cm_tree.root_hash t.cm;
+        world_state_root =
+          (if Accumulator.size t.world_state = 0 then Hash.zero
+           else Accumulator.root t.world_state);
+        tx_root = Merkle_tree.root (Merkle_tree.build txs);
+        timestamp = Clock.now t.clock;
+      }
+    in
+    t.blocks <- block :: t.blocks;
+    t.block_count <- t.block_count + 1;
+    t.pending_txs <- [];
+    Log.debug (fun m ->
+        m "sealed block %d (%d journals, clue root %s)" block.Block.height
+          count
+          (Hash.short_hex block.Block.clue_root))
+  end
+
+let block_count t = t.block_count
+
+let block t h =
+  if h < 0 || h >= t.block_count then invalid_arg "Ledger.block: out of range";
+  List.nth t.blocks (t.block_count - 1 - h)
+
+let blocks t = List.rev t.blocks
+
+(* --- journal commitment ------------------------------------------------ *)
+
+let ensure_slot_capacity t =
+  if t.count >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) t.slots.(0) in
+    Array.blit t.slots 0 bigger 0 t.count;
+    t.slots <- bigger
+  end
+
+(* Commit a fully formed journal: storage, fam, CM-Tree, world-state,
+   block fill.  Returns the slot. *)
+let commit_journal t (j : Journal.t) =
+  ensure_slot_capacity t;
+  let store_index = Stream_store.append t.journal_stream j.Journal.payload in
+  let tx = Journal.tx_hash j in
+  let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
+  t.slots.(t.count) <- s;
+  t.count <- t.count + 1;
+  ignore (Fam.append t.fam tx);
+  List.iter
+    (fun clue ->
+      ignore (Cm_tree.insert t.cm ~clue tx);
+      let index =
+        match Hashtbl.find_opt t.clue_index clue with
+        | Some sl -> sl
+        | None ->
+            let sl = Cm_tree_index.create () in
+            Hashtbl.replace t.clue_index clue sl;
+            sl
+      in
+      Cm_tree_index.append index j.Journal.jsn;
+      (* world-state: one entry per clue-state transition *)
+      let leaf_index =
+        Accumulator.append t.world_state (Hash.combine (Hash.scatter clue) tx)
+      in
+      (match Hashtbl.find_opt t.state_index clue with
+      | Some r -> r := leaf_index :: !r
+      | None -> Hashtbl.replace t.state_index clue (ref [ leaf_index ])))
+    j.Journal.clues;
+  t.pending_txs <- tx :: t.pending_txs;
+  if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
+  (match j.Journal.kind with
+  | Journal.Time _ -> t.time_journals <- j.Journal.jsn :: t.time_journals
+  | _ -> ());
+  s
+
+let make_receipt t s =
+  let block_hash =
+    (* final only when the journal's block is sealed *)
+    let rec find = function
+      | [] -> Hash.zero
+      | (b : Block.t) :: rest ->
+          if
+            s.journal.Journal.jsn >= b.Block.start_jsn
+            && s.journal.Journal.jsn < b.Block.start_jsn + b.Block.count
+          then Block.hash b
+          else find rest
+    in
+    find t.blocks
+  in
+  let timestamp = Clock.now t.clock in
+  let digest =
+    Receipt.signing_digest ~jsn:s.journal.Journal.jsn
+      ~request_hash:s.request_hash ~tx_hash:s.tx ~block_hash ~timestamp
+  in
+  {
+    Receipt.jsn = s.journal.Journal.jsn;
+    request_hash = s.request_hash;
+    tx_hash = s.tx;
+    block_hash;
+    timestamp;
+    lsp_sig = sign_with_profile t ~priv:t.lsp_priv ~pub:t.lsp_pub digest;
+  }
+
+let append t ~member ~priv ?(cosigners = []) ?(clues = []) payload_bytes =
+  (match Roles.find t.registry member.Roles.id with
+  | Some _ -> ()
+  | None -> invalid_arg "Ledger.append: unknown member");
+  let client_ts = Clock.now t.clock in
+  t.nonce <- t.nonce + 1;
+  (* phase 1: client signs the request (π_c) *)
+  let request_hash =
+    Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal"
+      ~payload:payload_bytes ~clues ~client_ts ~nonce:t.nonce
+  in
+  let client_sig =
+    sign_with_profile t ~priv ~pub:member.Roles.pub request_hash
+  in
+  let cosigs =
+    List.map
+      (fun (m, p) ->
+        (m.Roles.id, sign_with_profile t ~priv:p ~pub:m.Roles.pub request_hash))
+      cosigners
+  in
+  (* phase 2: proxy ships payload to shared storage, digest to server *)
+  Latency_model.charge_net t.cfg.latency t.clock;
+  (* server checks π_c before committing (threat-A defence) *)
+  if not (verify_with_profile t ~pub:member.Roles.pub request_hash client_sig)
+  then invalid_arg "Ledger.append: bad client signature";
+  let j =
+    {
+      Journal.jsn = t.count;
+      kind = Journal.Normal;
+      client_id = member.Roles.id;
+      payload = payload_bytes;
+      clues;
+      client_ts;
+      server_ts = Clock.now t.clock;
+      nonce = t.nonce;
+      request_hash;
+      client_sig = Some client_sig;
+      cosigners = cosigs;
+    }
+  in
+  let s = commit_journal t j in
+  (* phase 3: LSP receipt (π_s) *)
+  make_receipt t s
+
+(* Fig. 1's actual service path: the client signed the request remotely
+   and ships (payload, metadata, pi_c); the server re-derives the request
+   hash, checks the signature, and commits. *)
+let append_signed t ~member_id ~payload ~clues ~client_ts ~nonce ~signature =
+  match Roles.find t.registry member_id with
+  | None -> Error "append: unknown member"
+  | Some member ->
+      let request_hash =
+        Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal" ~payload
+          ~clues ~client_ts ~nonce
+      in
+      Latency_model.charge_net t.cfg.latency t.clock;
+      if not (verify_with_profile t ~pub:member.Roles.pub request_hash signature)
+      then Error "append: bad client signature"
+      else begin
+        let j =
+          {
+            Journal.jsn = t.count;
+            kind = Journal.Normal;
+            client_id = member_id;
+            payload;
+            clues;
+            client_ts;
+            server_ts = Clock.now t.clock;
+            nonce;
+            request_hash;
+            client_sig = Some signature;
+            cosigners = [];
+          }
+        in
+        let s = commit_journal t j in
+        Ok (make_receipt t s)
+      end
+
+(* Batched append: one network round trip and one block seal for the
+   whole batch — the ingestion path behind LedgerDB's 300K+ TPS claim. *)
+let append_batch t ~member ~priv entries =
+  (match Roles.find t.registry member.Roles.id with
+  | Some _ -> ()
+  | None -> invalid_arg "Ledger.append_batch: unknown member");
+  Latency_model.charge_net t.cfg.latency t.clock;
+  let receipts =
+    List.map
+      (fun (payload_bytes, clues) ->
+        let client_ts = Clock.now t.clock in
+        t.nonce <- t.nonce + 1;
+        let request_hash =
+          Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal"
+            ~payload:payload_bytes ~clues ~client_ts ~nonce:t.nonce
+        in
+        let client_sig =
+          sign_with_profile t ~priv ~pub:member.Roles.pub request_hash
+        in
+        if
+          not
+            (verify_with_profile t ~pub:member.Roles.pub request_hash
+               client_sig)
+        then invalid_arg "Ledger.append_batch: bad client signature";
+        let j =
+          {
+            Journal.jsn = t.count;
+            kind = Journal.Normal;
+            client_id = member.Roles.id;
+            payload = payload_bytes;
+            clues;
+            client_ts;
+            server_ts = Clock.now t.clock;
+            nonce = t.nonce;
+            request_hash;
+            client_sig = Some client_sig;
+            cosigners = [];
+          }
+        in
+        commit_journal t j)
+      entries
+  in
+  seal_block t;
+  List.map (make_receipt t) receipts
+
+let get_receipt t jsn = make_receipt t (slot t jsn)
+
+let verify_receipt t (r : Receipt.t) =
+  let digest =
+    Receipt.signing_digest ~jsn:r.Receipt.jsn ~request_hash:r.Receipt.request_hash
+      ~tx_hash:r.Receipt.tx_hash ~block_hash:r.Receipt.block_hash
+      ~timestamp:r.Receipt.timestamp
+  in
+  verify_with_profile t ~pub:t.lsp_pub digest r.Receipt.lsp_sig
+
+(* --- existence verification -------------------------------------------- *)
+
+let commitment t = Fam.commitment t.fam
+let get_proof t jsn = Fam.prove t.fam jsn
+
+let verify_existence t ~jsn ~payload_digest proof =
+  jsn >= 0 && jsn < t.count
+  &&
+  let leaf = tx_hash_of t jsn in
+  Fam.verify ~commitment:(commitment t) ~leaf proof
+  &&
+  match payload_digest with
+  | None -> true
+  | Some d -> (
+      match payload t jsn with
+      | Some p -> Hash.equal (Hash.digest_bytes p) d
+      | None -> false)
+
+let make_anchor t = Fam.make_anchor t.fam
+
+let prove_extension t ~old_size = Fam.prove_extension t.fam ~old_size
+
+let verify_extension t ~old_size ~old_peaks proof =
+  Fam.verify_extension ~delta:t.cfg.fam_delta ~old_size ~old_peaks
+    ~new_size:t.count ~new_commitment:(commitment t) proof
+let get_proof_anchored t anchor jsn = Fam.prove_anchored t.fam anchor jsn
+
+let verify_anchored t anchor ~leaf proof =
+  Fam.verify_anchored anchor ~current_commitment:(commitment t) ~leaf proof
+
+(* --- clues -------------------------------------------------------------- *)
+
+let cm_tree t = t.cm
+
+let clue_jsns t clue =
+  match Hashtbl.find_opt t.clue_index clue with
+  | Some sl -> Cm_tree_index.to_list sl
+  | None -> []
+
+let clue_jsns_in_range t clue ~lo ~hi =
+  match Hashtbl.find_opt t.clue_index clue with
+  | Some sl -> Cm_tree_index.range sl ~lo ~hi
+  | None -> []
+
+let clue_entries t clue = Cm_tree.entries t.cm ~clue
+
+let prove_clue t ~clue ?first ?last () =
+  Cm_tree.prove_clue t.cm ~clue ?first ?last ()
+
+let verify_clue_client t (proof : Cm_tree.clue_proof) =
+  (* The client retrieves the journals in range, recomputes digests, and
+     replays both layers against the latest committed clue root. *)
+  let jsns = clue_jsns t proof.Cm_tree.clue in
+  let first, last = proof.Cm_tree.version_range in
+  let known = ref [] and ok = ref true in
+  List.iteri
+    (fun version jsn ->
+      if version >= first && version <= last then begin
+        match payload t jsn with
+        | Some _ -> known := (version, tx_hash_of t jsn) :: !known
+        | None ->
+            (* occulted journal: Protocol 2 — use the retained hash *)
+            known := (version, tx_hash_of t jsn) :: !known
+      end)
+    jsns;
+  let root =
+    match t.blocks with
+    | b :: _ -> b.Block.clue_root
+    | [] -> Cm_tree.root_hash t.cm
+  in
+  (* If the trie advanced since the last sealed block, fall back to the
+     live root (a real client would request a fresh block commit). *)
+  let live_root = Cm_tree.root_hash t.cm in
+  !ok
+  && (Cm_tree.verify_clue ~root:live_root ~known:!known proof
+     || Cm_tree.verify_clue ~root ~known:!known proof)
+
+let verify_clue_server t ~clue =
+  let jsns = clue_jsns t clue in
+  let known = List.mapi (fun version jsn -> (version, tx_hash_of t jsn)) jsns in
+  known <> [] && Cm_tree.verify_clue_server t.cm ~known ~clue
+
+(* ListTx (§IV-A): filtered journal retrieval. *)
+type tx_filter = {
+  by_clue : string option;
+  by_member : Hash.t option;
+  after_ts : int64 option;
+  before_ts : int64 option;
+  kinds : string list option; (* Journal.kind_tag values *)
+}
+
+let any_tx =
+  { by_clue = None; by_member = None; after_ts = None; before_ts = None;
+    kinds = None }
+
+let list_tx t ?(filter = any_tx) ?(limit = max_int) () =
+  (* start from the clue index when a clue filter is present *)
+  let candidates =
+    match filter.by_clue with
+    | Some clue -> clue_jsns t clue
+    | None -> List.init t.count Fun.id
+  in
+  let matches jsn =
+    let j = (slot t jsn).journal in
+    (match filter.by_member with
+    | Some id -> Hash.equal id j.Journal.client_id
+    | None -> true)
+    && (match filter.after_ts with
+       | Some ts -> Int64.compare j.Journal.server_ts ts >= 0
+       | None -> true)
+    && (match filter.before_ts with
+       | Some ts -> Int64.compare j.Journal.server_ts ts < 0
+       | None -> true)
+    && (match filter.kinds with
+       | Some tags -> List.mem (Journal.kind_tag j.Journal.kind) tags
+       | None -> true)
+  in
+  let rec take acc n = function
+    | [] -> List.rev acc
+    | jsn :: rest ->
+        if n = 0 then List.rev acc
+        else if matches jsn then take (jsn :: acc) (n - 1) rest
+        else take acc n rest
+  in
+  take [] limit candidates
+
+(* --- world-state (single-layer state accumulator, Fig. 2) ------------------ *)
+
+let world_state_root t =
+  if Accumulator.size t.world_state = 0 then None
+  else Some (Accumulator.root t.world_state)
+
+let world_state_size t = Accumulator.size t.world_state
+
+let state_leaf ~clue ~tx = Hash.combine (Hash.scatter clue) tx
+
+let prove_state_update t ~clue ~version =
+  match Hashtbl.find_opt t.state_index clue with
+  | None -> None
+  | Some r ->
+      let leaves = List.rev !r in
+      (match List.nth_opt leaves version with
+      | None -> None
+      | Some leaf_index ->
+          let jsns = clue_jsns t clue in
+          (match List.nth_opt jsns version with
+          | None -> None
+          | Some jsn ->
+              Some (jsn, Accumulator.prove t.world_state leaf_index)))
+
+let verify_state_update t ~clue ~tx proof =
+  match world_state_root t with
+  | None -> false
+  | Some root -> Accumulator.verify ~root ~leaf:(state_leaf ~clue ~tx) proof
+
+(* --- time anchoring ----------------------------------------------------- *)
+
+let system_journal t kind payload_bytes =
+  let client_ts = Clock.now t.clock in
+  t.nonce <- t.nonce + 1;
+  let request_hash =
+    Journal.request_digest ~ledger_uri:(uri t)
+      ~kind_tag:(Journal.kind_tag kind) ~payload:payload_bytes ~clues:[]
+      ~client_ts ~nonce:t.nonce
+  in
+  {
+    Journal.jsn = t.count;
+    kind;
+    client_id = t.lsp_id;
+    payload = payload_bytes;
+    clues = [];
+    client_ts;
+    server_ts = Clock.now t.clock;
+    nonce = t.nonce;
+    request_hash;
+    client_sig =
+      Some (sign_with_profile t ~priv:t.lsp_priv ~pub:t.lsp_pub request_hash);
+    cosigners = [];
+  }
+
+let anchor_via_t_ledger t =
+  match t.t_ledger with
+  | None -> invalid_arg "Ledger.anchor_via_t_ledger: no T-Ledger configured"
+  | Some tl -> (
+      let digest = commitment t in
+      let client_ts = Clock.now t.clock in
+      Latency_model.charge_net t.cfg.latency t.clock;
+      match
+        T_ledger.submit tl ~ledger_id:(Hash.digest_string (uri t)) ~digest
+          ~client_ts
+      with
+      | Error e -> Error e
+      | Ok entry ->
+          let kind =
+            Journal.Time
+              (Journal.Via_t_ledger
+                 { entry_index = entry.T_ledger.index; client_ts; digest })
+          in
+          let j = system_journal t kind Bytes.empty in
+          ignore (commit_journal t j);
+          Log.info (fun m ->
+              m "anchored commitment %s to T-Ledger entry %d"
+                (Hash.short_hex digest) entry.T_ledger.index);
+          Ok j)
+
+let anchor_via_tsa t =
+  match t.tsa with
+  | None -> invalid_arg "Ledger.anchor_via_tsa: no TSA pool configured"
+  | Some pool ->
+      let digest = commitment t in
+      let token = Tsa.pool_endorse pool digest in
+      let kind = Journal.Time (Journal.Direct_tsa token) in
+      let j = system_journal t kind Bytes.empty in
+      ignore (commit_journal t j);
+      j
+
+let time_journals t =
+  List.rev_map (fun jsn -> (slot t jsn).journal) t.time_journals
+
+let t_ledger t = t.t_ledger
+let tsa_pool t = t.tsa
+
+(* --- purge --------------------------------------------------------------- *)
+
+type purge_request = {
+  upto_jsn : int;
+  survivors : int list;
+  erase_fam_nodes : bool;
+}
+
+let affected_members t ~upto_jsn =
+  let seen = Hashtbl.create 16 in
+  for i = 0 to min upto_jsn t.count - 1 do
+    let id = t.slots.(i).journal.Journal.client_id in
+    if not (Hash.equal id t.lsp_id) then
+      Hashtbl.replace seen (Hash.to_hex id) id
+  done;
+  Hashtbl.fold
+    (fun _ id acc ->
+      match Roles.find t.registry id with Some m -> m :: acc | None -> acc)
+    seen []
+
+let roster_digest t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m -> Buffer.add_bytes buf (Hash.to_bytes m.Roles.id))
+    (List.sort
+       (fun a b -> Hash.compare a.Roles.id b.Roles.id)
+       (Roles.members t.registry))
+  |> ignore;
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let purge t ~request ~signers =
+  let { upto_jsn; survivors; erase_fam_nodes } = request in
+  if upto_jsn <= 0 || upto_jsn > t.count then Error "purge point out of range"
+  else begin
+    (* Prerequisite 1: DBA + every affected member must sign. *)
+    let required =
+      (Roles.with_role t.registry Roles.Dba @ affected_members t ~upto_jsn)
+      |> List.sort_uniq (fun a b -> Hash.compare a.Roles.id b.Roles.id)
+    in
+    let signer_ids =
+      List.map (fun (m, _) -> Hash.to_hex m.Roles.id) signers
+    in
+    let missing =
+      List.filter
+        (fun m -> not (List.mem (Hash.to_hex m.Roles.id) signer_ids))
+        required
+    in
+    if missing <> [] then
+      Error
+        ("purge: missing required signatures from "
+        ^ String.concat ", " (List.map (fun m -> m.Roles.name) missing))
+    else begin
+      (* copy survivors into the survival stream before erasing *)
+      let kept =
+        List.filter_map
+          (fun jsn ->
+            if jsn >= 0 && jsn < upto_jsn then begin
+              match
+                Stream_store.read_opt t.journal_stream (slot t jsn).store_index
+              with
+              | Some p ->
+                  let rec_ = Bytes.create (Bytes.length p + 16) in
+                  let tag = Printf.sprintf "%015d\000" jsn in
+                  Bytes.blit_string tag 0 rec_ 0 16;
+                  Bytes.blit p 0 rec_ 16 (Bytes.length p);
+                  ignore (Stream_store.append t.survival_stream rec_);
+                  Some jsn
+              | None -> None
+            end
+            else None)
+          survivors
+      in
+      t.survivor_jsns <- kept @ t.survivor_jsns;
+      (* pseudo-genesis first, then the doubly-linked purge journal *)
+      let pg_jsn = t.count in
+      let purge_jsn = pg_jsn + 1 in
+      let snapshot =
+        {
+          Journal.replaced_purge_jsn = purge_jsn;
+          fam_commitment = commitment t;
+          clue_root = Cm_tree.root_hash t.cm;
+          member_roster = roster_digest t;
+        }
+      in
+      let pg = system_journal t (Journal.Pseudo_genesis snapshot) Bytes.empty in
+      ignore (commit_journal t pg);
+      let info =
+        { Journal.purge_upto = upto_jsn; pseudo_genesis_jsn = pg_jsn;
+          survivors = kept }
+      in
+      let pj = system_journal t (Journal.Purge info) Bytes.empty in
+      (* gather the multi-signature over the purge journal's request *)
+      let cosigs =
+        List.map
+          (fun (m, p) ->
+            ( m.Roles.id,
+              sign_with_profile t ~priv:p ~pub:m.Roles.pub
+                pj.Journal.request_hash ))
+          signers
+      in
+      let pj = { pj with Journal.cosigners = cosigs } in
+      ignore (commit_journal t pj);
+      (* physical erasure *)
+      for i = 0 to upto_jsn - 1 do
+        if not (List.mem i kept) && t.slots.(i).store_index >= 0 then begin
+          Stream_store.erase t.journal_stream t.slots.(i).store_index;
+          let old = t.slots.(i).journal in
+          t.slots.(i).journal <- { old with Journal.payload = Bytes.empty }
+        end
+      done;
+      if erase_fam_nodes then begin
+        let e, _ = Fam.epoch_of_jsn t.fam (upto_jsn - 1) in
+        Fam.purge_epochs_before t.fam e
+      end;
+      t.pseudo_genesis_jsn <- Some pg_jsn;
+      seal_block t;
+      Log.info (fun m ->
+          m "purged journals [0,%d) with %d survivors; pseudo-genesis at %d"
+            upto_jsn (List.length kept) pg_jsn);
+      Ok pj
+    end
+  end
+
+let pseudo_genesis t =
+  Option.map (fun jsn -> (slot t jsn).journal) t.pseudo_genesis_jsn
+
+let survival_jsns t = List.sort compare t.survivor_jsns
+
+let read_survivor t jsn =
+  let found = ref None in
+  Stream_store.iter t.survival_stream (fun _ rec_ ->
+      if Bytes.length rec_ >= 16 then begin
+        match int_of_string_opt (String.trim (Bytes.sub_string rec_ 0 15)) with
+        | Some j when j = jsn ->
+            found := Some (Bytes.sub rec_ 16 (Bytes.length rec_ - 16))
+        | Some _ | None -> ()
+      end);
+  !found
+
+(* --- occult --------------------------------------------------------------- *)
+
+type occult_mode = Sync | Async
+
+let occult t ~target_jsn ~mode ~signers ~reason =
+  if target_jsn < 0 || target_jsn >= t.count then Error "occult: bad target"
+  else if Bitmap_index.mem t.occult_bits target_jsn then
+    Error "occult: already occulted"
+  else begin
+    (* Prerequisite 2: DBA and a regulator must sign. *)
+    let has role =
+      List.exists (fun (m, _) -> m.Roles.role = role) signers
+    in
+    if not (has Roles.Dba && has Roles.Regulator) then
+      Error "occult: requires DBA and regulator signatures"
+    else begin
+      let retained_hash = tx_hash_of t target_jsn in
+      let kind = Journal.Occult { target_jsn; retained_hash } in
+      let j = system_journal t kind (Bytes.of_string reason) in
+      let cosigs =
+        List.map
+          (fun (m, p) ->
+            ( m.Roles.id,
+              sign_with_profile t ~priv:p ~pub:m.Roles.pub
+                j.Journal.request_hash ))
+          signers
+      in
+      let j = { j with Journal.cosigners = cosigs } in
+      ignore (commit_journal t j);
+      Bitmap_index.set t.occult_bits target_jsn;
+      Log.info (fun m ->
+          m "occulted journal %d (%s)" target_jsn
+            (match mode with Sync -> "sync" | Async -> "async"));
+      (match mode with
+      | Sync ->
+          Stream_store.erase t.journal_stream (slot t target_jsn).store_index;
+          let old = (slot t target_jsn).journal in
+          (slot t target_jsn).journal <-
+            { old with Journal.payload = Bytes.empty }
+      | Async -> t.occult_pending <- target_jsn :: t.occult_pending);
+      Ok j
+    end
+  end
+
+let is_occulted t jsn = Bitmap_index.mem t.occult_bits jsn
+
+let occult_by_clue t ~clue ~mode ~signers ~reason =
+  (* "occult by clue is a common case" (§III-A3): hide every journal the
+     clue touches, in ascending jsn order, stopping on the first error. *)
+  let targets =
+    List.filter (fun jsn -> not (is_occulted t jsn)) (clue_jsns t clue)
+  in
+  if targets = [] then Error "occult_by_clue: no (remaining) journals for clue"
+  else begin
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | jsn :: rest -> (
+          match occult t ~target_jsn:jsn ~mode ~signers ~reason with
+          | Ok j -> go (j :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] targets
+  end
+
+let reorganize t =
+  let n = List.length t.occult_pending in
+  List.iter
+    (fun jsn ->
+      Stream_store.erase t.journal_stream (slot t jsn).store_index;
+      let old = (slot t jsn).journal in
+      (slot t jsn).journal <- { old with Journal.payload = Bytes.empty })
+    t.occult_pending;
+  t.occult_pending <- [];
+  n
+
+(* --- introspection --------------------------------------------------------- *)
+
+(* Reclaim storage slots of erased payloads (post-purge/occult): compact
+   the journal stream and remap the surviving slots' storage addresses. *)
+let compact_storage t =
+  let remap = Hashtbl.create 64 in
+  let reclaimed =
+    Stream_store.compact t.journal_stream (fun old_i new_i ->
+        Hashtbl.replace remap old_i new_i)
+  in
+  for jsn = 0 to t.count - 1 do
+    let s = t.slots.(jsn) in
+    match Hashtbl.find_opt remap s.store_index with
+    | Some fresh -> s.store_index <- fresh
+    | None -> s.store_index <- -1 (* erased record: no backing slot *)
+  done;
+  reclaimed
+
+let stored_digests t = Fam.stored_digests t.fam + Cm_tree.stored_digests t.cm
+let journal_bytes t = Stream_store.total_bytes t.journal_stream
+
+module Unsafe = struct
+  let rewrite_payload t ~jsn payload_bytes =
+    let s = slot t jsn in
+    s.journal <- { s.journal with Journal.payload = payload_bytes }
+
+  let rewrite_payload_consistent t ~jsn payload_bytes =
+    let s = slot t jsn in
+    let j = s.journal in
+    let request_hash =
+      Journal.request_digest ~ledger_uri:(uri t)
+        ~kind_tag:(Journal.kind_tag j.Journal.kind) ~payload:payload_bytes
+        ~clues:j.Journal.clues ~client_ts:j.Journal.client_ts
+        ~nonce:j.Journal.nonce
+    in
+    s.journal <- { j with Journal.payload = payload_bytes; request_hash };
+    s.request_hash <- request_hash;
+    (* a self-consistent LSP also refreshes its claimed leaf digest *)
+    s.tx <- Journal.tx_hash s.journal
+
+  let forge_server_ts t ~jsn ts =
+    let s = slot t jsn in
+    s.journal <- { s.journal with Journal.server_ts = ts }
+end
+
+(* --- persistence ------------------------------------------------------------ *)
+
+(* On-disk layout (directory):
+     journals.ldb   [u32 tx?][8-byte len][Journal_codec encoding] per record,
+                    prefixed by the retained tx hash (Protocol 2: occulted
+                    and purged journals cannot be re-hashed from content)
+     members.ldb    one "role\thex-pubkey\tname" line per member
+     blocks.ldb     one line per sealed block (all fields, hashes in hex)
+     survivors.ldb  [8-byte jsn][8-byte len][payload] per survivor record
+     meta.ldb       name / size / nonce / commitment / clue root checkpoints *)
+
+let output_u64 oc v =
+  for i = 7 downto 0 do
+    output_char oc (Char.chr ((v lsr (i * 8)) land 0xFF))
+  done
+
+let input_u64 ic =
+  let v = ref 0 in
+  for _ = 1 to 8 do
+    v := (!v lsl 8) lor Char.code (input_char ic)
+  done;
+  !v
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let in_dir f = Filename.concat dir f in
+  let with_out name f =
+    let oc = open_out_bin (in_dir name) in
+    (try f oc with e -> close_out_noerr oc; raise e);
+    close_out oc
+  in
+  with_out "journals.ldb" (fun oc ->
+      for jsn = 0 to t.count - 1 do
+        let s = t.slots.(jsn) in
+        (* store the payload as it currently exists (erased => empty) *)
+        let current_payload =
+          if s.store_index < 0 then Bytes.empty
+          else
+            match Stream_store.read_opt t.journal_stream s.store_index with
+            | Some p -> p
+            | None -> Bytes.empty
+        in
+        let j = { s.journal with Journal.payload = current_payload } in
+        let enc = Journal_codec.encode j in
+        output_bytes oc (Hash.to_bytes s.tx);
+        output_u64 oc (Bytes.length enc);
+        output_bytes oc enc
+      done);
+  with_out "members.ldb" (fun oc ->
+      List.iter
+        (fun (m : Roles.member) ->
+          let hex b =
+            String.concat ""
+              (List.init (Bytes.length b) (fun i ->
+                   Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+          in
+          let pub_hex = hex (Ecdsa.public_key_to_bytes m.Roles.pub) in
+          let cert_hex =
+            match Roles.certificate_of t.registry m.Roles.id with
+            | Some cert -> hex (Ecdsa.signature_to_bytes cert.Roles.signature)
+            | None -> "-"
+          in
+          Printf.fprintf oc "%s\t%s\t%s\t%s\n"
+            (Roles.role_to_string m.Roles.role)
+            pub_hex cert_hex m.Roles.name)
+        (Roles.members t.registry));
+  with_out "blocks.ldb" (fun oc ->
+      List.iter
+        (fun (b : Block.t) ->
+          Printf.fprintf oc "%d %d %d %s %s %s %s %s %Ld\n" b.Block.height
+            b.Block.start_jsn b.Block.count
+            (Hash.to_hex b.Block.prev_hash)
+            (Hash.to_hex b.Block.journal_commitment)
+            (Hash.to_hex b.Block.clue_root)
+            (Hash.to_hex b.Block.world_state_root)
+            (Hash.to_hex b.Block.tx_root)
+            b.Block.timestamp)
+        (blocks t));
+  with_out "survivors.ldb" (fun oc ->
+      Stream_store.iter t.survival_stream (fun _ rec_ ->
+          output_u64 oc (Bytes.length rec_);
+          output_bytes oc rec_));
+  with_out "meta.ldb" (fun oc ->
+      Printf.fprintf oc "name=%s\nsize=%d\nnonce=%d\ncommitment=%s\nclue_root=%s\npseudo_genesis=%s\n"
+        t.cfg.name t.count t.nonce
+        (if t.count = 0 then "" else Hash.to_hex (commitment t))
+        (Hash.to_hex (Cm_tree.root_hash t.cm))
+        (match t.pseudo_genesis_jsn with Some j -> string_of_int j | None -> "-"))
+
+let parse_meta path =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '=' with
+       | Some i ->
+           Hashtbl.replace tbl
+             (String.sub line 0 i)
+             (String.sub line (i + 1) (String.length line - i - 1))
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  tbl
+
+let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
+  let in_dir f = Filename.concat dir f in
+  try
+    let meta = parse_meta (in_dir "meta.ldb") in
+    let find k = Hashtbl.find_opt meta k in
+    let t = create ~config ?t_ledger ?tsa ~clock () in
+    (* members *)
+    let ic = open_in (in_dir "members.ldb") in
+    (try
+       while true do
+         let line = input_line ic in
+         let parse_hex h =
+           let b = Bytes.create (String.length h / 2) in
+           for i = 0 to Bytes.length b - 1 do
+             Bytes.set b i
+               (Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+           done;
+           b
+         in
+         match String.split_on_char '\t' line with
+         | role :: pub_hex :: rest ->
+             let cert_hex, name =
+               match rest with
+               | [ cert_hex; name ] -> (cert_hex, name)
+               | [ name ] -> ("-", name) (* legacy two-column format *)
+               | _ -> failwith "corrupt members record"
+             in
+             let role =
+               match role with
+               | "dba" -> Roles.Dba
+               | "regulator" -> Roles.Regulator
+               | _ -> Roles.Regular_user
+             in
+             (match Ecdsa.public_key_of_bytes (parse_hex pub_hex) with
+             | Some pub ->
+                 let certificate =
+                   if cert_hex = "-" then None
+                   else
+                     match Ecdsa.signature_of_bytes (parse_hex cert_hex) with
+                     | Some signature ->
+                         Some
+                           { Roles.subject = Ecdsa.public_key_id pub; signature }
+                     | None -> failwith ("corrupt certificate for " ^ name)
+                 in
+                 ignore (register_member t ?certificate ~name ~role pub)
+             | None -> failwith ("corrupt member key for " ^ name))
+         | _ -> ()
+       done
+     with End_of_file -> close_in ic);
+    (* journals: replay with retained tx hashes, suppressing auto-seal *)
+    let ic = open_in_bin (in_dir "journals.ldb") in
+    let read_hash () =
+      let b = Bytes.create 32 in
+      really_input ic b 0 32;
+      Hash.of_bytes b
+    in
+    (try
+       while true do
+         let tx = read_hash () in
+         let len = input_u64 ic in
+         if len < 0 || len > 1 lsl 30 then failwith "corrupt record length";
+         let enc = Bytes.create len in
+         really_input ic enc 0 len;
+         match Journal_codec.decode enc with
+         | None -> failwith "corrupt journal record"
+         | Some j ->
+             ensure_slot_capacity t;
+             let store_index = Stream_store.append t.journal_stream j.Journal.payload in
+             let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
+             t.slots.(t.count) <- s;
+             t.count <- t.count + 1;
+             ignore (Fam.append t.fam tx);
+             List.iter
+               (fun clue ->
+                 ignore (Cm_tree.insert t.cm ~clue tx);
+                 (match Hashtbl.find_opt t.clue_index clue with
+                 | Some sl -> Cm_tree_index.append sl j.Journal.jsn
+                 | None ->
+                     let sl = Cm_tree_index.create () in
+                     Cm_tree_index.append sl j.Journal.jsn;
+                     Hashtbl.replace t.clue_index clue sl);
+                 let leaf_index =
+                   Accumulator.append t.world_state
+                     (Hash.combine (Hash.scatter clue) tx)
+                 in
+                 match Hashtbl.find_opt t.state_index clue with
+                 | Some r -> r := leaf_index :: !r
+                 | None -> Hashtbl.replace t.state_index clue (ref [ leaf_index ]))
+               j.Journal.clues;
+             (match j.Journal.kind with
+             | Journal.Time _ -> t.time_journals <- j.Journal.jsn :: t.time_journals
+             | Journal.Occult { target_jsn; _ } ->
+                 Bitmap_index.set t.occult_bits target_jsn
+             | Journal.Pseudo_genesis _ ->
+                 t.pseudo_genesis_jsn <- Some j.Journal.jsn
+             | Journal.Normal | Journal.Purge _ -> ())
+       done
+     with End_of_file -> close_in ic);
+    (* blocks: restore verbatim (timestamps included, so hashes match) *)
+    let ic = open_in (in_dir "blocks.ldb") in
+    let covered = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         Scanf.sscanf line "%d %d %d %s %s %s %s %s %Ld"
+           (fun height start_jsn count prev jc cr wsr txr timestamp ->
+             let b =
+               { Block.height; start_jsn; count;
+                 prev_hash = Hash.of_hex prev;
+                 journal_commitment = Hash.of_hex jc;
+                 clue_root = Hash.of_hex cr;
+                 world_state_root = Hash.of_hex wsr;
+                 tx_root = Hash.of_hex txr; timestamp }
+             in
+             t.blocks <- b :: t.blocks;
+             t.block_count <- t.block_count + 1;
+             covered := start_jsn + count)
+       done
+     with End_of_file -> close_in ic);
+    (* the tail journals (unsealed at save time) re-enter the open block *)
+    t.pending_txs <- [];
+    for jsn = t.count - 1 downto !covered do
+      t.pending_txs <- t.slots.(jsn).tx :: t.pending_txs
+    done;
+    t.pending_txs <- List.rev t.pending_txs;
+    (* survivors *)
+    let surv = in_dir "survivors.ldb" in
+    if Sys.file_exists surv then begin
+      let ic = open_in_bin surv in
+      (try
+         while true do
+           let len = input_u64 ic in
+           let rec_ = Bytes.create len in
+           really_input ic rec_ 0 len;
+           ignore (Stream_store.append t.survival_stream rec_);
+           if Bytes.length rec_ >= 16 then
+             match int_of_string_opt (String.trim (Bytes.sub_string rec_ 0 15)) with
+             | Some jsn -> t.survivor_jsns <- jsn :: t.survivor_jsns
+             | None -> ()
+         done
+       with End_of_file -> close_in ic)
+    end;
+    (* Re-derive each journal's leaf from its content.  A mismatch with a
+       non-empty payload is tampering; with an empty payload it marks a
+       record whose payload was erased (occult/purge) before the save. *)
+    for jsn = 0 to t.count - 1 do
+      let s = t.slots.(jsn) in
+      if not (Hash.equal (Journal.tx_hash s.journal) s.tx) then begin
+        if Bytes.length s.journal.Journal.payload = 0 then
+          Stream_store.erase t.journal_stream s.store_index
+        else
+          failwith
+            (Printf.sprintf
+               "journal %d: content does not match its retained leaf" jsn)
+      end
+    done;
+    (match find "nonce" with
+    | Some n -> t.nonce <- int_of_string n
+    | None -> ());
+    (* integrity checkpoints *)
+    (match find "size" with
+    | Some n when int_of_string n <> t.count ->
+        failwith
+          (Printf.sprintf "size mismatch: meta says %s, replayed %d" n t.count)
+    | Some _ | None -> ());
+    (match find "commitment" with
+    | Some hex when hex <> "" && t.count > 0 ->
+        if not (Hash.equal (Hash.of_hex hex) (commitment t)) then
+          failwith "commitment mismatch after replay"
+    | Some _ | None -> ());
+    (match find "clue_root" with
+    | Some hex ->
+        if not (Hash.equal (Hash.of_hex hex) (Cm_tree.root_hash t.cm)) then
+          failwith "clue root mismatch after replay"
+    | None -> ());
+    Ok t
+  with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg
+  | Scanf.Scan_failure msg -> Error ("blocks.ldb: " ^ msg)
+  | End_of_file -> Error "unexpected end of file"

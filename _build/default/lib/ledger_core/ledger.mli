@@ -1,0 +1,340 @@
+(** The LedgerDB kernel: journals, fam accumulator, CM-Tree, world-state,
+    blocks, receipts, time anchoring, purge and occult (paper §II-C).
+
+    One [Ledger.t] plays the role of proxy + server + shared storage of
+    Fig. 1.  Clients interact through {!append} (which performs the
+    three-phase signing: the client's π_c is checked, the journal is
+    committed, and the LSP's π_s receipt is returned) and through the
+    verification APIs, which can be exercised at server level (trusting
+    the LSP) or client level (proof objects shipped out and replayed). *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_merkle
+open Ledger_cmtree
+open Ledger_timenotary
+
+type config = {
+  name : string;
+  block_size : int;  (** journals per block *)
+  fam_delta : int;  (** fractal height of the journal accumulator *)
+  latency : Latency_model.t;
+  crypto : Crypto_profile.t;
+  member_ca : Ecdsa.public_key option;
+      (** when set, every member registration must present a certificate
+          from this CA, and the audit verifies the chain per journal
+          (threat model §II-B). *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?t_ledger:T_ledger.t ->
+  ?tsa:Tsa.pool ->
+  clock:Clock.t ->
+  unit ->
+  t
+
+val config : t -> config
+val clock : t -> Clock.t
+val uri : t -> string
+val registry : t -> Roles.registry
+val lsp_public_key : t -> Ecdsa.public_key
+
+val register_member :
+  t ->
+  ?certificate:Roles.certificate ->
+  name:string ->
+  role:Roles.role ->
+  Ecdsa.public_key ->
+  Roles.member
+(** @raise Invalid_argument when the ledger requires a member CA and the
+    certificate is missing or invalid. *)
+
+val new_member :
+  ?ca_priv:Ecdsa.private_key ->
+  t ->
+  name:string ->
+  role:Roles.role ->
+  Roles.member * Ecdsa.private_key
+(** Convenience: generate a keypair (seeded by the name) and register;
+    with [ca_priv], also mint and record the member's certificate. *)
+
+(** {1 Append (journal-level commitment, Fig. 1)} *)
+
+val append :
+  t ->
+  member:Roles.member ->
+  priv:Ecdsa.private_key ->
+  ?cosigners:(Roles.member * Ecdsa.private_key) list ->
+  ?clues:string list ->
+  bytes ->
+  Receipt.t
+(** Sign the request as [member] (π_c), commit the journal, return the
+    LSP-signed receipt (π_s).  [cosigners] produce a multi-signed journal
+    (the Fig. 7 {e who} sweep).
+    @raise Invalid_argument if the member is unknown. *)
+
+val size : t -> int
+val journal : t -> int -> Journal.t
+(** Journal metadata by jsn (present even after occult/purge tombstoning —
+    see {!payload} for the data itself).
+    @raise Invalid_argument if out of range. *)
+
+val payload : t -> int -> bytes option
+(** Journal payload from the stream store (latency-charged);
+    [None] after occult or purge erasure. *)
+
+val tx_hash_of : t -> int -> Hash.t
+(** Accumulator leaf digest for a jsn (Protocol 2: this is the retained
+    hash for occulted journals). *)
+
+val iter_journals : t -> (Journal.t -> unit) -> unit
+
+(** {1 Blocks and receipts} *)
+
+val block_count : t -> int
+val block : t -> int -> Block.t
+val blocks : t -> Block.t list
+val seal_block : t -> unit
+(** Force-commit a partial block. *)
+
+val append_batch :
+  t ->
+  member:Roles.member ->
+  priv:Ecdsa.private_key ->
+  (bytes * string list) list ->
+  Receipt.t list
+(** Append a batch of (payload, clues) pairs in one round trip, sealing
+    the block once at the end; all receipts are final. *)
+
+val append_signed :
+  t ->
+  member_id:Hash.t ->
+  payload:bytes ->
+  clues:string list ->
+  client_ts:int64 ->
+  nonce:int ->
+  signature:Ecdsa.signature ->
+  (Receipt.t, string) result
+(** Remote append (Fig. 1): the request was signed on the client side;
+    the server re-derives the request hash and validates π_c before
+    committing. *)
+
+val get_receipt : t -> int -> Receipt.t
+(** Final receipt for a jsn (re-signed with the block hash once the block
+    is sealed). *)
+
+val verify_receipt : t -> Receipt.t -> bool
+(** Check an LSP receipt signature under the ledger's crypto profile
+    (use {!Receipt.verify} directly only with the [Real] profile). *)
+
+(** {1 Existence verification (what)} *)
+
+val commitment : t -> Hash.t
+(** Current fam node-set digest — the ledger's trust root. *)
+
+val get_proof : t -> int -> Fam.proof
+val verify_existence : t -> jsn:int -> payload_digest:Hash.t option -> Fam.proof -> bool
+(** Client-level check: the proof must chain the journal's tx-hash to the
+    current commitment; when [payload_digest] is given it must also match
+    the journal's recorded request linkage. *)
+
+val prove_extension : t -> old_size:int -> Fam.extension_proof
+(** Prove the ledger is an append-only extension of its state at
+    [old_size] journals — what a returning client checks before adopting
+    a fresh anchor. *)
+
+val verify_extension :
+  t -> old_size:int -> old_peaks:Proof.node_set -> Fam.extension_proof -> bool
+
+val make_anchor : t -> Fam.anchor
+val get_proof_anchored : t -> Fam.anchor -> int -> Fam.anchored_proof
+val verify_anchored : t -> Fam.anchor -> leaf:Hash.t -> Fam.anchored_proof -> bool
+
+(** {1 Clues and N-lineage (CM-Tree)} *)
+
+val cm_tree : t -> Cm_tree.t
+
+val clue_jsns : t -> string -> int list
+(** All jsns of a clue, ascending — served from the cSL index (§IV-A). *)
+
+val clue_jsns_in_range : t -> string -> lo:int -> hi:int -> int list
+(** Jsns of a clue within a jsn interval, via the skip list's O(log n)
+    range lookup. *)
+
+val clue_entries : t -> string -> int
+
+val prove_clue : t -> clue:string -> ?first:int -> ?last:int -> unit -> Cm_tree.clue_proof option
+
+val verify_clue_client : t -> Cm_tree.clue_proof -> bool
+(** Full client-side clue verification (§IV-C): retrieves the journals in
+    the proof's version range, recomputes their digests, replays both
+    CM-Tree layers against the latest block's clue root. *)
+
+val verify_clue_server : t -> clue:string -> bool
+
+(** {1 ListTx (§IV-A)} *)
+
+type tx_filter = {
+  by_clue : string option;
+  by_member : Hash.t option;
+  after_ts : int64 option;  (** inclusive lower bound on server_ts *)
+  before_ts : int64 option;  (** exclusive upper bound *)
+  kinds : string list option;  (** {!Journal.kind_tag} values *)
+}
+
+val any_tx : tx_filter
+(** Matches everything; override fields with [{ any_tx with ... }]. *)
+
+val list_tx : t -> ?filter:tx_filter -> ?limit:int -> unit -> int list
+(** Jsns matching the filter, ascending; clue-filtered queries are served
+    from the cSL index. *)
+
+(** {1 World-state (single-layer state accumulator, Fig. 2)}
+
+    Every clue-carrying journal appends one state-transition leaf —
+    [H(scatter(clue) ∥ tx-hash)] — to the world-state accumulator, whose
+    root is recorded in every block.  A state-update proof shows that a
+    particular version of a clue's state was committed, without touching
+    the clue's CM-Tree. *)
+
+val world_state_root : t -> Hash.t option
+(** [None] while no clue-carrying journal exists. *)
+
+val world_state_size : t -> int
+
+val prove_state_update : t -> clue:string -> version:int -> (int * Proof.path) option
+(** [(jsn, path)] for the [version]-th state transition of [clue];
+    [None] if out of range. *)
+
+val verify_state_update : t -> clue:string -> tx:Hash.t -> Proof.path -> bool
+(** Check a state-transition leaf against the current world-state root. *)
+
+(** {1 Time anchoring (when)} *)
+
+val anchor_via_t_ledger : t -> (Journal.t, T_ledger.error) result
+(** Submit the current commitment to the T-Ledger under Protocol 4 and
+    record a time journal referencing the accepted entry. *)
+
+val anchor_via_tsa : t -> Journal.t
+(** Two-way pegging (Protocol 3) straight to the TSA pool: endorse the
+    commitment and anchor the signed token back as a time journal.
+    @raise Invalid_argument if the ledger has no TSA pool. *)
+
+val time_journals : t -> Journal.t list
+val t_ledger : t -> T_ledger.t option
+val tsa_pool : t -> Tsa.pool option
+
+(** {1 Mutation: purge (§III-A2)} *)
+
+type purge_request = {
+  upto_jsn : int;  (** erase journals with jsn < upto_jsn *)
+  survivors : int list;  (** milestone jsns copied to the survival stream *)
+  erase_fam_nodes : bool;  (** also forget fam interior digests *)
+}
+
+val affected_members : t -> upto_jsn:int -> Roles.member list
+(** Members owning journals below the purge point — the required signer
+    set of Prerequisite 1 (plus the DBA). *)
+
+val purge :
+  t ->
+  request:purge_request ->
+  signers:(Roles.member * Ecdsa.private_key) list ->
+  (Journal.t, string) result
+(** Validates Prerequisite 1, writes the pseudo-genesis and the
+    doubly-linked purge journal, erases storage, optionally prunes fam.
+    Returns the purge journal. *)
+
+val pseudo_genesis : t -> Journal.t option
+(** Latest pseudo-genesis (Protocol 1's verification start), if any. *)
+
+val survival_jsns : t -> int list
+val read_survivor : t -> int -> bytes option
+
+(** {1 Mutation: occult (§III-A3)} *)
+
+type occult_mode = Sync | Async
+
+val occult :
+  t ->
+  target_jsn:int ->
+  mode:occult_mode ->
+  signers:(Roles.member * Ecdsa.private_key) list ->
+  reason:string ->
+  (Journal.t, string) result
+(** Validates Prerequisite 2 (DBA + regulator), appends the occult journal
+    with the retained hash, marks the occult bitmap; [Sync] erases the
+    payload immediately, [Async] defers to {!reorganize}. *)
+
+val occult_by_clue :
+  t ->
+  clue:string ->
+  mode:occult_mode ->
+  signers:(Roles.member * Ecdsa.private_key) list ->
+  reason:string ->
+  (Journal.t list, string) result
+(** Occult every not-yet-occulted journal carrying the clue ("occult by
+    clue", §III-A3).  Returns the occult journals appended. *)
+
+val is_occulted : t -> int -> bool
+val reorganize : t -> int
+(** Physically erase async-occulted payloads; returns how many. *)
+
+(** {1 Introspection} *)
+
+val compact_storage : t -> int
+(** Compact the journal stream, dropping slots erased by purge/occult;
+    returns the number of reclaimed records.  Payload addresses are
+    remapped transparently. *)
+
+val stored_digests : t -> int
+val journal_bytes : t -> int
+val sign_with_profile : t -> priv:Ecdsa.private_key -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature
+val verify_with_profile : t -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature -> bool
+
+(** {1 Adversarial hooks (tests and attack demos only)}
+
+    These mutate ledger state the way a malicious LSP or a compromised
+    server would (threat-A/B/C of §II-B), so that tests can confirm the
+    audit catches each tampering class.  Production code must never call
+    them. *)
+
+module Unsafe : sig
+  val rewrite_payload : t -> jsn:int -> bytes -> unit
+  (** Overwrite a committed journal's payload in place, leaving hashes and
+      signatures untouched (naive threat-B). *)
+
+  val rewrite_payload_consistent : t -> jsn:int -> bytes -> unit
+  (** Overwrite the payload {e and} recompute the request hash — what an
+      LSP colluding with storage can do, but without the client's key, so
+      π_c no longer verifies (threat-C). *)
+
+  val forge_server_ts : t -> jsn:int -> int64 -> unit
+  (** Rewrite a journal's server timestamp (threat-B on time). *)
+end
+
+(** {1 Persistence}
+
+    Durable snapshots of the whole ledger: journals (with their retained
+    accumulator leaves, so occulted/purged content stays erased), the
+    block chain (timestamps preserved so block hashes — and therefore
+    receipts — survive the round trip), membership, and the survival
+    stream.  [load] replays the journals through the same commit path and
+    then checks the recorded commitment and clue-root checkpoints, so a
+    corrupted or tampered snapshot is refused. *)
+
+val save : t -> dir:string -> unit
+
+val load :
+  ?config:config ->
+  ?t_ledger:T_ledger.t ->
+  ?tsa:Tsa.pool ->
+  clock:Clock.t ->
+  dir:string ->
+  unit ->
+  (t, string) result

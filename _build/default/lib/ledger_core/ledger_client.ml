@@ -1,0 +1,55 @@
+open Ledger_crypto
+open Ledger_merkle
+
+type t = {
+  name : string;
+  lsp_pub : Ecdsa.public_key;
+  mutable receipts : Receipt.t list; (* newest first *)
+  mutable anchor : (Fam.anchor * Hash.t) option;
+}
+
+let create ~name ~lsp_pub = { name; lsp_pub; receipts = []; anchor = None }
+let name t = t.name
+
+let remember_receipt t r = t.receipts <- r :: t.receipts
+let receipts t = t.receipts
+
+let receipt_for t ~jsn =
+  List.find_opt (fun (r : Receipt.t) -> r.Receipt.jsn = jsn) t.receipts
+
+let adopt_anchor t ~anchor ~commitment = t.anchor <- Some (anchor, commitment)
+let anchor t = t.anchor
+
+let anchored_upto t =
+  match t.anchor with Some (a, _) -> Fam.anchor_size a | None -> 0
+
+let check_existence t ~jsn ~leaf ~current_commitment proof =
+  ignore jsn;
+  match t.anchor with
+  | Some (a, _) ->
+      Fam.verify_anchored a ~current_commitment ~leaf proof
+  | None -> (
+      (* without an anchor only full chained proofs are meaningful *)
+      match proof with
+      | Fam.Beyond_anchor p -> Fam.verify ~commitment:current_commitment ~leaf p
+      | Fam.Within_sealed _ -> false)
+
+let check_receipt_against t ~ledger_tx_hash ~jsn =
+  match receipt_for t ~jsn with
+  | None -> `No_receipt
+  | Some r ->
+      if not (Receipt.verify ~lsp_pub:t.lsp_pub r) then `Bad_signature
+      else begin
+        match ledger_tx_hash jsn with
+        | Some tx when Hash.equal tx r.Receipt.tx_hash -> `Ok
+        | Some _ | None -> `Repudiated
+      end
+
+let stale t ~current_size = current_size > anchored_upto t
+
+let check_growth t ~delta ~new_size ~new_commitment proof =
+  match t.anchor with
+  | None -> false
+  | Some (anchor, _) ->
+      Fam.verify_extension ~delta ~old_size:(Fam.anchor_size anchor)
+        ~old_peaks:(Fam.anchor_peaks anchor) ~new_size ~new_commitment proof

@@ -1,0 +1,69 @@
+(** Client-side verification state (paper §II-C, verification manner 2:
+    "verified at client side when LSP is distrusted").
+
+    A client keeps, outside the LSP's reach:
+    - the receipts (π_s) for its own transactions;
+    - a {e trusted anchor}: a fam checkpoint captured after the client (or
+      an auditor it trusts) fully verified the ledger, plus the commitment
+      it corresponds to.
+
+    With those, the client can check existence proofs and receipts
+    entirely locally, detect LSP repudiation, and decide when its anchor
+    is stale (the commitment advanced) and a re-audit is warranted. *)
+
+open Ledger_crypto
+open Ledger_merkle
+
+type t
+
+val create : name:string -> lsp_pub:Ecdsa.public_key -> t
+val name : t -> string
+
+(** {1 Receipts} *)
+
+val remember_receipt : t -> Receipt.t -> unit
+val receipts : t -> Receipt.t list
+(** Newest first. *)
+
+val receipt_for : t -> jsn:int -> Receipt.t option
+
+(** {1 Trusted anchors} *)
+
+val adopt_anchor : t -> anchor:Fam.anchor -> commitment:Hash.t -> unit
+(** Trust a checkpoint (typically after {!Audit.run} passed). *)
+
+val anchor : t -> (Fam.anchor * Hash.t) option
+val anchored_upto : t -> int
+(** Journals covered by the trusted anchor (0 when none). *)
+
+(** {1 Local verification (no trust in the LSP)} *)
+
+val check_existence :
+  t -> jsn:int -> leaf:Hash.t -> current_commitment:Hash.t ->
+  Fam.anchored_proof -> bool
+(** Verify a proof the LSP shipped: against the client's trusted anchor
+    when it covers the journal, else against [current_commitment] (which
+    the client must have obtained through a channel it trusts, e.g. a
+    T-Ledger entry). *)
+
+val check_receipt_against : t -> ledger_tx_hash:(int -> Hash.t option) -> jsn:int ->
+  [ `Ok | `No_receipt | `Bad_signature | `Repudiated ]
+(** Compare a remembered receipt with what the ledger {e now} claims for
+    that jsn; [`Repudiated] means the LSP rewrote or dropped the journal
+    after issuing the receipt.  Uses real ECDSA (the client is outside the
+    simulated-profile boundary). *)
+
+val stale : t -> current_size:int -> bool
+(** The ledger grew past the anchor: new journals are unverified. *)
+
+val check_growth :
+  t ->
+  delta:int ->
+  new_size:int ->
+  new_commitment:Hash.t ->
+  Fam.extension_proof ->
+  bool
+(** Verify the ledger only {e appended} since the client's anchor (fam
+    extension proof).  On success the caller can audit just the suffix
+    and then {!adopt_anchor} the fresh state, instead of re-auditing from
+    genesis. *)

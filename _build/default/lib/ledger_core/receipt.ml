@@ -1,0 +1,34 @@
+open Ledger_crypto
+
+type t = {
+  jsn : int;
+  request_hash : Hash.t;
+  tx_hash : Hash.t;
+  block_hash : Hash.t;
+  timestamp : int64;
+  lsp_sig : Ecdsa.signature;
+}
+
+let signing_digest ~jsn ~request_hash ~tx_hash ~block_hash ~timestamp =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "receipt:";
+  Buffer.add_string buf (string_of_int jsn);
+  Buffer.add_bytes buf (Hash.to_bytes request_hash);
+  Buffer.add_bytes buf (Hash.to_bytes tx_hash);
+  Buffer.add_bytes buf (Hash.to_bytes block_hash);
+  Buffer.add_string buf (Int64.to_string timestamp);
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let make ~lsp_priv ~jsn ~request_hash ~tx_hash ~block_hash ~timestamp =
+  let digest = signing_digest ~jsn ~request_hash ~tx_hash ~block_hash ~timestamp in
+  { jsn; request_hash; tx_hash; block_hash; timestamp;
+    lsp_sig = Ecdsa.sign lsp_priv digest }
+
+let verify ~lsp_pub t =
+  let digest =
+    signing_digest ~jsn:t.jsn ~request_hash:t.request_hash ~tx_hash:t.tx_hash
+      ~block_hash:t.block_hash ~timestamp:t.timestamp
+  in
+  Ecdsa.verify lsp_pub digest t.lsp_sig
+
+let is_final t = not (Hash.equal t.block_hash Hash.zero)

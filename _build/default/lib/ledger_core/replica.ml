@@ -1,0 +1,91 @@
+open Ledger_crypto
+
+let request transport encoded =
+  match Service.decode_response (transport encoded) with
+  | Some resp -> resp
+  | None -> failwith "replica: undecodable response"
+
+let output_u64 oc v =
+  for i = 7 downto 0 do
+    output_char oc (Char.chr ((v lsr (i * 8)) land 0xFF))
+  done
+
+let pull ~transport ?(config = Ledger.default_config) ?t_ledger ?tsa ~clock
+    ~scratch_dir () =
+  try
+    (* 1. the announced checkpoint pins what we must reproduce *)
+    let name, size, block_count, commitment, clue_root, nonce, pseudo_genesis =
+      match request transport (Service.Client.make_get_checkpoint ()) with
+      | Service.Checkpoint_r
+          { name; size; block_count; commitment; clue_root; nonce;
+            pseudo_genesis } ->
+          (name, size, block_count, commitment, clue_root, nonce, pseudo_genesis)
+      | Service.Error_r e -> failwith ("replica: checkpoint refused: " ^ e)
+      | _ -> failwith "replica: unexpected checkpoint response"
+    in
+    if name <> config.Ledger.name then
+      failwith
+        (Printf.sprintf "replica: service is '%s' but config says '%s'" name
+           config.Ledger.name);
+    if not (Sys.file_exists scratch_dir) then Sys.mkdir scratch_dir 0o755;
+    let in_dir f = Filename.concat scratch_dir f in
+    let with_out file f =
+      let oc = open_out_bin (in_dir file) in
+      (try f oc with e -> close_out_noerr oc; raise e);
+      close_out oc
+    in
+    (* 2. membership *)
+    with_out "members.ldb" (fun oc ->
+        match request transport (Service.Client.make_get_members ()) with
+        | Service.Members_r members ->
+            List.iter
+              (fun (member_name, role, pub) ->
+                let hex =
+                  String.concat ""
+                    (List.init (Bytes.length pub) (fun i ->
+                         Printf.sprintf "%02x" (Char.code (Bytes.get pub i))))
+                in
+                Printf.fprintf oc "%s\t%s\t%s\n" role hex member_name)
+              members
+        | _ -> failwith "replica: unexpected members response");
+    (* 3. every journal, with its retained leaf *)
+    with_out "journals.ldb" (fun oc ->
+        for jsn = 0 to size - 1 do
+          match request transport (Service.Client.make_get_journal ~jsn) with
+          | Service.Journal_r { tx; encoded } ->
+              output_bytes oc (Hash.to_bytes tx);
+              output_u64 oc (Bytes.length encoded);
+              output_bytes oc encoded
+          | Service.Error_r e ->
+              failwith (Printf.sprintf "replica: journal %d refused: %s" jsn e)
+          | _ -> failwith "replica: unexpected journal response"
+        done);
+    (* 4. every sealed block *)
+    with_out "blocks.ldb" (fun oc ->
+        for height = 0 to block_count - 1 do
+          match request transport (Service.Client.make_get_block ~height) with
+          | Service.Block_r b ->
+              Printf.fprintf oc "%d %d %d %s %s %s %s %s %Ld\n" b.Block.height
+                b.Block.start_jsn b.Block.count
+                (Hash.to_hex b.Block.prev_hash)
+                (Hash.to_hex b.Block.journal_commitment)
+                (Hash.to_hex b.Block.clue_root)
+                (Hash.to_hex b.Block.world_state_root)
+                (Hash.to_hex b.Block.tx_root)
+                b.Block.timestamp
+          | _ -> failwith "replica: unexpected block response"
+        done);
+    (* 5. checkpoint metadata; the loader re-derives everything and
+       compares against these values *)
+    with_out "meta.ldb" (fun oc ->
+        Printf.fprintf oc
+          "name=%s\nsize=%d\nnonce=%d\ncommitment=%s\nclue_root=%s\npseudo_genesis=%s\n"
+          name size nonce
+          (if size = 0 then "" else Hash.to_hex commitment)
+          (Hash.to_hex clue_root)
+          (match pseudo_genesis with Some j -> string_of_int j | None -> "-"));
+    with_out "survivors.ldb" (fun _ -> () (* not replicated *));
+    Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
+  with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg

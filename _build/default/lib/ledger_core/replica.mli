@@ -1,0 +1,30 @@
+(** Remote replication for external auditors (paper §II-C: "verified at
+    client side … by anyone who can directly access the ledger, such as
+    external auditors").
+
+    [pull] downloads the entire ledger — checkpoint, membership, every
+    journal (with its retained accumulator leaf) and every block — through
+    the byte-level {!Service} protocol, materialises it in the snapshot
+    format and replays it through {!Ledger.load}, which re-derives every
+    tree and {e refuses} the replica unless the announced commitment, clue
+    root, and each journal's content-to-leaf binding reproduce.  The
+    result is a locally verified replica an auditor can {!Audit.run}
+    without trusting the transport or the LSP. *)
+
+open Ledger_storage
+open Ledger_timenotary
+
+val pull :
+  transport:(bytes -> bytes) ->
+  ?config:Ledger.config ->
+  ?t_ledger:T_ledger.t ->
+  ?tsa:Tsa.pool ->
+  clock:Clock.t ->
+  scratch_dir:string ->
+  unit ->
+  (Ledger.t, string) result
+(** [transport] is the only channel to the remote service (e.g.
+    [Service.handle remote_ledger], or a real socket).  [scratch_dir] is
+    where the downloaded snapshot is staged.  The [config] must match the
+    remote service's announced name (checked) — it determines block size,
+    fractal height and the LSP key derivation. *)

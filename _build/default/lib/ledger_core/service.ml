@@ -1,0 +1,368 @@
+open Ledger_crypto
+open Ledger_cmtree
+open Ledger_merkle
+
+type request =
+  | Append of {
+      member_id : Hash.t;
+      payload : bytes;
+      clues : string list;
+      client_ts : int64;
+      nonce : int;
+      signature : Ecdsa.signature;
+    }
+  | Get_payload of { jsn : int }
+  | Get_proof of { jsn : int }
+  | Get_receipt of { jsn : int }
+  | Get_clue_proof of { clue : string; first : int option; last : int option }
+  | Get_commitment
+  | Get_extension of { old_size : int }
+  | Get_journal of { jsn : int }
+  | Get_block of { height : int }
+  | Get_members
+  | Get_checkpoint
+
+type response =
+  | Receipt_r of Receipt.t
+  | Payload_r of bytes option
+  | Proof_r of Fam.proof
+  | Clue_proof_r of Cm_tree.clue_proof option
+  | Commitment_r of { commitment : Hash.t; size : int }
+  | Extension_r of Fam.extension_proof
+  | Journal_r of { tx : Hash.t; encoded : bytes }
+  | Block_r of Block.t
+  | Members_r of (string * string * bytes) list
+      (** (name, role tag, 64-byte public key) *)
+  | Checkpoint_r of {
+      name : string;
+      size : int;
+      block_count : int;
+      commitment : Hash.t;
+      clue_root : Hash.t;
+      nonce : int;
+      pseudo_genesis : int option;
+    }
+  | Error_r of string
+
+(* --- codecs ------------------------------------------------------------- *)
+
+let w_sig w s = Wire.w_raw w (Ecdsa.signature_to_bytes s)
+
+let r_sig r =
+  match Ecdsa.signature_of_bytes (Wire.r_raw r 64) with
+  | Some s -> s
+  | None -> raise Wire.Corrupt
+
+let encode_request req =
+  let w = Wire.writer () in
+  (match req with
+  | Append { member_id; payload; clues; client_ts; nonce; signature } ->
+      Wire.w_u8 w 0;
+      Wire.w_hash w member_id;
+      Wire.w_bytes w payload;
+      Wire.w_list w (Wire.w_string w) clues;
+      Wire.w_int64 w client_ts;
+      Wire.w_int w nonce;
+      w_sig w signature
+  | Get_payload { jsn } ->
+      Wire.w_u8 w 1;
+      Wire.w_int w jsn
+  | Get_proof { jsn } ->
+      Wire.w_u8 w 2;
+      Wire.w_int w jsn
+  | Get_receipt { jsn } ->
+      Wire.w_u8 w 3;
+      Wire.w_int w jsn
+  | Get_clue_proof { clue; first; last } ->
+      Wire.w_u8 w 4;
+      Wire.w_string w clue;
+      Wire.w_option w (Wire.w_int w) first;
+      Wire.w_option w (Wire.w_int w) last
+  | Get_commitment -> Wire.w_u8 w 5
+  | Get_extension { old_size } ->
+      Wire.w_u8 w 6;
+      Wire.w_int w old_size
+  | Get_journal { jsn } ->
+      Wire.w_u8 w 7;
+      Wire.w_int w jsn
+  | Get_block { height } ->
+      Wire.w_u8 w 8;
+      Wire.w_int w height
+  | Get_members -> Wire.w_u8 w 9
+  | Get_checkpoint -> Wire.w_u8 w 10);
+  Wire.contents w
+
+let decode_request data =
+  Wire.decode data (fun r ->
+      match Wire.r_u8 r with
+      | 0 ->
+          let member_id = Wire.r_hash r in
+          let payload = Wire.r_bytes r in
+          let clues = Wire.r_list ~max:64 r (fun () -> Wire.r_string r) in
+          let client_ts = Wire.r_int64 r in
+          let nonce = Wire.r_int r in
+          let signature = r_sig r in
+          Append { member_id; payload; clues; client_ts; nonce; signature }
+      | 1 -> Get_payload { jsn = Wire.r_int r }
+      | 2 -> Get_proof { jsn = Wire.r_int r }
+      | 3 -> Get_receipt { jsn = Wire.r_int r }
+      | 4 ->
+          let clue = Wire.r_string r in
+          let first = Wire.r_option r (fun () -> Wire.r_int r) in
+          let last = Wire.r_option r (fun () -> Wire.r_int r) in
+          Get_clue_proof { clue; first; last }
+      | 5 -> Get_commitment
+      | 6 -> Get_extension { old_size = Wire.r_int r }
+      | 7 -> Get_journal { jsn = Wire.r_int r }
+      | 8 -> Get_block { height = Wire.r_int r }
+      | 9 -> Get_members
+      | 10 -> Get_checkpoint
+      | _ -> raise Wire.Corrupt)
+
+let w_receipt w (r : Receipt.t) =
+  Wire.w_int w r.Receipt.jsn;
+  Wire.w_hash w r.Receipt.request_hash;
+  Wire.w_hash w r.Receipt.tx_hash;
+  Wire.w_hash w r.Receipt.block_hash;
+  Wire.w_int64 w r.Receipt.timestamp;
+  w_sig w r.Receipt.lsp_sig
+
+let r_receipt r =
+  let jsn = Wire.r_int r in
+  let request_hash = Wire.r_hash r in
+  let tx_hash = Wire.r_hash r in
+  let block_hash = Wire.r_hash r in
+  let timestamp = Wire.r_int64 r in
+  let lsp_sig = r_sig r in
+  { Receipt.jsn; request_hash; tx_hash; block_hash; timestamp; lsp_sig }
+
+let encode_response resp =
+  let w = Wire.writer () in
+  (match resp with
+  | Receipt_r receipt ->
+      Wire.w_u8 w 0;
+      w_receipt w receipt
+  | Payload_r payload ->
+      Wire.w_u8 w 1;
+      Wire.w_option w (Wire.w_bytes w) payload
+  | Proof_r proof ->
+      Wire.w_u8 w 2;
+      Proof_codec.w_fam_proof w proof
+  | Clue_proof_r proof ->
+      Wire.w_u8 w 3;
+      Wire.w_option w (Cm_tree.w_clue_proof w) proof
+  | Commitment_r { commitment; size } ->
+      Wire.w_u8 w 4;
+      Wire.w_hash w commitment;
+      Wire.w_int w size
+  | Extension_r proof ->
+      Wire.w_u8 w 6;
+      Proof_codec.w_fam_extension w proof
+  | Journal_r { tx; encoded } ->
+      Wire.w_u8 w 7;
+      Wire.w_hash w tx;
+      Wire.w_bytes w encoded
+  | Block_r b ->
+      Wire.w_u8 w 8;
+      Wire.w_int w b.Block.height;
+      Wire.w_int w b.Block.start_jsn;
+      Wire.w_int w b.Block.count;
+      Wire.w_hash w b.Block.prev_hash;
+      Wire.w_hash w b.Block.journal_commitment;
+      Wire.w_hash w b.Block.clue_root;
+      Wire.w_hash w b.Block.world_state_root;
+      Wire.w_hash w b.Block.tx_root;
+      Wire.w_int64 w b.Block.timestamp
+  | Members_r members ->
+      Wire.w_u8 w 9;
+      Wire.w_list w
+        (fun (name, role, pub) ->
+          Wire.w_string w name;
+          Wire.w_string w role;
+          Wire.w_bytes w pub)
+        members
+  | Checkpoint_r { name; size; block_count; commitment; clue_root; nonce;
+                   pseudo_genesis } ->
+      Wire.w_u8 w 10;
+      Wire.w_string w name;
+      Wire.w_int w size;
+      Wire.w_int w block_count;
+      Wire.w_hash w commitment;
+      Wire.w_hash w clue_root;
+      Wire.w_int w nonce;
+      Wire.w_option w (Wire.w_int w) pseudo_genesis
+  | Error_r msg ->
+      Wire.w_u8 w 5;
+      Wire.w_string w msg);
+  Wire.contents w
+
+let decode_response data =
+  Wire.decode data (fun r ->
+      match Wire.r_u8 r with
+      | 0 -> Receipt_r (r_receipt r)
+      | 1 -> Payload_r (Wire.r_option r (fun () -> Wire.r_bytes r))
+      | 2 -> Proof_r (Proof_codec.r_fam_proof r)
+      | 3 -> Clue_proof_r (Wire.r_option r (fun () -> Cm_tree.r_clue_proof r))
+      | 4 ->
+          let commitment = Wire.r_hash r in
+          let size = Wire.r_int r in
+          Commitment_r { commitment; size }
+      | 5 -> Error_r (Wire.r_string r)
+      | 6 -> Extension_r (Proof_codec.r_fam_extension r)
+      | 7 ->
+          let tx = Wire.r_hash r in
+          let encoded = Wire.r_bytes r in
+          Journal_r { tx; encoded }
+      | 8 ->
+          let height = Wire.r_int r in
+          let start_jsn = Wire.r_int r in
+          let count = Wire.r_int r in
+          let prev_hash = Wire.r_hash r in
+          let journal_commitment = Wire.r_hash r in
+          let clue_root = Wire.r_hash r in
+          let world_state_root = Wire.r_hash r in
+          let tx_root = Wire.r_hash r in
+          let timestamp = Wire.r_int64 r in
+          Block_r
+            { Block.height; start_jsn; count; prev_hash; journal_commitment;
+              clue_root; world_state_root; tx_root; timestamp }
+      | 9 ->
+          Members_r
+            (Wire.r_list ~max:10000 r (fun () ->
+                 let name = Wire.r_string r in
+                 let role = Wire.r_string r in
+                 let pub = Wire.r_bytes r in
+                 (name, role, pub)))
+      | 10 ->
+          let name = Wire.r_string r in
+          let size = Wire.r_int r in
+          let block_count = Wire.r_int r in
+          let commitment = Wire.r_hash r in
+          let clue_root = Wire.r_hash r in
+          let nonce = Wire.r_int r in
+          let pseudo_genesis = Wire.r_option r (fun () -> Wire.r_int r) in
+          Checkpoint_r
+            { name; size; block_count; commitment; clue_root; nonce;
+              pseudo_genesis }
+      | _ -> raise Wire.Corrupt)
+
+(* --- server ---------------------------------------------------------------- *)
+
+let dispatch ledger = function
+  | Append { member_id; payload; clues; client_ts; nonce; signature } -> (
+      match
+        Ledger.append_signed ledger ~member_id ~payload ~clues ~client_ts
+          ~nonce ~signature
+      with
+      | Ok receipt -> Receipt_r receipt
+      | Error msg -> Error_r msg)
+  | Get_payload { jsn } ->
+      if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
+      else Payload_r (Ledger.payload ledger jsn)
+  | Get_proof { jsn } ->
+      if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
+      else Proof_r (Ledger.get_proof ledger jsn)
+  | Get_receipt { jsn } ->
+      if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
+      else Receipt_r (Ledger.get_receipt ledger jsn)
+  | Get_clue_proof { clue; first; last } ->
+      Clue_proof_r (Ledger.prove_clue ledger ~clue ?first ?last ())
+  | Get_commitment ->
+      if Ledger.size ledger = 0 then Error_r "empty ledger"
+      else
+        Commitment_r
+          { commitment = Ledger.commitment ledger; size = Ledger.size ledger }
+  | Get_extension { old_size } ->
+      if old_size <= 0 || old_size > Ledger.size ledger then
+        Error_r "old_size out of range"
+      else Extension_r (Ledger.prove_extension ledger ~old_size)
+  | Get_journal { jsn } ->
+      if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
+      else begin
+        let j = Ledger.journal ledger jsn in
+        (* the shipped payload reflects erasures *)
+        let payload =
+          match Ledger.payload ledger jsn with Some p -> p | None -> Bytes.empty
+        in
+        let j = { j with Journal.payload } in
+        Journal_r
+          { tx = Ledger.tx_hash_of ledger jsn; encoded = Journal_codec.encode j }
+      end
+  | Get_block { height } ->
+      if height < 0 || height >= Ledger.block_count ledger then
+        Error_r "block out of range"
+      else Block_r (Ledger.block ledger height)
+  | Get_members ->
+      Members_r
+        (List.map
+           (fun (m : Roles.member) ->
+             ( m.Roles.name,
+               Roles.role_to_string m.Roles.role,
+               Ecdsa.public_key_to_bytes m.Roles.pub ))
+           (Roles.members (Ledger.registry ledger)))
+  | Get_checkpoint ->
+      Checkpoint_r
+        {
+          name = (Ledger.config ledger).Ledger.name;
+          size = Ledger.size ledger;
+          block_count = Ledger.block_count ledger;
+          commitment =
+            (if Ledger.size ledger = 0 then Hash.zero
+             else Ledger.commitment ledger);
+          clue_root = Cm_tree.root_hash (Ledger.cm_tree ledger);
+          nonce = Ledger.size ledger;
+          pseudo_genesis =
+            Option.map
+              (fun (j : Journal.t) -> j.Journal.jsn)
+              (Ledger.pseudo_genesis ledger);
+        }
+
+let handle ledger data =
+  let resp =
+    match decode_request data with
+    | None -> Error_r "malformed request"
+    | Some req -> (
+        try dispatch ledger req
+        with Invalid_argument msg | Failure msg -> Error_r msg)
+  in
+  encode_response resp
+
+(* --- client ----------------------------------------------------------------- *)
+
+module Client = struct
+  type t = {
+    ledger_uri : string;
+    member : Roles.member;
+    priv : Ecdsa.private_key;
+    mutable nonce : int;
+  }
+
+  let create ~ledger_uri ~member ~priv = { ledger_uri; member; priv; nonce = 0 }
+
+  let make_append t ?(clues = []) ~client_ts payload =
+    t.nonce <- t.nonce + 1;
+    let request_hash =
+      Journal.request_digest ~ledger_uri:t.ledger_uri ~kind_tag:"normal"
+        ~payload ~clues ~client_ts ~nonce:t.nonce
+    in
+    let signature = Ecdsa.sign t.priv request_hash in
+    encode_request
+      (Append
+         { member_id = t.member.Roles.id; payload; clues; client_ts;
+           nonce = t.nonce; signature })
+
+  let make_get_proof ~jsn = encode_request (Get_proof { jsn })
+  let make_get_payload ~jsn = encode_request (Get_payload { jsn })
+  let make_get_receipt ~jsn = encode_request (Get_receipt { jsn })
+
+  let make_get_clue_proof ~clue ?first ?last () =
+    encode_request (Get_clue_proof { clue; first; last })
+
+  let make_get_commitment () = encode_request Get_commitment
+  let make_get_extension ~old_size = encode_request (Get_extension { old_size })
+  let make_get_journal ~jsn = encode_request (Get_journal { jsn })
+  let make_get_block ~height = encode_request (Get_block { height })
+  let make_get_members () = encode_request Get_members
+  let make_get_checkpoint () = encode_request Get_checkpoint
+  let parse = decode_response
+end

@@ -1,0 +1,96 @@
+(** The client ⇄ proxy ⇄ server protocol of Fig. 1, over a byte-level
+    message boundary.
+
+    {!Client} builds signed, encoded requests and interprets encoded
+    responses without ever holding a reference to the server's state;
+    {!handle} is the whole server: decode → dispatch → encode.  Tests and
+    examples drive the two ends through [bytes] alone, proving that every
+    proof object survives the wire. *)
+
+open Ledger_crypto
+open Ledger_cmtree
+open Ledger_merkle
+
+type request =
+  | Append of {
+      member_id : Hash.t;
+      payload : bytes;
+      clues : string list;
+      client_ts : int64;
+      nonce : int;
+      signature : Ecdsa.signature;
+    }
+  | Get_payload of { jsn : int }
+  | Get_proof of { jsn : int }
+  | Get_receipt of { jsn : int }
+  | Get_clue_proof of { clue : string; first : int option; last : int option }
+  | Get_commitment
+  | Get_extension of { old_size : int }
+  | Get_journal of { jsn : int }
+  | Get_block of { height : int }
+  | Get_members
+  | Get_checkpoint
+
+type response =
+  | Receipt_r of Receipt.t
+  | Payload_r of bytes option
+  | Proof_r of Fam.proof
+  | Clue_proof_r of Cm_tree.clue_proof option
+  | Commitment_r of { commitment : Hash.t; size : int }
+  | Extension_r of Fam.extension_proof
+  | Journal_r of { tx : Hash.t; encoded : bytes }
+      (** retained leaf + {!Journal_codec} encoding (payload reflects
+          occult/purge erasure) *)
+  | Block_r of Block.t
+  | Members_r of (string * string * bytes) list
+      (** (name, role tag, 64-byte public key) *)
+  | Checkpoint_r of {
+      name : string;
+      size : int;
+      block_count : int;
+      commitment : Hash.t;
+      clue_root : Hash.t;
+      nonce : int;
+      pseudo_genesis : int option;
+    }
+  | Error_r of string
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request option
+val encode_response : response -> bytes
+val decode_response : bytes -> response option
+
+val w_receipt : Wire.writer -> Receipt.t -> unit
+val r_receipt : Wire.reader -> Receipt.t
+
+val handle : Ledger.t -> bytes -> bytes
+(** The server: malformed input or failed dispatch yields an encoded
+    {!Error_r}; this function never raises. *)
+
+(** Client-side request building and response interpretation. *)
+module Client : sig
+  type t
+
+  val create :
+    ledger_uri:string ->
+    member:Roles.member ->
+    priv:Ecdsa.private_key ->
+    t
+
+  val make_append : t -> ?clues:string list -> client_ts:int64 -> bytes -> bytes
+  (** Sign the request locally (π_c) and encode it.  The nonce is
+      maintained per client. *)
+
+  val make_get_proof : jsn:int -> bytes
+  val make_get_payload : jsn:int -> bytes
+  val make_get_receipt : jsn:int -> bytes
+  val make_get_clue_proof : clue:string -> ?first:int -> ?last:int -> unit -> bytes
+  val make_get_commitment : unit -> bytes
+  val make_get_extension : old_size:int -> bytes
+  val make_get_journal : jsn:int -> bytes
+  val make_get_block : height:int -> bytes
+  val make_get_members : unit -> bytes
+  val make_get_checkpoint : unit -> bytes
+
+  val parse : bytes -> response option
+end

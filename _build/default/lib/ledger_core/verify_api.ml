@@ -1,0 +1,107 @@
+open Ledger_crypto
+
+type level = Server | Client
+
+type target =
+  | Existence of { jsn : int; payload_digest : Hash.t option }
+  | Clue of { key : string }
+  | Clue_range of { key : string; first : int; last : int }
+  | Receipt_check of Receipt.t
+
+type outcome = {
+  target : target;
+  level : level;
+  ok : bool;
+  detail : string;
+}
+
+let verify_existence ledger level jsn payload_digest =
+  if jsn < 0 || jsn >= Ledger.size ledger then (false, "jsn out of range")
+  else
+    match level with
+    | Server -> (
+        (* the server checks its own accumulator leaf directly *)
+        let stored = Ledger.tx_hash_of ledger jsn in
+        let j = Ledger.journal ledger jsn in
+        let recomputed =
+          if Ledger.is_occulted ledger jsn then stored else Journal.tx_hash j
+        in
+        if not (Hash.equal stored recomputed) then
+          (false, "server: journal content does not match leaf")
+        else
+          match payload_digest with
+          | None -> (true, "server: leaf consistent")
+          | Some d -> (
+              match Ledger.payload ledger jsn with
+              | Some p when Hash.equal (Hash.digest_bytes p) d ->
+                  (true, "server: payload digest matches")
+              | Some _ -> (false, "server: payload digest mismatch")
+              | None -> (false, "server: payload erased")))
+    | Client ->
+        let proof = Ledger.get_proof ledger jsn in
+        if Ledger.verify_existence ledger ~jsn ~payload_digest proof then
+          (true, "client: fam proof verified against commitment")
+        else (false, "client: fam proof rejected")
+
+let verify_clue ledger level key range =
+  let entries = Ledger.clue_entries ledger key in
+  if entries = 0 then (false, "unknown clue")
+  else
+    match level with
+    | Server ->
+        if Ledger.verify_clue_server ledger ~clue:key then
+          (true, Printf.sprintf "server: %d entries consistent" entries)
+        else (false, "server: clue accumulator mismatch")
+    | Client -> (
+        let first, last =
+          match range with Some (f, l) -> (f, l) | None -> (0, entries - 1)
+        in
+        if first < 0 || last >= entries || first > last then
+          (false, "version range out of bounds")
+        else
+          match Ledger.prove_clue ledger ~clue:key ~first ~last () with
+          | None -> (false, "server failed to assemble the clue proof")
+          | Some proof ->
+              if Ledger.verify_clue_client ledger proof then
+                ( true,
+                  Printf.sprintf "client: versions %d..%d verified" first last )
+              else (false, "client: CM-Tree proof rejected"))
+
+let verify_receipt ledger (r : Receipt.t) =
+  if not (Ledger.verify_receipt ledger r) then
+    (false, "receipt signature invalid")
+  else if
+    r.Receipt.jsn < Ledger.size ledger
+    && not (Hash.equal r.Receipt.tx_hash (Ledger.tx_hash_of ledger r.Receipt.jsn))
+  then (false, "receipt tx-hash diverges from the ledger (repudiation)")
+  else (true, "receipt verified")
+
+let verify ledger ~level target =
+  let ok, detail =
+    match target with
+    | Existence { jsn; payload_digest } ->
+        verify_existence ledger level jsn payload_digest
+    | Clue { key } -> verify_clue ledger level key None
+    | Clue_range { key; first; last } ->
+        verify_clue ledger level key (Some (first, last))
+    | Receipt_check r -> verify_receipt ledger r
+  in
+  { target; level; ok; detail }
+
+let verify_all ledger ~level targets =
+  let outcomes = List.map (verify ledger ~level) targets in
+  (outcomes, List.for_all (fun o -> o.ok) outcomes)
+
+let pp_outcome fmt o =
+  let target =
+    match o.target with
+    | Existence { jsn; _ } -> Printf.sprintf "existence jsn=%d" jsn
+    | Clue { key } -> Printf.sprintf "clue %s" key
+    | Clue_range { key; first; last } ->
+        Printf.sprintf "clue %s [%d..%d]" key first last
+    | Receipt_check r -> Printf.sprintf "receipt jsn=%d" r.Receipt.jsn
+  in
+  Format.fprintf fmt "%s @@ %s: %s (%s)" target
+    (match o.level with Server -> "server" | Client -> "client")
+    (if o.ok then "OK" else "FAILED")
+    o.detail

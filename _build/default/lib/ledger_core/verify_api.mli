@@ -1,0 +1,42 @@
+(** The unified Verify API of §IV-C:
+
+    {v Verify(lgid, CLUE, *{key, txdata, rho, root}, level) v}
+
+    A single entry point dispatching on the verification target (journal
+    existence, whole clue, clue version range, LSP receipt) and the trust
+    level ([Server] when the LSP is trusted and verifies in place;
+    [Client] when proof objects are assembled, shipped, and replayed by
+    the caller).  This mirrors how the production service exposes one
+    Verify endpoint over the underlying mechanisms. *)
+
+open Ledger_crypto
+
+type level = Server | Client
+(** Where the validation runs (paper §II-C: "verified at server side when
+    LSP can be fully trusted; verified at client side when LSP is
+    distrusted"). *)
+
+type target =
+  | Existence of { jsn : int; payload_digest : Hash.t option }
+      (** journal existence against the fam commitment *)
+  | Clue of { key : string }
+      (** entire N-lineage of a clue *)
+  | Clue_range of { key : string; first : int; last : int }
+      (** lineage within version boundaries *)
+  | Receipt_check of Receipt.t
+      (** an LSP receipt held by the client *)
+
+type outcome = {
+  target : target;
+  level : level;
+  ok : bool;
+  detail : string;
+}
+
+val verify : Ledger.t -> level:level -> target -> outcome
+
+val verify_all : Ledger.t -> level:level -> target list -> outcome list * bool
+(** All targets; the conjunction is the second component (any failure
+    fails the batch, as in the audit). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

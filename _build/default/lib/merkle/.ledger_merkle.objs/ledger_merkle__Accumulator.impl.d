@@ -1,0 +1,1 @@
+lib/merkle/accumulator.ml: Forest Hash Ledger_crypto Proof

@@ -1,0 +1,1 @@
+lib/merkle/accumulator.mli: Hash Ledger_crypto Proof

@@ -1,0 +1,1 @@
+lib/merkle/bamt.ml: Forest Hash Ledger_crypto List Proof

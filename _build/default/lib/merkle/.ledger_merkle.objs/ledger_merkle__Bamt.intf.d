@@ -1,0 +1,1 @@
+lib/merkle/bamt.mli: Hash Ledger_crypto Proof

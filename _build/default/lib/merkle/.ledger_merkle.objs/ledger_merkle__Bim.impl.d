@@ -1,0 +1,1 @@
+lib/merkle/bim.ml: Array Buffer Hash Int64 Ledger_crypto List Merkle_tree Proof

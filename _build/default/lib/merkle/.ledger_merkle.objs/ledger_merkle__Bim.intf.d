@@ -1,0 +1,1 @@
+lib/merkle/bim.mli: Hash Ledger_crypto Proof

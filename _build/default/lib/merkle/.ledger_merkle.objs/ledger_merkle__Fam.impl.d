@@ -1,0 +1,1 @@
+lib/merkle/fam.ml: Array Forest Hash Ledger_crypto List Proof Shrubs

@@ -1,0 +1,1 @@
+lib/merkle/fam.mli: Forest Hash Ledger_crypto Proof

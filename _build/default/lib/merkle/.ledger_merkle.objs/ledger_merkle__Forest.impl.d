@@ -1,0 +1,1 @@
+lib/merkle/forest.ml: Array Hash Ledger_crypto List Printf Proof

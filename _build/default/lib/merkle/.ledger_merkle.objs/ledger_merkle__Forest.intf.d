@@ -1,0 +1,1 @@
+lib/merkle/forest.mli: Hash Ledger_crypto Proof

@@ -1,0 +1,1 @@
+lib/merkle/merkle_tree.ml: Forest Hash Ledger_crypto List Proof

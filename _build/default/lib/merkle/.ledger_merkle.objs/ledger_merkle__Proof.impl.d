@@ -1,0 +1,1 @@
+lib/merkle/proof.ml: Buffer Format Hash Ledger_crypto List

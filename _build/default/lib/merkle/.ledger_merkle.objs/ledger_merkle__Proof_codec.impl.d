@@ -1,0 +1,1 @@
+lib/merkle/proof_codec.ml: Fam Ledger_crypto Proof Range_proof Shrubs Wire

@@ -1,0 +1,1 @@
+lib/merkle/proof_codec.mli: Fam Forest Ledger_crypto Proof Range_proof Shrubs Wire

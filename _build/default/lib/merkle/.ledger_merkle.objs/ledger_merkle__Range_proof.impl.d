@@ -1,0 +1,1 @@
+lib/merkle/range_proof.ml: Forest Hash Hashtbl Ledger_crypto List Proof

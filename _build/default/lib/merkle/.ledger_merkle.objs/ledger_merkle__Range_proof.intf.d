@@ -1,0 +1,1 @@
+lib/merkle/range_proof.mli: Forest Hash Ledger_crypto Proof

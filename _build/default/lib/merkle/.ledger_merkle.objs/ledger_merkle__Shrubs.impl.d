@@ -1,0 +1,1 @@
+lib/merkle/shrubs.ml: Forest Hash Ledger_crypto List Option Proof

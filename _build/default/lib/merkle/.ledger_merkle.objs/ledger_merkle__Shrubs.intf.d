@@ -1,0 +1,1 @@
+lib/merkle/shrubs.mli: Forest Hash Ledger_crypto Proof

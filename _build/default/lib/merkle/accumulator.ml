@@ -1,0 +1,12 @@
+open Ledger_crypto
+
+type t = Forest.t
+
+let create = Forest.create
+let append = Forest.append
+let size = Forest.size
+let root = Forest.bagged_root
+let leaf = Forest.leaf
+let prove = Forest.prove_bagged
+let verify ~root ~leaf path = Hash.equal (Proof.apply leaf path) root
+let stored_digests = Forest.stored_digests

@@ -1,0 +1,25 @@
+(** The transaction-intensive model (tim): a single append-only Merkle
+    accumulator over every journal, as in Diem and QLDB (paper §II-A).
+
+    Appends are O(1) amortised; the root and proof length are O(log n) and
+    {e grow with the ledger size} — the inefficiency that fam removes.
+    This is the principal baseline of Fig. 8. *)
+
+open Ledger_crypto
+
+type t
+
+val create : unit -> t
+val append : t -> Hash.t -> int
+val size : t -> int
+val root : t -> Hash.t
+(** @raise Invalid_argument when empty. *)
+
+val leaf : t -> int -> Hash.t
+
+val prove : t -> int -> Proof.path
+(** Existence proof of leaf [i] against the current {!root}. *)
+
+val verify : root:Hash.t -> leaf:Hash.t -> Proof.path -> bool
+
+val stored_digests : t -> int

@@ -1,0 +1,83 @@
+(** Shared core of the append-only Merkle structures.
+
+    A forest stores, per level, the digests of every {e complete} subtree
+    node.  Appending a leaf computes exactly the interior nodes that become
+    complete — the O(1)-amortised insertion that the Shrubs tree (and hence
+    fam and CM-Tree2) relies on.  Both commitment styles are derived from
+    it:
+
+    - {!peaks} — the frontier node-set (Shrubs commitment);
+    - {!bagged_root} — a single root over the ragged tree, folding the
+      peaks right-to-left (tim/Diem-style accumulator root).
+
+    Nodes of purged regions can be dropped with {!forget_subtree}. *)
+
+open Ledger_crypto
+
+type t
+
+val create : unit -> t
+
+val append : t -> Hash.t -> int
+(** Append a leaf digest; returns its index. *)
+
+val size : t -> int
+(** Number of leaves appended. *)
+
+val leaf : t -> int -> Hash.t
+(** @raise Invalid_argument if out of range.
+    @raise Not_found if forgotten. *)
+
+val node : t -> level:int -> index:int -> Hash.t
+(** Digest of the complete subtree node; levels count from 0 (leaves).
+    @raise Not_found if the node is incomplete or was forgotten. *)
+
+val peaks : t -> Proof.node_set
+(** Roots of the maximal complete subtrees, leftmost first.  Empty for an
+    empty forest. *)
+
+val bagged_root : t -> Hash.t
+(** Single root over all leaves: peaks folded right-to-left with
+    {!Hash.combine}.  @raise Invalid_argument on an empty forest. *)
+
+val prove_to_peak : t -> int -> Proof.path * int
+(** [prove_to_peak t i] is the audit path from leaf [i] to the root of the
+    peak containing it, together with the peak's position in {!peaks}. *)
+
+val prove_bagged : t -> int -> Proof.path
+(** Audit path from leaf [i] to {!bagged_root} — the tim proof, whose
+    length grows with the forest size. *)
+
+val subtree_root : t -> level:int -> index:int -> Hash.t
+(** Like {!node} but also serves {e ragged} (incomplete) subtrees by
+    folding the peaks of the partial region. *)
+
+val forget_subtree : t -> level:int -> index:int -> unit
+(** Drop the stored digests strictly below the given complete node (the
+    node's own digest is retained), reclaiming space after a purge. *)
+
+val stored_digests : t -> int
+(** Number of digests currently held — the storage-overhead metric. *)
+
+(** {1 Consistency (append-only extension) proofs}
+
+    Prove that the forest at its current size is an append-only extension
+    of the forest as it stood at [old_size]: every old peak is a complete
+    interior node of the current tree at a position the verifier derives
+    from the sizes alone.  The proof ships only sibling digests; all
+    positions and directions are recomputed by the verifier, so a prover
+    cannot relocate old data. *)
+
+type consistency_proof = Hash.t list list
+(** One sibling chain per old peak (ordered as the old peak set). *)
+
+val prove_consistency : t -> old_size:int -> consistency_proof
+(** @raise Invalid_argument unless [0 < old_size <= size t]. *)
+
+val verify_consistency :
+  old_size:int ->
+  old_peaks:Proof.node_set ->
+  new_size:int ->
+  new_peaks:Proof.node_set ->
+  consistency_proof ->
+  bool

@@ -1,0 +1,14 @@
+open Ledger_crypto
+
+type t = Forest.t
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle_tree.build: empty";
+  let f = Forest.create () in
+  List.iter (fun h -> ignore (Forest.append f h)) leaves;
+  f
+
+let root = Forest.bagged_root
+let size = Forest.size
+let prove = Forest.prove_bagged
+let verify ~root ~leaf path = Hash.equal (Proof.apply leaf path) root

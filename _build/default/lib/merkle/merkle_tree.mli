@@ -1,0 +1,17 @@
+(** Classic static Merkle tree over a fixed leaf sequence.
+
+    Used for per-block transaction trees in the {!Bim} baseline and the
+    Fabric simulator.  Non-power-of-two leaf counts use promote semantics
+    (the same ragged-root rule as {!Forest.bagged_root}). *)
+
+open Ledger_crypto
+
+type t
+
+val build : Hash.t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val root : t -> Hash.t
+val size : t -> int
+val prove : t -> int -> Proof.path
+val verify : root:Hash.t -> leaf:Hash.t -> Proof.path -> bool

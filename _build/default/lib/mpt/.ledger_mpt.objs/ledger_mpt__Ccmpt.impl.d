@@ -1,0 +1,1 @@
+lib/mpt/ccmpt.ml: Accumulator Bytes Hash Hashtbl Ledger_crypto Ledger_merkle List Mpt Proof

@@ -1,0 +1,1 @@
+lib/mpt/ccmpt.mli: Accumulator Hash Ledger_crypto Ledger_merkle Mpt Proof

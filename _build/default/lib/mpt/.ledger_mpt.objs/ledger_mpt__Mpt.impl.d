@@ -1,0 +1,1 @@
+lib/mpt/mpt.ml: Array Buffer Bytes Hash Ledger_crypto List Nibble

@@ -1,0 +1,1 @@
+lib/mpt/mpt.mli: Hash Ledger_crypto

@@ -1,0 +1,1 @@
+lib/mpt/nibble.ml: Array Bytes Char Hash Ledger_crypto String

@@ -1,0 +1,1 @@
+lib/mpt/nibble.mli: Hash Ledger_crypto

@@ -1,0 +1,68 @@
+open Ledger_crypto
+open Ledger_merkle
+
+type t = {
+  trie : Mpt.t;
+  acc : Accumulator.t;
+  index : (string, int list ref) Hashtbl.t; (* clue -> jsns, newest first *)
+}
+
+let create acc = { trie = Mpt.create (); acc; index = Hashtbl.create 64 }
+
+let encode_counter m = Bytes.of_string (string_of_int m)
+
+let decode_counter b =
+  match int_of_string_opt (Bytes.to_string b) with
+  | Some m -> m
+  | None -> invalid_arg "Ccmpt: corrupt counter"
+
+let add t ~clue ~jsn =
+  let cell =
+    match Hashtbl.find_opt t.index clue with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.index clue r;
+        r
+  in
+  cell := jsn :: !cell;
+  Mpt.insert_string t.trie ~key:clue (encode_counter (List.length !cell))
+
+let counter t ~clue =
+  match Mpt.find_string t.trie ~key:clue with
+  | Some b -> decode_counter b
+  | None -> 0
+
+let jsns t ~clue =
+  match Hashtbl.find_opt t.index clue with
+  | Some r -> List.rev !r
+  | None -> []
+
+let root_hash t = Mpt.root_hash t.trie
+
+type proof = {
+  counter : int;
+  counter_proof : Mpt.proof;
+  journal_proofs : (int * Hash.t * Proof.path) list;
+}
+
+let prove_clue t ~clue =
+  match Mpt.prove_string t.trie ~key:clue with
+  | None -> None
+  | Some counter_proof ->
+      let m = counter t ~clue in
+      let journal_proofs =
+        List.map
+          (fun jsn -> (jsn, Accumulator.leaf t.acc jsn, Accumulator.prove t.acc jsn))
+          (jsns t ~clue)
+      in
+      Some { counter = m; counter_proof; journal_proofs }
+
+let verify_clue _t ~clue ~mpt_root ~acc_root proof =
+  Mpt.verify_proof_string ~root:mpt_root ~key:clue
+    ~value:(encode_counter proof.counter) proof.counter_proof
+  && List.length proof.journal_proofs = proof.counter
+  && List.for_all
+       (fun (_jsn, digest, path) ->
+         Accumulator.verify ~root:acc_root ~leaf:digest path)
+       proof.journal_proofs

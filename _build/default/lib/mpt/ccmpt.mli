@@ -1,0 +1,38 @@
+(** The clue-counter MPT (ccMPT) — the lineage baseline from the earlier
+    LedgerDB paper (VLDB'20), reproduced here for the Fig. 9 comparison.
+
+    ccMPT stores, per clue, only a counter [m] in the MPT.  A clue
+    verification must (1) prove the counter against the MPT root and then
+    (2) prove the existence of each of the [m] journals {e individually}
+    against the global ledger accumulator — an O(m·log n) cost that CM-Tree
+    reduces to O(m) (paper §IV-B1). *)
+
+open Ledger_crypto
+open Ledger_merkle
+
+type t
+
+val create : Accumulator.t -> t
+(** Share the ledger's global (tim) journal accumulator. *)
+
+val add : t -> clue:string -> jsn:int -> unit
+(** Record that journal [jsn] carries [clue]; bumps the MPT counter. *)
+
+val counter : t -> clue:string -> int
+val jsns : t -> clue:string -> int list
+(** Journal sequence numbers for a clue, oldest first. *)
+
+val root_hash : t -> Hash.t
+
+type proof = {
+  counter : int;
+  counter_proof : Mpt.proof;
+  journal_proofs : (int * Hash.t * Proof.path) list;
+      (** (jsn, journal digest, existence path in the ledger accumulator). *)
+}
+
+val prove_clue : t -> clue:string -> proof option
+
+val verify_clue : t -> clue:string -> mpt_root:Hash.t -> acc_root:Hash.t -> proof -> bool
+(** Checks the counter proof, that exactly [counter] journal proofs are
+    present, and each journal's existence path. *)

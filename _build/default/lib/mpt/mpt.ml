@@ -1,0 +1,348 @@
+open Ledger_crypto
+module Wire = Ledger_crypto.Wire
+
+type node =
+  | Leaf of leaf
+  | Ext of ext
+  | Branch of branch
+
+and leaf = { mutable lpath : int array; mutable lvalue : bytes; mutable lhash : Hash.t option }
+and ext = { mutable epath : int array; mutable echild : node; mutable ehash : Hash.t option }
+
+and branch = {
+  children : node option array;
+  mutable bvalue : bytes option;
+  mutable bhash : Hash.t option;
+}
+
+type t = { mutable root : node option; mutable cardinal : int; mutable nodes : int }
+
+let create () = { root = None; cardinal = 0; nodes = 0 }
+let cardinal t = t.cardinal
+let node_count t = t.nodes
+
+(* --- hashing ----------------------------------------------------------- *)
+
+let hash_leaf_fields path value =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'L';
+  Buffer.add_string buf (Nibble.to_string path);
+  Buffer.add_char buf '\000';
+  Buffer.add_bytes buf value;
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let hash_ext_fields path child_hash =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'E';
+  Buffer.add_string buf (Nibble.to_string path);
+  Buffer.add_char buf '\000';
+  Buffer.add_bytes buf (Hash.to_bytes child_hash);
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let hash_branch_fields child_hashes value =
+  let buf = Buffer.create 600 in
+  Buffer.add_char buf 'B';
+  Array.iter (fun h -> Buffer.add_bytes buf (Hash.to_bytes h)) child_hashes;
+  (match value with
+  | Some v ->
+      Buffer.add_char buf 'V';
+      Buffer.add_bytes buf v
+  | None -> ());
+  Hash.digest_bytes (Buffer.to_bytes buf)
+
+let rec node_hash = function
+  | Leaf l -> (
+      match l.lhash with
+      | Some h -> h
+      | None ->
+          let h = hash_leaf_fields l.lpath l.lvalue in
+          l.lhash <- Some h;
+          h)
+  | Ext e -> (
+      match e.ehash with
+      | Some h -> h
+      | None ->
+          let h = hash_ext_fields e.epath (node_hash e.echild) in
+          e.ehash <- Some h;
+          h)
+  | Branch b -> (
+      match b.bhash with
+      | Some h -> h
+      | None ->
+          let child_hashes =
+            Array.map
+              (function Some n -> node_hash n | None -> Hash.zero)
+              b.children
+          in
+          let h = hash_branch_fields child_hashes b.bvalue in
+          b.bhash <- Some h;
+          h)
+
+let root_hash t =
+  match t.root with None -> Hash.zero | Some n -> node_hash n
+
+(* --- insertion --------------------------------------------------------- *)
+
+let mk_leaf t path value =
+  t.nodes <- t.nodes + 1;
+  Leaf { lpath = path; lvalue = value; lhash = None }
+
+let mk_branch t =
+  t.nodes <- t.nodes + 1;
+  { children = Array.make 16 None; bvalue = None; bhash = None }
+
+let mk_ext t path child =
+  t.nodes <- t.nodes + 1;
+  Ext { epath = path; echild = child; ehash = None }
+
+(* Attach a remainder (possibly empty) of a key into a branch. *)
+let attach_to_branch t branch path value =
+  if Array.length path = 0 then branch.bvalue <- Some value
+  else
+    branch.children.(path.(0)) <-
+      Some (mk_leaf t (Nibble.sub path 1 (Array.length path - 1)) value)
+
+let rec insert_node t node key ki value =
+  match node with
+  | Leaf l ->
+      let rest_new = Nibble.sub key ki (Array.length key - ki) in
+      let cp = Nibble.common_prefix_length l.lpath 0 rest_new 0 in
+      if cp = Array.length l.lpath && cp = Array.length rest_new then begin
+        (* same key: replace *)
+        l.lvalue <- value;
+        l.lhash <- None;
+        node
+      end
+      else begin
+        let branch = mk_branch t in
+        let old_rest = Nibble.sub l.lpath cp (Array.length l.lpath - cp) in
+        let new_rest = Nibble.sub rest_new cp (Array.length rest_new - cp) in
+        attach_to_branch t branch old_rest l.lvalue;
+        t.nodes <- t.nodes - 1 (* the old leaf is replaced, not kept *);
+        attach_to_branch t branch new_rest value;
+        t.cardinal <- t.cardinal + 1;
+        let bnode = Branch branch in
+        if cp = 0 then bnode else mk_ext t (Nibble.sub rest_new 0 cp) bnode
+      end
+  | Ext e ->
+      let cp = Nibble.common_prefix_length e.epath 0 key ki in
+      if cp = Array.length e.epath then begin
+        e.echild <- insert_node t e.echild key (ki + cp) value;
+        e.ehash <- None;
+        node
+      end
+      else begin
+        (* split the extension *)
+        let branch = mk_branch t in
+        let pivot = e.epath.(cp) in
+        let tail_len = Array.length e.epath - cp - 1 in
+        let inner =
+          if tail_len = 0 then e.echild
+          else mk_ext t (Nibble.sub e.epath (cp + 1) tail_len) e.echild
+        in
+        branch.children.(pivot) <- Some inner;
+        let new_rest = Nibble.sub key (ki + cp) (Array.length key - ki - cp) in
+        attach_to_branch t branch new_rest value;
+        t.cardinal <- t.cardinal + 1;
+        let bnode = Branch branch in
+        t.nodes <- t.nodes - 1 (* old ext replaced *);
+        if cp = 0 then bnode else mk_ext t (Nibble.sub e.epath 0 cp) bnode
+      end
+  | Branch b ->
+      if ki = Array.length key then begin
+        if b.bvalue = None then t.cardinal <- t.cardinal + 1;
+        b.bvalue <- Some value;
+        b.bhash <- None;
+        node
+      end
+      else begin
+        let c = key.(ki) in
+        (match b.children.(c) with
+        | None ->
+            b.children.(c) <-
+              Some (mk_leaf t (Nibble.sub key (ki + 1) (Array.length key - ki - 1)) value);
+            t.cardinal <- t.cardinal + 1
+        | Some child -> b.children.(c) <- Some (insert_node t child key (ki + 1) value));
+        b.bhash <- None;
+        node
+      end
+
+let insert t ~key value =
+  if Array.length key = 0 then invalid_arg "Mpt.insert: empty key";
+  match t.root with
+  | None ->
+      t.root <- Some (mk_leaf t (Array.copy key) value);
+      t.cardinal <- 1
+  | Some root -> t.root <- Some (insert_node t root key 0 value)
+
+let insert_string t ~key value = insert t ~key:(Nibble.of_hash (Hash.scatter key)) value
+
+(* --- lookup ------------------------------------------------------------ *)
+
+let rec find_node node key ki depth =
+  match node with
+  | Leaf l ->
+      let rest = Array.length key - ki in
+      if rest = Array.length l.lpath
+         && Nibble.common_prefix_length l.lpath 0 key ki = rest
+      then (Some l.lvalue, depth)
+      else (None, depth)
+  | Ext e ->
+      let cp = Nibble.common_prefix_length e.epath 0 key ki in
+      if cp = Array.length e.epath then find_node e.echild key (ki + cp) (depth + 1)
+      else (None, depth)
+  | Branch b ->
+      if ki = Array.length key then (b.bvalue, depth)
+      else begin
+        match b.children.(key.(ki)) with
+        | None -> (None, depth)
+        | Some child -> find_node child key (ki + 1) (depth + 1)
+      end
+
+let find t ~key =
+  match t.root with None -> None | Some n -> fst (find_node n key 0 1)
+
+let find_string t ~key = find t ~key:(Nibble.of_hash (Hash.scatter key))
+
+let lookup_depth t ~key =
+  match t.root with
+  | None -> 0
+  | Some n -> (
+      match find_node n key 0 1 with Some _, d -> d | None, _ -> 0)
+
+(* --- proofs ------------------------------------------------------------ *)
+
+type proof_node =
+  | Leaf_node of { path : int array; value : bytes }
+  | Extension_node of { path : int array; child : Hash.t }
+  | Branch_node of { children : Hash.t array; value : bytes option; descend : int }
+
+type proof = proof_node list
+
+let branch_child_hashes b =
+  Array.map (function Some n -> node_hash n | None -> Hash.zero) b.children
+
+let prove t ~key =
+  let rec walk node ki acc =
+    match node with
+    | Leaf l ->
+        let rest = Array.length key - ki in
+        if rest = Array.length l.lpath
+           && Nibble.common_prefix_length l.lpath 0 key ki = rest
+        then Some (List.rev (Leaf_node { path = Array.copy l.lpath; value = l.lvalue } :: acc))
+        else None
+    | Ext e ->
+        let cp = Nibble.common_prefix_length e.epath 0 key ki in
+        if cp = Array.length e.epath then
+          walk e.echild (ki + cp)
+            (Extension_node { path = Array.copy e.epath; child = node_hash e.echild } :: acc)
+        else None
+    | Branch b ->
+        if ki = Array.length key then
+          match b.bvalue with
+          | Some v ->
+              Some
+                (List.rev
+                   (Branch_node
+                      { children = branch_child_hashes b; value = Some v; descend = -1 }
+                   :: acc))
+          | None -> None
+        else begin
+          match b.children.(key.(ki)) with
+          | None -> None
+          | Some child ->
+              walk child (ki + 1)
+                (Branch_node
+                   { children = branch_child_hashes b; value = b.bvalue; descend = key.(ki) }
+                :: acc)
+        end
+  in
+  match t.root with None -> None | Some root -> walk root 0 []
+
+let prove_string t ~key = prove t ~key:(Nibble.of_hash (Hash.scatter key))
+
+let proof_node_hash = function
+  | Leaf_node { path; value } -> hash_leaf_fields path value
+  | Extension_node { path; child } -> hash_ext_fields path child
+  | Branch_node { children; value; descend = _ } -> hash_branch_fields children value
+
+let verify_proof ~root ~key ~value proof =
+  let rec walk expected ki = function
+    | [] -> false
+    | node :: rest -> (
+        if not (Hash.equal (proof_node_hash node) expected) then false
+        else
+          match node with
+          | Leaf_node { path; value = v } ->
+              rest = []
+              && Array.length key - ki = Array.length path
+              && Nibble.common_prefix_length path 0 key ki = Array.length path
+              && Bytes.equal v value
+          | Extension_node { path; child } ->
+              Nibble.common_prefix_length path 0 key ki = Array.length path
+              && walk child (ki + Array.length path) rest
+          | Branch_node { children; value = bv; descend } ->
+              if descend = -1 then
+                rest = [] && ki = Array.length key
+                && (match bv with Some v -> Bytes.equal v value | None -> false)
+              else
+                ki < Array.length key
+                && key.(ki) = descend
+                && descend >= 0 && descend < 16
+                && walk children.(descend) (ki + 1) rest)
+  in
+  walk root 0 proof
+
+let verify_proof_string ~root ~key ~value proof =
+  verify_proof ~root ~key:(Nibble.of_hash (Hash.scatter key)) ~value proof
+
+let proof_length = List.length
+
+(* --- wire codec ---------------------------------------------------------- *)
+
+let w_nibbles w path =
+  Wire.w_int w (Array.length path);
+  Array.iter (fun n -> Wire.w_u8 w n) path
+
+let r_nibbles r =
+  let n = Wire.r_int r in
+  if n < 0 || n > 4096 then raise Wire.Corrupt;
+  Array.init n (fun _ ->
+      let v = Wire.r_u8 r in
+      if v > 15 then raise Wire.Corrupt;
+      v)
+
+let w_proof_node w = function
+  | Leaf_node { path; value } ->
+      Wire.w_u8 w 0;
+      w_nibbles w path;
+      Wire.w_bytes w value
+  | Extension_node { path; child } ->
+      Wire.w_u8 w 1;
+      w_nibbles w path;
+      Wire.w_hash w child
+  | Branch_node { children; value; descend } ->
+      Wire.w_u8 w 2;
+      Array.iter (Wire.w_hash w) children;
+      Wire.w_option w (Wire.w_bytes w) value;
+      Wire.w_int w descend
+
+let r_proof_node r =
+  match Wire.r_u8 r with
+  | 0 ->
+      let path = r_nibbles r in
+      let value = Wire.r_bytes r in
+      Leaf_node { path; value }
+  | 1 ->
+      let path = r_nibbles r in
+      let child = Wire.r_hash r in
+      Extension_node { path; child }
+  | 2 ->
+      let children = Array.init 16 (fun _ -> Wire.r_hash r) in
+      let value = Wire.r_option r (fun () -> Wire.r_bytes r) in
+      let descend = Wire.r_int r in
+      Branch_node { children; value; descend }
+  | _ -> raise Wire.Corrupt
+
+let w_proof w proof = Wire.w_list w (w_proof_node w) proof
+let r_proof r = Wire.r_list ~max:256 r (fun () -> r_proof_node r)

@@ -1,0 +1,65 @@
+(** A Merkle Patricia Trie with 16-way branch nodes, extension nodes and
+    leaf nodes, as in Ethereum's state tree (paper §IV-B1).
+
+    Keys are nibble paths (usually SHA-3-scattered clue keys); values are
+    opaque byte strings.  Node hashes are memoized and invalidated along
+    the insertion path only, so an insert costs O(depth) rehashes — the
+    "bottom-up CM-Tree1 root hash calculation" of §IV-B3.
+
+    Inclusion proofs present every node on the root-to-leaf walk with just
+    enough material to recompute its digest; {!verify_proof} replays the
+    walk against a trusted root.
+
+    The trie also tracks the depth of each lookup so callers can model the
+    paper's "top-layers cached in memory, bottom layers on disk" split
+    ({!lookup_depth}). *)
+
+open Ledger_crypto
+
+type t
+
+val create : unit -> t
+
+val insert : t -> key:int array -> bytes -> unit
+(** Insert or replace.  @raise Invalid_argument on an empty key. *)
+
+val insert_string : t -> key:string -> bytes -> unit
+(** Convenience: scatter the key with SHA-3 first (clue-key behaviour). *)
+
+val find : t -> key:int array -> bytes option
+val find_string : t -> key:string -> bytes option
+
+val lookup_depth : t -> key:int array -> int
+(** Number of nodes visited when resolving [key] (0 if absent). *)
+
+val cardinal : t -> int
+val root_hash : t -> Hash.t
+(** Digest of the root node; {!Hash.zero} for an empty trie. *)
+
+(** {1 Proofs} *)
+
+type proof_node =
+  | Leaf_node of { path : int array; value : bytes }
+  | Extension_node of { path : int array; child : Hash.t }
+  | Branch_node of { children : Hash.t array; value : bytes option; descend : int }
+
+type proof = proof_node list
+(** Root-first walk. *)
+
+val prove : t -> key:int array -> proof option
+(** [None] when the key is absent. *)
+
+val prove_string : t -> key:string -> proof option
+
+val verify_proof : root:Hash.t -> key:int array -> value:bytes -> proof -> bool
+val verify_proof_string : root:Hash.t -> key:string -> value:bytes -> proof -> bool
+
+val proof_length : proof -> int
+
+val node_count : t -> int
+(** Total nodes — a storage metric. *)
+
+(** {1 Wire codec} *)
+
+val w_proof : Ledger_crypto.Wire.writer -> proof -> unit
+val r_proof : Ledger_crypto.Wire.reader -> proof

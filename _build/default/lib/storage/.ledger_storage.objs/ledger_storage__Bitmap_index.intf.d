@@ -1,0 +1,1 @@
+lib/storage/bitmap_index.mli:

@@ -1,0 +1,1 @@
+lib/storage/clock.ml: Int64

@@ -1,0 +1,1 @@
+lib/storage/kv_store.ml: Bytes Clock Hashtbl Latency_model Option Stream_store String

@@ -1,0 +1,1 @@
+lib/storage/kv_store.mli: Clock Latency_model Stream_store

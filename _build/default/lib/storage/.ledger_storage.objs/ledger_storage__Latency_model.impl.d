@@ -1,0 +1,1 @@
+lib/storage/latency_model.ml: Clock Int64

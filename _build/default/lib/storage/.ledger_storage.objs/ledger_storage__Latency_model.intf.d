@@ -1,0 +1,1 @@
+lib/storage/latency_model.mli: Clock

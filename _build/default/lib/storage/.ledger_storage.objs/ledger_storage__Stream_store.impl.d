@@ -1,0 +1,1 @@
+lib/storage/stream_store.ml: Array Bytes Filename Hashtbl Latency_model Printf Sys

@@ -1,0 +1,1 @@
+lib/storage/stream_store.mli: Clock Latency_model

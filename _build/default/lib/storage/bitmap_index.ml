@@ -1,0 +1,52 @@
+type t = { mutable words : int array; mutable cardinal : int }
+
+let bits_per_word = 62
+
+let create () = { words = Array.make 4 0; cardinal = 0 }
+
+let ensure t w =
+  if w >= Array.length t.words then begin
+    let bigger = Array.make (max (2 * Array.length t.words) (w + 1)) 0 in
+    Array.blit t.words 0 bigger 0 (Array.length t.words);
+    t.words <- bigger
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitmap_index.set: negative";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  ensure t w;
+  if t.words.(w) land (1 lsl b) = 0 then begin
+    t.words.(w) <- t.words.(w) lor (1 lsl b);
+    t.cardinal <- t.cardinal + 1
+  end
+
+let clear t i =
+  if i < 0 then invalid_arg "Bitmap_index.clear: negative";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  if w < Array.length t.words && t.words.(w) land (1 lsl b) <> 0 then begin
+    t.words.(w) <- t.words.(w) land lnot (1 lsl b);
+    t.cardinal <- t.cardinal - 1
+  end
+
+let mem t i =
+  if i < 0 then false
+  else begin
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    w < Array.length t.words && t.words.(w) land (1 lsl b) <> 0
+  end
+
+let cardinal t = t.cardinal
+
+let iter_set t f =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let max_set t =
+  let best = ref None in
+  iter_set t (fun i -> best := Some i);
+  !best

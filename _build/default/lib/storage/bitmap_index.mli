@@ -1,0 +1,24 @@
+(** Growable bitset — the occult bitmap index.
+
+    Asynchronous occult (paper §III-A3) first sets a bit marking the
+    journal as deleted; the physical erasure happens later during data
+    reorganization.  This module is that bitmap. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> int -> unit
+(** Mark position [i]; grows as needed.  @raise Invalid_argument if
+    negative. *)
+
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Visit set positions in increasing order. *)
+
+val max_set : t -> int option
+(** Highest set position, if any. *)

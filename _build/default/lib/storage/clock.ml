@@ -1,0 +1,14 @@
+type t = { mutable now_us : int64 }
+
+let create ?(start = 0L) () = { now_us = start }
+let now t = t.now_us
+
+let advance t d =
+  if Int64.compare d 0L < 0 then invalid_arg "Clock.advance: negative";
+  t.now_us <- Int64.add t.now_us d
+
+let us_of_ms ms = Int64.of_float (ms *. 1000.)
+let ms_of_us us = Int64.to_float us /. 1000.
+let advance_ms t ms = advance t (us_of_ms ms)
+let advance_sec t s = advance t (us_of_ms (s *. 1000.))
+let elapsed_since t t0 = Int64.sub t.now_us t0

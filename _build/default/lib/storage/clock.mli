@@ -1,0 +1,27 @@
+(** Simulated time.
+
+    The paper's *when* verification is entirely about the relationship
+    between timestamps assigned by different parties (ledger, adversary,
+    TSA).  A controllable clock lets us replay the attack scenarios of
+    Fig. 5 deterministically and lets the latency model charge simulated
+    I/O and network costs without sleeping. *)
+
+type t
+
+val create : ?start:int64 -> unit -> t
+(** A fresh clock, starting at [start] microseconds (default 0). *)
+
+val now : t -> int64
+(** Current simulated time in microseconds. *)
+
+val advance : t -> int64 -> unit
+(** Move time forward; negative amounts are rejected. *)
+
+val advance_ms : t -> float -> unit
+val advance_sec : t -> float -> unit
+
+val elapsed_since : t -> int64 -> int64
+(** [elapsed_since t t0] is [now t - t0]. *)
+
+val us_of_ms : float -> int64
+val ms_of_us : int64 -> float

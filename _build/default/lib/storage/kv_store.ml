@@ -1,0 +1,40 @@
+type entry = { mutable address : int; mutable version_count : int }
+
+type t = {
+  stream : Stream_store.stream;
+  index : (string, entry) Hashtbl.t;
+  latency : (Latency_model.t * Clock.t) option;
+}
+
+let create ?latency store ~name =
+  { stream = Stream_store.stream store name; index = Hashtbl.create 64; latency }
+
+let put t key value =
+  let record = Bytes.create (String.length key + 1 + Bytes.length value) in
+  Bytes.blit_string key 0 record 0 (String.length key);
+  Bytes.set record (String.length key) '\000';
+  Bytes.blit value 0 record (String.length key + 1) (Bytes.length value);
+  let address = Stream_store.append t.stream record in
+  (match Hashtbl.find_opt t.index key with
+  | Some e ->
+      e.address <- address;
+      e.version_count <- e.version_count + 1
+  | None -> Hashtbl.replace t.index key { address; version_count = 1 });
+  address
+
+let get t key =
+  match Hashtbl.find_opt t.index key with
+  | None -> None
+  | Some e ->
+      let record = Stream_store.read ?latency:t.latency t.stream e.address in
+      let sep = Bytes.index record '\000' in
+      Some (Bytes.sub record (sep + 1) (Bytes.length record - sep - 1))
+
+let get_address t key =
+  Option.map (fun e -> e.address) (Hashtbl.find_opt t.index key)
+
+let versions t key =
+  match Hashtbl.find_opt t.index key with Some e -> e.version_count | None -> 0
+
+let mem t key = Hashtbl.mem t.index key
+let cardinal t = Hashtbl.length t.index

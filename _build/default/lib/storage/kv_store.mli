@@ -1,0 +1,25 @@
+(** A small key-value store journaled onto a stream.
+
+    Used for the world-state of the Fabric simulator and for the shared
+    payload storage that the ledger proxy writes before handing digests to
+    the ledger server (paper Fig. 1).  Writes append a record to a backing
+    stream (giving them a stable storage address); reads go through an
+    in-memory index and charge the latency model like any random I/O. *)
+
+type t
+
+val create : ?latency:Latency_model.t * Clock.t -> Stream_store.t -> name:string -> t
+
+val put : t -> string -> bytes -> int
+(** Store (replacing any previous value); returns the storage address
+    (record index in the backing stream). *)
+
+val get : t -> string -> bytes option
+val get_address : t -> string -> int option
+(** Storage address of the latest version of the key. *)
+
+val versions : t -> string -> int
+(** Number of times the key has been written. *)
+
+val mem : t -> string -> bool
+val cardinal : t -> int

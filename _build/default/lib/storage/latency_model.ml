@@ -1,0 +1,28 @@
+type t = {
+  disk_seek_us : float;
+  disk_read_us_per_kb : float;
+  net_rtt_us : float;
+  cloud_rtt_us : float;
+}
+
+let default =
+  { disk_seek_us = 100.; disk_read_us_per_kb = 4.; net_rtt_us = 200.;
+    cloud_rtt_us = 20_000. }
+
+let cloud_service =
+  { disk_seek_us = 100.; disk_read_us_per_kb = 4.; net_rtt_us = 200.;
+    cloud_rtt_us = 30_000. }
+
+let free =
+  { disk_seek_us = 0.; disk_read_us_per_kb = 0.; net_rtt_us = 0.;
+    cloud_rtt_us = 0. }
+
+let charge clock us = if us > 0. then Clock.advance clock (Int64.of_float us)
+let charge_seek t clock = charge clock t.disk_seek_us
+
+let charge_read t clock ~bytes =
+  charge clock
+    (t.disk_seek_us +. (t.disk_read_us_per_kb *. (float_of_int bytes /. 1024.)))
+
+let charge_net t clock = charge clock t.net_rtt_us
+let charge_cloud t clock = charge clock t.cloud_rtt_us

@@ -1,0 +1,32 @@
+(** Simulated latency charging.
+
+    The paper's testbed (ESSD disks, 25 Gb Ethernet, cross-cloud RTTs to
+    QLDB) is replaced by a cost model: each I/O or network interaction
+    advances a simulated {!Clock.t}.  The absolute constants are
+    calibrated to commodity numbers; the *relative* behaviour (random I/O
+    per clue entry vs a single read, cloud RTT per API call, consensus
+    rounds) is what reproduces the shapes of Figs. 7 and 10 and
+    Table II. *)
+
+type t = {
+  disk_seek_us : float;  (** one random I/O *)
+  disk_read_us_per_kb : float;  (** sequential transfer *)
+  net_rtt_us : float;  (** intra-datacenter round trip *)
+  cloud_rtt_us : float;  (** client-to-cloud-service round trip *)
+}
+
+val default : t
+(** Local-cluster numbers (ESSD-like disk, 25 GbE network). *)
+
+val cloud_service : t
+(** Public-cloud-service numbers (used by the QLDB simulator). *)
+
+val free : t
+(** All costs zero — for pure algorithmic microbenchmarks. *)
+
+val charge_seek : t -> Clock.t -> unit
+val charge_read : t -> Clock.t -> bytes:int -> unit
+(** A random read: one seek plus transfer time. *)
+
+val charge_net : t -> Clock.t -> unit
+val charge_cloud : t -> Clock.t -> unit

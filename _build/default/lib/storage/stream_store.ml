@@ -1,0 +1,136 @@
+let page_size = 4096
+
+type record = { mutable payload : bytes option }
+
+type stream = {
+  name : string;
+  mutable records : record array;
+  mutable count : int;
+  mutable live_bytes : int;
+}
+
+type t = { dir : string option; streams : (string, stream) Hashtbl.t }
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | Some _ | None -> ());
+  { dir; streams = Hashtbl.create 16 }
+
+let stream t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some s -> s
+  | None ->
+      let s = { name; records = Array.make 64 { payload = None }; count = 0;
+                live_bytes = 0 } in
+      Hashtbl.replace t.streams name s;
+      s
+
+let stream_name s = s.name
+
+let ensure_capacity s =
+  if s.count >= Array.length s.records then begin
+    let bigger = Array.make (2 * Array.length s.records) { payload = None } in
+    Array.blit s.records 0 bigger 0 s.count;
+    s.records <- bigger
+  end
+
+let append s payload =
+  ensure_capacity s;
+  let i = s.count in
+  s.records.(i) <- { payload = Some (Bytes.copy payload) };
+  s.count <- s.count + 1;
+  s.live_bytes <- s.live_bytes + Bytes.length payload;
+  i
+
+let length s = s.count
+
+let check_range s i =
+  if i < 0 || i >= s.count then
+    invalid_arg
+      (Printf.sprintf "Stream_store: index %d out of range [0,%d) in %s" i
+         s.count s.name)
+
+let charge latency bytes =
+  match latency with
+  | None -> ()
+  | Some (model, clock) -> Latency_model.charge_read model clock ~bytes
+
+let read_opt ?latency s i =
+  check_range s i;
+  match s.records.(i).payload with
+  | None -> None
+  | Some p ->
+      charge latency (Bytes.length p);
+      Some (Bytes.copy p)
+
+let read ?latency s i =
+  match read_opt ?latency s i with Some p -> p | None -> raise Not_found
+
+let is_erased s i =
+  check_range s i;
+  s.records.(i).payload = None
+
+let erase s i =
+  check_range s i;
+  (match s.records.(i).payload with
+  | Some p -> s.live_bytes <- s.live_bytes - Bytes.length p
+  | None -> ());
+  s.records.(i).payload <- None
+
+let iter s f =
+  for i = 0 to s.count - 1 do
+    match s.records.(i).payload with
+    | Some p -> f i (Bytes.copy p)
+    | None -> ()
+  done
+
+let total_bytes s = s.live_bytes
+let page_count s = (s.live_bytes + page_size - 1) / page_size
+
+let persist t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      Hashtbl.iter
+        (fun name s ->
+          let path = Filename.concat dir (name ^ ".log") in
+          let oc = open_out_bin path in
+          (try
+             for i = 0 to s.count - 1 do
+               match s.records.(i).payload with
+               | Some p ->
+                   Printf.fprintf oc "%d %d\n" i (Bytes.length p);
+                   output_bytes oc p;
+                   output_char oc '\n'
+               | None -> Printf.fprintf oc "%d -1\n" i
+             done;
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             raise e))
+        t.streams
+
+let live_records s =
+  let n = ref 0 in
+  for i = 0 to s.count - 1 do
+    if s.records.(i).payload <> None then incr n
+  done;
+  !n
+
+let compact s remap =
+  let keep = live_records s in
+  let fresh = Array.make (max 64 keep) { payload = None } in
+  let next = ref 0 in
+  for i = 0 to s.count - 1 do
+    match s.records.(i).payload with
+    | Some _ ->
+        fresh.(!next) <- s.records.(i);
+        remap i !next;
+        incr next
+    | None -> ()
+  done;
+  let reclaimed = s.count - keep in
+  s.records <- fresh;
+  s.count <- keep;
+  reclaimed

@@ -1,0 +1,70 @@
+(** Append-only stream storage.
+
+    LedgerDB "implements a stream file system … to manage journals"
+    (paper §II-C).  A store holds named streams; each stream is an
+    append-only sequence of variable-length records addressed by a dense
+    record index.  Records are never overwritten; the only mutation is
+    {!erase}, which supports the purge/occult reorganization utility by
+    blanking a record's payload while keeping its slot (so indices remain
+    stable and verification protocols can observe the erasure).
+
+    The implementation keeps data in memory in segment buffers (4 KiB
+    pages) and can persist to a directory for durability demonstrations.
+    Reads optionally charge a {!Latency_model.t} so higher layers can
+    simulate I/O cost. *)
+
+type t
+(** A stream store. *)
+
+type stream
+(** A handle to one named stream. *)
+
+val create : ?dir:string -> unit -> t
+(** In-memory store; with [dir], appends are also written to
+    [dir/<stream>.log] so content survives the process. *)
+
+val stream : t -> string -> stream
+(** Get or create the named stream. *)
+
+val stream_name : stream -> string
+
+val append : stream -> bytes -> int
+(** Append a record, returning its index (0-based, dense). *)
+
+val length : stream -> int
+(** Number of records ever appended (erased records still count). *)
+
+val read : ?latency:Latency_model.t * Clock.t -> stream -> int -> bytes
+(** [read stream i] returns record [i].
+    @raise Invalid_argument if out of range.
+    @raise Not_found if the record was erased. *)
+
+val read_opt : ?latency:Latency_model.t * Clock.t -> stream -> int -> bytes option
+(** Like {!read} but [None] for erased records. *)
+
+val is_erased : stream -> int -> bool
+
+val erase : stream -> int -> unit
+(** Blank record [i]'s payload (idempotent).  Its index remains occupied. *)
+
+val iter : stream -> (int -> bytes -> unit) -> unit
+(** Iterate over non-erased records in index order. *)
+
+val total_bytes : stream -> int
+(** Live payload bytes (erased records contribute zero). *)
+
+val page_count : stream -> int
+(** Number of 4 KiB pages occupied by live payload — the unit in which the
+    latency model accounts sequential reads. *)
+
+val persist : t -> unit
+(** Flush all streams to the backing directory (no-op without [dir]). *)
+
+val compact : stream -> (int -> int -> unit) -> int
+(** Rewrite the stream dropping erased slots; calls the remap function
+    with [(old_index, new_index)] for every surviving record and returns
+    the number of slots reclaimed.  Indices are re-densified, so callers
+    must update any stored addresses via the remap callback. *)
+
+val live_records : stream -> int
+(** Records that still hold a payload. *)

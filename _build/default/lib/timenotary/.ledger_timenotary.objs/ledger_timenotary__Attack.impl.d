@@ -1,0 +1,1 @@
+lib/timenotary/attack.ml: Clock Hash Int64 Ledger_crypto Ledger_storage List Option Pegging T_ledger Tsa

@@ -1,0 +1,1 @@
+lib/timenotary/attack.mli:

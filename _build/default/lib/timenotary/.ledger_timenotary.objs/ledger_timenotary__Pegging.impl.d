@@ -1,0 +1,1 @@
+lib/timenotary/pegging.ml: Clock Hash Hashtbl Ledger_crypto Ledger_storage List Option Tsa

@@ -1,0 +1,1 @@
+lib/timenotary/pegging.mli: Clock Hash Ledger_crypto Ledger_storage Tsa

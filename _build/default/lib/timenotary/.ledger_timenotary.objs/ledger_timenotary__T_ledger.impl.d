@@ -1,0 +1,1 @@
+lib/timenotary/t_ledger.ml: Accumulator Buffer Clock Ecdsa Hash Hashtbl Int64 Ledger_crypto Ledger_merkle Ledger_storage List Tsa

@@ -1,0 +1,1 @@
+lib/timenotary/t_ledger.mli: Clock Hash Ledger_crypto Ledger_merkle Ledger_storage Proof Tsa

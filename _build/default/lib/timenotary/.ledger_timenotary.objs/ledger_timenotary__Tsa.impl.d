@@ -1,0 +1,1 @@
+lib/timenotary/tsa.ml: Array Buffer Clock Ecdsa Hash Int64 Lazy Ledger_crypto Ledger_storage

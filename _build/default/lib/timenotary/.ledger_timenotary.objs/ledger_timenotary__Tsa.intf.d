@@ -1,0 +1,1 @@
+lib/timenotary/tsa.mli: Clock Ecdsa Hash Ledger_crypto Ledger_storage

@@ -1,0 +1,58 @@
+open Ledger_crypto
+open Ledger_storage
+
+module One_way = struct
+  type t = {
+    clock : Clock.t;
+    mutable queue : (int * Hash.t) list; (* oldest first *)
+    mutable next_ticket : int;
+    anchored : (int, int64) Hashtbl.t;
+  }
+
+  let create ~clock =
+    { clock; queue = []; next_ticket = 0; anchored = Hashtbl.create 64 }
+
+  let enqueue t digest =
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    t.queue <- t.queue @ [ (ticket, digest) ];
+    ticket
+
+  let anchor_next t =
+    match t.queue with
+    | [] -> None
+    | (ticket, _digest) :: rest ->
+        t.queue <- rest;
+        let ts = Clock.now t.clock in
+        Hashtbl.replace t.anchored ticket ts;
+        Some (ticket, ts)
+
+  let anchored_time t ticket = Hashtbl.find_opt t.anchored ticket
+  let queued t = List.length t.queue
+end
+
+module Two_way = struct
+  type t = {
+    clock : Clock.t;
+    tsa : Tsa.pool;
+    mutable journal : (Tsa.token * int64) list; (* newest first, with anchor-back time *)
+    mutable count : int;
+  }
+
+  let create ~clock ~tsa = { clock; tsa; journal = []; count = 0 }
+
+  let peg t digest = Tsa.pool_endorse t.tsa digest
+
+  let anchor_back t token =
+    let i = t.count in
+    t.journal <- (token, Clock.now t.clock) :: t.journal;
+    t.count <- t.count + 1;
+    i
+
+  let nth t i =
+    if i < 0 || i >= t.count then None
+    else Some (List.nth t.journal (t.count - 1 - i))
+
+  let anchored_token t i = Option.map fst (nth t i)
+  let anchor_back_time t i = Option.map snd (nth t i)
+end

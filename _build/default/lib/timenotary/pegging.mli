@@ -1,0 +1,48 @@
+(** One-way vs two-way timestamp pegging — the protocol layer of §III-B1.
+
+    {!One_way} models the ProvenDB-style protocol: digests are queued and
+    receive their timestamp only when the operator chooses to anchor them
+    to the external notary.  The operator (a potentially malicious LSP)
+    fully controls anchoring delay — the root of the {e infinite time
+    amplification} attack.
+
+    {!Two_way} models Protocol 3: the TSA stamps at submission time and
+    the signed token is anchored back, so a journal's age is bracketed by
+    TSA endorsements. *)
+
+open Ledger_crypto
+open Ledger_storage
+
+module One_way : sig
+  type t
+
+  val create : clock:Clock.t -> t
+
+  val enqueue : t -> Hash.t -> int
+  (** Queue a digest for later anchoring; returns a ticket.  No timestamp
+      is assigned yet. *)
+
+  val anchor_next : t -> (int * int64) option
+  (** Anchor the oldest queued digest {e now} (FIFO order preserved, as the
+      attack requires); returns its ticket and the externally visible
+      timestamp it received. *)
+
+  val anchored_time : t -> int -> int64 option
+  val queued : t -> int
+end
+
+module Two_way : sig
+  type t
+
+  val create : clock:Clock.t -> tsa:Tsa.pool -> t
+
+  val peg : t -> Hash.t -> Tsa.token
+  (** Submit for endorsement; the token must then be anchored back with
+      {!anchor_back} to complete the protocol. *)
+
+  val anchor_back : t -> Tsa.token -> int
+  (** Record the token on the ledger; returns its journal index. *)
+
+  val anchored_token : t -> int -> Tsa.token option
+  val anchor_back_time : t -> int -> int64 option
+end

@@ -1,0 +1,1 @@
+test/test_bench_util.ml: Alcotest Array Bytes Clock Det_rng Hashtbl Ledger_bench_util Ledger_storage Option Printf Table Timing Workload

@@ -1,0 +1,1 @@
+test/test_cmtree.ml: Alcotest Clue_skiplist Cm_tree Fun Hash Hashtbl Ledger_cmtree Ledger_crypto List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Ecdsa Hash Hmac_sha256 Ledger_crypto List Multisig Printf QCheck QCheck_alcotest Secp256k1 Sha256 Sha3 String Uint256

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Audit Bytes Clock Crypto_profile Fam Hash Ledger Ledger_core Ledger_crypto Ledger_merkle Ledger_storage List Option Printf Receipt Roles Shrubs

@@ -1,0 +1,1 @@
+test/test_ledger_model.ml: Audit Bytes Clock Crypto_profile Ledger Ledger_core Ledger_storage Ledger_timenotary List Option Printf QCheck QCheck_alcotest Receipt Roles T_ledger Tsa

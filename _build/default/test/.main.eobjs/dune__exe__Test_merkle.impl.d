@@ -1,0 +1,1 @@
+test/test_merkle.ml: Accumulator Alcotest Array Bamt Bim Fam Forest Fun Hash Int64 Ledger_crypto Ledger_merkle List Merkle_tree Printf Proof QCheck QCheck_alcotest Range_proof Shrubs

@@ -1,0 +1,1 @@
+test/test_mpt.ml: Accumulator Alcotest Array Bytes Ccmpt Fun Gen Hash Hashtbl Ledger_crypto Ledger_merkle Ledger_mpt List Mpt Nibble Option Printf QCheck QCheck_alcotest

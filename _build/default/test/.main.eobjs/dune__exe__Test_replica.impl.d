@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Audit Bytes Char Clock Crypto_profile Filename Hash Ledger Ledger_core Ledger_crypto Ledger_storage Ledger_timenotary Printf Replica Roles Service Sys T_ledger Tsa

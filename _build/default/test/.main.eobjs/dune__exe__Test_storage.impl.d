@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bitmap_index Bytes Clock Filename Hashtbl Int64 Kv_store Latency_model Ledger_storage List Option QCheck QCheck_alcotest Stream_store Sys

@@ -1,0 +1,1 @@
+test/test_timenotary.ml: Alcotest Attack Clock Hash Int64 Ledger_crypto Ledger_storage Ledger_timenotary List Pegging Printf T_ledger Tsa

@@ -1,0 +1,23 @@
+(* Test aggregator: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "ledgerdb-repro"
+    [
+      ("crypto", Test_crypto.suite);
+      ("storage", Test_storage.suite);
+      ("merkle", Test_merkle.suite);
+      ("mpt", Test_mpt.suite);
+      ("cmtree", Test_cmtree.suite);
+      ("timenotary", Test_timenotary.suite);
+      ("ledger", Test_ledger.suite);
+      ("audit", Test_audit.suite);
+      ("baselines", Test_baselines.suite);
+      ("core-units", Test_core_units.suite);
+      ("client-api", Test_client_api.suite);
+      ("bench-util", Test_bench_util.suite);
+      ("persistence", Test_persistence.suite);
+      ("ledger-model", Test_ledger_model.suite);
+      ("service", Test_service.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("replica", Test_replica.suite);
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the Dasein-complete audit: a clean ledger passes, and every
+   threat class from §II-B is caught in the right factor. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+
+let tc = Alcotest.test_case
+
+type env = {
+  clock : Clock.t;
+  ledger : Ledger.t;
+  alice : Roles.member;
+  alice_key : Ecdsa.private_key;
+  dba : Roles.member;
+  dba_key : Ecdsa.private_key;
+  regulator : Roles.member;
+  regulator_key : Ecdsa.private_key;
+  receipts : Receipt.t list;
+}
+
+let make ?(n = 24) ?(anchor_every = 8) () =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "nts" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "audit-test"; block_size = 8;
+      fam_delta = 4; crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let alice, alice_key = Ledger.new_member ledger ~name:"alice" ~role:Roles.Regular_user in
+  let dba, dba_key = Ledger.new_member ledger ~name:"dba" ~role:Roles.Dba in
+  let regulator, regulator_key =
+    Ledger.new_member ledger ~name:"regulator" ~role:Roles.Regulator
+  in
+  let receipts = ref [] in
+  for i = 0 to n - 1 do
+    Clock.advance_ms clock 100.;
+    let r =
+      Ledger.append ledger ~member:alice ~priv:alice_key
+        ~clues:[ "c" ^ string_of_int (i mod 2) ]
+        (Bytes.of_string (Printf.sprintf "data %d" i))
+    in
+    receipts := r :: !receipts;
+    if (i + 1) mod anchor_every = 0 then begin
+      Clock.advance_ms clock 1000.;
+      match Ledger.anchor_via_t_ledger ledger with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "anchoring rejected"
+    end
+  done;
+  Ledger.seal_block ledger;
+  { clock; ledger; alice; alice_key; dba; dba_key; regulator; regulator_key;
+    receipts = !receipts }
+
+let failures_in factor report =
+  List.filter (fun f -> f.Audit.factor = factor) report.Audit.failures
+
+let test_clean_audit () =
+  let env = make () in
+  let report = Audit.run ~receipts:env.receipts env.ledger in
+  if not report.Audit.ok then
+    Alcotest.fail
+      (Format.asprintf "clean audit failed: %a" Audit.pp_report report);
+  Alcotest.(check int) "journals checked" (Ledger.size env.ledger)
+    report.Audit.journals_checked;
+  Alcotest.(check bool) "anchors checked" true
+    (report.Audit.time_anchors_checked >= 3);
+  Alcotest.(check bool) "blocks checked" true (report.Audit.blocks_checked >= 3);
+  Alcotest.(check bool) "signatures checked" true
+    (report.Audit.signatures_checked > Ledger.size env.ledger)
+
+let test_threat_b_naive_rewrite () =
+  (* the adversary rewrites a payload without touching hashes *)
+  let env = make () in
+  Ledger.Unsafe.rewrite_payload env.ledger ~jsn:5 (Bytes.of_string "EVIL");
+  let report = Audit.run env.ledger in
+  Alcotest.(check bool) "audit fails" false report.Audit.ok;
+  Alcotest.(check bool) "what factor flags it" true
+    (failures_in Audit.What report <> [] || failures_in Audit.Who report <> [])
+
+let test_threat_c_consistent_rewrite () =
+  (* LSP rewrites payload and request hash, but cannot re-sign as the
+     client: pi_c must fail *)
+  let env = make () in
+  Ledger.Unsafe.rewrite_payload_consistent env.ledger ~jsn:6
+    (Bytes.of_string "EVIL2");
+  let report = Audit.run env.ledger in
+  Alcotest.(check bool) "audit fails" false report.Audit.ok;
+  Alcotest.(check bool) "who factor flags it" true
+    (failures_in Audit.Who report <> [])
+
+let test_threat_b_timestamp_forgery () =
+  let env = make () in
+  (* backdate a journal to violate monotonicity *)
+  Ledger.Unsafe.forge_server_ts env.ledger ~jsn:10 1L;
+  let report = Audit.run env.ledger in
+  Alcotest.(check bool) "audit fails" false report.Audit.ok;
+  Alcotest.(check bool) "when factor flags it" true
+    (failures_in Audit.When report <> [])
+
+let test_receipt_repudiation () =
+  (* receipts held by the client catch the LSP after tampering: the
+     tx-hash in the receipt no longer matches the ledger *)
+  let env = make () in
+  Ledger.Unsafe.rewrite_payload_consistent env.ledger ~jsn:3
+    (Bytes.of_string "rewritten");
+  let report = Audit.run ~receipts:env.receipts env.ledger in
+  Alcotest.(check bool) "audit fails" false report.Audit.ok
+
+let test_forged_receipt () =
+  let env = make () in
+  let r = List.hd env.receipts in
+  let forged = { r with Receipt.tx_hash = Hash.digest_string "other" } in
+  let report = Audit.run ~receipts:[ forged ] env.ledger in
+  Alcotest.(check bool) "forged receipt caught" false report.Audit.ok;
+  Alcotest.(check bool) "who factor" true (failures_in Audit.Who report <> [])
+
+let test_audit_after_occult () =
+  let env = make () in
+  (match
+     Ledger.occult env.ledger ~target_jsn:4 ~mode:Ledger.Sync
+       ~signers:[ (env.dba, env.dba_key); (env.regulator, env.regulator_key) ]
+       ~reason:"pii"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Audit.run env.ledger in
+  Alcotest.(check bool) "occulted ledger still audits clean" true report.Audit.ok
+
+let test_audit_after_purge () =
+  let env = make () in
+  let affected = Ledger.affected_members env.ledger ~upto_jsn:10 in
+  let signers =
+    (env.dba, env.dba_key)
+    :: List.map
+         (fun (m : Roles.member) ->
+           if m.Roles.name = "alice" then (m, env.alice_key)
+           else Alcotest.fail "unexpected member")
+         affected
+  in
+  (match
+     Ledger.purge env.ledger
+       ~request:{ Ledger.upto_jsn = 10; survivors = []; erase_fam_nodes = false }
+       ~signers
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Audit.run env.ledger in
+  Alcotest.(check bool) "post-purge audit clean (Protocol 1)" true report.Audit.ok;
+  (* audit after purge starts from the pseudo-genesis, not jsn 0 *)
+  Alcotest.(check bool) "audit scope shrank" true
+    (report.Audit.journals_checked < Ledger.size env.ledger)
+
+let test_audit_range () =
+  let env = make () in
+  let report = Audit.run ~from_jsn:5 ~upto_jsn:15 env.ledger in
+  Alcotest.(check bool) "range audit passes" true report.Audit.ok;
+  Alcotest.(check int) "range size" 10 report.Audit.journals_checked;
+  (* tampering outside the range is not flagged by a range audit *)
+  Ledger.Unsafe.rewrite_payload env.ledger ~jsn:2 (Bytes.of_string "EVIL");
+  let scoped = Audit.run ~from_jsn:5 ~upto_jsn:15 env.ledger in
+  Alcotest.(check bool) "out-of-scope tamper unseen" true scoped.Audit.ok;
+  let full = Audit.run env.ledger in
+  Alcotest.(check bool) "full audit sees it" false full.Audit.ok
+
+let test_anchored_digest_divergence () =
+  (* after tampering, the replayed commitment no longer matches the digest
+     the T-Ledger anchored — even if the LSP recomputed its own trees *)
+  let env = make () in
+  Ledger.Unsafe.rewrite_payload_consistent env.ledger ~jsn:2
+    (Bytes.of_string "history rewritten");
+  let report = Audit.run env.ledger in
+  let messages =
+    List.map (fun f -> f.Audit.message) (failures_in Audit.What report)
+  in
+  Alcotest.(check bool) "replay divergence reported" true
+    (List.exists
+       (fun m ->
+         let contains hay needle =
+           let n = String.length needle and h = String.length hay in
+           let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+           go 0
+         in
+         contains m "diverges" || contains m "tx-hash")
+       messages)
+
+let base_suite =
+  [
+    tc "clean audit passes" `Quick test_clean_audit;
+    tc "threat-B naive rewrite caught" `Quick test_threat_b_naive_rewrite;
+    tc "threat-C consistent rewrite caught" `Quick test_threat_c_consistent_rewrite;
+    tc "threat-B timestamp forgery caught" `Quick test_threat_b_timestamp_forgery;
+    tc "receipt repudiation caught" `Quick test_receipt_repudiation;
+    tc "forged receipt caught" `Quick test_forged_receipt;
+    tc "audit after occult" `Quick test_audit_after_occult;
+    tc "audit after purge" `Quick test_audit_after_purge;
+    tc "temporal range audit" `Quick test_audit_range;
+    tc "anchored digest divergence" `Quick test_anchored_digest_divergence;
+  ]
+
+let test_temporal_predicate () =
+  let env = make () in
+  (* pick the timestamp of journal 10 as the bound: only journals strictly
+     before it are audited *)
+  let bound = (Ledger.journal env.ledger 10).Journal.server_ts in
+  let report = Audit.run ~before_ts:bound env.ledger in
+  Alcotest.(check bool) "temporal audit passes" true report.Audit.ok;
+  Alcotest.(check int) "scope cut at the bound" 10 report.Audit.journals_checked;
+  (* tamper beyond the bound: the temporal audit stays clean, a full one fails *)
+  Ledger.Unsafe.rewrite_payload env.ledger ~jsn:15 (Bytes.of_string "EVIL");
+  Alcotest.(check bool) "out-of-window tamper unseen" true
+    (Audit.run ~before_ts:bound env.ledger).Audit.ok;
+  Alcotest.(check bool) "full audit sees it" false (Audit.run env.ledger).Audit.ok;
+  (* a bound before everything audits nothing; far future audits all *)
+  Alcotest.(check int) "empty window" 0
+    (Audit.run ~before_ts:0L env.ledger).Audit.journals_checked;
+  Alcotest.(check int) "full window" (Ledger.size env.ledger)
+    (Audit.run ~before_ts:Int64.max_int env.ledger).Audit.journals_checked
+
+let temporal_suite = [ tc "temporal predicate" `Quick test_temporal_predicate ]
+
+let suite = base_suite @ temporal_suite

@@ -1,0 +1,375 @@
+(* Tests for the baseline systems: QLDB sim, Fabric sim, ProvenDB sim, the
+   LedgerDB application layer and the Table I profiles. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_baselines
+
+let tc = Alcotest.test_case
+
+(* --- QLDB ------------------------------------------------------------------ *)
+
+let test_qldb_notarization () =
+  let clock = Clock.create () in
+  let q = Qldb_sim.create ~clock () in
+  Qldb_sim.insert q ~id:"doc1" (Bytes.of_string "contents");
+  Alcotest.(check (option string)) "retrieve" (Some "contents")
+    (Option.map Bytes.to_string (Qldb_sim.retrieve q ~id:"doc1"));
+  Alcotest.(check bool) "verify" true (Qldb_sim.verify q ~id:"doc1");
+  Alcotest.(check bool) "missing doc" false (Qldb_sim.verify q ~id:"nope");
+  Alcotest.(check bool) "clock charged" true (Int64.compare (Clock.now clock) 0L > 0)
+
+let test_qldb_lineage () =
+  let clock = Clock.create () in
+  let q = Qldb_sim.create ~clock () in
+  for v = 0 to 4 do
+    Qldb_sim.put_version q ~key:"asset" (Bytes.of_string ("v" ^ string_of_int v))
+  done;
+  Alcotest.(check int) "versions" 5 (Qldb_sim.version_count q ~key:"asset");
+  Alcotest.(check bool) "lineage verifies" true (Qldb_sim.verify_lineage q ~key:"asset");
+  Alcotest.(check bool) "unknown key" false (Qldb_sim.verify_lineage q ~key:"nope")
+
+let test_qldb_verify_cost_scales () =
+  (* per-version cost is the structural point of Table II *)
+  let clock = Clock.create () in
+  let q = Qldb_sim.create ~clock () in
+  Qldb_sim.preload q (1 lsl 12);
+  for v = 0 to 4 do
+    Qldb_sim.put_version q ~key:"k5" (Bytes.of_string (string_of_int v))
+  done;
+  for v = 0 to 49 do
+    Qldb_sim.put_version q ~key:"k50" (Bytes.of_string (string_of_int v))
+  done;
+  Qldb_sim.preload q (1 lsl 12);
+  let t0 = Clock.now clock in
+  ignore (Qldb_sim.verify_lineage q ~key:"k5");
+  let t1 = Clock.now clock in
+  ignore (Qldb_sim.verify_lineage q ~key:"k50");
+  let t2 = Clock.now clock in
+  let c5 = Int64.to_float (Int64.sub t1 t0) in
+  let c50 = Int64.to_float (Int64.sub t2 t1) in
+  Alcotest.(check bool) "50 versions cost ~10x of 5" true
+    (c50 /. c5 > 6. && c50 /. c5 < 14.)
+
+(* --- Fabric ----------------------------------------------------------------- *)
+
+let test_fabric_submit_and_read () =
+  let clock = Clock.create () in
+  let f = Fabric_sim.create ~clock () in
+  for i = 0 to 9 do
+    Fabric_sim.submit f ~key:"item" (Bytes.of_string ("v" ^ string_of_int i))
+  done;
+  Alcotest.(check int) "committed" 10 (Fabric_sim.size f);
+  Alcotest.(check (option string)) "latest state" (Some "v9")
+    (Option.map Bytes.to_string (Fabric_sim.get_state f ~key:"item"));
+  Alcotest.(check int) "history" 10 (Fabric_sim.version_count f ~key:"item");
+  Alcotest.(check bool) "verify key" true (Fabric_sim.verify_key f ~key:"item");
+  Alcotest.(check int) "verify history" 10 (Fabric_sim.verify_history f ~key:"item");
+  Alcotest.(check int) "unknown history" 0 (Fabric_sim.verify_history f ~key:"nope")
+
+let test_fabric_blocks () =
+  let clock = Clock.create () in
+  let f =
+    Fabric_sim.create
+      ~config:{ Fabric_sim.default_config with batch_size = 4 }
+      ~clock ()
+  in
+  for i = 0 to 9 do
+    Fabric_sim.submit f ~key:(string_of_int i) (Bytes.of_string "x")
+  done;
+  Fabric_sim.flush f;
+  Alcotest.(check int) "blocks cut" 3 (Fabric_sim.block_count f)
+
+let test_fabric_ordering_bounds_throughput () =
+  (* the serial pipeline section costs >= ordering_per_tx_us *)
+  let clock = Clock.create () in
+  let f = Fabric_sim.create ~clock () in
+  let t0 = Clock.now clock in
+  for i = 0 to 99 do
+    Fabric_sim.submit_pipelined f ~key:(string_of_int i) (Bytes.of_string "x")
+  done;
+  let dt = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+  let tps = 100. /. (dt /. 1_000_000.) in
+  Alcotest.(check bool) "TPS near the 2K ordering ceiling" true
+    (tps > 1000. && tps < 3000.)
+
+let test_fabric_latency_dominated_by_consensus () =
+  let clock = Clock.create () in
+  let f = Fabric_sim.create ~clock () in
+  Fabric_sim.submit f ~key:"k" (Bytes.of_string "v");
+  let t0 = Clock.now clock in
+  ignore (Fabric_sim.verify_key f ~key:"k");
+  let ms = Int64.to_float (Int64.sub (Clock.now clock) t0) /. 1000. in
+  Alcotest.(check bool) "verification takes ~1s (consensus)" true
+    (ms > 900. && ms < 1500.)
+
+(* --- ProvenDB ---------------------------------------------------------------- *)
+
+let test_provendb () =
+  let clock = Clock.create () in
+  let p = Provendb_sim.create ~clock () in
+  Provendb_sim.put p ~key:"doc" (Bytes.of_string "v1");
+  Alcotest.(check (option string)) "get" (Some "v1")
+    (Option.map Bytes.to_string (Provendb_sim.get p ~key:"doc"));
+  Alcotest.(check bool) "forward integrity" true (Provendb_sim.verify p ~key:"doc");
+  Alcotest.(check int) "digest queued, not anchored" 1 (Provendb_sim.pending_digests p);
+  Alcotest.(check (option int64)) "no anchored time yet" None
+    (Provendb_sim.anchored_time p ~key:"doc");
+  (* the operator can delay anchoring arbitrarily — the Fig. 5(a) flaw *)
+  Clock.advance_sec clock 3600.;
+  ignore (Provendb_sim.anchor_now p);
+  (match Provendb_sim.anchored_time p ~key:"doc" with
+  | Some ts -> Alcotest.(check int64) "anchored an hour late" 3_600_000_000L ts
+  | None -> Alcotest.fail "expected anchor");
+  Alcotest.(check bool) "digest tracked" true (Provendb_sim.digest_of p ~key:"doc" <> None)
+
+(* --- LedgerDB app -------------------------------------------------------------- *)
+
+let test_ledgerdb_app_notarization () =
+  let clock = Clock.create () in
+  let app = Ledgerdb_app.create_local ~clock in
+  Ledgerdb_app.insert app ~id:"doc1" (Bytes.of_string "blob");
+  Alcotest.(check (option string)) "retrieve" (Some "blob")
+    (Option.map Bytes.to_string (Ledgerdb_app.retrieve app ~id:"doc1"));
+  Alcotest.(check bool) "verify" true (Ledgerdb_app.verify app ~id:"doc1");
+  Alcotest.(check bool) "missing id" false (Ledgerdb_app.verify app ~id:"nope");
+  Alcotest.(check int) "size" 1 (Ledgerdb_app.size app)
+
+let test_ledgerdb_app_lineage () =
+  let clock = Clock.create () in
+  let app = Ledgerdb_app.create_local ~clock in
+  for v = 0 to 7 do
+    Ledgerdb_app.put_version app ~key:"asset" (Bytes.of_string (string_of_int v))
+  done;
+  Alcotest.(check int) "versions" 8 (Ledgerdb_app.version_count app ~key:"asset");
+  Alcotest.(check bool) "lineage verify" true
+    (Ledgerdb_app.verify_lineage app ~key:"asset");
+  Alcotest.(check bool) "server-side verify" true
+    (Ledgerdb_app.verify_lineage_server app ~key:"asset");
+  Alcotest.(check bool) "unknown key server-side" false
+    (Ledgerdb_app.verify_lineage_server app ~key:"nope")
+
+let test_crossover_structure () =
+  (* LedgerDB's lineage service cost is linear in entries; Fabric's is
+     flat — the Fig. 10(c) crossover precondition *)
+  let cost_ledgerdb entries =
+    let clock = Clock.create () in
+    let app = Ledgerdb_app.create_local ~clock in
+    for _ = 1 to entries do
+      Ledgerdb_app.put_version app ~key:"k" (Bytes.of_string "v")
+    done;
+    let t0 = Clock.now clock in
+    ignore (Ledgerdb_app.verify_lineage_server app ~key:"k");
+    Int64.to_float (Int64.sub (Clock.now clock) t0)
+  in
+  let c10 = cost_ledgerdb 10 and c100 = cost_ledgerdb 100 in
+  Alcotest.(check bool) "ledgerdb cost ~linear" true
+    (c100 /. c10 > 7. && c100 /. c10 < 13.);
+  let cost_fabric entries =
+    let clock = Clock.create () in
+    let f = Fabric_sim.create ~clock () in
+    for _ = 1 to entries do
+      Fabric_sim.submit f ~key:"k" (Bytes.of_string "v")
+    done;
+    let t0 = Clock.now clock in
+    ignore (Fabric_sim.verify_history_server f ~key:"k");
+    Int64.to_float (Int64.sub (Clock.now clock) t0)
+  in
+  let f10 = cost_fabric 10 and f100 = cost_fabric 100 in
+  Alcotest.(check bool) "fabric cost ~flat" true (f100 /. f10 < 1.5)
+
+(* --- Table I ---------------------------------------------------------------------- *)
+
+let test_system_profiles () =
+  Alcotest.(check int) "six rows" 6 (List.length System_profile.all);
+  let ledgerdb = List.hd System_profile.all in
+  Alcotest.(check string) "first row" "LedgerDB" ledgerdb.System_profile.system;
+  Alcotest.(check bool) "ledgerdb fully dasein" true
+    (ledgerdb.System_profile.dasein_support = "what-when-who"
+    && ledgerdb.System_profile.verifiable_mutation
+    && ledgerdb.System_profile.verifiable_n_lineage);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "row width matches header"
+        (List.length System_profile.header)
+        (List.length (System_profile.to_row p)))
+    System_profile.all
+
+let base_suite =
+  [
+    tc "qldb notarization" `Quick test_qldb_notarization;
+    tc "qldb lineage" `Quick test_qldb_lineage;
+    tc "qldb verify cost scales" `Quick test_qldb_verify_cost_scales;
+    tc "fabric submit/read" `Quick test_fabric_submit_and_read;
+    tc "fabric blocks" `Quick test_fabric_blocks;
+    tc "fabric ordering ceiling" `Quick test_fabric_ordering_bounds_throughput;
+    tc "fabric consensus latency" `Quick test_fabric_latency_dominated_by_consensus;
+    tc "provendb one-way pegging" `Quick test_provendb;
+    tc "ledgerdb app notarization" `Quick test_ledgerdb_app_notarization;
+    tc "ledgerdb app lineage" `Quick test_ledgerdb_app_lineage;
+    tc "fig10c crossover structure" `Quick test_crossover_structure;
+    tc "system profiles" `Quick test_system_profiles;
+  ]
+
+(* --- SQL Ledger (forward integrity) -------------------------------------- *)
+
+let test_sql_ledger_forward_integrity () =
+  let clock = Clock.create () in
+  let s = Sql_ledger_sim.create ~block_size:4 ~clock () in
+  for i = 0 to 9 do
+    Sql_ledger_sim.execute s ~key:("k" ^ string_of_int (i mod 3))
+      (Bytes.of_string ("v" ^ string_of_int i))
+  done;
+  Alcotest.(check (option string)) "state" (Some "v9")
+    (Option.map Bytes.to_string (Sql_ledger_sim.get s ~key:"k0"));
+  Alcotest.(check int) "history" 10 (Sql_ledger_sim.history_length s);
+  Alcotest.(check bool) "no digest yet" true
+    (Sql_ledger_sim.verify s = `No_published_digest);
+  ignore (Sql_ledger_sim.publish_digest s);
+  Alcotest.(check bool) "clean verify" true (Sql_ledger_sim.verify s = `Ok);
+  (* appends after publication remain verifiable (prefix check) *)
+  Sql_ledger_sim.execute s ~key:"k1" (Bytes.of_string "v10");
+  Alcotest.(check bool) "post-publication append ok" true
+    (Sql_ledger_sim.verify s = `Ok);
+  (* tampering *after* publication is detected *)
+  Sql_ledger_sim.Unsafe.rewrite_history s ~index:2 ~key:"k2"
+    (Bytes.of_string "EVIL");
+  Alcotest.(check bool) "tamper detected" true
+    (Sql_ledger_sim.verify s = `Tampered)
+
+let test_sql_ledger_trust_gap () =
+  (* the forward-integrity gap: tampering before any digest leaves the
+     system is invisible — the LSP & Storage trust dependency of Table I *)
+  let clock = Clock.create () in
+  let s = Sql_ledger_sim.create ~clock () in
+  for i = 0 to 4 do
+    Sql_ledger_sim.execute s ~key:"k" (Bytes.of_string (string_of_int i))
+  done;
+  Sql_ledger_sim.Unsafe.rewrite_history s ~index:1 ~key:"k"
+    (Bytes.of_string "rewritten-before-publication");
+  ignore (Sql_ledger_sim.publish_digest s);
+  Alcotest.(check bool) "pre-publication tamper invisible" true
+    (Sql_ledger_sim.verify s = `Ok)
+
+(* --- Factom ------------------------------------------------------------------ *)
+
+let test_factom () =
+  let clock = Clock.create () in
+  let f = Factom_sim.create ~clock () in
+  let d1 = Factom_sim.add_entry f ~chain:"deeds" (Bytes.of_string "deed #1") in
+  let d2 = Factom_sim.add_entry f ~chain:"deeds" (Bytes.of_string "deed #2") in
+  let d3 = Factom_sim.add_entry f ~chain:"art" (Bytes.of_string "artwork") in
+  (* pending entries are not yet provable *)
+  Alcotest.(check bool) "pending unprovable" true
+    (Factom_sim.prove_entry f ~chain:"deeds" d1 = None);
+  Clock.advance_sec clock 600.;
+  Factom_sim.tick f;
+  Alcotest.(check int) "directory block cut" 1 (Factom_sim.directory_blocks f);
+  List.iter
+    (fun (chain, d) ->
+      let p = Option.get (Factom_sim.prove_entry f ~chain d) in
+      Alcotest.(check bool) "entry verifies" true
+        (Factom_sim.verify_entry f ~chain d p))
+    [ ("deeds", d1); ("deeds", d2); ("art", d3) ];
+  (* wrong chain is rejected *)
+  Alcotest.(check bool) "wrong chain" true
+    (Factom_sim.prove_entry f ~chain:"art" d1 = None);
+  (* coarse when evidence *)
+  (match Factom_sim.anchored_time f ~chain:"deeds" d1 with
+  | Some ts -> Alcotest.(check int64) "anchored at seal time" 600_000_000L ts
+  | None -> Alcotest.fail "expected anchor time");
+  (* a forged digest does not verify with someone else's proof *)
+  let p = Option.get (Factom_sim.prove_entry f ~chain:"deeds" d1) in
+  Alcotest.(check bool) "forged digest rejected" false
+    (Factom_sim.verify_entry f ~chain:"deeds" (Hash.digest_string "forged") p);
+  Alcotest.(check bool) "storage accounted" true (Factom_sim.storage_bytes f > 0)
+
+let test_factom_multi_blocks () =
+  let clock = Clock.create () in
+  let f = Factom_sim.create ~clock () in
+  let digests =
+    List.init 20 (fun i ->
+        let d =
+          Factom_sim.add_entry f
+            ~chain:("c" ^ string_of_int (i mod 4))
+            (Bytes.of_string (string_of_int i))
+        in
+        if (i + 1) mod 5 = 0 then begin
+          Clock.advance_sec clock 600.;
+          ignore (Factom_sim.seal_directory_block f)
+        end;
+        (("c" ^ string_of_int (i mod 4)), d))
+  in
+  Alcotest.(check int) "four directory blocks" 4 (Factom_sim.directory_blocks f);
+  List.iter
+    (fun (chain, d) ->
+      let p = Option.get (Factom_sim.prove_entry f ~chain d) in
+      Alcotest.(check bool) "multi-block entry verifies" true
+        (Factom_sim.verify_entry f ~chain d p))
+    digests
+
+let extended_suite =
+  [
+    tc "sql ledger forward integrity" `Quick test_sql_ledger_forward_integrity;
+    tc "sql ledger trust gap" `Quick test_sql_ledger_trust_gap;
+    tc "factom notarization" `Quick test_factom;
+    tc "factom multi blocks" `Quick test_factom_multi_blocks;
+  ]
+
+
+
+let test_fabric_mvcc_conflicts () =
+  (* two clients endorse against the same key version; the second to
+     commit is aborted by validation — Fabric's execute-order-validate
+     hazard, which centralized LedgerDB does not have *)
+  let clock = Clock.create () in
+  let f = Fabric_sim.create ~clock () in
+  Fabric_sim.submit f ~key:"asset" (Bytes.of_string "v0");
+  let v_a = Fabric_sim.endorse f ~key:"asset" in
+  let v_b = Fabric_sim.endorse f ~key:"asset" in
+  Alcotest.(check int) "both read the same version" v_a v_b;
+  Fabric_sim.submit_endorsed f ~key:"asset" ~read_version:v_a
+    (Bytes.of_string "client A");
+  Fabric_sim.submit_endorsed f ~key:"asset" ~read_version:v_b
+    (Bytes.of_string "client B");
+  Alcotest.(check int) "one aborted" 1 (Fabric_sim.aborted f);
+  Alcotest.(check (option string)) "first writer wins" (Some "client A")
+    (Option.map Bytes.to_string (Fabric_sim.get_state f ~key:"asset"));
+  Alcotest.(check int) "history has 2 committed versions" 2
+    (Fabric_sim.version_count f ~key:"asset");
+  (* sequential submits never conflict *)
+  for i = 0 to 4 do
+    Fabric_sim.submit f ~key:"asset" (Bytes.of_string (string_of_int i))
+  done;
+  Alcotest.(check int) "still one abort" 1 (Fabric_sim.aborted f)
+
+let mvcc_suite = [ tc "fabric MVCC conflicts" `Quick test_fabric_mvcc_conflicts ]
+
+
+
+let test_fabric_spv () =
+  (* Fabric's rigorous what: SPV proofs over its block chain (Table I) *)
+  let clock = Clock.create () in
+  let f = Fabric_sim.create ~clock () in
+  for i = 0 to 9 do
+    Fabric_sim.submit f ~key:("k" ^ string_of_int i)
+      (Bytes.of_string ("v" ^ string_of_int i))
+  done;
+  for i = 0 to 9 do
+    let p = Option.get (Fabric_sim.prove_tx f ~tx_index:i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "tx %d verifies" i)
+      true
+      (Fabric_sim.verify_tx f ~key:("k" ^ string_of_int i)
+         ~data:(Bytes.of_string ("v" ^ string_of_int i))
+         p);
+    Alcotest.(check bool) "wrong data rejected" false
+      (Fabric_sim.verify_tx f ~key:("k" ^ string_of_int i)
+         ~data:(Bytes.of_string "forged") p)
+  done;
+  Alcotest.(check bool) "out of range" true
+    (Fabric_sim.prove_tx f ~tx_index:99 = None)
+
+let spv_suite = [ tc "fabric SPV tx proofs" `Quick test_fabric_spv ]
+
+let suite = base_suite @ extended_suite @ mvcc_suite @ spv_suite

@@ -1,0 +1,115 @@
+(* Tests for the bench utilities: deterministic RNG, workloads, timing and
+   table rendering. *)
+
+open Ledger_storage
+open Ledger_bench_util
+
+let tc = Alcotest.test_case
+
+let test_det_rng_deterministic () =
+  let a = Det_rng.create ~seed:42 and b = Det_rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Det_rng.next a) (Det_rng.next b)
+  done;
+  let c = Det_rng.create ~seed:43 in
+  Alcotest.(check bool) "different seeds diverge" false
+    (Det_rng.next (Det_rng.create ~seed:42) = Det_rng.next c)
+
+let test_det_rng_bounds () =
+  let rng = Det_rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Det_rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Det_rng.int: bound")
+    (fun () -> ignore (Det_rng.int rng 0));
+  let b = Det_rng.bytes rng 33 in
+  Alcotest.(check int) "bytes size" 33 (Bytes.length b);
+  let arr = [| "x"; "y"; "z" |] in
+  for _ = 1 to 20 do
+    let picked = Det_rng.pick rng arr in
+    Alcotest.(check bool) "pick member" true
+      (Array.exists (fun s -> s = picked) arr)
+  done
+
+let test_det_rng_distribution () =
+  (* crude uniformity check over 8 buckets *)
+  let rng = Det_rng.create ~seed:11 in
+  let buckets = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let b = Det_rng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced" i)
+        true
+        (c > (n / 8) - 300 && c < (n / 8) + 300))
+    buckets
+
+let test_workloads () =
+  let rng = Det_rng.create ~seed:3 in
+  let w = Workload.notarization ~rng ~n:50 ~payload_size:128 in
+  Alcotest.(check int) "payload count" 50 (Array.length w.Workload.payloads);
+  Alcotest.(check int) "payload size" 128 (Bytes.length w.Workload.payloads.(0));
+  Alcotest.(check bool) "unique notarization ids" true
+    (Array.length
+       (Array.of_seq
+          (Hashtbl.to_seq_keys
+             (let h = Hashtbl.create 64 in
+              Array.iter (fun c -> Hashtbl.replace h c ()) w.Workload.clues;
+              h)))
+    = 50);
+  let lw = Workload.lineage ~rng ~clue_count:10 ~min_entries:2 ~max_entries:5
+             ~payload_size:16 in
+  let per_clue = Hashtbl.create 10 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace per_clue c (1 + Option.value ~default:0 (Hashtbl.find_opt per_clue c)))
+    lw.Workload.clues;
+  Alcotest.(check int) "all clues used" 10 (Hashtbl.length per_clue);
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check bool) "entries in range" true (n >= 2 && n <= 5))
+    per_clue
+
+let test_size_labels () =
+  Alcotest.(check string) "plain" "999" (Workload.size_label 999);
+  Alcotest.(check string) "K" "32K" (Workload.size_label (32 * 1024));
+  Alcotest.(check string) "M" "2M" (Workload.size_label (2 * 1024 * 1024));
+  Alcotest.(check string) "G" "1G" (Workload.size_label (1 lsl 30))
+
+let test_timing () =
+  let clock = Clock.create () in
+  let (), ms =
+    Timing.simulated_ms clock (fun () -> Clock.advance_ms clock 12.5)
+  in
+  Alcotest.(check (float 0.01)) "simulated ms" 12.5 ms;
+  let tps =
+    Timing.simulated_throughput clock ~n:100 (fun _ -> Clock.advance_ms clock 1.)
+  in
+  Alcotest.(check (float 1.)) "simulated tps" 1000. tps;
+  let no_cost = Timing.simulated_throughput clock ~n:10 (fun _ -> ()) in
+  Alcotest.(check bool) "free ops are infinite" true (no_cost = infinity);
+  let _, wall = Timing.wall (fun () -> ()) in
+  Alcotest.(check bool) "wall sane" true (wall >= 0. && wall < 1.)
+
+let test_human_formats () =
+  Alcotest.(check string) "rate K" "1.5K" (Table.human_rate 1500.);
+  Alcotest.(check string) "rate M" "2.50M" (Table.human_rate 2_500_000.);
+  Alcotest.(check string) "rate small" "42.0" (Table.human_rate 42.);
+  Alcotest.(check string) "ms" "2.50ms" (Table.human_ms 2.5);
+  Alcotest.(check string) "s" "1.50s" (Table.human_ms 1500.);
+  Alcotest.(check string) "us" "500.0us" (Table.human_ms 0.5)
+
+let suite =
+  [
+    tc "det rng determinism" `Quick test_det_rng_deterministic;
+    tc "det rng bounds" `Quick test_det_rng_bounds;
+    tc "det rng distribution" `Quick test_det_rng_distribution;
+    tc "workloads" `Quick test_workloads;
+    tc "size labels" `Quick test_size_labels;
+    tc "timing helpers" `Quick test_timing;
+    tc "human formats" `Quick test_human_formats;
+  ]

@@ -1,0 +1,129 @@
+(* Boundary-condition tests across the stack: minimal fractal heights,
+   single-journal blocks, empty payloads, and receipt finalization. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_merkle
+
+let tc = Alcotest.test_case
+let leaf i = Hash.digest_string ("e" ^ string_of_int i)
+
+let test_fam_delta_one () =
+  (* capacity-2 epochs: every epoch after the first holds one journal,
+     maximally exercising Rule 1 chaining *)
+  let f = Fam.create ~delta:1 in
+  for i = 0 to 19 do
+    ignore (Fam.append f (leaf i))
+  done;
+  Alcotest.(check (pair int int)) "jsn 0" (0, 0) (Fam.epoch_of_jsn f 0);
+  Alcotest.(check (pair int int)) "jsn 1" (0, 1) (Fam.epoch_of_jsn f 1);
+  Alcotest.(check (pair int int)) "jsn 2" (1, 1) (Fam.epoch_of_jsn f 2);
+  Alcotest.(check (pair int int)) "jsn 3" (2, 1) (Fam.epoch_of_jsn f 3);
+  let c = Fam.commitment f in
+  for i = 0 to 19 do
+    Alcotest.(check bool)
+      (Printf.sprintf "jsn %d provable" i)
+      true
+      (Fam.verify ~commitment:c ~leaf:(leaf i) (Fam.prove f i))
+  done;
+  (* extension proofs survive the degenerate shape too *)
+  let old_peaks = Fam.peaks f in
+  ignore (Fam.append f (leaf 20));
+  let proof = Fam.prove_extension f ~old_size:20 in
+  Alcotest.(check bool) "delta-1 extension" true
+    (Fam.verify_extension ~delta:1 ~old_size:20 ~old_peaks ~new_size:21
+       ~new_commitment:(Fam.commitment f) proof)
+
+let test_shrubs_height_one () =
+  let s = Shrubs.create ~height:1 () in
+  Alcotest.(check (option int)) "capacity 2" (Some 2) (Shrubs.capacity s);
+  ignore (Shrubs.append s (leaf 0));
+  ignore (Shrubs.append s (leaf 1));
+  Alcotest.(check bool) "full" true (Shrubs.is_full s);
+  Alcotest.(check bool) "root = combine" true
+    (Hash.equal (Shrubs.root s) (Hash.combine (leaf 0) (leaf 1)))
+
+let test_single_journal_blocks () =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "edge"; block_size = 1; fam_delta = 2;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let m, k = Ledger.new_member ledger ~name:"m" ~role:Roles.Regular_user in
+  let receipts =
+    List.init 5 (fun i ->
+        Clock.advance_ms clock 5.;
+        Ledger.append ledger ~member:m ~priv:k
+          (Bytes.of_string (string_of_int i)))
+  in
+  (* every journal seals its own block, so every receipt is already final *)
+  Alcotest.(check int) "five blocks" 5 (Ledger.block_count ledger);
+  List.iter
+    (fun (r : Receipt.t) ->
+      Alcotest.(check bool) "immediately final" true (Receipt.is_final r))
+    receipts;
+  Alcotest.(check bool) "audit" true (Audit.run ledger).Audit.ok
+
+let test_receipt_finalization () =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "edge2"; block_size = 4; fam_delta = 2;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let m, k = Ledger.new_member ledger ~name:"m" ~role:Roles.Regular_user in
+  let r = Ledger.append ledger ~member:m ~priv:k (Bytes.of_string "x") in
+  Alcotest.(check bool) "provisional receipt" false (Receipt.is_final r);
+  Alcotest.(check bool) "provisional verifies" true (Ledger.verify_receipt ledger r);
+  Ledger.seal_block ledger;
+  let final = Ledger.get_receipt ledger r.Receipt.jsn in
+  Alcotest.(check bool) "final after seal" true (Receipt.is_final final);
+  Alcotest.(check bool) "same tx hash" true
+    (Hash.equal r.Receipt.tx_hash final.Receipt.tx_hash)
+
+let test_empty_payload_and_no_clues () =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "edge3"; fam_delta = 2;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let m, k = Ledger.new_member ledger ~name:"m" ~role:Roles.Regular_user in
+  let r = Ledger.append ledger ~member:m ~priv:k Bytes.empty in
+  Alcotest.(check (option string)) "empty payload stored" (Some "")
+    (Option.map Bytes.to_string (Ledger.payload ledger r.Receipt.jsn));
+  Alcotest.(check int) "no state transitions" 0 (Ledger.world_state_size ledger);
+  let p = Ledger.get_proof ledger r.Receipt.jsn in
+  Alcotest.(check bool) "provable" true
+    (Ledger.verify_existence ledger ~jsn:r.Receipt.jsn ~payload_digest:None p);
+  Alcotest.(check bool) "audit" true (Audit.run ledger).Audit.ok
+
+let test_single_journal_ledger_audit () =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "edge4"; fam_delta = 2;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let m, k = Ledger.new_member ledger ~name:"m" ~role:Roles.Regular_user in
+  ignore (Ledger.append ledger ~member:m ~priv:k (Bytes.of_string "only"));
+  let report = Audit.run ledger in
+  Alcotest.(check bool) "one-journal audit" true report.Audit.ok;
+  Alcotest.(check int) "scope" 1 report.Audit.journals_checked;
+  (* and the empty ledger audits vacuously *)
+  let empty = Ledger.create ~config:{ config with name = "edge5" } ~clock () in
+  let report = Audit.run empty in
+  Alcotest.(check bool) "empty audit" true report.Audit.ok;
+  Alcotest.(check int) "empty scope" 0 report.Audit.journals_checked
+
+let suite =
+  [
+    tc "fam delta=1" `Quick test_fam_delta_one;
+    tc "shrubs height=1" `Quick test_shrubs_height_one;
+    tc "single-journal blocks" `Quick test_single_journal_blocks;
+    tc "receipt finalization" `Quick test_receipt_finalization;
+    tc "empty payload, no clues" `Quick test_empty_payload_and_no_clues;
+    tc "one-journal and empty audits" `Quick test_single_journal_ledger_audit;
+  ]

@@ -1,0 +1,609 @@
+(* Integration tests for the LedgerDB kernel: append/receipts, existence
+   and clue verification, blocks, time anchoring, purge and occult. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+
+let tc = Alcotest.test_case
+
+type env = {
+  clock : Clock.t;
+  ledger : Ledger.t;
+  alice : Roles.member;
+  alice_key : Ecdsa.private_key;
+  bob : Roles.member;
+  bob_key : Ecdsa.private_key;
+  dba : Roles.member;
+  dba_key : Ecdsa.private_key;
+  regulator : Roles.member;
+  regulator_key : Ecdsa.private_key;
+}
+
+let make_env ?(crypto = Crypto_profile.default_simulated) ?(block_size = 8)
+    ?(fam_delta = 4) ?(with_notary = true) () =
+  let clock = Clock.create () in
+  let tsa =
+    if with_notary then
+      Some (Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "nts" ])
+    else None
+  in
+  let t_ledger =
+    match tsa with
+    | Some pool -> Some (T_ledger.create ~clock ~tsa:pool ())
+    | None -> None
+  in
+  let config =
+    { Ledger.default_config with name = "test"; block_size; fam_delta; crypto }
+  in
+  let ledger = Ledger.create ~config ?t_ledger ?tsa ~clock () in
+  let alice, alice_key = Ledger.new_member ledger ~name:"alice" ~role:Roles.Regular_user in
+  let bob, bob_key = Ledger.new_member ledger ~name:"bob" ~role:Roles.Regular_user in
+  let dba, dba_key = Ledger.new_member ledger ~name:"dba" ~role:Roles.Dba in
+  let regulator, regulator_key =
+    Ledger.new_member ledger ~name:"regulator" ~role:Roles.Regulator
+  in
+  { clock; ledger; alice; alice_key; bob; bob_key; dba; dba_key; regulator;
+    regulator_key }
+
+let append env ?(clues = []) who text =
+  let member, priv =
+    match who with
+    | `Alice -> (env.alice, env.alice_key)
+    | `Bob -> (env.bob, env.bob_key)
+  in
+  Clock.advance_ms env.clock 10.;
+  Ledger.append env.ledger ~member ~priv ~clues (Bytes.of_string text)
+
+let fill env n =
+  List.init n (fun i ->
+      append env
+        ~clues:[ "asset-" ^ string_of_int (i mod 3) ]
+        (if i mod 2 = 0 then `Alice else `Bob)
+        (Printf.sprintf "payload %d" i))
+
+(* --- append / receipts ------------------------------------------------------ *)
+
+let test_append_and_receipts () =
+  let env = make_env () in
+  let receipts = fill env 20 in
+  Alcotest.(check int) "size" 20 (Ledger.size env.ledger);
+  let r0 = List.hd receipts in
+  Alcotest.(check bool) "receipt verifies" true
+    (Ledger.verify_receipt env.ledger r0);
+  (* block 0 sealed after 8 journals: final receipt available *)
+  let final = Ledger.get_receipt env.ledger 0 in
+  Alcotest.(check bool) "final receipt has block hash" true (Receipt.is_final final);
+  Alcotest.(check bool) "final receipt verifies" true
+    (Ledger.verify_receipt env.ledger final);
+  (* journal metadata *)
+  let j = Ledger.journal env.ledger 5 in
+  Alcotest.(check int) "jsn" 5 j.Journal.jsn;
+  Alcotest.(check (list string)) "clues" [ "asset-2" ] j.Journal.clues;
+  Alcotest.(check (option string)) "payload" (Some "payload 5")
+    (Option.map Bytes.to_string (Ledger.payload env.ledger 5))
+
+let test_append_rejects_unknown_member () =
+  let env = make_env () in
+  let stranger_priv, stranger_pub = Ecdsa.generate ~seed:"stranger" in
+  let stranger =
+    { Roles.name = "stranger"; role = Roles.Regular_user; pub = stranger_pub;
+      id = Ecdsa.public_key_id stranger_pub }
+  in
+  Alcotest.check_raises "unknown member rejected"
+    (Invalid_argument "Ledger.append: unknown member") (fun () ->
+      ignore
+        (Ledger.append env.ledger ~member:stranger ~priv:stranger_priv
+           (Bytes.of_string "x")))
+
+let test_multisigned_append () =
+  let env = make_env () in
+  let r =
+    Ledger.append env.ledger ~member:env.alice ~priv:env.alice_key
+      ~cosigners:[ (env.bob, env.bob_key); (env.dba, env.dba_key) ]
+      (Bytes.of_string "contract")
+  in
+  let j = Ledger.journal env.ledger r.Receipt.jsn in
+  Alcotest.(check int) "two cosigners" 2 (List.length j.Journal.cosigners)
+
+(* --- blocks ------------------------------------------------------------------ *)
+
+let test_block_chain () =
+  let env = make_env ~block_size:4 () in
+  ignore (fill env 14);
+  Ledger.seal_block env.ledger;
+  Alcotest.(check int) "blocks" 4 (Ledger.block_count env.ledger);
+  let blocks = Ledger.blocks env.ledger in
+  let rec chained = function
+    | a :: (b :: _ as rest) -> Block.links_to a b && chained rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "hash chain holds" true (chained blocks);
+  let b1 = Ledger.block env.ledger 1 in
+  Alcotest.(check int) "block 1 start" 4 b1.Block.start_jsn;
+  Alcotest.(check int) "block 1 count" 4 b1.Block.count;
+  (* last partial block has 2 journals *)
+  let b3 = Ledger.block env.ledger 3 in
+  Alcotest.(check int) "partial block" 2 b3.Block.count
+
+(* --- existence verification -------------------------------------------------- *)
+
+let test_existence_verification () =
+  let env = make_env () in
+  ignore (fill env 30);
+  for jsn = 0 to 29 do
+    let p = Ledger.get_proof env.ledger jsn in
+    Alcotest.(check bool)
+      (Printf.sprintf "jsn %d" jsn)
+      true
+      (Ledger.verify_existence env.ledger ~jsn ~payload_digest:None p)
+  done;
+  (* with payload binding *)
+  let digest = Hash.digest_bytes (Bytes.of_string "payload 7") in
+  let p = Ledger.get_proof env.ledger 7 in
+  Alcotest.(check bool) "payload digest binds" true
+    (Ledger.verify_existence env.ledger ~jsn:7 ~payload_digest:(Some digest) p);
+  Alcotest.(check bool) "wrong payload digest fails" false
+    (Ledger.verify_existence env.ledger ~jsn:7
+       ~payload_digest:(Some (Hash.digest_string "forged"))
+       p)
+
+let test_anchored_existence () =
+  let env = make_env () in
+  ignore (fill env 40);
+  let anchor = Ledger.make_anchor env.ledger in
+  ignore (fill env 20);
+  for jsn = 0 to 59 do
+    let p = Ledger.get_proof_anchored env.ledger anchor jsn in
+    Alcotest.(check bool)
+      (Printf.sprintf "anchored jsn %d" jsn)
+      true
+      (Ledger.verify_anchored env.ledger anchor
+         ~leaf:(Ledger.tx_hash_of env.ledger jsn)
+         p)
+  done
+
+(* --- clues -------------------------------------------------------------------- *)
+
+let test_clue_verification () =
+  let env = make_env () in
+  ignore (fill env 30);
+  Alcotest.(check int) "clue entries" 10 (Ledger.clue_entries env.ledger "asset-1");
+  Alcotest.(check (list int)) "clue jsns" [ 1; 4; 7 ]
+    (List.filteri (fun i _ -> i < 3) (Ledger.clue_jsns env.ledger "asset-1"));
+  let proof = Option.get (Ledger.prove_clue env.ledger ~clue:"asset-1" ()) in
+  Alcotest.(check bool) "client clue verify" true
+    (Ledger.verify_clue_client env.ledger proof);
+  Alcotest.(check bool) "server clue verify" true
+    (Ledger.verify_clue_server env.ledger ~clue:"asset-1");
+  Alcotest.(check bool) "unknown clue" true
+    (Ledger.prove_clue env.ledger ~clue:"nope" () = None);
+  (* version-range proof *)
+  let range = Option.get (Ledger.prove_clue env.ledger ~clue:"asset-1" ~first:2 ~last:5 ()) in
+  Alcotest.(check bool) "range clue verify" true
+    (Ledger.verify_clue_client env.ledger range)
+
+(* --- time anchoring ------------------------------------------------------------ *)
+
+let test_time_anchoring () =
+  let env = make_env () in
+  ignore (fill env 5);
+  (match Ledger.anchor_via_t_ledger env.ledger with
+  | Ok j -> (
+      match j.Journal.kind with
+      | Journal.Time (Journal.Via_t_ledger { digest; _ }) ->
+          Alcotest.(check bool) "anchored digest is pre-anchor commitment" true
+            (Hash.equal digest (Hash.of_bytes (Hash.to_bytes digest)))
+      | _ -> Alcotest.fail "expected T-Ledger time journal")
+  | Error _ -> Alcotest.fail "T-Ledger submission rejected");
+  let j = Ledger.anchor_via_tsa env.ledger in
+  (match j.Journal.kind with
+  | Journal.Time (Journal.Direct_tsa token) ->
+      let pool = Option.get (Ledger.tsa_pool env.ledger) in
+      Alcotest.(check bool) "TSA token verifies" true (Tsa.pool_verify pool token)
+  | _ -> Alcotest.fail "expected direct TSA journal");
+  Alcotest.(check int) "two time journals" 2
+    (List.length (Ledger.time_journals env.ledger))
+
+let test_anchor_without_notary () =
+  let env = make_env ~with_notary:false () in
+  Alcotest.check_raises "no T-Ledger"
+    (Invalid_argument "Ledger.anchor_via_t_ledger: no T-Ledger configured")
+    (fun () -> ignore (Ledger.anchor_via_t_ledger env.ledger));
+  Alcotest.check_raises "no TSA"
+    (Invalid_argument "Ledger.anchor_via_tsa: no TSA pool configured")
+    (fun () -> ignore (Ledger.anchor_via_tsa env.ledger))
+
+(* --- occult ---------------------------------------------------------------------- *)
+
+let occult_signers env = [ (env.dba, env.dba_key); (env.regulator, env.regulator_key) ]
+
+let test_occult_sync () =
+  let env = make_env () in
+  ignore (fill env 12);
+  let tx_before = Ledger.tx_hash_of env.ledger 3 in
+  (match
+     Ledger.occult env.ledger ~target_jsn:3 ~mode:Ledger.Sync
+       ~signers:(occult_signers env) ~reason:"pii"
+   with
+  | Ok j -> (
+      match j.Journal.kind with
+      | Journal.Occult { target_jsn; retained_hash } ->
+          Alcotest.(check int) "target" 3 target_jsn;
+          Alcotest.(check bool) "retained hash = tx hash" true
+            (Hash.equal retained_hash tx_before)
+      | _ -> Alcotest.fail "expected occult journal")
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "occulted" true (Ledger.is_occulted env.ledger 3);
+  Alcotest.(check bool) "payload gone" true (Ledger.payload env.ledger 3 = None);
+  (* Protocol 2: ledger remains verifiable — existence proof still works *)
+  let p = Ledger.get_proof env.ledger 3 in
+  Alcotest.(check bool) "retained hash still provable" true
+    (Ledger.verify_existence env.ledger ~jsn:3 ~payload_digest:None p);
+  (* other journals untouched *)
+  Alcotest.(check bool) "others intact" true (Ledger.payload env.ledger 4 <> None)
+
+let test_occult_async_and_reorganize () =
+  let env = make_env () in
+  ignore (fill env 10);
+  (match
+     Ledger.occult env.ledger ~target_jsn:2 ~mode:Ledger.Async
+       ~signers:(occult_signers env) ~reason:"gdpr"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "marked deleted" true (Ledger.is_occulted env.ledger 2);
+  (* async: payload physically present until reorganization *)
+  Alcotest.(check bool) "payload still on disk" true
+    (Ledger.payload env.ledger 2 <> None);
+  Alcotest.(check int) "reorganize erases one" 1 (Ledger.reorganize env.ledger);
+  Alcotest.(check bool) "payload erased" true (Ledger.payload env.ledger 2 = None);
+  Alcotest.(check int) "reorganize idempotent" 0 (Ledger.reorganize env.ledger)
+
+let test_occult_prerequisites () =
+  let env = make_env () in
+  ignore (fill env 5);
+  (match
+     Ledger.occult env.ledger ~target_jsn:1 ~mode:Ledger.Sync
+       ~signers:[ (env.dba, env.dba_key) ] ~reason:"x"
+   with
+  | Ok _ -> Alcotest.fail "occult without regulator accepted"
+  | Error _ -> ());
+  (match
+     Ledger.occult env.ledger ~target_jsn:1 ~mode:Ledger.Sync
+       ~signers:[ (env.regulator, env.regulator_key) ] ~reason:"x"
+   with
+  | Ok _ -> Alcotest.fail "occult without DBA accepted"
+  | Error _ -> ());
+  (* double occult rejected *)
+  (match
+     Ledger.occult env.ledger ~target_jsn:1 ~mode:Ledger.Sync
+       ~signers:(occult_signers env) ~reason:"x"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Ledger.occult env.ledger ~target_jsn:1 ~mode:Ledger.Sync
+      ~signers:(occult_signers env) ~reason:"x"
+  with
+  | Ok _ -> Alcotest.fail "double occult accepted"
+  | Error _ -> ()
+
+(* --- purge ------------------------------------------------------------------------ *)
+
+let purge_signers env upto =
+  let affected = Ledger.affected_members env.ledger ~upto_jsn:upto in
+  (env.dba, env.dba_key)
+  :: List.map
+       (fun (m : Roles.member) ->
+         if m.Roles.name = "alice" then (m, env.alice_key)
+         else if m.Roles.name = "bob" then (m, env.bob_key)
+         else Alcotest.fail ("unexpected affected member " ^ m.Roles.name))
+       affected
+
+let test_purge () =
+  let env = make_env () in
+  ignore (fill env 20);
+  let request = { Ledger.upto_jsn = 10; survivors = [ 4 ]; erase_fam_nodes = true } in
+  (match Ledger.purge env.ledger ~request ~signers:(purge_signers env 10) with
+  | Ok pj -> (
+      match pj.Journal.kind with
+      | Journal.Purge { purge_upto; pseudo_genesis_jsn; survivors } ->
+          Alcotest.(check int) "upto" 10 purge_upto;
+          Alcotest.(check (list int)) "survivors" [ 4 ] survivors;
+          (* double link: pseudo genesis immediately precedes purge journal *)
+          Alcotest.(check int) "double link" (pj.Journal.jsn - 1) pseudo_genesis_jsn;
+          let pg = Option.get (Ledger.pseudo_genesis env.ledger) in
+          (match pg.Journal.kind with
+          | Journal.Pseudo_genesis snapshot ->
+              Alcotest.(check int) "back link" pj.Journal.jsn
+                snapshot.Journal.replaced_purge_jsn
+          | _ -> Alcotest.fail "expected pseudo genesis")
+      | _ -> Alcotest.fail "expected purge journal")
+  | Error e -> Alcotest.fail e);
+  (* purged payloads gone, survivor retrievable *)
+  Alcotest.(check bool) "purged payload gone" true (Ledger.payload env.ledger 3 = None);
+  Alcotest.(check (option string)) "survivor kept" (Some "payload 4")
+    (Option.map Bytes.to_string (Ledger.read_survivor env.ledger 4));
+  Alcotest.(check (list int)) "survival stream" [ 4 ] (Ledger.survival_jsns env.ledger);
+  (* journals after the purge point still verifiable *)
+  let p = Ledger.get_proof env.ledger 15 in
+  Alcotest.(check bool) "post-purge existence" true
+    (Ledger.verify_existence env.ledger ~jsn:15 ~payload_digest:None p)
+
+let test_purge_requires_all_members () =
+  let env = make_env () in
+  ignore (fill env 10);
+  let request = { Ledger.upto_jsn = 10; survivors = []; erase_fam_nodes = false } in
+  (* missing bob's signature *)
+  match
+    Ledger.purge env.ledger ~request
+      ~signers:[ (env.dba, env.dba_key); (env.alice, env.alice_key) ]
+  with
+  | Ok _ -> Alcotest.fail "purge without all affected members accepted"
+  | Error msg ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the missing member" true (contains msg "bob")
+
+let test_purge_bad_range () =
+  let env = make_env () in
+  ignore (fill env 3);
+  let request = { Ledger.upto_jsn = 99; survivors = []; erase_fam_nodes = false } in
+  match Ledger.purge env.ledger ~request ~signers:(purge_signers env 3) with
+  | Ok _ -> Alcotest.fail "out-of-range purge accepted"
+  | Error _ -> ()
+
+(* --- real-crypto end-to-end -------------------------------------------------------- *)
+
+let test_real_crypto_roundtrip () =
+  let env = make_env ~crypto:Crypto_profile.Real () in
+  let r = append env ~clues:[ "real" ] `Alice "signed for real" in
+  Alcotest.(check bool) "receipt verifies with real ECDSA" true
+    (Receipt.verify ~lsp_pub:(Ledger.lsp_public_key env.ledger) r);
+  let j = Ledger.journal env.ledger r.Receipt.jsn in
+  Alcotest.(check bool) "client signature real" true
+    (Ecdsa.verify env.alice.Roles.pub j.Journal.request_hash
+       (Option.get j.Journal.client_sig))
+
+let base_suite =
+  [
+    tc "append and receipts" `Quick test_append_and_receipts;
+    tc "unknown member rejected" `Quick test_append_rejects_unknown_member;
+    tc "multi-signed append" `Quick test_multisigned_append;
+    tc "block chain" `Quick test_block_chain;
+    tc "existence verification" `Quick test_existence_verification;
+    tc "anchored existence" `Quick test_anchored_existence;
+    tc "clue verification" `Quick test_clue_verification;
+    tc "time anchoring" `Quick test_time_anchoring;
+    tc "anchoring without notary" `Quick test_anchor_without_notary;
+    tc "occult sync" `Quick test_occult_sync;
+    tc "occult async + reorganize" `Quick test_occult_async_and_reorganize;
+    tc "occult prerequisites" `Quick test_occult_prerequisites;
+    tc "purge" `Quick test_purge;
+    tc "purge requires members" `Quick test_purge_requires_all_members;
+    tc "purge bad range" `Quick test_purge_bad_range;
+    tc "real crypto roundtrip" `Slow test_real_crypto_roundtrip;
+  ]
+
+(* --- world-state --------------------------------------------------------------- *)
+
+let test_world_state () =
+  let env = make_env () in
+  Alcotest.(check bool) "empty world state" true
+    (Ledger.world_state_root env.ledger = None);
+  ignore (fill env 12);
+  Alcotest.(check int) "one state leaf per clue update" 12
+    (Ledger.world_state_size env.ledger);
+  Alcotest.(check bool) "root exists" true
+    (Ledger.world_state_root env.ledger <> None);
+  (* verify every state transition of a clue *)
+  let jsns = Ledger.clue_jsns env.ledger "asset-1" in
+  List.iteri
+    (fun version jsn ->
+      match Ledger.prove_state_update env.ledger ~clue:"asset-1" ~version with
+      | None -> Alcotest.fail "missing state proof"
+      | Some (proof_jsn, path) ->
+          Alcotest.(check int) "proof names the journal" jsn proof_jsn;
+          Alcotest.(check bool) "state update verifies" true
+            (Ledger.verify_state_update env.ledger ~clue:"asset-1"
+               ~tx:(Ledger.tx_hash_of env.ledger jsn) path))
+    jsns;
+  (* wrong tx is rejected; out-of-range version is None *)
+  let _, path = Option.get (Ledger.prove_state_update env.ledger ~clue:"asset-1" ~version:0) in
+  Alcotest.(check bool) "wrong tx rejected" false
+    (Ledger.verify_state_update env.ledger ~clue:"asset-1"
+       ~tx:(Hash.digest_string "forged") path);
+  Alcotest.(check bool) "bad version" true
+    (Ledger.prove_state_update env.ledger ~clue:"asset-1" ~version:99 = None);
+  Alcotest.(check bool) "unknown clue" true
+    (Ledger.prove_state_update env.ledger ~clue:"nope" ~version:0 = None);
+  (* the latest block commits the world-state root *)
+  Ledger.seal_block env.ledger;
+  let b = Ledger.block env.ledger (Ledger.block_count env.ledger - 1) in
+  Alcotest.(check bool) "block commits world state" true
+    (Hash.equal b.Block.world_state_root
+       (Option.get (Ledger.world_state_root env.ledger)))
+
+let world_state_suite = [ tc "world state" `Quick test_world_state ]
+
+
+
+let test_compact_storage () =
+  let env = make_env () in
+  ignore (fill env 12);
+  (match
+     Ledger.occult env.ledger ~target_jsn:3 ~mode:Ledger.Sync
+       ~signers:[ (env.dba, env.dba_key); (env.regulator, env.regulator_key) ]
+       ~reason:"pii"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let reclaimed = Ledger.compact_storage env.ledger in
+  Alcotest.(check int) "one slot reclaimed" 1 reclaimed;
+  (* all live payloads still readable after remapping *)
+  for jsn = 0 to Ledger.size env.ledger - 1 do
+    match (Ledger.journal env.ledger jsn).Journal.kind with
+    | Journal.Normal when jsn <> 3 && jsn < 12 ->
+        Alcotest.(check (option string))
+          (Printf.sprintf "payload %d survives compaction" jsn)
+          (Some (Printf.sprintf "payload %d" jsn))
+          (Option.map Bytes.to_string (Ledger.payload env.ledger jsn))
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "occulted stays erased" true
+    (Ledger.payload env.ledger 3 = None);
+  (* audit still clean *)
+  Alcotest.(check bool) "audit after compaction" true (Audit.run env.ledger).Audit.ok
+
+let compaction_suite = [ tc "compact storage" `Quick test_compact_storage ]
+
+
+
+let test_multi_clue_journal () =
+  (* one journal can carry several clues: it appears in each clue's
+     lineage and contributes one world-state transition per clue *)
+  let env = make_env () in
+  let r =
+    Ledger.append env.ledger ~member:env.alice ~priv:env.alice_key
+      ~clues:[ "shipment"; "invoice"; "customs" ]
+      (Bytes.of_string "multi-clue record")
+  in
+  List.iter
+    (fun clue ->
+      Alcotest.(check (list int)) (clue ^ " lineage") [ r.Receipt.jsn ]
+        (Ledger.clue_jsns env.ledger clue);
+      Alcotest.(check bool) (clue ^ " verifies") true
+        (Ledger.verify_clue_server env.ledger ~clue))
+    [ "shipment"; "invoice"; "customs" ];
+  Alcotest.(check int) "three state transitions" 3
+    (Ledger.world_state_size env.ledger);
+  (* client-side verification works per clue *)
+  let proof = Option.get (Ledger.prove_clue env.ledger ~clue:"invoice" ()) in
+  Alcotest.(check bool) "client verify on shared journal" true
+    (Ledger.verify_clue_client env.ledger proof);
+  (* jsn range lookup through the skip list *)
+  Alcotest.(check (list int)) "range lookup" [ r.Receipt.jsn ]
+    (Ledger.clue_jsns_in_range env.ledger "customs" ~lo:0 ~hi:10);
+  Alcotest.(check (list int)) "empty range" []
+    (Ledger.clue_jsns_in_range env.ledger "customs" ~lo:5 ~hi:10)
+
+let multi_clue_suite = [ tc "multi-clue journal" `Quick test_multi_clue_journal ]
+
+
+
+let test_list_tx () =
+  let env = make_env () in
+  ignore (fill env 15);
+  (match Ledger.anchor_via_t_ledger env.ledger with Ok _ -> () | Error _ -> assert false);
+  (* all *)
+  Alcotest.(check int) "no filter" 16
+    (List.length (Ledger.list_tx env.ledger ()));
+  (* by clue: served from the skip list *)
+  Alcotest.(check (list int)) "by clue" [ 1; 4; 7; 10; 13 ]
+    (Ledger.list_tx env.ledger
+       ~filter:{ Ledger.any_tx with by_clue = Some "asset-1" } ());
+  (* by member: alice appended the even journals *)
+  let alices =
+    Ledger.list_tx env.ledger
+      ~filter:{ Ledger.any_tx with by_member = Some env.alice.Roles.id } ()
+  in
+  Alcotest.(check int) "alice's journals" 8 (List.length alices);
+  Alcotest.(check bool) "all even" true (List.for_all (fun j -> j mod 2 = 0) alices);
+  (* by kind *)
+  Alcotest.(check int) "time journals" 1
+    (List.length
+       (Ledger.list_tx env.ledger
+          ~filter:{ Ledger.any_tx with kinds = Some [ "time" ] } ()));
+  (* temporal window *)
+  let t5 = (Ledger.journal env.ledger 5).Journal.server_ts in
+  let t10 = (Ledger.journal env.ledger 10).Journal.server_ts in
+  Alcotest.(check (list int)) "window" [ 5; 6; 7; 8; 9 ]
+    (Ledger.list_tx env.ledger
+       ~filter:{ Ledger.any_tx with after_ts = Some t5; before_ts = Some t10 } ());
+  (* limit *)
+  Alcotest.(check (list int)) "limit" [ 0; 1; 2 ]
+    (Ledger.list_tx env.ledger ~limit:3 ());
+  (* composite: clue + member *)
+  Alcotest.(check (list int)) "clue and member" [ 4; 10 ]
+    (Ledger.list_tx env.ledger
+       ~filter:{ Ledger.any_tx with by_clue = Some "asset-1";
+                 by_member = Some env.alice.Roles.id } ())
+
+let list_tx_suite = [ tc "list_tx filters" `Quick test_list_tx ]
+
+
+
+let test_append_batch () =
+  let env = make_env () in
+  let entries =
+    List.init 10 (fun i ->
+        (Bytes.of_string (Printf.sprintf "batch %d" i), [ "b-clue" ]))
+  in
+  let receipts =
+    Ledger.append_batch env.ledger ~member:env.alice ~priv:env.alice_key entries
+  in
+  Alcotest.(check int) "ten receipts" 10 (List.length receipts);
+  Alcotest.(check int) "ten journals" 10 (Ledger.size env.ledger);
+  List.iter
+    (fun (r : Receipt.t) ->
+      Alcotest.(check bool) "batch receipt final" true (Receipt.is_final r);
+      Alcotest.(check bool) "batch receipt verifies" true
+        (Ledger.verify_receipt env.ledger r))
+    receipts;
+  Alcotest.(check int) "clue updated" 10 (Ledger.clue_entries env.ledger "b-clue");
+  Alcotest.(check bool) "audit after batch" true (Audit.run env.ledger).Audit.ok
+
+let batch_suite = [ tc "append batch" `Quick test_append_batch ]
+
+
+
+let test_member_ca () =
+  let clock = Clock.create () in
+  let ca_priv, ca_pub = Ecdsa.generate ~seed:"member-ca" in
+  let config =
+    { Ledger.default_config with name = "ca-test"; block_size = 4;
+      fam_delta = 3; crypto = Crypto_profile.default_simulated;
+      member_ca = Some ca_pub }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  (* uncertified registration rejected *)
+  let _, stray_pub = Ecdsa.generate ~seed:"stray" in
+  (try
+     ignore (Ledger.register_member ledger ~name:"stray" ~role:Roles.Regular_user stray_pub);
+     Alcotest.fail "uncertified member accepted"
+   with Invalid_argument _ -> ());
+  (* a certificate from the wrong CA is rejected *)
+  let rogue_priv, _ = Ecdsa.generate ~seed:"rogue-ca" in
+  let bad_cert = Roles.certify ~ca_priv:rogue_priv stray_pub in
+  (try
+     ignore
+       (Ledger.register_member ledger ~certificate:bad_cert ~name:"stray"
+          ~role:Roles.Regular_user stray_pub);
+     Alcotest.fail "rogue certificate accepted"
+   with Invalid_argument _ -> ());
+  (* proper certification works end to end *)
+  let member, key = Ledger.new_member ~ca_priv ledger ~name:"certified" ~role:Roles.Regular_user in
+  Alcotest.(check bool) "certificate recorded" true
+    (Roles.certificate_of (Ledger.registry ledger) member.Roles.id <> None);
+  for i = 0 to 5 do
+    Clock.advance_ms clock 10.;
+    ignore (Ledger.append ledger ~member ~priv:key (Bytes.of_string (string_of_int i)))
+  done;
+  let report = Audit.run ledger in
+  Alcotest.(check bool) "certified ledger audits clean" true report.Audit.ok;
+  (* the audit verifies certificates: forging the roster breaks it *)
+  let forged = Roles.certify ~ca_priv:rogue_priv member.Roles.pub in
+  Roles.record_certificate (Ledger.registry ledger) forged;
+  let report = Audit.run ledger in
+  Alcotest.(check bool) "forged certificate caught" false report.Audit.ok
+
+let ca_suite = [ tc "member CA certification" `Quick test_member_ca ]
+
+let suite =
+  base_suite @ world_state_suite @ compaction_suite @ multi_clue_suite
+  @ list_tx_suite @ batch_suite @ ca_suite

@@ -1,0 +1,166 @@
+(* Stateful property test: random interleavings of append / anchor /
+   occult / purge / reorganize / seal must always leave a ledger that
+   (1) agrees with a simple reference model about sizes, clue entries and
+   payload visibility, and (2) passes the Dasein-complete audit. *)
+
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+
+type op =
+  | Append of int * int (* payload id, clue id *)
+  | Anchor
+  | Occult of int (* target selector *)
+  | Purge of int (* upto selector *)
+  | Reorganize
+  | Seal
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (10, map2 (fun a b -> Append (a, b)) (int_bound 1000) (int_bound 3));
+        (2, return Anchor);
+        (2, map (fun t -> Occult t) (int_bound 100));
+        (1, map (fun u -> Purge u) (int_bound 100));
+        (1, return Reorganize);
+        (2, return Seal);
+      ])
+
+let arb_ops = QCheck.make ~print:(fun l -> string_of_int (List.length l))
+    QCheck.Gen.(list_size (int_range 5 40) op_gen)
+
+(* reference model *)
+type model = {
+  mutable m_payloads : (int * string option) list; (* jsn, visible payload *)
+  mutable m_clues : (string * int) list; (* clue, count *)
+  mutable m_occulted : int list;
+  mutable m_purged_upto : int;
+}
+
+let run_ops ops =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "t" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "model"; block_size = 4; fam_delta = 3;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"user" ~role:Roles.Regular_user in
+  let dba, dba_key = Ledger.new_member ledger ~name:"dba" ~role:Roles.Dba in
+  let reg, reg_key = Ledger.new_member ledger ~name:"reg" ~role:Roles.Regulator in
+  let model =
+    { m_payloads = []; m_clues = []; m_occulted = []; m_purged_upto = 0 }
+  in
+  let normal_jsns = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Append (p, c) ->
+          Clock.advance_ms clock 10.;
+          let clue = "clue-" ^ string_of_int c in
+          let payload = Printf.sprintf "payload-%d" p in
+          let r =
+            Ledger.append ledger ~member:user ~priv:key ~clues:[ clue ]
+              (Bytes.of_string payload)
+          in
+          normal_jsns := r.Receipt.jsn :: !normal_jsns;
+          model.m_payloads <- (r.Receipt.jsn, Some payload) :: model.m_payloads;
+          model.m_clues <-
+            (clue, 1 + Option.value ~default:0 (List.assoc_opt clue model.m_clues))
+            :: List.remove_assoc clue model.m_clues
+      | Anchor ->
+          Clock.advance_ms clock 1100.;
+          (match Ledger.anchor_via_t_ledger ledger with
+          | Ok _ -> ()
+          | Error _ -> failwith "anchor rejected")
+      | Occult t -> (
+          match !normal_jsns with
+          | [] -> ()
+          | jsns -> (
+              let jsn = List.nth jsns (t mod List.length jsns) in
+              if
+                (not (Ledger.is_occulted ledger jsn))
+                && jsn >= model.m_purged_upto
+              then
+                match
+                  Ledger.occult ledger ~target_jsn:jsn ~mode:Ledger.Sync
+                    ~signers:[ (dba, dba_key); (reg, reg_key) ] ~reason:"m"
+                with
+                | Ok _ ->
+                    model.m_occulted <- jsn :: model.m_occulted;
+                    model.m_payloads <-
+                      (jsn, None) :: List.remove_assoc jsn model.m_payloads
+                | Error e -> failwith e))
+      | Purge u ->
+          let size = Ledger.size ledger in
+          if size > 2 then begin
+            let upto = 1 + (u mod (size - 1)) in
+            if upto > model.m_purged_upto then begin
+              let affected = Ledger.affected_members ledger ~upto_jsn:upto in
+              let signers =
+                (dba, dba_key)
+                :: List.map
+                     (fun (m : Roles.member) ->
+                       if m.Roles.name = "user" then (m, key)
+                       else if m.Roles.name = "reg" then (m, reg_key)
+                       else (m, dba_key))
+                     affected
+              in
+              match
+                Ledger.purge ledger
+                  ~request:{ Ledger.upto_jsn = upto; survivors = [];
+                             erase_fam_nodes = false }
+                  ~signers
+              with
+              | Ok _ ->
+                  model.m_purged_upto <- upto;
+                  model.m_payloads <-
+                    List.map
+                      (fun (jsn, p) -> if jsn < upto then (jsn, None) else (jsn, p))
+                      model.m_payloads
+              | Error e -> failwith e
+            end
+          end
+      | Reorganize -> ignore (Ledger.reorganize ledger)
+      | Seal -> Ledger.seal_block ledger)
+    ops;
+  (ledger, model)
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"random op sequences: model agreement + clean audit"
+    ~count:25 arb_ops (fun ops ->
+      let ledger, model = run_ops ops in
+      (* payload visibility matches the model *)
+      List.for_all
+        (fun (jsn, expected) ->
+          let actual =
+            Option.map Bytes.to_string (Ledger.payload ledger jsn)
+          in
+          actual = expected)
+        model.m_payloads
+      (* clue entry counts match *)
+      && List.for_all
+           (fun (clue, count) -> Ledger.clue_entries ledger clue = count)
+           model.m_clues
+      (* occulted flags match *)
+      && List.for_all (fun jsn -> Ledger.is_occulted ledger jsn) model.m_occulted
+      (* the audit passes whatever the interleaving was *)
+      && (Audit.run ledger).Audit.ok)
+
+let prop_proofs_after_ops =
+  QCheck.Test.make ~name:"random op sequences: proofs verify for live journals"
+    ~count:15 arb_ops (fun ops ->
+      let ledger, model = run_ops ops in
+      List.for_all
+        (fun (jsn, _) ->
+          let proof = Ledger.get_proof ledger jsn in
+          Ledger.verify_existence ledger ~jsn ~payload_digest:None proof)
+        model.m_payloads)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_model_agreement;
+    QCheck_alcotest.to_alcotest prop_proofs_after_ops;
+  ]

@@ -1,0 +1,226 @@
+(* Tests for the Merkle Patricia Trie and the ccMPT baseline. *)
+
+open Ledger_crypto
+open Ledger_merkle
+open Ledger_mpt
+
+let tc = Alcotest.test_case
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_nibbles () =
+  let n = Nibble.of_bytes (Bytes.of_string "\xAB\xCD") in
+  Alcotest.(check (list int)) "high nibble first" [ 0xA; 0xB; 0xC; 0xD ]
+    (Array.to_list n);
+  Alcotest.(check string) "hex render" "abcd" (Nibble.to_string n);
+  Alcotest.(check int) "64 nibbles per hash" 64
+    (Array.length (Nibble.of_hash (Hash.digest_string "x")));
+  let a = [| 1; 2; 3; 4 |] and b = [| 1; 2; 9 |] in
+  Alcotest.(check int) "common prefix" 2 (Nibble.common_prefix_length a 0 b 0);
+  Alcotest.(check int) "offset prefix" 1 (Nibble.common_prefix_length a 1 b 1)
+
+let test_mpt_basics () =
+  let t = Mpt.create () in
+  Alcotest.(check bool) "empty root" true (Hash.equal Hash.zero (Mpt.root_hash t));
+  Mpt.insert_string t ~key:"alpha" (Bytes.of_string "1");
+  Mpt.insert_string t ~key:"beta" (Bytes.of_string "2");
+  Alcotest.(check (option string)) "find alpha" (Some "1")
+    (Option.map Bytes.to_string (Mpt.find_string t ~key:"alpha"));
+  Alcotest.(check (option string)) "find missing" None
+    (Option.map Bytes.to_string (Mpt.find_string t ~key:"gamma"));
+  Alcotest.(check int) "cardinal" 2 (Mpt.cardinal t);
+  let before = Mpt.root_hash t in
+  Mpt.insert_string t ~key:"alpha" (Bytes.of_string "1'");
+  Alcotest.(check int) "overwrite keeps cardinal" 2 (Mpt.cardinal t);
+  Alcotest.(check bool) "root changes" false
+    (Hash.equal before (Mpt.root_hash t))
+
+let test_mpt_root_insensitive_to_order () =
+  let items = List.init 50 (fun i -> (Printf.sprintf "key-%d" i, string_of_int i)) in
+  let build order =
+    let t = Mpt.create () in
+    List.iter (fun (k, v) -> Mpt.insert_string t ~key:k (Bytes.of_string v)) order;
+    Mpt.root_hash t
+  in
+  let r1 = build items and r2 = build (List.rev items) in
+  Alcotest.(check bool) "same content, same root" true (Hash.equal r1 r2)
+
+let prop_mpt_model =
+  (* trie agrees with a Hashtbl model under random insertions, including
+     key overwrites *)
+  QCheck.Test.make ~name:"mpt agrees with map model" ~count:60
+    QCheck.(small_list (pair (int_range 0 40) small_nat))
+    (fun ops ->
+      let t = Mpt.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let key = "k" ^ string_of_int k in
+          Mpt.insert_string t ~key (Bytes.of_string (string_of_int v));
+          Hashtbl.replace model key (string_of_int v))
+        ops;
+      Hashtbl.length model = Mpt.cardinal t
+      && Hashtbl.fold
+           (fun k v acc ->
+             acc
+             && Mpt.find_string t ~key:k = Some (Bytes.of_string v))
+           model true)
+
+let prop_mpt_proofs =
+  QCheck.Test.make ~name:"mpt proofs verify and bind values" ~count:40
+    (QCheck.int_range 1 80) (fun n ->
+      let t = Mpt.create () in
+      for i = 0 to n - 1 do
+        Mpt.insert_string t
+          ~key:("key-" ^ string_of_int i)
+          (Bytes.of_string (string_of_int (i * i)))
+      done;
+      let root = Mpt.root_hash t in
+      List.for_all
+        (fun i ->
+          let key = "key-" ^ string_of_int i in
+          match Mpt.prove_string t ~key with
+          | None -> false
+          | Some proof ->
+              Mpt.verify_proof_string ~root ~key
+                ~value:(Bytes.of_string (string_of_int (i * i)))
+                proof
+              && not
+                   (Mpt.verify_proof_string ~root ~key
+                      ~value:(Bytes.of_string "forged") proof))
+        (List.init n Fun.id))
+
+let test_mpt_proof_wrong_root () =
+  let t = Mpt.create () in
+  Mpt.insert_string t ~key:"a" (Bytes.of_string "1");
+  Mpt.insert_string t ~key:"b" (Bytes.of_string "2");
+  let proof = Option.get (Mpt.prove_string t ~key:"a") in
+  let root = Mpt.root_hash t in
+  Mpt.insert_string t ~key:"c" (Bytes.of_string "3");
+  Alcotest.(check bool) "stale proof fails on new root" false
+    (Mpt.verify_proof_string ~root:(Mpt.root_hash t) ~key:"a"
+       ~value:(Bytes.of_string "1") proof);
+  Alcotest.(check bool) "stale proof valid on old root" true
+    (Mpt.verify_proof_string ~root ~key:"a" ~value:(Bytes.of_string "1") proof)
+
+let test_mpt_raw_keys () =
+  (* raw nibble keys exercise extension splitting deterministically *)
+  let t = Mpt.create () in
+  let k1 = [| 1; 2; 3; 4 |] and k2 = [| 1; 2; 3; 5 |] and k3 = [| 1; 9 |] in
+  Mpt.insert t ~key:k1 (Bytes.of_string "a");
+  Mpt.insert t ~key:k2 (Bytes.of_string "b");
+  Mpt.insert t ~key:k3 (Bytes.of_string "c");
+  Alcotest.(check (option string)) "k1" (Some "a")
+    (Option.map Bytes.to_string (Mpt.find t ~key:k1));
+  Alcotest.(check (option string)) "k2" (Some "b")
+    (Option.map Bytes.to_string (Mpt.find t ~key:k2));
+  Alcotest.(check (option string)) "k3" (Some "c")
+    (Option.map Bytes.to_string (Mpt.find t ~key:k3));
+  Alcotest.(check bool) "depth positive" true (Mpt.lookup_depth t ~key:k1 > 0);
+  let root = Mpt.root_hash t in
+  List.iter
+    (fun (k, v) ->
+      let proof = Option.get (Mpt.prove t ~key:k) in
+      Alcotest.(check bool) "raw proof" true
+        (Mpt.verify_proof ~root ~key:k ~value:(Bytes.of_string v) proof))
+    [ (k1, "a"); (k2, "b"); (k3, "c") ]
+
+let test_mpt_value_at_branch () =
+  (* a key that is a strict prefix of another puts its value on a branch *)
+  let t = Mpt.create () in
+  let short = [| 1; 2 |] and long = [| 1; 2; 3 |] in
+  Mpt.insert t ~key:long (Bytes.of_string "long");
+  Mpt.insert t ~key:short (Bytes.of_string "short");
+  Alcotest.(check (option string)) "short" (Some "short")
+    (Option.map Bytes.to_string (Mpt.find t ~key:short));
+  Alcotest.(check (option string)) "long" (Some "long")
+    (Option.map Bytes.to_string (Mpt.find t ~key:long));
+  let root = Mpt.root_hash t in
+  let proof = Option.get (Mpt.prove t ~key:short) in
+  Alcotest.(check bool) "branch-value proof" true
+    (Mpt.verify_proof ~root ~key:short ~value:(Bytes.of_string "short") proof)
+
+(* --- ccMPT ----------------------------------------------------------------- *)
+
+let jd i = Hash.digest_string ("j" ^ string_of_int i)
+
+let test_ccmpt () =
+  let acc = Accumulator.create () in
+  let cc = Ccmpt.create acc in
+  for i = 0 to 199 do
+    ignore (Accumulator.append acc (jd i));
+    Ccmpt.add cc ~clue:("c" ^ string_of_int (i mod 20)) ~jsn:i
+  done;
+  Alcotest.(check int) "counter" 10 (Ccmpt.counter cc ~clue:"c3");
+  Alcotest.(check int) "jsns count" 10 (List.length (Ccmpt.jsns cc ~clue:"c3"));
+  Alcotest.(check (list int)) "jsns ordered" [ 3; 23; 43 ]
+    (List.filteri (fun i _ -> i < 3) (Ccmpt.jsns cc ~clue:"c3"));
+  let proof = Option.get (Ccmpt.prove_clue cc ~clue:"c3") in
+  Alcotest.(check bool) "verifies" true
+    (Ccmpt.verify_clue cc ~clue:"c3" ~mpt_root:(Ccmpt.root_hash cc)
+       ~acc_root:(Accumulator.root acc) proof);
+  Alcotest.(check bool) "wrong clue fails" false
+    (Ccmpt.verify_clue cc ~clue:"c4" ~mpt_root:(Ccmpt.root_hash cc)
+       ~acc_root:(Accumulator.root acc) proof);
+  Alcotest.(check bool) "unknown clue" true
+    (Ccmpt.prove_clue cc ~clue:"nope" = None);
+  Alcotest.(check int) "unknown counter" 0 (Ccmpt.counter cc ~clue:"nope")
+
+let test_ccmpt_detects_dropped_journal () =
+  (* a cheating server that hides one of the m journals fails the count *)
+  let acc = Accumulator.create () in
+  let cc = Ccmpt.create acc in
+  for i = 0 to 9 do
+    ignore (Accumulator.append acc (jd i));
+    Ccmpt.add cc ~clue:"k" ~jsn:i
+  done;
+  let proof = Option.get (Ccmpt.prove_clue cc ~clue:"k") in
+  let truncated =
+    { proof with Ccmpt.journal_proofs = List.tl proof.Ccmpt.journal_proofs }
+  in
+  Alcotest.(check bool) "missing journal detected" false
+    (Ccmpt.verify_clue cc ~clue:"k" ~mpt_root:(Ccmpt.root_hash cc)
+       ~acc_root:(Accumulator.root acc) truncated)
+
+let base_suite =
+  [
+    tc "nibbles" `Quick test_nibbles;
+    tc "mpt basics" `Quick test_mpt_basics;
+    tc "mpt order independence" `Quick test_mpt_root_insensitive_to_order;
+    qcheck prop_mpt_model;
+    qcheck prop_mpt_proofs;
+    tc "mpt stale proof" `Quick test_mpt_proof_wrong_root;
+    tc "mpt raw keys" `Quick test_mpt_raw_keys;
+    tc "mpt value at branch" `Quick test_mpt_value_at_branch;
+    tc "ccmpt" `Quick test_ccmpt;
+    tc "ccmpt dropped journal" `Quick test_ccmpt_detects_dropped_journal;
+  ]
+
+(* random raw nibble keys, including prefix relationships *)
+let prop_mpt_raw_fuzz =
+  QCheck.Test.make ~name:"mpt fuzz with raw nibble keys" ~count:60
+    QCheck.(small_list (pair (list_of_size (Gen.int_range 1 6) (int_range 0 15)) small_nat))
+    (fun ops ->
+      let t = Mpt.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (key_list, v) ->
+          let key = Array.of_list key_list in
+          let value = Bytes.of_string (string_of_int v) in
+          Mpt.insert t ~key value;
+          Hashtbl.replace model key_list value)
+        ops;
+      let root = Mpt.root_hash t in
+      Hashtbl.fold
+        (fun key_list value acc ->
+          let key = Array.of_list key_list in
+          acc
+          && Mpt.find t ~key = Some value
+          &&
+          match Mpt.prove t ~key with
+          | None -> false
+          | Some proof -> Mpt.verify_proof ~root ~key ~value proof)
+        model true)
+
+let fuzz_suite = [ qcheck prop_mpt_raw_fuzz ]
+
+let suite = base_suite @ fuzz_suite

@@ -1,0 +1,221 @@
+(* Tests for ledger persistence and recovery: full round trips including
+   occult/purge erasure, receipt survival, and tamper-refusal on load. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+
+let tc = Alcotest.test_case
+
+let fresh_dir () =
+  let d = Filename.temp_file "ledgerdb" "snap" in
+  Sys.remove d;
+  d
+
+let build () =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "t" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "persist"; block_size = 4;
+      fam_delta = 3; crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"user" ~role:Roles.Regular_user in
+  let dba, dba_key = Ledger.new_member ledger ~name:"dba" ~role:Roles.Dba in
+  let reg, reg_key = Ledger.new_member ledger ~name:"reg" ~role:Roles.Regulator in
+  let receipts =
+    List.init 14 (fun i ->
+        Clock.advance_ms clock 100.;
+        Ledger.append ledger ~member:user ~priv:key
+          ~clues:[ "c" ^ string_of_int (i mod 2) ]
+          (Bytes.of_string (Printf.sprintf "record %d" i)))
+  in
+  Clock.advance_ms clock 1100.;
+  (match Ledger.anchor_via_t_ledger ledger with Ok _ -> () | Error _ -> assert false);
+  (ledger, config, receipts, (user, key), (dba, dba_key), (reg, reg_key), (tl, pool, clock))
+
+(* The T-Ledger and TSA pool are public services that outlive the ledger
+   process, so a reload reattaches to the same instances. *)
+let reload ?config (tl, pool, clock) dir =
+  let config =
+    Option.value config
+      ~default:
+        { Ledger.default_config with name = "persist"; block_size = 4;
+          fam_delta = 3; crypto = Crypto_profile.default_simulated }
+  in
+  Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir ()
+
+let test_roundtrip () =
+  let ledger, config, receipts, _, _, _, notary = build () in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  match reload ~config notary dir with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      Alcotest.(check int) "size" (Ledger.size ledger) (Ledger.size restored);
+      Alcotest.(check bool) "commitment preserved" true
+        (Hash.equal (Ledger.commitment ledger) (Ledger.commitment restored));
+      Alcotest.(check int) "blocks" (Ledger.block_count ledger)
+        (Ledger.block_count restored);
+      Alcotest.(check (option string)) "payload intact" (Some "record 5")
+        (Option.map Bytes.to_string (Ledger.payload restored 5));
+      Alcotest.(check int) "clue index rebuilt" 7
+        (Ledger.clue_entries restored "c1");
+      (* proofs still verify on the restored ledger *)
+      let p = Ledger.get_proof restored 9 in
+      Alcotest.(check bool) "existence proof" true
+        (Ledger.verify_existence restored ~jsn:9 ~payload_digest:None p);
+      (* receipts issued before the save still verify: block hashes and the
+         LSP key survived *)
+      let r = List.nth receipts 3 in
+      Alcotest.(check bool) "old receipt verifies" true
+        (Ledger.verify_receipt restored r);
+      Alcotest.(check bool) "old receipt tx matches" true
+        (Hash.equal r.Receipt.tx_hash (Ledger.tx_hash_of restored r.Receipt.jsn))
+
+let test_roundtrip_with_mutations () =
+  let ledger, config, _, (user, key), (dba, dba_key), (reg, reg_key), notary =
+    build ()
+  in
+  ignore user;
+  ignore key;
+  (* occult journal 2 *)
+  (match
+     Ledger.occult ledger ~target_jsn:2 ~mode:Ledger.Sync
+       ~signers:[ (dba, dba_key); (reg, reg_key) ] ~reason:"pii"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* purge the first 6 journals, keeping journal 4 *)
+  let affected = Ledger.affected_members ledger ~upto_jsn:6 in
+  let signers =
+    (dba, dba_key)
+    :: List.map
+         (fun (m : Roles.member) ->
+           if m.Roles.name = "user" then (m, key) else Alcotest.fail "member?")
+         affected
+  in
+  (match
+     Ledger.purge ledger
+       ~request:{ Ledger.upto_jsn = 6; survivors = [ 4 ]; erase_fam_nodes = false }
+       ~signers
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  match reload ~config notary dir with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      (* erasures survive the round trip *)
+      Alcotest.(check bool) "occulted still erased" true
+        (Ledger.payload restored 2 = None);
+      Alcotest.(check bool) "occult bit restored" true
+        (Ledger.is_occulted restored 2);
+      Alcotest.(check bool) "purged still erased" true
+        (Ledger.payload restored 3 = None);
+      Alcotest.(check (option string)) "survivor restored" (Some "record 4")
+        (Option.map Bytes.to_string (Ledger.read_survivor restored 4));
+      Alcotest.(check bool) "pseudo genesis restored" true
+        (Ledger.pseudo_genesis restored <> None);
+      (* the restored ledger still passes a Dasein audit *)
+      let report = Audit.run restored in
+      if not report.Audit.ok then
+        Alcotest.fail (Format.asprintf "%a" Audit.pp_report report)
+
+let test_load_refuses_tampered_snapshot () =
+  let ledger, config, _, _, _, _, notary = build () in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  (* flip one byte inside a journal record, at several offsets *)
+  let path = Filename.concat dir "journals.ldb" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let original = Bytes.create len in
+  really_input ic original 0 len;
+  close_in ic;
+  List.iter
+    (fun off ->
+      let data = Bytes.copy original in
+      Bytes.set data off (Char.chr (Char.code (Bytes.get data off) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      match reload ~config notary dir with
+      | Ok _ -> Alcotest.failf "tampered snapshot accepted (offset %d)" off
+      | Error _ -> ())
+    [ len / 4; len / 2; (3 * len) / 4; 40 ];
+  (* restore the original for the missing-dir check below *)
+  let oc = open_out_bin path in
+  output_bytes oc original;
+  close_out oc;
+  (* missing directory errors cleanly *)
+  match reload ~config notary (fresh_dir ()) with
+  | Ok _ -> Alcotest.fail "missing snapshot accepted"
+  | Error _ -> ()
+
+let test_continue_after_load () =
+  let ledger, config, _, _, _, _, ((_, _, clock) as notary) = build () in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  Clock.advance_sec clock 10. (* downtime between save and reload *);
+  match reload ~config notary dir with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      (* the restored ledger accepts new appends and stays consistent *)
+      let user = Option.get (Roles.find_by_name (Ledger.registry restored) "user") in
+      (* new_member seeds keys with "<config.name>:<member name>" *)
+      let key, pub = Ecdsa.generate ~seed:"persist:user" in
+      Alcotest.(check bool) "re-derived key matches registry" true
+        (Hash.equal (Ecdsa.public_key_id pub) user.Roles.id);
+      let before = Ledger.size restored in
+      let r =
+        Ledger.append restored ~member:user ~priv:key
+          ~clues:[ "c0" ] (Bytes.of_string "after reload")
+      in
+      Alcotest.(check int) "jsn continues" before r.Receipt.jsn;
+      let p = Ledger.get_proof restored r.Receipt.jsn in
+      Alcotest.(check bool) "new journal provable" true
+        (Ledger.verify_existence restored ~jsn:r.Receipt.jsn
+           ~payload_digest:None p);
+      let report = Audit.run restored in
+      Alcotest.(check bool) "audit after continuation" true report.Audit.ok
+
+let base_suite =
+  [
+    tc "save/load roundtrip" `Quick test_roundtrip;
+    tc "roundtrip with occult+purge" `Quick test_roundtrip_with_mutations;
+    tc "tampered snapshot refused" `Quick test_load_refuses_tampered_snapshot;
+    tc "append after load" `Quick test_continue_after_load;
+  ]
+
+let test_roundtrip_with_member_ca () =
+  let clock = Clock.create () in
+  let ca_priv, ca_pub = Ecdsa.generate ~seed:"persist-ca" in
+  let config =
+    { Ledger.default_config with name = "persist-ca"; block_size = 4;
+      fam_delta = 3; crypto = Crypto_profile.default_simulated;
+      member_ca = Some ca_pub }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let m, k = Ledger.new_member ~ca_priv ledger ~name:"cmember" ~role:Roles.Regular_user in
+  for i = 0 to 5 do
+    Clock.advance_ms clock 10.;
+    ignore (Ledger.append ledger ~member:m ~priv:k (Bytes.of_string (string_of_int i)))
+  done;
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  match Ledger.load ~config ~clock ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      Alcotest.(check bool) "certificate restored" true
+        (Roles.certificate_of (Ledger.registry restored) m.Roles.id <> None);
+      Alcotest.(check bool) "CA ledger audits after reload" true
+        (Audit.run restored).Audit.ok
+
+let ca_persist_suite =
+  [ tc "roundtrip with member CA" `Quick test_roundtrip_with_member_ca ]
+
+let suite = base_suite @ ca_persist_suite

@@ -1,0 +1,190 @@
+(* Tests for the storage substrate: clock, latency model, stream store,
+   bitmap index and KV store. *)
+
+open Ledger_storage
+
+let tc = Alcotest.test_case
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check int64) "starts at 0" 0L (Clock.now c);
+  Clock.advance c 100L;
+  Clock.advance_ms c 2.;
+  Clock.advance_sec c 0.001;
+  Alcotest.(check int64) "accumulates" 3100L (Clock.now c);
+  Alcotest.(check int64) "elapsed" 3000L (Clock.elapsed_since c 100L);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Clock.advance: negative") (fun () ->
+      Clock.advance c (-1L))
+
+let test_latency_model () =
+  let c = Clock.create () in
+  let m = Latency_model.default in
+  Latency_model.charge_seek m c;
+  let after_seek = Clock.now c in
+  Alcotest.(check bool) "seek costs" true (Int64.compare after_seek 0L > 0);
+  Latency_model.charge_read m c ~bytes:(1 lsl 20);
+  Alcotest.(check bool) "read charges transfer" true
+    (Int64.compare (Clock.now c) (Int64.add after_seek 1000L) > 0);
+  let free = Clock.create () in
+  Latency_model.charge_read Latency_model.free free ~bytes:(1 lsl 20);
+  Alcotest.(check int64) "free model charges nothing" 0L (Clock.now free)
+
+let test_stream_store_basic () =
+  let store = Stream_store.create () in
+  let s = Stream_store.stream store "journals" in
+  Alcotest.(check string) "name" "journals" (Stream_store.stream_name s);
+  let i0 = Stream_store.append s (Bytes.of_string "alpha") in
+  let i1 = Stream_store.append s (Bytes.of_string "beta") in
+  Alcotest.(check int) "dense indices" 1 i1;
+  Alcotest.(check string) "read back" "alpha"
+    (Bytes.to_string (Stream_store.read s i0));
+  Alcotest.(check int) "length" 2 (Stream_store.length s);
+  Alcotest.(check int) "bytes" 9 (Stream_store.total_bytes s);
+  (* records are isolated copies *)
+  let b = Stream_store.read s i0 in
+  Bytes.set b 0 'X';
+  Alcotest.(check string) "isolation" "alpha"
+    (Bytes.to_string (Stream_store.read s i0))
+
+let test_stream_store_erase () =
+  let store = Stream_store.create () in
+  let s = Stream_store.stream store "j" in
+  let i = Stream_store.append s (Bytes.of_string "secret") in
+  ignore (Stream_store.append s (Bytes.of_string "public"));
+  Stream_store.erase s i;
+  Alcotest.(check bool) "erased flagged" true (Stream_store.is_erased s i);
+  Alcotest.(check bool) "read_opt none" true (Stream_store.read_opt s i = None);
+  Alcotest.check_raises "read raises" Not_found (fun () ->
+      ignore (Stream_store.read s i));
+  Alcotest.(check int) "length unchanged" 2 (Stream_store.length s);
+  Alcotest.(check int) "bytes shrink" 6 (Stream_store.total_bytes s);
+  (* iter skips erased *)
+  let seen = ref [] in
+  Stream_store.iter s (fun i b -> seen := (i, Bytes.to_string b) :: !seen);
+  Alcotest.(check (list (pair int string))) "iter skips" [ (1, "public") ] !seen;
+  Stream_store.erase s i (* idempotent *)
+
+let test_stream_store_latency () =
+  let store = Stream_store.create () in
+  let s = Stream_store.stream store "j" in
+  let i = Stream_store.append s (Bytes.make 8192 'x') in
+  let c = Clock.create () in
+  ignore (Stream_store.read ~latency:(Latency_model.default, c) s i);
+  Alcotest.(check bool) "read charged" true (Int64.compare (Clock.now c) 0L > 0)
+
+let test_stream_store_growth () =
+  let store = Stream_store.create () in
+  let s = Stream_store.stream store "big" in
+  for i = 0 to 999 do
+    ignore (Stream_store.append s (Bytes.of_string (string_of_int i)))
+  done;
+  Alcotest.(check int) "1000 records" 1000 (Stream_store.length s);
+  Alcotest.(check string) "spot check" "742"
+    (Bytes.to_string (Stream_store.read s 742));
+  Alcotest.(check bool) "page count positive" true (Stream_store.page_count s > 0)
+
+let test_stream_store_persist () =
+  let dir = Filename.temp_file "ledger" "store" in
+  Sys.remove dir;
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "j" in
+  ignore (Stream_store.append s (Bytes.of_string "persisted"));
+  Stream_store.persist store;
+  Alcotest.(check bool) "log file exists" true
+    (Sys.file_exists (Filename.concat dir "j.log"))
+
+let test_bitmap () =
+  let b = Bitmap_index.create () in
+  Alcotest.(check bool) "empty" false (Bitmap_index.mem b 5);
+  Bitmap_index.set b 5;
+  Bitmap_index.set b 5;
+  Bitmap_index.set b 1000;
+  Alcotest.(check int) "cardinal dedups" 2 (Bitmap_index.cardinal b);
+  Alcotest.(check bool) "mem 1000" true (Bitmap_index.mem b 1000);
+  Alcotest.(check (option int)) "max" (Some 1000) (Bitmap_index.max_set b);
+  let seen = ref [] in
+  Bitmap_index.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "iter order" [ 1000; 5 ] !seen;
+  Bitmap_index.clear b 5;
+  Alcotest.(check bool) "cleared" false (Bitmap_index.mem b 5);
+  Alcotest.(check int) "cardinal after clear" 1 (Bitmap_index.cardinal b);
+  Alcotest.(check bool) "negative mem" false (Bitmap_index.mem b (-3))
+
+let test_kv_store () =
+  let store = Stream_store.create () in
+  let kv = Kv_store.create store ~name:"state" in
+  let a0 = Kv_store.put kv "alice" (Bytes.of_string "100") in
+  let a1 = Kv_store.put kv "alice" (Bytes.of_string "250") in
+  Alcotest.(check bool) "addresses advance" true (a1 > a0);
+  Alcotest.(check (option string)) "latest value" (Some "250")
+    (Option.map Bytes.to_string (Kv_store.get kv "alice"));
+  Alcotest.(check int) "version count" 2 (Kv_store.versions kv "alice");
+  Alcotest.(check int) "cardinal" 1 (Kv_store.cardinal kv);
+  Alcotest.(check bool) "missing" true (Kv_store.get kv "bob" = None);
+  Alcotest.(check (option int)) "address" (Some a1) (Kv_store.get_address kv "alice")
+
+let test_kv_binary_safety () =
+  let store = Stream_store.create () in
+  let kv = Kv_store.create store ~name:"bin" in
+  let payload = Bytes.of_string "with\000nul\000bytes" in
+  ignore (Kv_store.put kv "k" payload);
+  Alcotest.(check (option string)) "nul-safe value"
+    (Some (Bytes.to_string payload))
+    (Option.map Bytes.to_string (Kv_store.get kv "k"))
+
+let prop_bitmap_model =
+  QCheck.Test.make ~name:"bitmap agrees with set model" ~count:100
+    QCheck.(small_list (int_range 0 500))
+    (fun ops ->
+      let b = Bitmap_index.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          Bitmap_index.set b i;
+          Hashtbl.replace model i ())
+        ops;
+      Hashtbl.length model = Bitmap_index.cardinal b
+      && List.for_all (fun i -> Bitmap_index.mem b i) ops)
+
+let base_suite =
+  [
+    tc "clock" `Quick test_clock;
+    tc "latency model" `Quick test_latency_model;
+    tc "stream store basics" `Quick test_stream_store_basic;
+    tc "stream store erase" `Quick test_stream_store_erase;
+    tc "stream store latency" `Quick test_stream_store_latency;
+    tc "stream store growth" `Quick test_stream_store_growth;
+    tc "stream store persist" `Quick test_stream_store_persist;
+    tc "bitmap index" `Quick test_bitmap;
+    tc "kv store" `Quick test_kv_store;
+    tc "kv nul safety" `Quick test_kv_binary_safety;
+    QCheck_alcotest.to_alcotest prop_bitmap_model;
+  ]
+
+let test_compaction () =
+  let store = Stream_store.create () in
+  let s = Stream_store.stream store "c" in
+  for i = 0 to 9 do
+    ignore (Stream_store.append s (Bytes.of_string ("r" ^ string_of_int i)))
+  done;
+  Stream_store.erase s 2;
+  Stream_store.erase s 5;
+  Stream_store.erase s 9;
+  Alcotest.(check int) "live before" 7 (Stream_store.live_records s);
+  let remaps = ref [] in
+  let reclaimed = Stream_store.compact s (fun o n -> remaps := (o, n) :: !remaps) in
+  Alcotest.(check int) "reclaimed" 3 reclaimed;
+  Alcotest.(check int) "length after" 7 (Stream_store.length s);
+  (* every survivor readable at its new index with the same content *)
+  List.iter
+    (fun (o, n) ->
+      Alcotest.(check string) "remapped content"
+        ("r" ^ string_of_int o)
+        (Bytes.to_string (Stream_store.read s n)))
+    !remaps;
+  Alcotest.(check int) "remap count" 7 (List.length !remaps)
+
+let compaction_suite = [ tc "stream compaction" `Quick test_compaction ]
+
+let suite = base_suite @ compaction_suite

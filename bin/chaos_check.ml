@@ -1,0 +1,131 @@
+(* Fixed-seed chaos smoke check, wired into `dune runtest`.
+
+   Runs a small battery of deterministic fault schedules — storage damage
+   against saved snapshots, a lossy transport under a replica pull — and
+   enforces the robustness contract: every schedule must end in either a
+   verified recovery or an explicit refusal.  Any silently-wrong outcome
+   exits non-zero.  Seeds are fixed so a failure here reproduces
+   byte-identically with `dune exec bin/chaos_check.exe`. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+open Ledger_fault
+open Ledger_bench_util
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %s\n" msg)
+    fmt
+
+let fresh_dir tag =
+  let d = Filename.temp_file "chaos_check" tag in
+  Sys.remove d;
+  d
+
+let build_ledger () =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "cc" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "chaos-check"; block_size = 4;
+      fam_delta = 3; crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key =
+    Ledger.new_member ledger ~name:"smoke" ~role:Roles.Regular_user
+  in
+  for i = 0 to 9 do
+    Clock.advance_ms clock 50.;
+    ignore
+      (Ledger.append ledger ~member:user ~priv:key
+         (Bytes.of_string (Printf.sprintf "smoke %d" i)))
+  done;
+  Clock.advance_ms clock 1100.;
+  (match Ledger.anchor_via_t_ledger ledger with
+  | Ok _ -> ()
+  | Error _ -> failwith "anchor failed");
+  Ledger.seal_block ledger;
+  (clock, ledger, config, tl, pool)
+
+let storage_schedule seed =
+  let clock, ledger, config, tl, pool = build_ledger () in
+  let size = Ledger.size ledger in
+  let originals =
+    List.init size (fun i ->
+        Option.map Bytes.to_string (Ledger.payload ledger i))
+  in
+  let dir = fresh_dir "snap" in
+  Ledger.save ledger ~dir;
+  let bit_flips, truncations =
+    if seed mod 2 = 0 then (1, 0) else (0, 1)
+  in
+  let plan =
+    Fault_plan.plan ~seed ~bit_flips ~truncations ~only:[ "journals.ldb" ]
+      ~dir ()
+  in
+  Fault_plan.apply plan ~dir;
+  (match Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir () with
+  | Ok _ -> fail "seed %d: strict load accepted damaged snapshot" seed
+  | Error _ -> ());
+  match
+    Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true ~clock
+      ~dir ()
+  with
+  | Error msg -> Printf.printf "ok   seed %d: refused (%s)\n" seed msg
+  | Ok (restored, report) ->
+      let faithful =
+        report.Ledger.replayed <= size
+        && List.for_all
+             (fun jsn ->
+               Option.map Bytes.to_string (Ledger.payload restored jsn)
+               = List.nth originals jsn)
+             (List.init report.Ledger.replayed Fun.id)
+        && (report.Ledger.replayed = size
+           || (report.Ledger.torn_tail
+              && report.Ledger.checkpoint = `Partial))
+      in
+      if faithful then
+        Printf.printf "ok   seed %d: recovered %d/%d journals (%s)\n" seed
+          report.Ledger.replayed size
+          (match report.Ledger.checkpoint with
+          | `Verified -> "verified"
+          | `Partial -> "partial")
+      else fail "seed %d: recovery returned unfaithful data" seed
+
+let transport_schedule seed =
+  let clock, remote, config, tl, pool = build_ledger () in
+  let rng = Det_rng.create ~seed in
+  let ft =
+    Faulty_transport.create ~rng
+      ~config:(Faulty_transport.lossy ())
+      ~clock (Service.handle remote)
+  in
+  match
+    Replica.pull_verbose ~transport:(Faulty_transport.transport ft) ~config
+      ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:(fresh_dir "pull") ()
+  with
+  | Error e ->
+      fail "seed %d: flaky pull failed: %s" seed (Replica.error_to_string e)
+  | Ok (replica, stats) ->
+      if Hash.equal (Ledger.commitment replica) (Ledger.commitment remote)
+      then
+        Printf.printf "ok   seed %d: pull converged (%s; %d retries)\n" seed
+          (Faulty_transport.stats_to_string (Faulty_transport.stats ft))
+          stats.Replica.retries
+      else fail "seed %d: flaky pull produced a divergent replica" seed
+
+let () =
+  List.iter storage_schedule [ 1; 2; 3; 4 ];
+  List.iter transport_schedule [ 11; 12 ];
+  if !failures > 0 then begin
+    Printf.printf "chaos check: %d schedule(s) violated the contract\n"
+      !failures;
+    exit 1
+  end
+  else print_endline "chaos check: all schedules recovered or refused"

@@ -1,0 +1,105 @@
+(* An auditor pulling a replica over a hostile network.
+
+   The transport between the auditor and the LSP drops 5% of messages,
+   garbles 1% and occasionally delays or reorders them.  The pull
+   survives anyway: the Transport retry policy re-asks after drops,
+   garbled responses fail to decode and are re-fetched, and — when the
+   link dies completely mid-pull — the CRC-framed staging file lets the
+   next attempt resume from the last journal that made it to disk
+   instead of starting over.  Verification is never relaxed: whatever
+   arrives is replayed through the commit path and checked against the
+   announced checkpoint.
+
+   Run with: dune exec examples/flaky_auditor.exe *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+open Ledger_fault
+open Ledger_bench_util
+
+let () =
+  (* The LSP's world: a ledger with some history. *)
+  let clock = Clock.create () in
+  let tsa = Tsa.pool [ Tsa.create ~clock "flaky-tsa" ] in
+  let t_ledger = T_ledger.create ~clock ~tsa () in
+  let config =
+    { Ledger.default_config with name = "flaky"; block_size = 4;
+      fam_delta = 3; crypto = Crypto_profile.default_simulated }
+  in
+  let remote = Ledger.create ~config ~t_ledger ~tsa ~clock () in
+  let user, key =
+    Ledger.new_member remote ~name:"writer" ~role:Roles.Regular_user
+  in
+  for i = 0 to 15 do
+    Clock.advance_ms clock 100.;
+    ignore
+      (Ledger.append remote ~member:user ~priv:key
+         ~clues:[ "batch-" ^ string_of_int (i / 4) ]
+         (Bytes.of_string (Printf.sprintf "entry %d" i)))
+  done;
+  Clock.advance_ms clock 1100.;
+  (match Ledger.anchor_via_t_ledger remote with
+  | Ok _ -> ()
+  | Error _ -> failwith "anchor rejected");
+  Ledger.seal_block remote;
+  Printf.printf "LSP serves %d journals, %d sealed blocks\n"
+    (Ledger.size remote) (Ledger.block_count remote);
+
+  (* The network: 5%% loss, 1%% garbling, plus delays and reordering. *)
+  let rng = Det_rng.create ~seed:2022 in
+  let ft =
+    Faulty_transport.create ~rng
+      ~config:
+        (Faulty_transport.lossy ~drop:0.05 ~garble:0.01 ~reorder:0.02
+           ~delay:0.1 ~delay_ms:250. ())
+      ~clock (Service.handle remote)
+  in
+
+  (* First attempt: the link additionally dies for good partway through
+     the journal fetch, stranding a staged prefix on disk. *)
+  let scratch = Filename.temp_file "flaky" "replica" in
+  Sys.remove scratch;
+  let journals_seen = ref 0 in
+  let dying req =
+    (match Service.decode_request req with
+    | Some (Service.Get_journal _) ->
+        incr journals_seen;
+        if !journals_seen > 7 then
+          raise (Transport.Timeout "backbone cut")
+    | _ -> ());
+    Faulty_transport.transport ft req
+  in
+  (match
+     Replica.pull_verbose ~transport:dying ~policy:Transport.no_retry ~config
+       ~t_ledger ~tsa ~clock ~scratch_dir:scratch ()
+   with
+  | Ok _ -> failwith "pull should have died with the link"
+  | Error e ->
+      Printf.printf "first pull failed as expected: %s\n"
+        (Replica.error_to_string e));
+
+  (* Second attempt: the backbone is repaired but the link stays lossy.
+     The pull resumes from the staged journals and retries through the
+     remaining faults until it converges. *)
+  (match
+     Replica.pull_verbose
+       ~transport:(Faulty_transport.transport ft)
+       ~config ~t_ledger ~tsa ~clock ~scratch_dir:scratch ()
+   with
+  | Error e -> failwith ("second pull failed: " ^ Replica.error_to_string e)
+  | Ok (replica, stats) ->
+      Printf.printf "second pull converged: resumed from journal %d, %d requests, %d retries\n"
+        stats.Replica.resumed_from stats.Replica.requests
+        stats.Replica.retries;
+      Printf.printf "network damage along the way: %s\n"
+        (Faulty_transport.stats_to_string (Faulty_transport.stats ft));
+      assert (Ledger.size replica = Ledger.size remote);
+      assert
+        (Hash.equal (Ledger.commitment replica) (Ledger.commitment remote));
+      let report = Audit.run replica in
+      Printf.printf "replica audit over the flaky link: %s\n"
+        (if report.Audit.ok then "PASSED" else "FAILED");
+      assert report.Audit.ok);
+  print_endline "flaky auditor done: lossy links slow the pull, never poison it"

@@ -1,0 +1,47 @@
+(** Deterministic storage fault injection.
+
+    A fault plan is a seeded, reproducible schedule of damage against the
+    files of a snapshot directory ({!Ledger.save} output, replica staging,
+    or stream-store logs): single bit flips (media rot), tail truncations
+    (crash mid-write / torn page) and zeroed ranges (trim gone wrong).
+    Because the plan derives entirely from its {!Det_rng} seed and the
+    sorted directory listing, every chaos run replays byte-identically —
+    a failing seed is a bug report.
+
+    The acceptance contract exercised by the chaos suite: after applying
+    any plan, a subsequent {!Ledger.load_verbose} either {e recovers}
+    (torn tail: intact prefix replayed and reported) or {e refuses
+    loudly} (corrupt record: first bad jsn named).  No plan may ever
+    yield a silently-wrong ledger. *)
+
+type kind =
+  | Bit_flip of { offset : int; mask : int }
+  | Truncate_tail of { drop : int }
+  | Zero_range of { offset : int; len : int }
+
+type fault = { file : string; kind : kind }
+
+type t
+
+val seed : t -> int
+val faults : t -> fault list
+val fault_to_string : fault -> string
+val to_string : t -> string
+
+val plan :
+  seed:int ->
+  ?bit_flips:int ->
+  ?truncations:int ->
+  ?zero_ranges:int ->
+  ?only:string list ->
+  dir:string ->
+  unit ->
+  t
+(** Draw the requested number of faults against the (non-empty, regular)
+    files of [dir]; [only] restricts the candidate files by name.
+    Offsets, masks and lengths all come from the seeded rng. *)
+
+val apply : t -> dir:string -> unit
+(** Inflict every fault on the files under [dir]. *)
+
+val apply_fault : dir:string -> fault -> unit

@@ -912,25 +912,30 @@ end
 (* --- persistence ------------------------------------------------------------ *)
 
 (* On-disk layout (directory):
-     journals.ldb   [u32 tx?][8-byte len][Journal_codec encoding] per record,
-                    prefixed by the retained tx hash (Protocol 2: occulted
+     journals.ldb   one CRC-32 frame ({!Framing}) per record; the frame
+                    payload is [32-byte tx][Journal_codec encoding] — the
+                    retained tx hash comes first (Protocol 2: occulted
                     and purged journals cannot be re-hashed from content)
-     members.ldb    one "role\thex-pubkey\tname" line per member
+     members.ldb    one "role\thex-pubkey\tcert\tname" line per member
      blocks.ldb     one line per sealed block (all fields, hashes in hex)
-     survivors.ldb  [8-byte jsn][8-byte len][payload] per survivor record
-     meta.ldb       name / size / nonce / commitment / clue root checkpoints *)
+     survivors.ldb  one CRC-32 frame per survivor record
+     meta.ldb       name / size / nonce / commitment / clue root checkpoints
 
-let output_u64 oc v =
-  for i = 7 downto 0 do
-    output_char oc (Char.chr ((v lsr (i * 8)) land 0xFF))
-  done
+   The CRC framing lets [load] tell a torn tail (crash mid-save: the
+   intact prefix is recoverable) from a corrupted record (checksum fails
+   on a complete frame: the snapshot is refused with the first bad jsn).
+   Above the framing, the replay re-derives every tree and compares the
+   recorded checkpoints, so framing-valid but semantically tampered
+   snapshots are still refused. *)
 
-let input_u64 ic =
-  let v = ref 0 in
-  for _ = 1 to 8 do
-    v := (!v lsl 8) lor Char.code (input_char ic)
-  done;
-  !v
+type load_report = {
+  replayed : int;
+  declared_size : int option;
+  torn_tail : bool;
+  dropped_bytes : int;
+  blocks_dropped : int;
+  checkpoint : [ `Verified | `Partial ];
+}
 
 let save t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -953,9 +958,10 @@ let save t ~dir =
         in
         let j = { s.journal with Journal.payload = current_payload } in
         let enc = Journal_codec.encode j in
-        output_bytes oc (Hash.to_bytes s.tx);
-        output_u64 oc (Bytes.length enc);
-        output_bytes oc enc
+        let frame = Bytes.create (32 + Bytes.length enc) in
+        Bytes.blit (Hash.to_bytes s.tx) 0 frame 0 32;
+        Bytes.blit enc 0 frame 32 (Bytes.length enc);
+        Framing.write oc frame
       done);
   with_out "members.ldb" (fun oc ->
       List.iter
@@ -988,9 +994,7 @@ let save t ~dir =
             b.Block.timestamp)
         (blocks t));
   with_out "survivors.ldb" (fun oc ->
-      Stream_store.iter t.survival_stream (fun _ rec_ ->
-          output_u64 oc (Bytes.length rec_);
-          output_bytes oc rec_));
+      Stream_store.iter t.survival_stream (fun _ rec_ -> Framing.write oc rec_));
   with_out "meta.ldb" (fun oc ->
       Printf.fprintf oc "name=%s\nsize=%d\nnonce=%d\ncommitment=%s\nclue_root=%s\npseudo_genesis=%s\n"
         t.cfg.name t.count t.nonce
@@ -1014,7 +1018,8 @@ let parse_meta path =
    with End_of_file -> close_in ic);
   tbl
 
-let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
+let load_verbose ?(config = default_config) ?t_ledger ?tsa ?(recover = false)
+    ~clock ~dir () =
   let in_dir f = Filename.concat dir f in
   try
     let meta = parse_meta (in_dir "meta.ldb") in
@@ -1063,23 +1068,58 @@ let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
          | _ -> ()
        done
      with End_of_file -> close_in ic);
-    (* journals: replay with retained tx hashes, suppressing auto-seal *)
+    (* journals: replay with retained tx hashes, suppressing auto-seal.
+       Each frame is CRC-checked before any byte reaches the codec; the
+       first complete-but-invalid frame names the first bad jsn and
+       refuses the snapshot, while a torn final frame (crash mid-save)
+       is recoverable when [recover] is set. *)
+    let torn_tail = ref false in
+    let dropped_bytes = ref 0 in
+    let torn_at = ref None in
     let ic = open_in_bin (in_dir "journals.ldb") in
-    let read_hash () =
-      let b = Bytes.create 32 in
-      really_input ic b 0 32;
-      Hash.of_bytes b
-    in
     (try
-       while true do
-         let tx = read_hash () in
-         let len = input_u64 ic in
-         if len < 0 || len > 1 lsl 30 then failwith "corrupt record length";
-         let enc = Bytes.create len in
-         really_input ic enc 0 len;
-         match Journal_codec.decode enc with
-         | None -> failwith "corrupt journal record"
-         | Some j ->
+       let continue = ref true in
+       while !continue do
+         match Framing.read ic with
+         | Framing.End -> continue := false
+         | Framing.Corrupt { offset } ->
+             failwith
+               (Printf.sprintf
+                  "journals.ldb: corrupt record at byte %d — first bad jsn %d"
+                  offset t.count)
+         | Framing.Torn { offset; dropped_bytes = db } ->
+             if recover then begin
+               torn_tail := true;
+               dropped_bytes := db;
+               torn_at := Some offset;
+               continue := false
+             end
+             else
+               failwith
+                 (Printf.sprintf
+                    "journals.ldb: torn tail after jsn %d (%d trailing bytes); \
+                     recovery disabled"
+                    (t.count - 1) db)
+         | Framing.Record frame -> (
+             if Bytes.length frame < 32 then
+               failwith
+                 (Printf.sprintf
+                    "journals.ldb: short record — first bad jsn %d" t.count);
+             let tx = Hash.of_bytes (Bytes.sub frame 0 32) in
+             let enc = Bytes.sub frame 32 (Bytes.length frame - 32) in
+             match Journal_codec.decode enc with
+             | None ->
+                 failwith
+                   (Printf.sprintf
+                      "journals.ldb: undecodable record — first bad jsn %d"
+                      t.count)
+             | Some j when j.Journal.jsn <> t.count ->
+                 failwith
+                   (Printf.sprintf
+                      "journals.ldb: record claims jsn %d in slot %d — first \
+                       bad jsn %d"
+                      j.Journal.jsn t.count t.count)
+             | Some j ->
              ensure_slot_capacity t;
              let store_index = Stream_store.append t.journal_stream j.Journal.payload in
              let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
@@ -1109,12 +1149,24 @@ let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
                  Bitmap_index.set t.occult_bits target_jsn
              | Journal.Pseudo_genesis _ ->
                  t.pseudo_genesis_jsn <- Some j.Journal.jsn
-             | Journal.Normal | Journal.Purge _ -> ())
-       done
-     with End_of_file -> close_in ic);
-    (* blocks: restore verbatim (timestamps included, so hashes match) *)
+             | Journal.Normal | Journal.Purge _ -> ()))
+       done;
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    (* a recovered torn tail is truncated off the file so the next
+       save/load cycle starts from a sound prefix *)
+    (match !torn_at with
+    | Some keep -> Framing.truncate_file (in_dir "journals.ldb") ~keep
+    | None -> ());
+    (* blocks: restore verbatim (timestamps included, so hashes match).
+       After a torn-tail recovery, blocks covering journals that did not
+       survive are dropped — they will be re-sealed as the ledger grows
+       back. *)
     let ic = open_in (in_dir "blocks.ldb") in
     let covered = ref 0 in
+    let blocks_dropped = ref 0 in
     (try
        while true do
          let line = input_line ic in
@@ -1128,9 +1180,13 @@ let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
                  world_state_root = Hash.of_hex wsr;
                  tx_root = Hash.of_hex txr; timestamp }
              in
-             t.blocks <- b :: t.blocks;
-             t.block_count <- t.block_count + 1;
-             covered := start_jsn + count)
+             if !torn_tail && start_jsn + count > t.count then
+               incr blocks_dropped
+             else begin
+               t.blocks <- b :: t.blocks;
+               t.block_count <- t.block_count + 1;
+               covered := start_jsn + count
+             end)
        done
      with End_of_file -> close_in ic);
     (* the tail journals (unsealed at save time) re-enter the open block *)
@@ -1143,18 +1199,40 @@ let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
     let surv = in_dir "survivors.ldb" in
     if Sys.file_exists surv then begin
       let ic = open_in_bin surv in
+      let add rec_ =
+        ignore (Stream_store.append t.survival_stream rec_);
+        if Bytes.length rec_ >= 16 then
+          match int_of_string_opt (String.trim (Bytes.sub_string rec_ 0 15)) with
+          | Some jsn -> t.survivor_jsns <- jsn :: t.survivor_jsns
+          | None -> ()
+      in
       (try
-         while true do
-           let len = input_u64 ic in
-           let rec_ = Bytes.create len in
-           really_input ic rec_ 0 len;
-           ignore (Stream_store.append t.survival_stream rec_);
-           if Bytes.length rec_ >= 16 then
-             match int_of_string_opt (String.trim (Bytes.sub_string rec_ 0 15)) with
-             | Some jsn -> t.survivor_jsns <- jsn :: t.survivor_jsns
-             | None -> ()
-         done
-       with End_of_file -> close_in ic)
+         let continue = ref true in
+         while !continue do
+           match Framing.read ic with
+           | Framing.End -> continue := false
+           | Framing.Record rec_ -> add rec_
+           | Framing.Corrupt { offset } ->
+               failwith
+                 (Printf.sprintf "survivors.ldb: corrupt record at byte %d"
+                    offset)
+           | Framing.Torn { dropped_bytes = db; _ } ->
+               if recover then begin
+                 torn_tail := true;
+                 dropped_bytes := !dropped_bytes + db;
+                 continue := false
+               end
+               else
+                 failwith
+                   (Printf.sprintf
+                      "survivors.ldb: torn tail (%d trailing bytes); recovery \
+                       disabled"
+                      db)
+         done;
+         close_in ic
+       with e ->
+         close_in_noerr ic;
+         raise e)
     end;
     (* Re-derive each journal's leaf from its content.  A mismatch with a
        non-empty payload is tampering; with an empty payload it marks a
@@ -1173,25 +1251,45 @@ let load ?(config = default_config) ?t_ledger ?tsa ~clock ~dir () =
     (match find "nonce" with
     | Some n -> t.nonce <- int_of_string n
     | None -> ());
-    (* integrity checkpoints *)
-    (match find "size" with
-    | Some n when int_of_string n <> t.count ->
-        failwith
-          (Printf.sprintf "size mismatch: meta says %s, replayed %d" n t.count)
-    | Some _ | None -> ());
-    (match find "commitment" with
-    | Some hex when hex <> "" && t.count > 0 ->
-        if not (Hash.equal (Hash.of_hex hex) (commitment t)) then
-          failwith "commitment mismatch after replay"
-    | Some _ | None -> ());
-    (match find "clue_root" with
-    | Some hex ->
-        if not (Hash.equal (Hash.of_hex hex) (Cm_tree.root_hash t.cm)) then
-          failwith "clue root mismatch after replay"
-    | None -> ());
-    Ok t
+    (* integrity checkpoints.  After a torn-tail recovery the replayed
+       prefix is shorter than the declared size, so the recorded
+       commitment/clue-root cannot reproduce: the load still succeeds but
+       the report says [`Partial] — callers must re-verify against an
+       external anchor (T-Ledger entry, receipts) before trusting it. *)
+    let declared_size = Option.map int_of_string (find "size") in
+    let partial =
+      !torn_tail
+      && match declared_size with Some n -> t.count < n | None -> false
+    in
+    if not partial then begin
+      (match declared_size with
+      | Some n when n <> t.count ->
+          failwith
+            (Printf.sprintf "size mismatch: meta says %d, replayed %d" n
+               t.count)
+      | Some _ | None -> ());
+      (match find "commitment" with
+      | Some hex when hex <> "" && t.count > 0 ->
+          if not (Hash.equal (Hash.of_hex hex) (commitment t)) then
+            failwith "commitment mismatch after replay"
+      | Some _ | None -> ());
+      match find "clue_root" with
+      | Some hex ->
+          if not (Hash.equal (Hash.of_hex hex) (Cm_tree.root_hash t.cm)) then
+            failwith "clue root mismatch after replay"
+      | None -> ()
+    end;
+    Ok
+      ( t,
+        { replayed = t.count; declared_size; torn_tail = !torn_tail;
+          dropped_bytes = !dropped_bytes; blocks_dropped = !blocks_dropped;
+          checkpoint = (if partial then `Partial else `Verified) } )
   with
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
   | Scanf.Scan_failure msg -> Error ("blocks.ldb: " ^ msg)
+  | Stream_store.Read_error e -> Error (Stream_store.read_error_to_string e)
   | End_of_file -> Error "unexpected end of file"
+
+let load ?config ?t_ledger ?tsa ~clock ~dir () =
+  Result.map fst (load_verbose ?config ?t_ledger ?tsa ~recover:false ~clock ~dir ())

@@ -324,11 +324,30 @@ end
     accumulator leaves, so occulted/purged content stays erased), the
     block chain (timestamps preserved so block hashes — and therefore
     receipts — survive the round trip), membership, and the survival
-    stream.  [load] replays the journals through the same commit path and
-    then checks the recorded commitment and clue-root checkpoints, so a
-    corrupted or tampered snapshot is refused. *)
+    stream.  Journal and survivor records are CRC-32 framed
+    ({!Ledger_storage.Framing}), so a load can tell a {e torn tail} (crash
+    mid-save; the intact prefix is recoverable) from a {e corrupted
+    record} (refused, naming the first bad jsn).  [load] replays the
+    journals through the same commit path and then checks the recorded
+    commitment and clue-root checkpoints, so a framing-valid but tampered
+    snapshot is still refused. *)
 
 val save : t -> dir:string -> unit
+
+type load_report = {
+  replayed : int;  (** journals actually replayed *)
+  declared_size : int option;  (** size recorded in [meta.ldb] *)
+  torn_tail : bool;  (** a partial trailing record was discarded *)
+  dropped_bytes : int;  (** bytes discarded after the last intact record *)
+  blocks_dropped : int;
+      (** sealed blocks discarded because they covered lost journals *)
+  checkpoint : [ `Verified | `Partial ];
+      (** [`Verified]: the replay reproduced the recorded commitment and
+          clue root.  [`Partial]: a torn tail was recovered, so the
+          checkpoints cannot reproduce; the prefix is internally
+          consistent (every leaf re-derived) but must be re-verified
+          against an external anchor before it is trusted. *)
+}
 
 val load :
   ?config:config ->
@@ -338,3 +357,21 @@ val load :
   dir:string ->
   unit ->
   (t, string) result
+(** Strict load: any damage — torn tail included — is refused with a
+    diagnostic naming the first bad jsn or the damaged file. *)
+
+val load_verbose :
+  ?config:config ->
+  ?t_ledger:T_ledger.t ->
+  ?tsa:Tsa.pool ->
+  ?recover:bool ->
+  clock:Clock.t ->
+  dir:string ->
+  unit ->
+  (t * load_report, string) result
+(** Like {!load} but returns the recovery report.  With [~recover:true] a
+    torn tail (crash during save) is truncated back to the last intact
+    record — on disk too — and the prefix is replayed; silently corrupted
+    records (bad checksum on a complete frame, undecodable content, leaf
+    mismatch) are {e always} refused with a first-bad-jsn diagnostic,
+    recovery mode or not. *)

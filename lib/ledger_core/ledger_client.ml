@@ -1,15 +1,55 @@
 open Ledger_crypto
 open Ledger_merkle
 
+type status = Healthy | Degraded | Compromised
+
+let status_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Compromised -> "compromised"
+
 type t = {
   name : string;
   lsp_pub : Ecdsa.public_key;
   mutable receipts : Receipt.t list; (* newest first *)
   mutable anchor : (Fam.anchor * Hash.t) option;
+  mutable status : status;
+  mutable transient_faults : int;
+  mutable last_fault : string option;
 }
 
-let create ~name ~lsp_pub = { name; lsp_pub; receipts = []; anchor = None }
+let create ~name ~lsp_pub =
+  { name; lsp_pub; receipts = []; anchor = None; status = Healthy;
+    transient_faults = 0; last_fault = None }
+
 let name t = t.name
+
+(* --- health -------------------------------------------------------------
+
+   Transient transport faults degrade the client (it keeps retrying and
+   recovers); a cryptographic verification failure compromises it
+   permanently — there is no retry that can make a bad proof good, and a
+   client that "recovered" from one would be retrying the LSP's lie into
+   acceptance. *)
+
+let status t = t.status
+let transient_faults t = t.transient_faults
+let last_fault t = t.last_fault
+
+let note_transport_fault t ~reason =
+  t.transient_faults <- t.transient_faults + 1;
+  t.last_fault <- Some reason;
+  if t.status = Healthy then t.status <- Degraded
+
+let note_recovery t =
+  if t.status = Degraded then begin
+    t.status <- Healthy;
+    t.last_fault <- None
+  end
+
+let note_verification_failure t ~reason =
+  t.last_fault <- Some reason;
+  t.status <- Compromised
 
 let remember_receipt t r = t.receipts <- r :: t.receipts
 let receipts t = t.receipts
@@ -53,3 +93,49 @@ let check_growth t ~delta ~new_size ~new_commitment proof =
   | Some (anchor, _) ->
       Fam.verify_extension ~delta ~old_size:(Fam.anchor_size anchor)
         ~old_peaks:(Fam.anchor_peaks anchor) ~new_size ~new_commitment proof
+
+(* --- self-healing remote checks ------------------------------------------ *)
+
+let check_receipt_remote t ~transport ?policy ?(seed = 0) ~clock ~jsn () =
+  match receipt_for t ~jsn with
+  | None -> Ok `No_receipt
+  | Some _ -> (
+      match
+        Transport.request_expect ?policy ~seed
+          ~on_retry:(fun ~attempt:_ ~reason -> note_transport_fault t ~reason)
+          ~clock
+          ~decode:(function
+            | Service.Journal_r { tx; _ } -> Some tx
+            | _ -> None)
+          transport
+          (Service.Client.make_get_journal ~jsn)
+      with
+      | Error (Transport.Refused msg) ->
+          (* the client holds a receipt for this jsn; a service refusing to
+             produce the journal is repudiation evidence, not a transient
+             fault *)
+          note_verification_failure t
+            ~reason:(Printf.sprintf "jsn %d refused: %s" jsn msg);
+          Ok `Repudiated
+      | Error (Transport.Transport e) ->
+          (* transport exhausted: stay degraded, conclude nothing — the
+             receipt is neither confirmed nor repudiated *)
+          note_transport_fault t ~reason:(Transport.error_to_string e);
+          Error e
+      | Ok tx ->
+          let verdict =
+            check_receipt_against t ~ledger_tx_hash:(fun _ -> Some tx) ~jsn
+          in
+          (match verdict with
+          | `Ok -> note_recovery t
+          | `Bad_signature ->
+              note_verification_failure t
+                ~reason:(Printf.sprintf "jsn %d: receipt signature invalid" jsn)
+          | `Repudiated ->
+              note_verification_failure t
+                ~reason:
+                  (Printf.sprintf
+                     "jsn %d: ledger's journal no longer matches the receipt"
+                     jsn)
+          | `No_receipt -> ());
+          Ok verdict)

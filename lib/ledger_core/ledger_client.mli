@@ -12,12 +12,45 @@
     is stale (the commitment advanced) and a re-audit is warranted. *)
 
 open Ledger_crypto
+open Ledger_storage
 open Ledger_merkle
 
 type t
 
 val create : name:string -> lsp_pub:Ecdsa.public_key -> t
 val name : t -> string
+
+(** {1 Health}
+
+    A client distinguishes two very different kinds of trouble.
+    {e Transient transport faults} (timeouts, garbled bytes, late
+    responses) put it in [Degraded]: it keeps retrying with backoff and
+    returns to [Healthy] on the next success.  A {e cryptographic
+    verification failure} (bad receipt signature, repudiated journal, bad
+    proof) makes it [Compromised] — permanently: no retry can make a bad
+    proof good, and a client that "recovered" from one would be retrying
+    the LSP's lie into acceptance. *)
+
+type status = Healthy | Degraded | Compromised
+
+val status : t -> status
+val status_to_string : status -> string
+
+val transient_faults : t -> int
+(** Transport faults observed over the client's lifetime. *)
+
+val last_fault : t -> string option
+
+val note_transport_fault : t -> reason:string -> unit
+(** Record a transient fault; [Healthy] becomes [Degraded]. *)
+
+val note_recovery : t -> unit
+(** A request succeeded; [Degraded] returns to [Healthy].  [Compromised]
+    is sticky. *)
+
+val note_verification_failure : t -> reason:string -> unit
+(** Record cryptographic evidence against the LSP; the client becomes
+    [Compromised] for good. *)
 
 (** {1 Receipts} *)
 
@@ -67,3 +100,26 @@ val check_growth :
     extension proof).  On success the caller can audit just the suffix
     and then {!adopt_anchor} the fresh state, instead of re-auditing from
     genesis. *)
+
+(** {1 Self-healing remote checks} *)
+
+val check_receipt_remote :
+  t ->
+  transport:Transport.t ->
+  ?policy:Transport.policy ->
+  ?seed:int ->
+  clock:Clock.t ->
+  jsn:int ->
+  unit ->
+  ( [ `Ok | `No_receipt | `Bad_signature | `Repudiated ],
+    Transport.error )
+  result
+(** {!check_receipt_against} over an unreliable transport: fetch what the
+    ledger currently claims for [jsn] (with retry/backoff/timeouts per
+    the policy, degrading the client while faults persist) and compare
+    with the remembered receipt.  Transient faults are retried and — when
+    exhausted — reported as [Error] {e without} concluding anything about
+    the receipt.  A service that refuses to produce a journal the client
+    holds a receipt for, or produces one that no longer matches, is
+    cryptographic evidence: the client turns [Compromised] and the
+    verdict is never softened by retrying. *)

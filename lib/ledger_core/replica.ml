@@ -1,91 +1,230 @@
 open Ledger_crypto
+open Ledger_storage
 
-let request transport encoded =
-  match Service.decode_response (transport encoded) with
-  | Some resp -> resp
-  | None -> failwith "replica: undecodable response"
+type stats = {
+  requests : int;
+  retries : int;
+  resumed_from : int;
+  restarted : bool;
+}
 
-let output_u64 oc v =
-  for i = 7 downto 0 do
-    output_char oc (Char.chr ((v lsr (i * 8)) land 0xFF))
-  done
+type error =
+  | Transport_failed of Transport.error
+  | Refused of string
+  | Protocol of string
+  | Load_failed of string
 
-let pull ~transport ?(config = Ledger.default_config) ?t_ledger ?tsa ~clock
+let error_to_string = function
+  | Transport_failed e -> Transport.error_to_string e
+  | Refused msg -> "replica: service refused: " ^ msg
+  | Protocol msg -> "replica: " ^ msg
+  | Load_failed msg -> "replica: replay refused: " ^ msg
+
+(* Count intact staged journal frames from an earlier, interrupted pull
+   and truncate any damaged tail, so the next pull resumes from the last
+   journal that survived on disk instead of starting over. *)
+let staged_journals path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let n = ref 0 in
+    let cut = ref None in
+    (try
+       let continue = ref true in
+       while !continue do
+         let offset = pos_in ic in
+         match Framing.read ic with
+         | Framing.End -> continue := false
+         | Framing.Record frame when Bytes.length frame >= 32 -> incr n
+         | Framing.Record _ | Framing.Corrupt _ ->
+             cut := Some offset;
+             continue := false
+         | Framing.Torn { offset; _ } ->
+             cut := Some offset;
+             continue := false
+       done;
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    (match !cut with
+    | Some keep -> Framing.truncate_file path ~keep
+    | None -> ());
+    !n
+  end
+
+let pull_verbose ~transport ?(policy = Transport.default_policy)
+    ?(config = Ledger.default_config) ?t_ledger ?tsa ?(resume = true) ~clock
     ~scratch_dir () =
-  try
+  let requests = ref 0 in
+  let retries = ref 0 in
+  let rpc decode encoded =
+    incr requests;
+    match
+      Transport.request_expect ~policy ~seed:!requests
+        ~on_retry:(fun ~attempt:_ ~reason:_ -> incr retries)
+        ~clock ~decode transport encoded
+    with
+    | Ok v -> Ok v
+    | Error (Transport.Refused msg) -> Error (Refused msg)
+    | Error (Transport.Transport e) -> Error (Transport_failed e)
+  in
+  let ( let* ) = Result.bind in
+  let rec attempt ~resume ~restarted =
     (* 1. the announced checkpoint pins what we must reproduce *)
-    let name, size, block_count, commitment, clue_root, nonce, pseudo_genesis =
-      match request transport (Service.Client.make_get_checkpoint ()) with
-      | Service.Checkpoint_r
-          { name; size; block_count; commitment; clue_root; nonce;
-            pseudo_genesis } ->
-          (name, size, block_count, commitment, clue_root, nonce, pseudo_genesis)
-      | Service.Error_r e -> failwith ("replica: checkpoint refused: " ^ e)
-      | _ -> failwith "replica: unexpected checkpoint response"
+    let* name, size, block_count, commitment, clue_root, nonce, pseudo_genesis
+        =
+      rpc
+        (function
+          | Service.Checkpoint_r
+              { name; size; block_count; commitment; clue_root; nonce;
+                pseudo_genesis } ->
+              Some
+                ( name, size, block_count, commitment, clue_root, nonce,
+                  pseudo_genesis )
+          | _ -> None)
+        (Service.Client.make_get_checkpoint ())
     in
     if name <> config.Ledger.name then
-      failwith
-        (Printf.sprintf "replica: service is '%s' but config says '%s'" name
-           config.Ledger.name);
-    if not (Sys.file_exists scratch_dir) then Sys.mkdir scratch_dir 0o755;
-    let in_dir f = Filename.concat scratch_dir f in
-    let with_out file f =
-      let oc = open_out_bin (in_dir file) in
-      (try f oc with e -> close_out_noerr oc; raise e);
-      close_out oc
-    in
-    (* 2. membership *)
-    with_out "members.ldb" (fun oc ->
-        match request transport (Service.Client.make_get_members ()) with
-        | Service.Members_r members ->
-            List.iter
-              (fun (member_name, role, pub) ->
-                let hex =
-                  String.concat ""
-                    (List.init (Bytes.length pub) (fun i ->
-                         Printf.sprintf "%02x" (Char.code (Bytes.get pub i))))
-                in
-                Printf.fprintf oc "%s\t%s\t%s\n" role hex member_name)
-              members
-        | _ -> failwith "replica: unexpected members response");
-    (* 3. every journal, with its retained leaf *)
-    with_out "journals.ldb" (fun oc ->
-        for jsn = 0 to size - 1 do
-          match request transport (Service.Client.make_get_journal ~jsn) with
-          | Service.Journal_r { tx; encoded } ->
-              output_bytes oc (Hash.to_bytes tx);
-              output_u64 oc (Bytes.length encoded);
-              output_bytes oc encoded
-          | Service.Error_r e ->
-              failwith (Printf.sprintf "replica: journal %d refused: %s" jsn e)
-          | _ -> failwith "replica: unexpected journal response"
-        done);
-    (* 4. every sealed block *)
-    with_out "blocks.ldb" (fun oc ->
-        for height = 0 to block_count - 1 do
-          match request transport (Service.Client.make_get_block ~height) with
-          | Service.Block_r b ->
-              Printf.fprintf oc "%d %d %d %s %s %s %s %s %Ld\n" b.Block.height
-                b.Block.start_jsn b.Block.count
-                (Hash.to_hex b.Block.prev_hash)
-                (Hash.to_hex b.Block.journal_commitment)
-                (Hash.to_hex b.Block.clue_root)
-                (Hash.to_hex b.Block.world_state_root)
-                (Hash.to_hex b.Block.tx_root)
-                b.Block.timestamp
-          | _ -> failwith "replica: unexpected block response"
-        done);
-    (* 5. checkpoint metadata; the loader re-derives everything and
-       compares against these values *)
-    with_out "meta.ldb" (fun oc ->
-        Printf.fprintf oc
-          "name=%s\nsize=%d\nnonce=%d\ncommitment=%s\nclue_root=%s\npseudo_genesis=%s\n"
-          name size nonce
-          (if size = 0 then "" else Hash.to_hex commitment)
-          (Hash.to_hex clue_root)
-          (match pseudo_genesis with Some j -> string_of_int j | None -> "-"));
-    with_out "survivors.ldb" (fun _ -> () (* not replicated *));
-    Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
+      Error
+        (Protocol
+           (Printf.sprintf "service is '%s' but config says '%s'" name
+              config.Ledger.name))
+    else begin
+      if not (Sys.file_exists scratch_dir) then Sys.mkdir scratch_dir 0o755;
+      let in_dir f = Filename.concat scratch_dir f in
+      let journals_path = in_dir "journals.ldb" in
+      let resumed_from =
+        if not resume then begin
+          if Sys.file_exists journals_path then Sys.remove journals_path;
+          0
+        end
+        else begin
+          let staged = staged_journals journals_path in
+          if staged > size then begin
+            (* the staged prefix is longer than the service's ledger: stale
+               or foreign staging, start over *)
+            Sys.remove journals_path;
+            0
+          end
+          else staged
+        end
+      in
+      let with_out ?(append = false) file f =
+        let flags =
+          if append then [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          else [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+        in
+        let oc = open_out_gen flags 0o644 (in_dir file) in
+        let r = (try f oc with e -> close_out_noerr oc; raise e) in
+        close_out oc;
+        r
+      in
+      (* 2. membership *)
+      let* members =
+        rpc
+          (function Service.Members_r m -> Some m | _ -> None)
+          (Service.Client.make_get_members ())
+      in
+      with_out "members.ldb" (fun oc ->
+          List.iter
+            (fun (member_name, role, pub) ->
+              let hex =
+                String.concat ""
+                  (List.init (Bytes.length pub) (fun i ->
+                       Printf.sprintf "%02x" (Char.code (Bytes.get pub i))))
+              in
+              Printf.fprintf oc "%s\t%s\t%s\n" role hex member_name)
+            members);
+      (* 3. every journal not already staged, with its retained leaf.
+         Frames match Ledger's snapshot format so the loader replays and
+         re-verifies them; an interrupted loop leaves a resumable
+         prefix. *)
+      let fetch_journals () =
+        let rec go jsn =
+          if jsn >= size then Ok ()
+          else
+            let* tx, encoded =
+              rpc
+                (function
+                  | Service.Journal_r { tx; encoded } -> Some (tx, encoded)
+                  | _ -> None)
+                (Service.Client.make_get_journal ~jsn)
+            in
+            with_out ~append:true "journals.ldb" (fun oc ->
+                let frame = Bytes.create (32 + Bytes.length encoded) in
+                Bytes.blit (Hash.to_bytes tx) 0 frame 0 32;
+                Bytes.blit encoded 0 frame 32 (Bytes.length encoded);
+                Framing.write oc frame);
+            go (jsn + 1)
+        in
+        go resumed_from
+      in
+      let* () = fetch_journals () in
+      (* 4. every sealed block *)
+      let fetch_blocks oc =
+        let rec go height =
+          if height >= block_count then Ok ()
+          else
+            let* b =
+              rpc
+                (function Service.Block_r b -> Some b | _ -> None)
+                (Service.Client.make_get_block ~height)
+            in
+            Printf.fprintf oc "%d %d %d %s %s %s %s %s %Ld\n" b.Block.height
+              b.Block.start_jsn b.Block.count
+              (Hash.to_hex b.Block.prev_hash)
+              (Hash.to_hex b.Block.journal_commitment)
+              (Hash.to_hex b.Block.clue_root)
+              (Hash.to_hex b.Block.world_state_root)
+              (Hash.to_hex b.Block.tx_root)
+              b.Block.timestamp;
+            go (height + 1)
+        in
+        go 0
+      in
+      let* () = with_out "blocks.ldb" fetch_blocks in
+      (* 5. checkpoint metadata; the loader re-derives everything and
+         compares against these values *)
+      with_out "meta.ldb" (fun oc ->
+          Printf.fprintf oc
+            "name=%s\nsize=%d\nnonce=%d\ncommitment=%s\nclue_root=%s\npseudo_genesis=%s\n"
+            name size nonce
+            (if size = 0 then "" else Hash.to_hex commitment)
+            (Hash.to_hex clue_root)
+            (match pseudo_genesis with Some j -> string_of_int j | None -> "-"));
+      with_out "survivors.ldb" (fun _ -> () (* not replicated *));
+      match
+        Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
+      with
+      | Ok ledger ->
+          Ok
+            ( ledger,
+              { requests = !requests; retries = !retries; resumed_from;
+                restarted } )
+      | Error msg when resumed_from > 0 ->
+          (* The staged prefix no longer matches what the service serves
+             (rewritten history, or a poisoned stage).  Heal by discarding
+             the stage and pulling once from scratch; if that also fails,
+             the refusal stands. *)
+          ignore msg;
+          Sys.remove journals_path;
+          attempt ~resume:false ~restarted:true
+      | Error msg -> Error (Load_failed msg)
+    end
+  in
+  try attempt ~resume ~restarted:false
+  with Sys_error msg -> Error (Load_failed ("staging I/O: " ^ msg))
+
+let pull ~transport ?(policy = Transport.no_retry) ?config ?t_ledger ?tsa
+    ?(resume = false) ~clock ~scratch_dir () =
+  try
+    match
+      pull_verbose ~transport ~policy ?config ?t_ledger ?tsa ~resume ~clock
+        ~scratch_dir ()
+    with
+    | Ok (ledger, _) -> Ok ledger
+    | Error e -> Error (error_to_string e)
   with
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg

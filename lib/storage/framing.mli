@@ -1,0 +1,36 @@
+(** CRC-32-checked record framing for on-disk logs.
+
+    Every durable log in the system — stream-store segments, ledger
+    snapshot files, replica staging files — shares one frame format:
+
+    {v "LDBR"  len:u32be  payload  crc32(len ++ payload):u32be v}
+
+    so a single reader can classify damage precisely.  The distinction
+    between a {e torn} record (file ends mid-record: a crash during
+    append; truncating to the last boundary is sound recovery) and a
+    {e corrupt} record (complete but failing its checksum or magic:
+    tampering or media rot; must be surfaced, never silently dropped)
+    drives every recovery policy above this module. *)
+
+type read_result =
+  | Record of bytes  (** next record, checksum verified *)
+  | Torn of { offset : int; dropped_bytes : int }
+      (** file ends mid-record; [offset] is the record's start — the safe
+          truncation point *)
+  | Corrupt of { offset : int }
+      (** complete record with bad magic or checksum at [offset] *)
+  | End  (** clean EOF at a record boundary *)
+
+val write : out_channel -> bytes -> unit
+(** Append one framed record. *)
+
+val read : in_channel -> read_result
+(** Read the next framed record; never raises on damaged input. *)
+
+val truncate_file : string -> keep:int -> unit
+(** Truncate the file at [keep] bytes — used to discard a torn tail after
+    {!read} reported it. *)
+
+val max_record_len : int
+(** Frames claiming a longer payload are classified [Corrupt] (a flipped
+    length bit would otherwise masquerade as a torn tail). *)

@@ -11,6 +11,24 @@ type stream = {
 
 type t = { dir : string option; streams : (string, stream) Hashtbl.t }
 
+type read_error =
+  | Out_of_range of { stream : string; index : int; length : int }
+  | Erased of { stream : string; index : int }
+
+exception Read_error of read_error
+
+let read_error_to_string = function
+  | Out_of_range { stream; index; length } ->
+      Printf.sprintf "stream %s: index %d out of range [0,%d)" stream index
+        length
+  | Erased { stream; index } ->
+      Printf.sprintf "stream %s: record %d was erased" stream index
+
+let () =
+  Printexc.register_printer (function
+    | Read_error e -> Some ("Stream_store.Read_error: " ^ read_error_to_string e)
+    | _ -> None)
+
 let create ?dir () =
   (match dir with
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
@@ -47,14 +65,22 @@ let length s = s.count
 
 let check_range s i =
   if i < 0 || i >= s.count then
-    invalid_arg
-      (Printf.sprintf "Stream_store: index %d out of range [0,%d) in %s" i
-         s.count s.name)
+    raise (Read_error (Out_of_range { stream = s.name; index = i; length = s.count }))
 
 let charge latency bytes =
   match latency with
   | None -> ()
   | Some (model, clock) -> Latency_model.charge_read model clock ~bytes
+
+let read_result ?latency s i =
+  if i < 0 || i >= s.count then
+    Error (Out_of_range { stream = s.name; index = i; length = s.count })
+  else
+    match s.records.(i).payload with
+    | None -> Error (Erased { stream = s.name; index = i })
+    | Some p ->
+        charge latency (Bytes.length p);
+        Ok (Bytes.copy p)
 
 let read_opt ?latency s i =
   check_range s i;
@@ -65,7 +91,9 @@ let read_opt ?latency s i =
       Some (Bytes.copy p)
 
 let read ?latency s i =
-  match read_opt ?latency s i with Some p -> p | None -> raise Not_found
+  match read_result ?latency s i with
+  | Ok p -> p
+  | Error e -> raise (Read_error e)
 
 let is_erased s i =
   check_range s i;
@@ -88,28 +116,142 @@ let iter s f =
 let total_bytes s = s.live_bytes
 let page_count s = (s.live_bytes + page_size - 1) / page_size
 
+(* --- durability -------------------------------------------------------------
+
+   Each stream persists to [dir/<name>.log] as a sequence of
+   {!Framing}-checked records; the frame payload is
+
+     index:u32be  live:u8  record-bytes
+
+   Erased records keep their slot (live = 0, empty body) so indices stay
+   dense across a reopen.  The CRC framing is what makes {!recover}
+   possible: a crash mid-write leaves a torn final frame that can be
+   detected and truncated instead of poisoning the whole log. *)
+
+let frame_record i payload =
+  let body, live = match payload with Some p -> (p, 1) | None -> (Bytes.empty, 0) in
+  let frame = Bytes.create (5 + Bytes.length body) in
+  Bytes.set frame 0 (Char.chr ((i lsr 24) land 0xFF));
+  Bytes.set frame 1 (Char.chr ((i lsr 16) land 0xFF));
+  Bytes.set frame 2 (Char.chr ((i lsr 8) land 0xFF));
+  Bytes.set frame 3 (Char.chr (i land 0xFF));
+  Bytes.set frame 4 (Char.chr live);
+  Bytes.blit body 0 frame 5 (Bytes.length body);
+  frame
+
+let unframe_record frame =
+  if Bytes.length frame < 5 then None
+  else
+    let i =
+      (Char.code (Bytes.get frame 0) lsl 24)
+      lor (Char.code (Bytes.get frame 1) lsl 16)
+      lor (Char.code (Bytes.get frame 2) lsl 8)
+      lor Char.code (Bytes.get frame 3)
+    in
+    let live = Char.code (Bytes.get frame 4) in
+    let body = Bytes.sub frame 5 (Bytes.length frame - 5) in
+    Some (i, (if live = 1 then Some body else None))
+
+let log_path dir name = Filename.concat dir (name ^ ".log")
+
 let persist t =
   match t.dir with
   | None -> ()
   | Some dir ->
       Hashtbl.iter
         (fun name s ->
-          let path = Filename.concat dir (name ^ ".log") in
-          let oc = open_out_bin path in
+          let path = log_path dir name in
+          let tmp = path ^ ".tmp" in
+          let oc = open_out_bin tmp in
           (try
              for i = 0 to s.count - 1 do
-               match s.records.(i).payload with
-               | Some p ->
-                   Printf.fprintf oc "%d %d\n" i (Bytes.length p);
-                   output_bytes oc p;
-                   output_char oc '\n'
-               | None -> Printf.fprintf oc "%d -1\n" i
+               Framing.write oc (frame_record i s.records.(i).payload)
              done;
              close_out oc
            with e ->
              close_out_noerr oc;
-             raise e))
+             raise e);
+          Sys.rename tmp path)
         t.streams
+
+type damage = Intact | Torn_tail | Corrupt_record
+
+type recovery = {
+  stream : string;
+  recovered_upto : int;
+  damage : damage;
+  dropped_bytes : int;
+}
+
+let damage_to_string = function
+  | Intact -> "intact"
+  | Torn_tail -> "torn tail"
+  | Corrupt_record -> "corrupt record"
+
+let recover ~dir () =
+  if not (Sys.file_exists dir) then
+    invalid_arg ("Stream_store.recover: no such directory " ^ dir);
+  let t = create ~dir () in
+  let reports = ref [] in
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".log" then begin
+        let name = Filename.chop_suffix file ".log" in
+        let path = Filename.concat dir file in
+        let s = stream t name in
+        let ic = open_in_bin path in
+        let damage = ref Intact in
+        let dropped = ref 0 in
+        let stop_at = ref None in
+        (try
+           let continue = ref true in
+           while !continue do
+             let before = pos_in ic in
+             match Framing.read ic with
+             | Framing.End -> continue := false
+             | Framing.Record frame -> (
+                 match unframe_record frame with
+                 | Some (i, payload) when i = s.count ->
+                     ensure_capacity s;
+                     s.records.(s.count) <- { payload };
+                     s.count <- s.count + 1;
+                     (match payload with
+                     | Some p -> s.live_bytes <- s.live_bytes + Bytes.length p
+                     | None -> ())
+                 | Some _ | None ->
+                     (* sequence break inside a checksummed record: not a
+                        crash artefact, a corruption *)
+                     damage := Corrupt_record;
+                     dropped := in_channel_length ic - before;
+                     stop_at := Some before;
+                     continue := false)
+             | Framing.Torn { offset; dropped_bytes } ->
+                 damage := Torn_tail;
+                 dropped := dropped_bytes;
+                 stop_at := Some offset;
+                 continue := false
+             | Framing.Corrupt { offset } ->
+                 damage := Corrupt_record;
+                 dropped := in_channel_length ic - offset;
+                 stop_at := Some offset;
+                 continue := false
+           done
+         with e ->
+           close_in_noerr ic;
+           raise e);
+        close_in ic;
+        (* truncate the log back to the last intact record so a subsequent
+           append/persist cycle starts from a sound prefix *)
+        (match !stop_at with
+        | Some keep -> Framing.truncate_file path ~keep
+        | None -> ());
+        reports :=
+          { stream = name; recovered_upto = s.count; damage = !damage;
+            dropped_bytes = !dropped }
+          :: !reports
+      end)
+    (Sys.readdir dir);
+  (t, List.sort (fun a b -> compare a.stream b.stream) !reports)
 
 let live_records s =
   let n = ref 0 in

@@ -9,9 +9,12 @@
     stable and verification protocols can observe the erasure).
 
     The implementation keeps data in memory in segment buffers (4 KiB
-    pages) and can persist to a directory for durability demonstrations.
-    Reads optionally charge a {!Latency_model.t} so higher layers can
-    simulate I/O cost. *)
+    pages) and can persist to a directory for durability.  On disk every
+    record is CRC-32 framed ({!Framing}), so {!recover} can reopen a
+    directory after a crash, classify the damage (torn tail vs corrupt
+    record), truncate back to the last intact record and report exactly
+    how far the log was recovered.  Reads optionally charge a
+    {!Latency_model.t} so higher layers can simulate I/O cost. *)
 
 type t
 (** A stream store. *)
@@ -19,8 +22,23 @@ type t
 type stream
 (** A handle to one named stream. *)
 
+(** {1 Read errors}
+
+    The storage layer never raises bare [Invalid_argument]/[Not_found]:
+    callers on the latency-charged path get a typed error they can match
+    on (or a dedicated exception carrying the same payload). *)
+
+type read_error =
+  | Out_of_range of { stream : string; index : int; length : int }
+  | Erased of { stream : string; index : int }
+      (** the record's payload was blanked by {!erase} (occult/purge) *)
+
+exception Read_error of read_error
+
+val read_error_to_string : read_error -> string
+
 val create : ?dir:string -> unit -> t
-(** In-memory store; with [dir], appends are also written to
+(** In-memory store; with [dir], {!persist} writes each stream to
     [dir/<stream>.log] so content survives the process. *)
 
 val stream : t -> string -> stream
@@ -36,11 +54,16 @@ val length : stream -> int
 
 val read : ?latency:Latency_model.t * Clock.t -> stream -> int -> bytes
 (** [read stream i] returns record [i].
-    @raise Invalid_argument if out of range.
-    @raise Not_found if the record was erased. *)
+    @raise Read_error when [i] is out of range or the record was erased. *)
+
+val read_result :
+  ?latency:Latency_model.t * Clock.t -> stream -> int ->
+  (bytes, read_error) result
+(** Non-raising form of {!read}. *)
 
 val read_opt : ?latency:Latency_model.t * Clock.t -> stream -> int -> bytes option
-(** Like {!read} but [None] for erased records. *)
+(** Like {!read} but [None] for erased records.
+    @raise Read_error when [i] is out of range. *)
 
 val is_erased : stream -> int -> bool
 
@@ -58,7 +81,41 @@ val page_count : stream -> int
     latency model accounts sequential reads. *)
 
 val persist : t -> unit
-(** Flush all streams to the backing directory (no-op without [dir]). *)
+(** Flush all streams to the backing directory (no-op without [dir]).
+    Each log is written to a temp file and renamed into place, and every
+    record carries a CRC-32 frame. *)
+
+(** {1 Crash recovery} *)
+
+type damage =
+  | Intact  (** the whole log replayed cleanly *)
+  | Torn_tail  (** file ended mid-record: crash during append *)
+  | Corrupt_record
+      (** a complete record failed its checksum / magic / sequence —
+          tampering or media rot, not a clean crash *)
+
+type recovery = {
+  stream : string;
+  recovered_upto : int;
+      (** records restored; the first damaged record (if any) would have
+          had this index *)
+  damage : damage;
+  dropped_bytes : int;  (** bytes discarded after the last intact record *)
+}
+
+val damage_to_string : damage -> string
+
+val recover : dir:string -> unit -> t * recovery list
+(** Reopen a persisted store.  Every [<stream>.log] in [dir] is replayed
+    up to its last intact record; a damaged tail is truncated off the
+    file so subsequent persists start from a sound prefix.  The report
+    (one entry per stream, sorted by name) says how far each stream
+    recovered and what kind of damage stopped it.  Callers that must
+    distinguish recoverable crashes from tampering match on {!damage}:
+    [Torn_tail] is safe to continue from, [Corrupt_record] demands a
+    higher-level integrity check (e.g. {!Ledger.load}'s re-derivation)
+    before the data is trusted.
+    @raise Invalid_argument if [dir] does not exist. *)
 
 val compact : stream -> (int -> int -> unit) -> int
 (** Rewrite the stream dropping erased slots; calls the remap function

@@ -20,4 +20,5 @@ let () =
       ("service", Test_service.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("replica", Test_replica.suite);
+      ("faults", Test_faults.suite);
     ]

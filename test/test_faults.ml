@@ -1,0 +1,404 @@
+(* Chaos tests: seeded fault schedules against storage and transport.
+   The invariant under every schedule is the same — the system either
+   fully recovers (and says what it recovered) or refuses loudly with a
+   diagnostic.  No schedule may ever end in silently-wrong data or an
+   accepted bad proof. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_timenotary
+open Ledger_fault
+open Ledger_bench_util
+
+let tc = Alcotest.test_case
+
+let fresh_dir () =
+  let d = Filename.temp_file "chaos" "dir" in
+  Sys.remove d;
+  d
+
+let build_ledger ?(crypto = Crypto_profile.default_simulated) () =
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~endorse_rtt_ms:1. ~clock "f" ] in
+  let tl = T_ledger.create ~clock ~tsa:pool () in
+  let config =
+    { Ledger.default_config with name = "chaos"; block_size = 4; fam_delta = 3;
+      crypto }
+  in
+  let ledger = Ledger.create ~config ~t_ledger:tl ~tsa:pool ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"cuser" ~role:Roles.Regular_user in
+  for i = 0 to 11 do
+    Clock.advance_ms clock 50.;
+    ignore
+      (Ledger.append ledger ~member:user ~priv:key
+         ~clues:[ "cc" ^ string_of_int (i mod 2) ]
+         (Bytes.of_string (Printf.sprintf "chaos %d" i)))
+  done;
+  Clock.advance_ms clock 1100.;
+  (match Ledger.anchor_via_t_ledger ledger with Ok _ -> () | Error _ -> assert false);
+  Ledger.seal_block ledger;
+  (clock, ledger, config, (tl, pool), (user, key))
+
+(* -------------------------------------------------------------------- *)
+(* Storage chaos: damaged snapshots either recover or refuse.           *)
+(* -------------------------------------------------------------------- *)
+
+(* One schedule: save a fresh snapshot, hurt journals.ldb per the seeded
+   plan, and check the recovered-or-refused contract.  Returns a label
+   for what happened so the driver can assert coverage. *)
+let run_storage_schedule ~seed =
+  let clock, ledger, config, (tl, pool), _ = build_ledger () in
+  let originals =
+    List.init (Ledger.size ledger) (fun i ->
+        Option.map Bytes.to_string (Ledger.payload ledger i))
+  in
+  let original_size = Ledger.size ledger in
+  let original_commitment = Ledger.commitment ledger in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  let bit_flips, truncations, zero_ranges =
+    match seed mod 3 with
+    | 0 -> (1, 0, 0)
+    | 1 -> (0, 1, 0)
+    | _ -> (0, 0, 1)
+  in
+  let plan =
+    Fault_plan.plan ~seed ~bit_flips ~truncations ~zero_ranges
+      ~only:[ "journals.ldb" ] ~dir ()
+  in
+  Fault_plan.apply plan ~dir;
+  (* strict load must never accept the damaged snapshot *)
+  (match Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir () with
+  | Ok _ -> Alcotest.failf "seed %d: strict load accepted damage\n%s" seed
+               (Fault_plan.to_string plan)
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: refusal has a diagnostic" seed)
+        true
+        (String.length msg > 0));
+  (* recovering load must recover a verified-consistent prefix or refuse *)
+  match
+    Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true ~clock
+      ~dir ()
+  with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: recover refusal has a diagnostic" seed)
+        true
+        (String.length msg > 0);
+      `Refused
+  | Ok (restored, report) ->
+      (* whatever came back must be a faithful prefix of the original *)
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: recovered no more than written" seed)
+        true
+        (report.Ledger.replayed <= original_size);
+      for jsn = 0 to report.Ledger.replayed - 1 do
+        let got = Option.map Bytes.to_string (Ledger.payload restored jsn) in
+        if got <> List.nth originals jsn then
+          Alcotest.failf "seed %d: jsn %d silently altered by recovery" seed
+            jsn
+      done;
+      if report.Ledger.replayed = original_size then begin
+        (* full recovery must reproduce the checkpoints exactly *)
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: full recovery verified" seed)
+          true
+          (report.Ledger.checkpoint = `Verified
+          && Hash.equal (Ledger.commitment restored) original_commitment);
+        `Recovered_fully
+      end
+      else begin
+        (* a shortened ledger is only acceptable as a flagged torn tail *)
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: short recovery flagged partial" seed)
+          true
+          (report.Ledger.torn_tail && report.Ledger.checkpoint = `Partial);
+        `Recovered_prefix
+      end
+
+let test_storage_chaos_schedules () =
+  let outcomes = List.init 12 (fun i -> run_storage_schedule ~seed:(i + 1)) in
+  (* the seeds must actually exercise both sides of the contract *)
+  Alcotest.(check bool) "some schedule was refused" true
+    (List.mem `Refused outcomes);
+  Alcotest.(check bool) "some schedule recovered a prefix" true
+    (List.exists
+       (fun o -> o = `Recovered_prefix || o = `Recovered_fully)
+       outcomes)
+
+let test_stream_store_chaos () =
+  List.iter
+    (fun seed ->
+      let dir = fresh_dir () in
+      let store = Stream_store.create ~dir () in
+      let s = Stream_store.stream store "chaos" in
+      let payload i = Printf.sprintf "record-%d-%s" i (String.make (i mod 7) 'x') in
+      for i = 0 to 19 do
+        ignore (Stream_store.append s (Bytes.of_string (payload i)))
+      done;
+      Stream_store.persist store;
+      let plan =
+        Fault_plan.plan ~seed
+          ~bit_flips:(if seed mod 2 = 0 then 1 else 0)
+          ~truncations:(if seed mod 2 = 1 then 1 else 0)
+          ~dir ()
+      in
+      Fault_plan.apply plan ~dir;
+      let recovered, reports = Stream_store.recover ~dir () in
+      let r =
+        match reports with
+        | [ r ] -> r
+        | _ -> Alcotest.failf "seed %d: expected one recovery report" seed
+      in
+      Alcotest.(check string) "stream name" "chaos" r.Stream_store.stream;
+      (* every record the recovered store serves must be byte-identical
+         to what was appended; damage may only shorten, never alter *)
+      let s' = Stream_store.stream recovered "chaos" in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: recovered a prefix" seed)
+        true
+        (Stream_store.length s' <= 20
+        && Stream_store.length s' = r.Stream_store.recovered_upto);
+      for i = 0 to Stream_store.length s' - 1 do
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: record %d intact" seed i)
+          (payload i)
+          (Bytes.to_string (Stream_store.read s' i))
+      done;
+      if Stream_store.length s' < 20 then
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: shortening was reported" seed)
+          true
+          (r.Stream_store.damage <> Stream_store.Intact);
+      (* recovery truncated the damage off disk: a second recover is clean *)
+      let again, reports2 = Stream_store.recover ~dir () in
+      let r2 = List.hd reports2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: second recover clean" seed)
+        true
+        (r2.Stream_store.damage = Stream_store.Intact
+        && Stream_store.length (Stream_store.stream again "chaos")
+           = Stream_store.length s'))
+    [ 101; 102; 103; 104; 105; 106 ]
+
+(* -------------------------------------------------------------------- *)
+(* Transport chaos: a flaky network delays the pull, never poisons it.  *)
+(* -------------------------------------------------------------------- *)
+
+let test_flaky_pull_converges () =
+  let injected = ref 0 in
+  List.iter
+    (fun seed ->
+      let clock, remote, config, (tl, pool), _ = build_ledger () in
+      let rng = Det_rng.create ~seed in
+      let ft =
+        Faulty_transport.create ~rng
+          ~config:(Faulty_transport.lossy ~drop:0.08 ~dup:0.03 ~garble:0.03
+                     ~reorder:0.03 ~delay:0.05 ())
+          ~clock (Service.handle remote)
+      in
+      match
+        Replica.pull_verbose ~transport:(Faulty_transport.transport ft)
+          ~config ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:(fresh_dir ()) ()
+      with
+      | Error e ->
+          Alcotest.failf "seed %d: flaky pull failed: %s" seed
+            (Replica.error_to_string e)
+      | Ok (replica, stats) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: replica matches" seed)
+            true
+            (Ledger.size replica = Ledger.size remote
+            && Hash.equal (Ledger.commitment replica)
+                 (Ledger.commitment remote));
+          let s = Faulty_transport.stats ft in
+          injected :=
+            !injected + s.Faulty_transport.drops + s.Faulty_transport.garbles
+            + s.Faulty_transport.reorders + s.Faulty_transport.dups;
+          (* retries happen iff faults were injected on this schedule *)
+          if s.Faulty_transport.drops + s.Faulty_transport.garbles > 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d: faults forced retries" seed)
+              true (stats.Replica.retries > 0))
+    [ 7; 8; 9 ];
+  Alcotest.(check bool) "schedules actually injected faults" true
+    (!injected > 0)
+
+let test_resumable_pull () =
+  let clock, remote, config, (tl, pool), _ = build_ledger () in
+  let scratch = fresh_dir () in
+  (* a transport that dies for good partway through the journal fetch *)
+  let journal_calls = ref 0 in
+  let dying req =
+    (match Service.decode_request req with
+    | Some (Service.Get_journal _) ->
+        incr journal_calls;
+        if !journal_calls > 5 then
+          raise (Transport.Timeout "link went down")
+    | _ -> ());
+    Service.handle remote req
+  in
+  (match
+     Replica.pull_verbose ~transport:dying ~policy:Transport.no_retry ~config
+       ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:scratch ()
+   with
+  | Ok _ -> Alcotest.fail "pull over a dead link succeeded"
+  | Error (Replica.Transport_failed _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Replica.error_to_string e));
+  (* the link comes back; the pull resumes from the staged prefix *)
+  match
+    Replica.pull_verbose ~transport:(Service.handle remote) ~config
+      ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:scratch ()
+  with
+  | Error e -> Alcotest.failf "resumed pull failed: %s" (Replica.error_to_string e)
+  | Ok (replica, stats) ->
+      Alcotest.(check bool) "resumed from staged journals" true
+        (stats.Replica.resumed_from > 0);
+      Alcotest.(check bool) "resumed replica matches" true
+        (Ledger.size replica = Ledger.size remote
+        && Hash.equal (Ledger.commitment replica) (Ledger.commitment remote))
+
+let test_poisoned_stage_heals () =
+  let clock, remote, config, (tl, pool), _ = build_ledger () in
+  let scratch = fresh_dir () in
+  Sys.mkdir scratch 0o755;
+  (* poison the staging area with framing-valid but foreign journals *)
+  let oc = open_out_bin (Filename.concat scratch "journals.ldb") in
+  for i = 0 to 2 do
+    let frame = Bytes.make 40 (Char.chr (65 + i)) in
+    Framing.write oc frame
+  done;
+  close_out oc;
+  match
+    Replica.pull_verbose ~transport:(Service.handle remote) ~config
+      ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:scratch ()
+  with
+  | Error e -> Alcotest.failf "healing pull failed: %s" (Replica.error_to_string e)
+  | Ok (replica, stats) ->
+      Alcotest.(check bool) "stage was discarded and pull restarted" true
+        stats.Replica.restarted;
+      Alcotest.(check bool) "healed replica matches" true
+        (Hash.equal (Ledger.commitment replica) (Ledger.commitment remote))
+
+let test_persistent_garbling_refused () =
+  let clock, remote, config, (tl, pool), _ = build_ledger () in
+  (* every journal response is corrupted, forever: retries must exhaust
+     and the pull must refuse — never accept a garbled journal *)
+  let garbling req =
+    let resp = Service.handle remote req in
+    match Service.decode_request req with
+    | Some (Service.Get_journal _) when Bytes.length resp > 50 ->
+        let b = Bytes.copy resp in
+        let off = Bytes.length b - 10 in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x08));
+        b
+    | _ -> resp
+  in
+  let policy = { Transport.default_policy with max_attempts = 3 } in
+  match
+    Replica.pull_verbose ~transport:garbling ~policy ~config ~t_ledger:tl
+      ~tsa:pool ~clock ~scratch_dir:(fresh_dir ()) ()
+  with
+  | Ok _ -> Alcotest.fail "persistently garbled journals accepted"
+  | Error _ -> ()
+
+(* -------------------------------------------------------------------- *)
+(* Client health: transient faults degrade, crypto evidence condemns.   *)
+(* -------------------------------------------------------------------- *)
+
+(* receipts carry real LSP signatures, so the client fixture runs the
+   real crypto profile *)
+let client_with_receipt () =
+  let clock, remote, _, _, (user, key) = build_ledger ~crypto:Crypto_profile.Real () in
+  let client =
+    Ledger_client.create ~name:"cclient"
+      ~lsp_pub:(Ledger.lsp_public_key remote)
+  in
+  Clock.advance_ms clock 10.;
+  let r =
+    Ledger.append remote ~member:user ~priv:key (Bytes.of_string "receipted")
+  in
+  Ledger_client.remember_receipt client r;
+  (clock, remote, client, r.Receipt.jsn)
+
+let test_client_degrades_then_recovers () =
+  let clock, remote, client, jsn = client_with_receipt () in
+  let fail_first = ref 2 in
+  let flaky req =
+    if !fail_first > 0 then begin
+      decr fail_first;
+      raise (Transport.Timeout "blip")
+    end;
+    Service.handle remote req
+  in
+  (match
+     Ledger_client.check_receipt_remote client ~transport:flaky ~clock ~jsn ()
+   with
+  | Ok `Ok -> ()
+  | Ok v ->
+      Alcotest.failf "unexpected verdict: %s"
+        (match v with
+        | `Ok -> "ok"
+        | `No_receipt -> "no-receipt"
+        | `Bad_signature -> "bad-signature"
+        | `Repudiated -> "repudiated")
+  | Error e -> Alcotest.failf "check failed: %s" (Transport.error_to_string e));
+  (* the blips were counted, then the success restored health *)
+  Alcotest.(check bool) "transient faults recorded" true
+    (Ledger_client.transient_faults client >= 2);
+  Alcotest.(check string) "healthy after recovery" "healthy"
+    (Ledger_client.status_to_string (Ledger_client.status client));
+  (* a dead link degrades the client but concludes nothing *)
+  let dead _ = raise (Transport.Timeout "down") in
+  let policy = { Transport.default_policy with max_attempts = 2 } in
+  (match
+     Ledger_client.check_receipt_remote client ~transport:dead ~policy ~clock
+       ~jsn ()
+   with
+  | Ok _ -> Alcotest.fail "dead link produced a verdict"
+  | Error _ -> ());
+  Alcotest.(check string) "degraded while link is down" "degraded"
+    (Ledger_client.status_to_string (Ledger_client.status client))
+
+let test_compromised_is_sticky () =
+  let clock, remote, client, jsn = client_with_receipt () in
+  (* the service refuses to produce a journal the client holds a receipt
+     for: that is repudiation evidence, not a transient fault *)
+  let repudiating req =
+    match Service.decode_request req with
+    | Some (Service.Get_journal _) ->
+        Service.encode_response (Service.Error_r "no such journal")
+    | _ -> Service.handle remote req
+  in
+  (match
+     Ledger_client.check_receipt_remote client ~transport:repudiating ~clock
+       ~jsn ()
+   with
+  | Ok `Repudiated -> ()
+  | Ok _ -> Alcotest.fail "repudiation not detected"
+  | Error e -> Alcotest.failf "unexpected: %s" (Transport.error_to_string e));
+  Alcotest.(check string) "compromised" "compromised"
+    (Ledger_client.status_to_string (Ledger_client.status client));
+  (* no later success may soften the verdict *)
+  (match
+     Ledger_client.check_receipt_remote client
+       ~transport:(Service.handle remote) ~clock ~jsn ()
+   with
+  | Ok `Ok -> ()
+  | _ -> Alcotest.fail "honest re-check should verify");
+  Alcotest.(check string) "still compromised" "compromised"
+    (Ledger_client.status_to_string (Ledger_client.status client))
+
+let suite =
+  [
+    tc "storage chaos schedules" `Slow test_storage_chaos_schedules;
+    tc "stream store chaos" `Quick test_stream_store_chaos;
+    tc "flaky pull converges" `Slow test_flaky_pull_converges;
+    tc "resumable pull" `Slow test_resumable_pull;
+    tc "poisoned stage heals" `Slow test_poisoned_stage_heals;
+    tc "persistent garbling refused" `Slow test_persistent_garbling_refused;
+    tc "client degrades then recovers" `Quick test_client_degrades_then_recovers;
+    tc "compromised is sticky" `Quick test_compromised_is_sticky;
+  ]

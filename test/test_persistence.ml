@@ -183,12 +183,160 @@ let test_continue_after_load () =
       let report = Audit.run restored in
       Alcotest.(check bool) "audit after continuation" true report.Audit.ok
 
+(* Stream-store round trip: persist, reopen, erase, persist, reopen —
+   indices, byte accounting and page counts must all survive both
+   generations. *)
+let test_stream_store_persist_erase_cycle () =
+  let dir = fresh_dir () in
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "gen" in
+  for i = 0 to 9 do
+    ignore (Stream_store.append s (Bytes.of_string (Printf.sprintf "v%02d" i)))
+  done;
+  Stream_store.persist store;
+  let gen1, _ = Stream_store.recover ~dir () in
+  let s1 = Stream_store.stream gen1 "gen" in
+  Alcotest.(check int) "gen1 length" 10 (Stream_store.length s1);
+  Stream_store.erase s1 3;
+  Stream_store.erase s1 7;
+  let bytes_after_erase = Stream_store.total_bytes s1 in
+  let pages_after_erase = Stream_store.page_count s1 in
+  let live_after_erase = Stream_store.live_records s1 in
+  Stream_store.persist gen1;
+  let gen2, reports = Stream_store.recover ~dir () in
+  let s2 = Stream_store.stream gen2 "gen" in
+  Alcotest.(check int) "gen2 length" 10 (Stream_store.length s2);
+  Alcotest.(check int) "total_bytes preserved" bytes_after_erase
+    (Stream_store.total_bytes s2);
+  Alcotest.(check int) "page_count preserved" pages_after_erase
+    (Stream_store.page_count s2);
+  Alcotest.(check int) "live_records preserved" live_after_erase
+    (Stream_store.live_records s2);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "erasure of %d preserved" i)
+        true
+        (Stream_store.is_erased s2 i))
+    [ 3; 7 ];
+  Alcotest.(check (option string)) "survivor readable" (Some "v05")
+    (Option.map Bytes.to_string (Stream_store.read_opt s2 5));
+  Alcotest.(check bool) "second generation intact" true
+    (List.for_all (fun r -> r.Stream_store.damage = Stream_store.Intact) reports)
+
+(* A crash mid-save leaves a torn tail: the strict loader refuses with a
+   diagnostic, the recovering loader replays the intact prefix and
+   reports exactly what it salvaged. *)
+let test_torn_tail_recovery_report () =
+  let ledger, config, _, _, _, _, notary = build () in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  let size = Ledger.size ledger in
+  let path = Filename.concat dir "journals.ldb" in
+  let file_len =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Framing.truncate_file path ~keep:(file_len - 5);
+  let tl, pool, clock = notary in
+  (match reload ~config notary dir with
+  | Ok _ -> Alcotest.fail "torn snapshot accepted by strict load"
+  | Error msg ->
+      Alcotest.(check bool) "strict refusal names the torn tail" true
+        (String.length msg > 0));
+  match
+    Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true ~clock
+      ~dir ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (restored, report) ->
+      Alcotest.(check int) "last record lost" (size - 1)
+        report.Ledger.replayed;
+      Alcotest.(check bool) "torn tail reported" true report.Ledger.torn_tail;
+      Alcotest.(check bool) "checkpoint partial" true
+        (report.Ledger.checkpoint = `Partial);
+      Alcotest.(check int) "ledger shrunk to the prefix" (size - 1)
+        (Ledger.size restored);
+      Alcotest.(check (option string)) "prefix payload intact"
+        (Some "record 0")
+        (Option.map Bytes.to_string (Ledger.payload restored 0));
+      (* a re-save of the recovered prefix loads strictly again *)
+      let dir2 = fresh_dir () in
+      Ledger.save restored ~dir:dir2;
+      match reload ~config notary dir2 with
+      | Error e -> Alcotest.fail ("re-saved prefix refused: " ^ e)
+      | Ok again ->
+          Alcotest.(check int) "re-saved prefix size" (size - 1)
+            (Ledger.size again)
+
+(* A complete frame with a bad checksum is tampering, not a crash: both
+   loaders refuse, and the diagnostic names the first bad jsn. *)
+let test_corrupt_record_names_first_bad_jsn () =
+  let ledger, config, _, _, _, _, notary = build () in
+  let dir = fresh_dir () in
+  Ledger.save ledger ~dir;
+  let path = Filename.concat dir "journals.ldb" in
+  (* find the on-disk offset of record 3 by walking the frames *)
+  let target = 3 in
+  let offset =
+    let ic = open_in_bin path in
+    let rec go i =
+      let off = pos_in ic in
+      if i = target then off
+      else
+        match Framing.read ic with
+        | Framing.Record _ -> go (i + 1)
+        | _ -> Alcotest.fail "snapshot unexpectedly short"
+    in
+    let off = go 0 in
+    close_in ic;
+    off
+  in
+  (* flip one payload byte inside that frame (magic 4 + length 4 = +8) *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = Bytes.create len in
+  really_input ic data 0 len;
+  close_in ic;
+  let at = offset + 8 + 5 in
+  Bytes.set data at (Char.chr (Char.code (Bytes.get data at) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc data;
+  close_out oc;
+  let tl, pool, clock = notary in
+  let expect_first_bad_jsn = function
+    | Ok _ -> Alcotest.fail "corrupt record accepted"
+    | Error msg ->
+        let mentions needle =
+          let nl = String.length needle and ml = String.length msg in
+          let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic names jsn %d: %s" target msg)
+          true
+          (mentions (Printf.sprintf "first bad jsn %d" target))
+  in
+  expect_first_bad_jsn (reload ~config notary dir);
+  (* corruption is never recoverable: ~recover:true must refuse too *)
+  expect_first_bad_jsn
+    (Result.map fst
+       (Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true
+          ~clock ~dir ()))
+
 let base_suite =
   [
     tc "save/load roundtrip" `Quick test_roundtrip;
     tc "roundtrip with occult+purge" `Quick test_roundtrip_with_mutations;
     tc "tampered snapshot refused" `Quick test_load_refuses_tampered_snapshot;
     tc "append after load" `Quick test_continue_after_load;
+    tc "stream store persist/erase cycle" `Quick
+      test_stream_store_persist_erase_cycle;
+    tc "torn tail recovery report" `Quick test_torn_tail_recovery_report;
+    tc "corrupt record names first bad jsn" `Quick
+      test_corrupt_record_names_first_bad_jsn;
   ]
 
 let test_roundtrip_with_member_ca () =

@@ -55,8 +55,16 @@ let test_stream_store_erase () =
   Stream_store.erase s i;
   Alcotest.(check bool) "erased flagged" true (Stream_store.is_erased s i);
   Alcotest.(check bool) "read_opt none" true (Stream_store.read_opt s i = None);
-  Alcotest.check_raises "read raises" Not_found (fun () ->
-      ignore (Stream_store.read s i));
+  Alcotest.check_raises "read raises"
+    (Stream_store.Read_error (Stream_store.Erased { stream = "j"; index = i }))
+    (fun () -> ignore (Stream_store.read s i));
+  Alcotest.(check bool) "read_result typed error" true
+    (Stream_store.read_result s i
+    = Error (Stream_store.Erased { stream = "j"; index = i }));
+  Alcotest.(check bool) "read_result out of range" true
+    (match Stream_store.read_result s 99 with
+    | Error (Stream_store.Out_of_range { index = 99; length = 2; _ }) -> true
+    | _ -> false);
   Alcotest.(check int) "length unchanged" 2 (Stream_store.length s);
   Alcotest.(check int) "bytes shrink" 6 (Stream_store.total_bytes s);
   (* iter skips erased *)
@@ -93,6 +101,119 @@ let test_stream_store_persist () =
   Stream_store.persist store;
   Alcotest.(check bool) "log file exists" true
     (Sys.file_exists (Filename.concat dir "j.log"))
+
+let fresh_dir () =
+  let d = Filename.temp_file "ledger" "store" in
+  Sys.remove d;
+  d
+
+let test_crc32_vectors () =
+  (* the classic check value for the IEEE polynomial *)
+  Alcotest.(check int32) "check vector" 0xCBF43926l
+    (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "");
+  (* incremental == one-shot *)
+  let whole = Crc32.string "hello world" in
+  let part =
+    Crc32.update (Crc32.string "hello ") (Bytes.of_string "world") ~pos:0
+      ~len:5
+  in
+  Alcotest.(check int32) "incremental" whole part
+
+let test_stream_store_recover_roundtrip () =
+  let dir = fresh_dir () in
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "j" in
+  for i = 0 to 19 do
+    ignore (Stream_store.append s (Bytes.of_string (Printf.sprintf "rec-%03d" i)))
+  done;
+  Stream_store.erase s 7;
+  Stream_store.persist store;
+  let reopened, reports = Stream_store.recover ~dir () in
+  let s' = Stream_store.stream reopened "j" in
+  Alcotest.(check int) "count preserved" 20 (Stream_store.length s');
+  Alcotest.(check bool) "erasure preserved" true (Stream_store.is_erased s' 7);
+  Alcotest.(check string) "content preserved" "rec-011"
+    (Bytes.to_string (Stream_store.read s' 11));
+  Alcotest.(check int) "total bytes" (Stream_store.total_bytes s)
+    (Stream_store.total_bytes s');
+  match reports with
+  | [ r ] ->
+      Alcotest.(check int) "recovered_upto" 20 r.Stream_store.recovered_upto;
+      Alcotest.(check bool) "intact" true (r.Stream_store.damage = Stream_store.Intact)
+  | _ -> Alcotest.fail "expected one recovery report"
+
+let test_stream_store_recover_torn_tail () =
+  let dir = fresh_dir () in
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "j" in
+  for i = 0 to 9 do
+    ignore (Stream_store.append s (Bytes.of_string (Printf.sprintf "torn-%d" i)))
+  done;
+  Stream_store.persist store;
+  (* simulate a crash mid-append: chop bytes off the end of the log *)
+  let path = Filename.concat dir "j.log" in
+  let full = (Unix.stat path).Unix.st_size in
+  Framing.truncate_file path ~keep:(full - 5);
+  let reopened, reports = Stream_store.recover ~dir () in
+  let s' = Stream_store.stream reopened "j" in
+  Alcotest.(check int) "last record dropped" 9 (Stream_store.length s');
+  Alcotest.(check string) "prefix intact" "torn-8"
+    (Bytes.to_string (Stream_store.read s' 8));
+  (match reports with
+  | [ r ] ->
+      Alcotest.(check bool) "torn tail reported" true
+        (r.Stream_store.damage = Stream_store.Torn_tail);
+      Alcotest.(check int) "recovered_upto" 9 r.Stream_store.recovered_upto;
+      Alcotest.(check bool) "dropped bytes counted" true
+        (r.Stream_store.dropped_bytes > 0)
+  | _ -> Alcotest.fail "expected one recovery report");
+  (* after recovery the truncated log replays cleanly *)
+  let _, reports2 = Stream_store.recover ~dir () in
+  match reports2 with
+  | [ r ] ->
+      Alcotest.(check bool) "clean after truncation" true
+        (r.Stream_store.damage = Stream_store.Intact);
+      Alcotest.(check int) "still 9" 9 r.Stream_store.recovered_upto
+  | _ -> Alcotest.fail "expected one recovery report"
+
+let test_stream_store_recover_corrupt_record () =
+  let dir = fresh_dir () in
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "j" in
+  for i = 0 to 9 do
+    ignore (Stream_store.append s (Bytes.make 32 (Char.chr (Char.code 'a' + i))))
+  done;
+  Stream_store.persist store;
+  (* flip one payload byte in the middle of the log: CRC must catch it *)
+  let path = Filename.concat dir "j.log" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = Bytes.create len in
+  really_input ic data 0 len;
+  close_in ic;
+  let off = len / 2 in
+  Bytes.set data off (Char.chr (Char.code (Bytes.get data off) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc data;
+  close_out oc;
+  let reopened, reports = Stream_store.recover ~dir () in
+  let s' = Stream_store.stream reopened "j" in
+  (match reports with
+  | [ r ] ->
+      Alcotest.(check bool) "corruption reported" true
+        (r.Stream_store.damage = Stream_store.Corrupt_record);
+      Alcotest.(check bool) "stopped before the bad record" true
+        (r.Stream_store.recovered_upto < 10);
+      Alcotest.(check int) "in-memory prefix matches report"
+        r.Stream_store.recovered_upto (Stream_store.length s')
+  | _ -> Alcotest.fail "expected one recovery report");
+  (* every recovered record is intact *)
+  for i = 0 to Stream_store.length s' - 1 do
+    Alcotest.(check string) "recovered record"
+      (String.make 32 (Char.chr (Char.code 'a' + i)))
+      (Bytes.to_string (Stream_store.read s' i))
+  done
 
 let test_bitmap () =
   let b = Bitmap_index.create () in
@@ -156,6 +277,10 @@ let base_suite =
     tc "stream store latency" `Quick test_stream_store_latency;
     tc "stream store growth" `Quick test_stream_store_growth;
     tc "stream store persist" `Quick test_stream_store_persist;
+    tc "crc32 vectors" `Quick test_crc32_vectors;
+    tc "stream store recover roundtrip" `Quick test_stream_store_recover_roundtrip;
+    tc "stream store recover torn tail" `Quick test_stream_store_recover_torn_tail;
+    tc "stream store recover corrupt" `Quick test_stream_store_recover_corrupt_record;
     tc "bitmap index" `Quick test_bitmap;
     tc "kv store" `Quick test_kv_store;
     tc "kv nul safety" `Quick test_kv_binary_safety;

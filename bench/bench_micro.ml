@@ -104,13 +104,17 @@ let tests =
       test_table2_qldb_verify;
     ]
 
-let benchmark () =
+let benchmark ~smoke () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+    if smoke then
+      (* fixed small budget: enough samples for OLS, fast enough to ride
+         inside dune runtest *)
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
   in
   let raw_results = Benchmark.all cfg instances tests in
   let results =
@@ -118,11 +122,27 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
-let run () =
+(* ns-per-run OLS estimate for every test under the monotonic clock. *)
+let estimates results =
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some per_test ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (ns :: _) -> Some ns
+            | Some [] | None -> None
+          in
+          (name, ns) :: acc)
+        per_test []
+      |> List.sort compare
+
+let run ?(smoke = false) ?json () =
   print_endline "\nBechamel microbenchmarks (ns per run)";
   print_endline "=====================================";
   Bechamel_notty.Unit.add Instance.monotonic_clock "ns";
-  let results = benchmark () in
+  let results = benchmark ~smoke () in
   let window =
     match Notty_unix.winsize Unix.stdout with
     | Some (w, h) -> { Bechamel_notty.w; h }
@@ -132,4 +152,23 @@ let run () =
     Bechamel_notty.Multiple.image_of_ols_results ~rect:window
       ~predictor:Measure.run results
   in
-  Notty_unix.eol img |> Notty_unix.output_image
+  Notty_unix.eol img |> Notty_unix.output_image;
+  match json with
+  | None -> ()
+  | Some path ->
+      let open Ledger_bench_util.Json_out in
+      let tests =
+        List.map
+          (fun (name, ns) ->
+            (name, match ns with Some v -> Float v | None -> Null))
+          (estimates results)
+      in
+      write_file path
+        (Obj
+           [
+             ("figure", Str "micro");
+             ("unit", Str "ns_per_run");
+             ("smoke", Bool smoke);
+             ("tests", Obj tests);
+           ]);
+      Printf.printf "wrote %s\n" path

@@ -12,37 +12,65 @@
      ablation — anchor & Shrubs ablations
      micro   — Bechamel microbenchmarks
 
-   Flags: --big (larger sweeps), --n <int> (Fig. 7 journal count). *)
+   Flags: --big (larger sweeps), --n <int> (Fig. 7 journal count),
+   --smoke (fixed-seed fast sizes, for CI), --json <dir> (write
+   machine-readable BENCH_<target>.json files into <dir>). *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|all]\n\
-    \       [--big] [--n <journals-for-fig7>]";
+    \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let big = List.mem "--big" args in
+  let smoke = List.mem "--smoke" args in
   let n_fig7 =
     let rec find = function
       | "--n" :: v :: _ -> (
           match int_of_string_opt v with Some n when n > 0 -> n | _ -> usage ())
       | _ :: rest -> find rest
-      | [] -> 100
+      | [] -> if smoke then 4 else 100
     in
     find args
   in
+  let json_dir =
+    let rec find = function
+      | "--json" :: dir :: _ -> Some dir
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let json name =
+    (* BENCH_<name>.json in the requested directory; shared by every
+       figure bench that has a machine-readable form *)
+    Option.map
+      (fun dir -> Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+      json_dir
+  in
+  let skip_flag_values =
+    (* operand slots consumed by --n/--json, not bench targets *)
+    let rec go = function
+      | "--n" :: v :: rest | "--json" :: v :: rest -> v :: go rest
+      | _ :: rest -> go rest
+      | [] -> []
+    in
+    go args
+  in
   let targets =
     List.filter
-      (fun a -> (not (String.length a >= 2 && String.sub a 0 2 = "--"))
-                && (match int_of_string_opt a with Some _ -> false | None -> true))
+      (fun a ->
+        (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        && not (List.mem a skip_flag_values))
       args
   in
   let targets = if targets = [] then [ "all" ] else targets in
   let run_target = function
     | "table1" -> Bench_table1.run ()
     | "fig5" -> Bench_fig5.run ()
-    | "fig7" -> Bench_fig7.run ~n:n_fig7 ()
+    | "fig7" -> Bench_fig7.run ~n:n_fig7 ?json:(json "fig7") ()
     | "fig8" | "fig8a" | "fig8b" -> Bench_fig8.run ~big ()
     | "fig9" | "fig9a" | "fig9b" -> Bench_fig9.run ~big ()
     | "fig10" | "fig10a" | "fig10b" | "fig10c" | "fig10d" ->
@@ -51,11 +79,11 @@ let () =
     | "ablation" | "ablations" -> Bench_ablations.run ()
     | "storage" -> Bench_storage.run ()
     | "proofsize" | "proof-size" -> Bench_proof_size.run ()
-    | "micro" -> Bench_micro.run ()
+    | "micro" -> Bench_micro.run ~smoke ?json:(json "micro") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
-        Bench_fig7.run ~n:n_fig7 ();
+        Bench_fig7.run ~n:n_fig7 ?json:(json "fig7") ();
         Bench_fig8.run ~big ();
         Bench_fig9.run ~big ();
         Bench_fig10.run ~big ();

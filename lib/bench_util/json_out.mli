@@ -1,0 +1,16 @@
+(** Minimal JSON serializer for machine-readable bench output.
+
+    Floats render with [%.6g]; NaN and infinities — which JSON cannot
+    spell — render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write_file : string -> t -> unit

@@ -90,6 +90,11 @@ let write_file path b =
 
 let apply_fault ~dir { file; kind } =
   let path = Filename.concat dir file in
+  Ledger_obs.Metrics.incr "fault_injected_total";
+  (match kind with
+  | Bit_flip _ -> Ledger_obs.Metrics.incr "fault_bit_flip_total"
+  | Truncate_tail _ -> Ledger_obs.Metrics.incr "fault_truncate_total"
+  | Zero_range _ -> Ledger_obs.Metrics.incr "fault_zero_range_total");
   match kind with
   | Bit_flip { offset; mask } ->
       let b = read_file path in

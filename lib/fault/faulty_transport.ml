@@ -68,6 +68,7 @@ let garble rng resp =
 
 let transport t req =
   t.stats.calls <- t.stats.calls + 1;
+  Ledger_obs.Metrics.incr "faulty_transport_calls_total";
   (* draw the whole fate of this exchange up front so the schedule depends
      only on the seed and the call sequence, not on short-circuiting *)
   let dropped = hit t.rng t.config.drop_prob in
@@ -81,28 +82,33 @@ let transport t req =
   | None -> ());
   if delayed then begin
     t.stats.delays <- t.stats.delays + 1;
+    Ledger_obs.Metrics.incr "faulty_transport_delays_total";
     Clock.advance_ms t.clock (t.config.delay_ms *. delay_scale)
   end;
   if dropped then begin
     t.stats.drops <- t.stats.drops + 1;
+    Ledger_obs.Metrics.incr "faulty_transport_drops_total";
     raise (Ledger_core.Transport.Timeout "message lost in transit")
   end;
   (* a duplicated request reaches the service twice: the second delivery
      exercises idempotency/nonce handling; the caller sees one response *)
   if duplicated then begin
     t.stats.dups <- t.stats.dups + 1;
+    Ledger_obs.Metrics.incr "faulty_transport_dups_total";
     ignore (t.inner req)
   end;
   let resp = t.inner req in
   let resp =
     if garbled then begin
       t.stats.garbles <- t.stats.garbles + 1;
+      Ledger_obs.Metrics.incr "faulty_transport_garbles_total";
       garble t.rng resp
     end
     else resp
   in
   if reordered then begin
     t.stats.reorders <- t.stats.reorders + 1;
+    Ledger_obs.Metrics.incr "faulty_transport_reorders_total";
     match t.held with
     | Some stale ->
         t.held <- Some resp;

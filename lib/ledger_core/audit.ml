@@ -339,18 +339,46 @@ let run ?from_jsn ?upto_jsn ?before_ts ?(receipts = []) ledger =
     { ledger; from_jsn; upto_jsn; failures = []; signatures = 0; anchors = 0;
       blocks = 0 }
   in
-  let timed f =
+  let timed name f =
+    let sp = Ledger_obs.Trace.enter name in
     let t0 = Unix.gettimeofday () in
     f ctx;
-    Unix.gettimeofday () -. t0
+    let dt = Unix.gettimeofday () -. t0 in
+    Ledger_obs.Trace.exit sp;
+    dt
   in
-  let who_seconds = timed (fun ctx -> who_pass ctx receipts) in
-  let when_seconds = timed when_pass in
+  let who_seconds = timed "audit.who" (fun ctx -> who_pass ctx receipts) in
+  let when_seconds = timed "audit.when" when_pass in
   let what_seconds =
-    timed (fun ctx ->
+    timed "audit.what" (fun ctx ->
         if ctx.from_jsn = 0 then what_replay ctx else what_by_proofs ctx;
         check_blocks ctx)
   in
+  Ledger_obs.Metrics.incr "audit_runs_total";
+  (* Per-jsn coverage entries: one Verified per audited journal without a
+     failure, one Repudiated per journal with evidence.  Ledger-level
+     failures (no jsn) attach to the commitment instead. *)
+  if Ledger_obs.Obs.enabled () then begin
+    let failed = Hashtbl.create 16 in
+    let global_fail = ref None in
+    List.iter
+      (fun f ->
+        match f.jsn with
+        | Some j -> Hashtbl.replace failed j f.message
+        | None -> if !global_fail = None then global_fail := Some f.message)
+      ctx.failures;
+    for jsn = from_jsn to upto_jsn - 1 do
+      Ledger_obs.Audit_log.record ~verifier:"auditor" (Journal jsn)
+        (match Hashtbl.find_opt failed jsn with
+        | Some msg -> Ledger_obs.Audit_log.Repudiated msg
+        | None -> Ledger_obs.Audit_log.Verified)
+    done;
+    Ledger_obs.Audit_log.record ~verifier:"auditor"
+      (Commitment (Ledger.size ledger))
+      (match !global_fail with
+      | Some msg -> Ledger_obs.Audit_log.Repudiated msg
+      | None -> Ledger_obs.Audit_log.Verified)
+  end;
   {
     ok = ctx.failures = [];
     journals_checked = max 0 (upto_jsn - from_jsn);

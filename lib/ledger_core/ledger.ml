@@ -8,6 +8,10 @@ open Ledger_timenotary
 let log = Logs.Src.create "ledgerdb.ledger" ~doc:"LedgerDB kernel events"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Obs = Ledger_obs.Obs
+module Metrics = Ledger_obs.Metrics
+module Trace = Ledger_obs.Trace
+module Audit_log = Ledger_obs.Audit_log
 
 type config = {
   name : string;
@@ -207,6 +211,7 @@ let seal_block t =
     t.blocks <- block :: t.blocks;
     t.block_count <- t.block_count + 1;
     t.pending_txs <- [];
+    Metrics.incr "ledger_blocks_sealed_total";
     Log.debug (fun m ->
         m "sealed block %d (%d journals, clue root %s)" block.Block.height
           count
@@ -234,11 +239,16 @@ let ensure_slot_capacity t =
    block fill.  Returns the slot. *)
 let commit_journal t (j : Journal.t) =
   ensure_slot_capacity t;
+  let sp = Trace.enter "ledger.commit" in
+  Trace.attr_int sp "jsn" j.Journal.jsn;
+  let sp_persist = Trace.enter "persist" in
   let store_index = Stream_store.append t.journal_stream j.Journal.payload in
+  Trace.exit sp_persist;
   let tx = Journal.tx_hash j in
   let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
   t.slots.(t.count) <- s;
   t.count <- t.count + 1;
+  let sp_acc = Trace.enter "accumulate" in
   ignore (Fam.append t.fam tx);
   List.iter
     (fun clue ->
@@ -260,14 +270,19 @@ let commit_journal t (j : Journal.t) =
       | Some r -> r := leaf_index :: !r
       | None -> Hashtbl.replace t.state_index clue (ref [ leaf_index ])))
     j.Journal.clues;
+  Trace.exit sp_acc;
   t.pending_txs <- tx :: t.pending_txs;
   if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
   (match j.Journal.kind with
   | Journal.Time _ -> t.time_journals <- j.Journal.jsn :: t.time_journals
   | _ -> ());
+  Metrics.incr "ledger_appends_total";
+  Metrics.observe_int "ledger_payload_bytes" (Bytes.length j.Journal.payload);
+  Trace.exit sp;
   s
 
 let make_receipt t s =
+  Metrics.incr "ledger_receipts_issued_total";
   let block_hash =
     (* final only when the journal's block is sealed *)
     let rec find = function
@@ -299,6 +314,8 @@ let append t ~member ~priv ?(cosigners = []) ?(clues = []) payload_bytes =
   (match Roles.find t.registry member.Roles.id with
   | Some _ -> ()
   | None -> invalid_arg "Ledger.append: unknown member");
+  let sp = Trace.enter "ledger.append" in
+  Trace.attr_int sp "jsn" t.count;
   let client_ts = Clock.now t.clock in
   t.nonce <- t.nonce + 1;
   (* phase 1: client signs the request (π_c) *)
@@ -306,6 +323,7 @@ let append t ~member ~priv ?(cosigners = []) ?(clues = []) payload_bytes =
     Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal"
       ~payload:payload_bytes ~clues ~client_ts ~nonce:t.nonce
   in
+  let sp_sign = Trace.enter "sign" in
   let client_sig =
     sign_with_profile t ~priv ~pub:member.Roles.pub request_hash
   in
@@ -315,11 +333,17 @@ let append t ~member ~priv ?(cosigners = []) ?(clues = []) payload_bytes =
         (m.Roles.id, sign_with_profile t ~priv:p ~pub:m.Roles.pub request_hash))
       cosigners
   in
+  Trace.exit sp_sign;
   (* phase 2: proxy ships payload to shared storage, digest to server *)
   Latency_model.charge_net t.cfg.latency t.clock;
   (* server checks π_c before committing (threat-A defence) *)
-  if not (verify_with_profile t ~pub:member.Roles.pub request_hash client_sig)
-  then invalid_arg "Ledger.append: bad client signature";
+  let sp_pi_c = Trace.enter "verify_pi_c" in
+  let pi_c_ok = verify_with_profile t ~pub:member.Roles.pub request_hash client_sig in
+  Trace.exit sp_pi_c;
+  if not pi_c_ok then begin
+    Trace.exit sp;
+    invalid_arg "Ledger.append: bad client signature"
+  end;
   let j =
     {
       Journal.jsn = t.count;
@@ -337,7 +361,9 @@ let append t ~member ~priv ?(cosigners = []) ?(clues = []) payload_bytes =
   in
   let s = commit_journal t j in
   (* phase 3: LSP receipt (π_s) *)
-  make_receipt t s
+  let r = make_receipt t s in
+  Trace.exit sp;
+  r
 
 (* Fig. 1's actual service path: the client signed the request remotely
    and ships (payload, metadata, pi_c); the server re-derives the request
@@ -421,38 +447,82 @@ let append_batch t ~member ~priv entries =
 let get_receipt t jsn = make_receipt t (slot t jsn)
 
 let verify_receipt t (r : Receipt.t) =
+  let sp = Trace.enter "verify.receipt" in
+  Trace.attr_int sp "jsn" r.Receipt.jsn;
+  let t0 = if Obs.enabled () then Clock.now t.clock else 0L in
   let digest =
     Receipt.signing_digest ~jsn:r.Receipt.jsn ~request_hash:r.Receipt.request_hash
       ~tx_hash:r.Receipt.tx_hash ~block_hash:r.Receipt.block_hash
       ~timestamp:r.Receipt.timestamp
   in
-  verify_with_profile t ~pub:t.lsp_pub digest r.Receipt.lsp_sig
+  let ok = verify_with_profile t ~pub:t.lsp_pub digest r.Receipt.lsp_sig in
+  if Obs.enabled () then begin
+    Metrics.observe "verify_latency_us"
+      (Int64.to_float (Int64.sub (Clock.now t.clock) t0));
+    Audit_log.record ~verifier:"server" (Receipt r.Receipt.jsn)
+      (if ok then Audit_log.Verified
+       else Audit_log.Repudiated "bad LSP signature on receipt")
+  end;
+  Trace.exit sp;
+  ok
 
 (* --- existence verification -------------------------------------------- *)
 
 let commitment t = Fam.commitment t.fam
-let get_proof t jsn = Fam.prove t.fam jsn
+
+let get_proof t jsn =
+  let p = Fam.prove t.fam jsn in
+  (* encoding the proof to count bytes is itself work, so only do it when
+     a sink is recording *)
+  if Obs.enabled () then begin
+    Metrics.incr "ledger_proofs_served_total";
+    let w = Wire.writer () in
+    Proof_codec.w_fam_proof w p;
+    Metrics.observe_int "ledger_proof_bytes" (Bytes.length (Wire.contents w))
+  end;
+  p
 
 let verify_existence t ~jsn ~payload_digest proof =
-  jsn >= 0 && jsn < t.count
-  &&
-  let leaf = tx_hash_of t jsn in
-  Fam.verify ~commitment:(commitment t) ~leaf proof
-  &&
-  match payload_digest with
-  | None -> true
-  | Some d -> (
-      match payload t jsn with
-      | Some p -> Hash.equal (Hash.digest_bytes p) d
-      | None -> false)
+  let sp = Trace.enter "verify.existence" in
+  Trace.attr_int sp "jsn" jsn;
+  let t0 = if Obs.enabled () then Clock.now t.clock else 0L in
+  let ok =
+    jsn >= 0 && jsn < t.count
+    &&
+    let leaf = tx_hash_of t jsn in
+    Fam.verify ~commitment:(commitment t) ~leaf proof
+    &&
+    match payload_digest with
+    | None -> true
+    | Some d -> (
+        match payload t jsn with
+        | Some p -> Hash.equal (Hash.digest_bytes p) d
+        | None -> false)
+  in
+  if Obs.enabled () then begin
+    Metrics.observe "verify_latency_us"
+      (Int64.to_float (Int64.sub (Clock.now t.clock) t0));
+    Audit_log.record ~verifier:"server" (Journal jsn)
+      (if ok then Audit_log.Verified
+       else Audit_log.Repudiated "existence proof failed")
+  end;
+  Trace.exit sp;
+  ok
 
 let make_anchor t = Fam.make_anchor t.fam
 
 let prove_extension t ~old_size = Fam.prove_extension t.fam ~old_size
 
 let verify_extension t ~old_size ~old_peaks proof =
-  Fam.verify_extension ~delta:t.cfg.fam_delta ~old_size ~old_peaks
-    ~new_size:t.count ~new_commitment:(commitment t) proof
+  let ok =
+    Fam.verify_extension ~delta:t.cfg.fam_delta ~old_size ~old_peaks
+      ~new_size:t.count ~new_commitment:(commitment t) proof
+  in
+  Audit_log.record ~verifier:"server"
+    (Extension { old_size; new_size = t.count })
+    (if ok then Audit_log.Verified
+     else Audit_log.Repudiated "extension proof failed");
+  ok
 let get_proof_anchored t anchor jsn = Fam.prove_anchored t.fam anchor jsn
 
 let verify_anchored t anchor ~leaf proof =
@@ -501,14 +571,24 @@ let verify_clue_client t (proof : Cm_tree.clue_proof) =
   (* If the trie advanced since the last sealed block, fall back to the
      live root (a real client would request a fresh block commit). *)
   let live_root = Cm_tree.root_hash t.cm in
-  !ok
-  && (Cm_tree.verify_clue ~root:live_root ~known:!known proof
-     || Cm_tree.verify_clue ~root ~known:!known proof)
+  let result =
+    !ok
+    && (Cm_tree.verify_clue ~root:live_root ~known:!known proof
+       || Cm_tree.verify_clue ~root ~known:!known proof)
+  in
+  Audit_log.record ~verifier:"client" (Clue proof.Cm_tree.clue)
+    (if result then Audit_log.Verified
+     else Audit_log.Repudiated "clue proof failed");
+  result
 
 let verify_clue_server t ~clue =
   let jsns = clue_jsns t clue in
   let known = List.mapi (fun version jsn -> (version, tx_hash_of t jsn)) jsns in
-  known <> [] && Cm_tree.verify_clue_server t.cm ~known ~clue
+  let ok = known <> [] && Cm_tree.verify_clue_server t.cm ~known ~clue in
+  Audit_log.record ~verifier:"server" (Clue clue)
+    (if ok then Audit_log.Verified
+     else Audit_log.Repudiated "server clue replay failed");
+  ok
 
 (* ListTx (§IV-A): filtered journal retrieval. *)
 type tx_filter = {
@@ -628,6 +708,7 @@ let anchor_via_t_ledger t =
           in
           let j = system_journal t kind Bytes.empty in
           ignore (commit_journal t j);
+          Metrics.incr "ledger_time_anchors_total";
           Log.info (fun m ->
               m "anchored commitment %s to T-Ledger entry %d"
                 (Hash.short_hex digest) entry.T_ledger.index);
@@ -642,6 +723,7 @@ let anchor_via_tsa t =
       let kind = Journal.Time (Journal.Direct_tsa token) in
       let j = system_journal t kind Bytes.empty in
       ignore (commit_journal t j);
+      Metrics.incr "ledger_time_anchors_total";
       j
 
 let time_journals t =
@@ -766,6 +848,7 @@ let purge t ~request ~signers =
       end;
       t.pseudo_genesis_jsn <- Some pg_jsn;
       seal_block t;
+      Metrics.incr "ledger_purges_total";
       Log.info (fun m ->
           m "purged journals [0,%d) with %d survivors; pseudo-genesis at %d"
             upto_jsn (List.length kept) pg_jsn);
@@ -819,6 +902,7 @@ let occult t ~target_jsn ~mode ~signers ~reason =
       let j = { j with Journal.cosigners = cosigs } in
       ignore (commit_journal t j);
       Bitmap_index.set t.occult_bits target_jsn;
+      Metrics.incr "ledger_occults_total";
       Log.info (fun m ->
           m "occulted journal %d (%s)" target_jsn
             (match mode with Sync -> "sync" | Async -> "async"));
@@ -1279,6 +1363,12 @@ let load_verbose ?(config = default_config) ?t_ledger ?tsa ?(recover = false)
             failwith "clue root mismatch after replay"
       | None -> ()
     end;
+    Metrics.incr "ledger_loads_total";
+    if !torn_tail then Metrics.incr "ledger_recovered_journals_total";
+    Audit_log.record ~verifier:"loader" (Commitment t.count)
+      (if partial then
+         Audit_log.Degraded "torn tail: checkpoint not reproducible"
+       else Audit_log.Verified);
     Ok
       ( t,
         { replayed = t.count; declared_size; torn_tail = !torn_tail;

@@ -39,16 +39,19 @@ let last_fault t = t.last_fault
 let note_transport_fault t ~reason =
   t.transient_faults <- t.transient_faults + 1;
   t.last_fault <- Some reason;
+  Ledger_obs.Metrics.incr "client_transport_faults_total";
   if t.status = Healthy then t.status <- Degraded
 
 let note_recovery t =
   if t.status = Degraded then begin
     t.status <- Healthy;
-    t.last_fault <- None
+    t.last_fault <- None;
+    Ledger_obs.Metrics.incr "client_recoveries_total"
   end
 
 let note_verification_failure t ~reason =
   t.last_fault <- Some reason;
+  Ledger_obs.Metrics.incr "client_verification_failures_total";
   t.status <- Compromised
 
 let remember_receipt t r = t.receipts <- r :: t.receipts
@@ -64,26 +67,43 @@ let anchored_upto t =
   match t.anchor with Some (a, _) -> Fam.anchor_size a | None -> 0
 
 let check_existence t ~jsn ~leaf ~current_commitment proof =
-  ignore jsn;
-  match t.anchor with
-  | Some (a, _) ->
-      Fam.verify_anchored a ~current_commitment ~leaf proof
-  | None -> (
-      (* without an anchor only full chained proofs are meaningful *)
-      match proof with
-      | Fam.Beyond_anchor p -> Fam.verify ~commitment:current_commitment ~leaf p
-      | Fam.Within_sealed _ -> false)
+  let ok =
+    match t.anchor with
+    | Some (a, _) -> Fam.verify_anchored a ~current_commitment ~leaf proof
+    | None -> (
+        (* without an anchor only full chained proofs are meaningful *)
+        match proof with
+        | Fam.Beyond_anchor p ->
+            Fam.verify ~commitment:current_commitment ~leaf p
+        | Fam.Within_sealed _ -> false)
+  in
+  Ledger_obs.Audit_log.record ~verifier:t.name (Journal jsn)
+    (if ok then Ledger_obs.Audit_log.Verified
+     else Ledger_obs.Audit_log.Repudiated "client existence check failed");
+  ok
 
 let check_receipt_against t ~ledger_tx_hash ~jsn =
-  match receipt_for t ~jsn with
-  | None -> `No_receipt
-  | Some r ->
-      if not (Receipt.verify ~lsp_pub:t.lsp_pub r) then `Bad_signature
-      else begin
-        match ledger_tx_hash jsn with
-        | Some tx when Hash.equal tx r.Receipt.tx_hash -> `Ok
-        | Some _ | None -> `Repudiated
-      end
+  let verdict =
+    match receipt_for t ~jsn with
+    | None -> `No_receipt
+    | Some r ->
+        if not (Receipt.verify ~lsp_pub:t.lsp_pub r) then `Bad_signature
+        else begin
+          match ledger_tx_hash jsn with
+          | Some tx when Hash.equal tx r.Receipt.tx_hash -> `Ok
+          | Some _ | None -> `Repudiated
+        end
+  in
+  (match verdict with
+  | `No_receipt -> () (* no attempt was possible, nothing to audit *)
+  | `Ok -> Ledger_obs.Audit_log.record ~verifier:t.name (Receipt jsn) Verified
+  | `Bad_signature ->
+      Ledger_obs.Audit_log.record ~verifier:t.name (Receipt jsn)
+        (Repudiated "receipt signature invalid")
+  | `Repudiated ->
+      Ledger_obs.Audit_log.record ~verifier:t.name (Receipt jsn)
+        (Repudiated "journal no longer matches receipt"));
+  verdict
 
 let stale t ~current_size = current_size > anchored_upto t
 
@@ -91,8 +111,15 @@ let check_growth t ~delta ~new_size ~new_commitment proof =
   match t.anchor with
   | None -> false
   | Some (anchor, _) ->
-      Fam.verify_extension ~delta ~old_size:(Fam.anchor_size anchor)
-        ~old_peaks:(Fam.anchor_peaks anchor) ~new_size ~new_commitment proof
+      let ok =
+        Fam.verify_extension ~delta ~old_size:(Fam.anchor_size anchor)
+          ~old_peaks:(Fam.anchor_peaks anchor) ~new_size ~new_commitment proof
+      in
+      Ledger_obs.Audit_log.record ~verifier:t.name
+        (Extension { old_size = Fam.anchor_size anchor; new_size })
+        (if ok then Ledger_obs.Audit_log.Verified
+         else Ledger_obs.Audit_log.Repudiated "extension proof failed");
+      ok
 
 (* --- self-healing remote checks ------------------------------------------ *)
 
@@ -116,11 +143,15 @@ let check_receipt_remote t ~transport ?policy ?(seed = 0) ~clock ~jsn () =
              fault *)
           note_verification_failure t
             ~reason:(Printf.sprintf "jsn %d refused: %s" jsn msg);
+          Ledger_obs.Audit_log.record ~verifier:t.name (Receipt jsn)
+            (Repudiated ("service refused journal: " ^ msg));
           Ok `Repudiated
       | Error (Transport.Transport e) ->
           (* transport exhausted: stay degraded, conclude nothing — the
              receipt is neither confirmed nor repudiated *)
           note_transport_fault t ~reason:(Transport.error_to_string e);
+          Ledger_obs.Audit_log.record ~verifier:t.name (Receipt jsn)
+            (Degraded (Transport.error_to_string e));
           Error e
       | Ok tx ->
           let verdict =

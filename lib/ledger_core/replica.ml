@@ -56,13 +56,17 @@ let staged_journals path =
 let pull_verbose ~transport ?(policy = Transport.default_policy)
     ?(config = Ledger.default_config) ?t_ledger ?tsa ?(resume = true) ~clock
     ~scratch_dir () =
+  Ledger_obs.Metrics.incr "replica_pulls_total";
   let requests = ref 0 in
   let retries = ref 0 in
   let rpc decode encoded =
     incr requests;
+    Ledger_obs.Metrics.incr "replica_requests_total";
     match
       Transport.request_expect ~policy ~seed:!requests
-        ~on_retry:(fun ~attempt:_ ~reason:_ -> incr retries)
+        ~on_retry:(fun ~attempt:_ ~reason:_ ->
+          incr retries;
+          Ledger_obs.Metrics.incr "replica_retries_total")
         ~clock ~decode transport encoded
     with
     | Ok v -> Ok v
@@ -198,6 +202,10 @@ let pull_verbose ~transport ?(policy = Transport.default_policy)
         Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
       with
       | Ok ledger ->
+          if resumed_from > 0 then
+            Ledger_obs.Metrics.incr "replica_resumed_journals_total"
+              ~by:resumed_from;
+          if restarted then Ledger_obs.Metrics.incr "replica_restarts_total";
           Ok
             ( ledger,
               { requests = !requests; retries = !retries; resumed_from;

@@ -248,6 +248,19 @@ let decode_response data =
 
 (* --- server ---------------------------------------------------------------- *)
 
+let request_kind = function
+  | Append _ -> "append"
+  | Get_payload _ -> "get_payload"
+  | Get_proof _ -> "get_proof"
+  | Get_receipt _ -> "get_receipt"
+  | Get_clue_proof _ -> "get_clue_proof"
+  | Get_commitment -> "get_commitment"
+  | Get_extension _ -> "get_extension"
+  | Get_journal _ -> "get_journal"
+  | Get_block _ -> "get_block"
+  | Get_members -> "get_members"
+  | Get_checkpoint -> "get_checkpoint"
+
 let dispatch ledger = function
   | Append { member_id; payload; clues; client_ts; nonce; signature } -> (
       match
@@ -293,13 +306,16 @@ let dispatch ledger = function
         Error_r "block out of range"
       else Block_r (Ledger.block ledger height)
   | Get_members ->
+      (* the registry is a hash table, so sort by name for a deterministic
+         wire response *)
       Members_r
-        (List.map
-           (fun (m : Roles.member) ->
-             ( m.Roles.name,
-               Roles.role_to_string m.Roles.role,
-               Ecdsa.public_key_to_bytes m.Roles.pub ))
-           (Roles.members (Ledger.registry ledger)))
+        (Roles.members (Ledger.registry ledger)
+        |> List.sort (fun (a : Roles.member) (b : Roles.member) ->
+               String.compare a.Roles.name b.Roles.name)
+        |> List.map (fun (m : Roles.member) ->
+               ( m.Roles.name,
+                 Roles.role_to_string m.Roles.role,
+                 Ecdsa.public_key_to_bytes m.Roles.pub )))
   | Get_checkpoint ->
       Checkpoint_r
         {
@@ -318,13 +334,20 @@ let dispatch ledger = function
         }
 
 let handle ledger data =
+  let sp = Ledger_obs.Trace.enter "service.handle" in
+  Ledger_obs.Metrics.incr "service_requests_total";
   let resp =
     match decode_request data with
     | None -> Error_r "malformed request"
-    | Some req -> (
-        try dispatch ledger req
-        with Invalid_argument msg | Failure msg -> Error_r msg)
+    | Some req ->
+        Ledger_obs.Trace.attr sp "kind" (request_kind req);
+        (try dispatch ledger req
+         with Invalid_argument msg | Failure msg -> Error_r msg)
   in
+  (match resp with
+  | Error_r _ -> Ledger_obs.Metrics.incr "service_errors_total"
+  | _ -> ());
+  Ledger_obs.Trace.exit sp;
   encode_response resp
 
 (* --- client ----------------------------------------------------------------- *)

@@ -60,9 +60,13 @@ let failure_to_string = function
   | Refused msg -> "service refused: " ^ msg
   | Transport e -> error_to_string e
 
-let request ?(policy = default_policy) ?(seed = 0)
-    ?(on_retry = fun ~attempt:_ ~reason:_ -> ()) ~clock transport payload =
+(* [count_failures] lets {!request_expect} reuse the single-attempt body
+   without its inner one-shot exhaustion being recorded as a terminal
+   transport failure — only the outer loop's give-up counts. *)
+let request_counted ~count_failures ~policy ~seed ~on_retry ~clock transport
+    payload =
   let rec go attempt =
+    Ledger_obs.Metrics.incr "transport_attempts_total";
     let t0 = Clock.now clock in
     let outcome =
       match transport payload with
@@ -81,15 +85,24 @@ let request ?(policy = default_policy) ?(seed = 0)
     match outcome with
     | Ok resp -> Ok resp
     | Error reason ->
-        if attempt >= policy.max_attempts then
+        if attempt >= policy.max_attempts then begin
+          if count_failures then
+            Ledger_obs.Metrics.incr "transport_failures_total";
           Error { attempts = attempt; reason }
+        end
         else begin
+          Ledger_obs.Metrics.incr "transport_retries_total";
           on_retry ~attempt ~reason;
           Clock.advance_ms clock (backoff_ms policy ~seed ~attempt);
           go (attempt + 1)
         end
   in
   go 1
+
+let request ?(policy = default_policy) ?(seed = 0)
+    ?(on_retry = fun ~attempt:_ ~reason:_ -> ()) ~clock transport payload =
+  request_counted ~count_failures:true ~policy ~seed ~on_retry ~clock transport
+    payload
 
 let request_expect ?(policy = default_policy) ?(seed = 0)
     ?(on_retry = fun ~attempt:_ ~reason:_ -> ()) ~clock ~decode transport
@@ -100,8 +113,12 @@ let request_expect ?(policy = default_policy) ?(seed = 0)
      explicit [Error_r] is the service itself speaking: definitive, never
      retried. *)
   let one_shot = { policy with max_attempts = 1 } in
+  let no_op_retry ~attempt:_ ~reason:_ = () in
   let rec go attempt =
-    match request ~policy:one_shot ~seed ~clock transport payload with
+    match
+      request_counted ~count_failures:false ~policy:one_shot ~seed
+        ~on_retry:no_op_retry ~clock transport payload
+    with
     | Error { reason; _ } -> transient attempt reason
     | Ok (Service.Error_r msg) -> Error (Refused msg)
     | Ok resp -> (
@@ -109,9 +126,12 @@ let request_expect ?(policy = default_policy) ?(seed = 0)
         | Some v -> Ok v
         | None -> transient attempt "unexpected response shape")
   and transient attempt reason =
-    if attempt >= policy.max_attempts then
+    if attempt >= policy.max_attempts then begin
+      Ledger_obs.Metrics.incr "transport_failures_total";
       Error (Transport { attempts = attempt; reason })
+    end
     else begin
+      Ledger_obs.Metrics.incr "transport_retries_total";
       on_retry ~attempt ~reason;
       Clock.advance_ms clock (backoff_ms policy ~seed ~attempt);
       go (attempt + 1)

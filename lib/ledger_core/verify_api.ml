@@ -77,6 +77,7 @@ let verify_receipt ledger (r : Receipt.t) =
   else (true, "receipt verified")
 
 let verify ledger ~level target =
+  let sp = Ledger_obs.Trace.enter "verify" in
   let ok, detail =
     match target with
     | Existence { jsn; payload_digest } ->
@@ -86,6 +87,21 @@ let verify ledger ~level target =
         verify_clue ledger level key (Some (first, last))
     | Receipt_check r -> verify_receipt ledger r
   in
+  if Ledger_obs.Obs.enabled () then begin
+    let verifier =
+      match level with Server -> "server" | Client -> "client"
+    in
+    let subject =
+      match target with
+      | Existence { jsn; _ } -> Ledger_obs.Audit_log.Journal jsn
+      | Clue { key } | Clue_range { key; _ } -> Ledger_obs.Audit_log.Clue key
+      | Receipt_check r -> Ledger_obs.Audit_log.Receipt r.Receipt.jsn
+    in
+    Ledger_obs.Audit_log.record ~verifier subject
+      (if ok then Ledger_obs.Audit_log.Verified
+       else Ledger_obs.Audit_log.Repudiated detail)
+  end;
+  Ledger_obs.Trace.exit sp;
   { target; level; ok; detail }
 
 let verify_all ledger ~level targets =

@@ -1,0 +1,98 @@
+(* Append-only record of verification attempts — the transparency view:
+   who verified what, when, and how it went.  Unlike metrics (aggregates)
+   and traces (control flow), this log is queryable evidence: coverage
+   answers "which journals has anyone actually verified", in the spirit
+   of GlassDB's deferred-verification transparency. *)
+
+type subject =
+  | Journal of int
+  | Receipt of int
+  | Commitment of int (* ledger size at verification time *)
+  | Clue of string
+  | Extension of { old_size : int; new_size : int }
+
+type outcome =
+  | Verified
+  | Degraded of string (* transient failure: attempt made, no verdict *)
+  | Repudiated of string (* cryptographic evidence against the ledger *)
+
+type entry = {
+  seq : int;
+  at_us : int64;
+  verifier : string;
+  subject : subject;
+  outcome : outcome;
+}
+
+let entries_rev : entry list ref = ref []
+let count = ref 0
+
+let record ~verifier subject outcome =
+  if !Obs_core.enabled then begin
+    entries_rev :=
+      { seq = Obs_core.next_seq (); at_us = Obs_core.now (); verifier;
+        subject; outcome }
+      :: !entries_rev;
+    incr count
+  end
+
+let entries () = List.rev !entries_rev
+let size () = !count
+
+let subject_to_string = function
+  | Journal jsn -> Printf.sprintf "journal:%d" jsn
+  | Receipt jsn -> Printf.sprintf "receipt:%d" jsn
+  | Commitment size -> Printf.sprintf "commitment:%d" size
+  | Clue clue -> "clue:" ^ clue
+  | Extension { old_size; new_size } ->
+      Printf.sprintf "extension:%d->%d" old_size new_size
+
+let outcome_to_string = function
+  | Verified -> "ok"
+  | Degraded _ -> "degraded"
+  | Repudiated _ -> "repudiated"
+
+let outcome_detail = function
+  | Verified -> None
+  | Degraded reason | Repudiated reason -> Some reason
+
+type coverage = { verified_jsns : int; total_jsns : int; ratio : float }
+
+(* A jsn counts as covered when at least one Verified entry targets its
+   journal or its receipt.  Degraded/Repudiated attempts never cover. *)
+let coverage ~ledger_size =
+  let seen = Hashtbl.create (max 16 ledger_size) in
+  List.iter
+    (fun e ->
+      match (e.outcome, e.subject) with
+      | Verified, (Journal jsn | Receipt jsn)
+        when jsn >= 0 && jsn < ledger_size ->
+          Hashtbl.replace seen jsn ()
+      | _ -> ())
+    !entries_rev;
+  let verified_jsns = Hashtbl.length seen in
+  {
+    verified_jsns;
+    total_jsns = ledger_size;
+    ratio =
+      (if ledger_size = 0 then 1.
+       else float_of_int verified_jsns /. float_of_int ledger_size);
+  }
+
+let to_json_line e =
+  let detail =
+    match outcome_detail e.outcome with
+    | Some d -> Printf.sprintf ",\"detail\":\"%s\"" (Obs_core.escape d)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"seq\":%d,\"at_us\":%Ld,\"verifier\":\"%s\",\"subject\":\"%s\",\"outcome\":\"%s\"%s}"
+    e.seq e.at_us (Obs_core.escape e.verifier)
+    (Obs_core.escape (subject_to_string e.subject))
+    (outcome_to_string e.outcome) detail
+
+let to_json_lines () = String.concat "\n" (List.map to_json_line (entries ()))
+
+let reset () =
+  entries_rev := [];
+  count := 0

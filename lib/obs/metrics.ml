@@ -1,0 +1,152 @@
+(* Process-wide metric registry: counters, gauges and log-bucketed
+   histograms.  Histograms bucket by powers of two — [observe h v] lands
+   in the first bucket whose upper bound 2^i is >= v — which keeps the
+   registry allocation-free after the first observation of a name and
+   makes bucket boundaries exactly testable. *)
+
+let bucket_count = 64 (* upper bounds 2^0 .. 2^62, plus +Inf overflow *)
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array; (* buckets.(i): observations in (2^(i-1), 2^i] *)
+  mutable overflow : int;
+}
+
+type metric = Counter of int ref | Gauge of float ref | Hist of hist
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let find_or_add name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace registry name m;
+      m
+
+let incr ?(by = 1) name =
+  if !Obs_core.enabled then
+    match find_or_add name (fun () -> Counter (ref 0)) with
+    | Counter c -> c := !c + by
+    | Gauge _ | Hist _ -> ()
+
+let set_gauge name v =
+  if !Obs_core.enabled then
+    match find_or_add name (fun () -> Gauge (ref 0.)) with
+    | Gauge g -> g := v
+    | Counter _ | Hist _ -> ()
+
+let new_hist () =
+  {
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    buckets = Array.make bucket_count 0;
+    overflow = 0;
+  }
+
+(* Exact by construction: double the bound until it covers v.  Values
+   <= 1 (including 0 and negatives) land in bucket 0. *)
+let bucket_index v =
+  if v <= 1. then 0
+  else begin
+    let i = ref 0 and ub = ref 1. in
+    while !ub < v && !i < bucket_count do
+      i := !i + 1;
+      ub := !ub *. 2.
+    done;
+    !i
+  end
+
+let bucket_upper_bound i = Float.of_int 1 *. (2. ** float_of_int i)
+
+let observe name v =
+  if !Obs_core.enabled then
+    match find_or_add name (fun () -> Hist (new_hist ())) with
+    | Hist h ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min_v then h.min_v <- v;
+        if v > h.max_v then h.max_v <- v;
+        let i = bucket_index v in
+        if i >= bucket_count then h.overflow <- h.overflow + 1
+        else h.buckets.(i) <- h.buckets.(i) + 1
+    | Counter _ | Gauge _ -> ()
+
+let observe_int name v = observe name (float_of_int v)
+
+(* --- read side (always available, recording or not) ---------------------- *)
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> !c
+  | Some (Gauge _ | Hist _) | None -> 0
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> Some !g
+  | Some (Counter _ | Hist _) | None -> None
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  buckets : (float * int) list; (* (upper bound, occupancy), non-empty only *)
+  overflow : int;
+}
+
+let hist_snapshot name =
+  match Hashtbl.find_opt registry name with
+  | Some (Hist h) ->
+      let buckets = ref [] in
+      for i = bucket_count - 1 downto 0 do
+        if h.buckets.(i) > 0 then
+          buckets := (bucket_upper_bound i, h.buckets.(i)) :: !buckets
+      done;
+      Some
+        {
+          count = h.count;
+          sum = h.sum;
+          min_v = h.min_v;
+          max_v = h.max_v;
+          buckets = !buckets;
+          overflow = h.overflow;
+        }
+  | Some (Counter _ | Gauge _) | None -> None
+
+(* Approximate quantile from the cumulative bucket occupancy: the upper
+   bound of the bucket where the q-th observation falls. *)
+let approx_quantile name q =
+  match hist_snapshot name with
+  | None -> None
+  | Some h when h.count = 0 -> None
+  | Some h ->
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+      let rec walk acc = function
+        | [] -> Some h.max_v
+        | (ub, n) :: rest ->
+            if acc + n >= rank then Some ub else walk (acc + n) rest
+      in
+      walk 0 h.buckets
+
+type kind = K_counter | K_gauge | K_hist
+
+let names () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let k =
+        match m with
+        | Counter _ -> K_counter
+        | Gauge _ -> K_gauge
+        | Hist _ -> K_hist
+      in
+      (name, k) :: acc)
+    registry []
+  |> List.sort compare
+
+let reset () = Hashtbl.reset registry

@@ -1,0 +1,55 @@
+(** Process-wide metric registry: counters, gauges, log-bucketed
+    histograms.
+
+    Write-side calls ({!incr}, {!set_gauge}, {!observe}) are no-ops while
+    recording is disabled ({!Obs.enable}), so instrumentation can stay in
+    place on hot paths.  Read-side accessors always work, making tests
+    and exporters independent of the sink state at read time.
+
+    Histogram buckets are powers of two: an observation [v] lands in the
+    first bucket whose upper bound [2^i >= v] (values [<= 1] in bucket 0,
+    upper bound 1).  Boundaries are computed by doubling, so they are
+    exact, not subject to float-log rounding. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (creating it on first use). *)
+
+val set_gauge : string -> float -> unit
+
+val observe : string -> float -> unit
+(** Record one histogram observation. *)
+
+val observe_int : string -> int -> unit
+
+val counter_value : string -> int
+(** 0 when the counter does not exist. *)
+
+val gauge_value : string -> float option
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  buckets : (float * int) list;
+      (** (upper bound, occupancy) of each non-empty bucket, ascending *)
+  overflow : int;
+}
+
+val hist_snapshot : string -> hist_snapshot option
+
+val approx_quantile : string -> float -> float option
+(** Upper bound of the bucket holding the q-th observation — a
+    log-precision quantile estimate. *)
+
+val bucket_index : float -> int
+(** Exposed for boundary tests: index of the bucket a value lands in. *)
+
+val bucket_upper_bound : int -> float
+
+type kind = K_counter | K_gauge | K_hist
+
+val names : unit -> (string * kind) list
+(** Registered metric names with their kinds, sorted. *)
+
+val reset : unit -> unit

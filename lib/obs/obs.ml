@@ -1,0 +1,112 @@
+(* Top-level switchboard for the observability subsystem. *)
+
+let enable ?time () =
+  (match time with Some f -> Obs_core.time_source := f | None -> ());
+  Obs_core.enabled := true
+
+let disable () = Obs_core.enabled := false
+let enabled () = !Obs_core.enabled
+
+let reset () =
+  Metrics.reset ();
+  Trace.reset ();
+  Audit_log.reset ();
+  Obs_core.seq := 0
+
+(* --- human-readable dump ------------------------------------------------- *)
+
+let dump ppf =
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) (name, kind) ->
+        match kind with
+        | Metrics.K_counter -> (name :: cs, gs, hs)
+        | Metrics.K_gauge -> (cs, name :: gs, hs)
+        | Metrics.K_hist -> (cs, gs, name :: hs))
+      ([], [], [])
+      (List.rev (Metrics.names ()))
+  in
+  Format.fprintf ppf "@[<v>== metrics ==@,";
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "%-36s %d@," name (Metrics.counter_value name))
+    counters;
+  List.iter
+    (fun name ->
+      match Metrics.gauge_value name with
+      | Some v -> Format.fprintf ppf "%-36s %g@," name v
+      | None -> ())
+    gauges;
+  List.iter
+    (fun name ->
+      match Metrics.hist_snapshot name with
+      | Some h when h.Metrics.count > 0 ->
+          let median =
+            match Metrics.approx_quantile name 0.5 with
+            | Some q -> q
+            | None -> Float.nan
+          in
+          Format.fprintf ppf
+            "%-36s count=%d sum=%g min=%g max=%g p50<=%g@," name
+            h.Metrics.count h.Metrics.sum h.Metrics.min_v h.Metrics.max_v
+            median
+      | Some _ | None -> ())
+    hists;
+  Format.fprintf ppf "== trace ==@,spans=%d open=%d@," (Trace.span_count ())
+    (Trace.open_spans ());
+  Format.fprintf ppf "== audit log ==@,entries=%d@]@." (Audit_log.size ())
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, kind) ->
+      let pname = prom_name name in
+      match kind with
+      | Metrics.K_counter ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname
+               (Metrics.counter_value name))
+      | Metrics.K_gauge -> (
+          match Metrics.gauge_value name with
+          | Some v ->
+              Buffer.add_string buf
+                (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname
+                   (prom_float v))
+          | None -> ())
+      | Metrics.K_hist -> (
+          match Metrics.hist_snapshot name with
+          | Some h ->
+              Buffer.add_string buf
+                (Printf.sprintf "# TYPE %s histogram\n" pname);
+              let cum = ref 0 in
+              List.iter
+                (fun (ub, n) ->
+                  cum := !cum + n;
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname
+                       (prom_float ub) !cum))
+                h.Metrics.buckets;
+              cum := !cum + h.Metrics.overflow;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum %s\n%s_count %d\n" pname
+                   (prom_float h.Metrics.sum) pname h.Metrics.count)
+          | None -> ()))
+    (Metrics.names ());
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Observability switchboard: one enable bit for metrics ({!Metrics}),
+    tracing ({!Trace}) and the verification audit log ({!Audit_log}).
+
+    The default sink is a no-op: every instrumentation hook in the stack
+    reads one [bool ref] and returns, so shipping instrumented hot paths
+    costs nothing until someone calls {!enable}.  Recording stamps spans
+    and audit entries from the simulated clock supplied via [?time]. *)
+
+val enable : ?time:(unit -> int64) -> unit -> unit
+(** Turn recording on.  [time] is the timestamp source for spans and
+    audit entries, typically [fun () -> Clock.now clock]; when omitted
+    the previous source (default: constant [0L]) is kept. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clear all recorded metrics, spans and audit entries. *)
+
+val dump : Format.formatter -> unit
+(** Human-readable dump of every metric, plus span and audit counts. *)
+
+val to_prometheus_text : unit -> string
+(** Prometheus text exposition: counters, gauges, and histograms as
+    cumulative [_bucket{le="..."}] series with [_sum] and [_count]. *)

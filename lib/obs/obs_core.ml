@@ -1,0 +1,38 @@
+(* Shared observability state.  A single process-wide switch guards every
+   instrumentation hook: when [enabled] is false each hook is a bool-ref
+   read and an immediate return, so always-on instrumentation costs
+   nothing measurable on hot paths (the no-op sink of DESIGN.md §9).
+
+   The time source is a closure so the library depends on nothing: the
+   party enabling recording (CLI, test, example) points it at its
+   simulated [Clock.t] and every span and audit entry is stamped in
+   simulated microseconds. *)
+
+let enabled = ref false
+let time_source : (unit -> int64) ref = ref (fun () -> 0L)
+let now () = !time_source ()
+
+(* One sequence shared by spans and audit entries, so interleavings are
+   reconstructible even when simulated time stands still. *)
+let seq = ref 0
+
+let next_seq () =
+  incr seq;
+  !seq
+
+(* Minimal JSON string escaping for the line exporters. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

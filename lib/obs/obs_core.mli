@@ -1,0 +1,21 @@
+(** Shared observability state (internal to [ledger_obs]).
+
+    Instrumented code must only ever read {!enabled}; everything else is
+    plumbing for {!Obs}, {!Metrics}, {!Trace} and {!Audit_log}. *)
+
+val enabled : bool ref
+(** The process-wide recording switch.  [false] (the default no-op sink)
+    turns every hook into a bool read. *)
+
+val time_source : (unit -> int64) ref
+(** Simulated-microsecond source; set by {!Obs.enable}. *)
+
+val now : unit -> int64
+(** Current simulated time per {!time_source} (0 when never set). *)
+
+val seq : int ref
+val next_seq : unit -> int
+(** Monotone event sequence shared by spans and audit entries. *)
+
+val escape : string -> string
+(** JSON string-body escaping for the line exporters. *)

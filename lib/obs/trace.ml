@@ -1,0 +1,125 @@
+(* Span tracing stamped from the simulated clock.
+
+   Spans are integers: [none] (0) when recording is disabled, else a
+   1-based index into the record table.  The enter/exit style keeps the
+   disabled path allocation-free — [enter] returns an immediate int and
+   every other call no-ops on [none] — which is what lets append/verify
+   hot paths carry their spans unconditionally. *)
+
+type span = int
+
+let none : span = 0
+
+type record = {
+  id : int;
+  seq : int;
+  name : string;
+  parent : int; (* 0 = root *)
+  depth : int;
+  start_us : int64;
+  mutable end_us : int64 option;
+  mutable attrs : (string * string) list; (* reverse insertion order *)
+}
+
+let records : record array ref = ref [||]
+let count = ref 0
+let stack : int list ref = ref []
+
+let ensure_capacity () =
+  if !count >= Array.length !records then begin
+    let cap = max 64 (2 * Array.length !records) in
+    let bigger =
+      Array.make cap
+        { id = 0; seq = 0; name = ""; parent = 0; depth = 0; start_us = 0L;
+          end_us = None; attrs = [] }
+    in
+    Array.blit !records 0 bigger 0 !count;
+    records := bigger
+  end
+
+let get id = !records.(id - 1)
+
+let enter name : span =
+  if not !Obs_core.enabled then none
+  else begin
+    ensure_capacity ();
+    let parent = match !stack with [] -> 0 | p :: _ -> p in
+    let depth = match parent with 0 -> 0 | p -> (get p).depth + 1 in
+    let id = !count + 1 in
+    !records.(!count) <-
+      { id; seq = Obs_core.next_seq (); name; parent; depth;
+        start_us = Obs_core.now (); end_us = None; attrs = [] };
+    count := !count + 1;
+    stack := id :: !stack;
+    id
+  end
+
+let attr sp key value =
+  if sp <> none then begin
+    let r = get sp in
+    r.attrs <- (key, value) :: r.attrs
+  end
+
+let attr_int sp key value =
+  if sp <> none then attr sp key (string_of_int value)
+
+let exit sp =
+  if sp <> none then begin
+    (get sp).end_us <- Some (Obs_core.now ());
+    (* pop through missed exits (an exception unwound past them) *)
+    let rec pop = function
+      | [] -> []
+      | id :: rest -> if id = sp then rest else pop rest
+    in
+    stack := pop !stack
+  end
+
+let with_span name f =
+  let sp = enter name in
+  match f () with
+  | v ->
+      exit sp;
+      v
+  | exception e ->
+      exit sp;
+      raise e
+
+let span_count () = !count
+let open_spans () = List.length !stack
+
+let spans () = List.init !count (fun i -> !records.(i))
+
+let find_spans ~name =
+  List.filter (fun r -> String.equal r.name name) (spans ())
+
+let to_json_line r =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"id\":%d,\"seq\":%d,\"name\":\"%s\",\"parent\":%d,\"depth\":%d,\"start_us\":%Ld"
+       r.id r.seq (Obs_core.escape r.name) r.parent r.depth r.start_us);
+  (match r.end_us with
+  | Some e -> Buffer.add_string buf (Printf.sprintf ",\"end_us\":%Ld" e)
+  | None -> ());
+  (match List.rev r.attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string buf ",\"attrs\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (Obs_core.escape k)
+               (Obs_core.escape v)))
+        attrs;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_json_lines () =
+  String.concat "\n" (List.map to_json_line (spans ()))
+
+let reset () =
+  records := [||];
+  count := 0;
+  stack := []

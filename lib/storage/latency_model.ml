@@ -18,11 +18,20 @@ let free =
     cloud_rtt_us = 0. }
 
 let charge clock us = if us > 0. then Clock.advance clock (Int64.of_float us)
-let charge_seek t clock = charge clock t.disk_seek_us
+
+(* Metered variant: each charge point feeds a histogram (count = number of
+   charges, sum = total simulated µs) so a run's simulated-time budget can
+   be broken down by medium.  The observe call is a no-op when recording
+   is disabled. *)
+let charge_metered metric clock us =
+  charge clock us;
+  Ledger_obs.Metrics.observe metric us
+
+let charge_seek t clock = charge_metered "sim_disk_us" clock t.disk_seek_us
 
 let charge_read t clock ~bytes =
-  charge clock
+  charge_metered "sim_disk_us" clock
     (t.disk_seek_us +. (t.disk_read_us_per_kb *. (float_of_int bytes /. 1024.)))
 
-let charge_net t clock = charge clock t.net_rtt_us
-let charge_cloud t clock = charge clock t.cloud_rtt_us
+let charge_net t clock = charge_metered "sim_net_us" clock t.net_rtt_us
+let charge_cloud t clock = charge_metered "sim_cloud_us" clock t.cloud_rtt_us

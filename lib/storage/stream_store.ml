@@ -59,6 +59,8 @@ let append s payload =
   s.records.(i) <- { payload = Some (Bytes.copy payload) };
   s.count <- s.count + 1;
   s.live_bytes <- s.live_bytes + Bytes.length payload;
+  Ledger_obs.Metrics.incr "storage_appends_total";
+  Ledger_obs.Metrics.observe_int "storage_record_bytes" (Bytes.length payload);
   i
 
 let length s = s.count
@@ -68,6 +70,8 @@ let check_range s i =
     raise (Read_error (Out_of_range { stream = s.name; index = i; length = s.count }))
 
 let charge latency bytes =
+  Ledger_obs.Metrics.incr "storage_reads_total";
+  Ledger_obs.Metrics.observe_int "storage_read_bytes" bytes;
   match latency with
   | None -> ()
   | Some (model, clock) -> Latency_model.charge_read model clock ~bytes
@@ -104,6 +108,7 @@ let erase s i =
   (match s.records.(i).payload with
   | Some p -> s.live_bytes <- s.live_bytes - Bytes.length p
   | None -> ());
+  Ledger_obs.Metrics.incr "storage_erases_total";
   s.records.(i).payload <- None
 
 let iter s f =
@@ -245,6 +250,13 @@ let recover ~dir () =
         (match !stop_at with
         | Some keep -> Framing.truncate_file path ~keep
         | None -> ());
+        Ledger_obs.Metrics.incr "storage_recovered_streams_total";
+        Ledger_obs.Metrics.observe_int "storage_recovered_records" s.count;
+        (match !damage with
+        | Intact -> ()
+        | Torn_tail -> Ledger_obs.Metrics.incr "storage_torn_tails_total"
+        | Corrupt_record ->
+            Ledger_obs.Metrics.incr "storage_corrupt_records_total");
         reports :=
           { stream = name; recovered_upto = s.count; damage = !damage;
             dropped_bytes = !dropped }

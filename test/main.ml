@@ -21,4 +21,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("replica", Test_replica.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]

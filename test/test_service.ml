@@ -267,4 +267,24 @@ let extension_suite =
     qcheck prop_extension_codec;
   ]
 
-let suite = base_suite @ fuzz_suite @ extension_suite
+let test_get_members_sorted () =
+  let _clock, ledger, _client = make_service () in
+  (* register out of alphabetical order; the wire response must not leak
+     the registry's hash-table iteration order *)
+  List.iter
+    (fun n -> ignore (Ledger.new_member ledger ~name:n ~role:Roles.Regular_user))
+    [ "zeta"; "alpha"; "mid" ];
+  match roundtrip ledger (Service.Client.make_get_members ()) with
+  | Some (Service.Members_r members) ->
+      let names = List.map (fun (n, _, _) -> n) members in
+      Alcotest.(check (list string)) "sorted by name"
+        (List.sort String.compare names) names;
+      Alcotest.(check bool) "all members present" true
+        (List.for_all
+           (fun n -> List.mem n names)
+           [ "zeta"; "alpha"; "mid"; "svc-client" ])
+  | _ -> Alcotest.fail "get_members did not return Members_r"
+
+let members_suite = [ tc "get_members deterministic order" `Quick test_get_members_sorted ]
+
+let suite = base_suite @ fuzz_suite @ extension_suite @ members_suite

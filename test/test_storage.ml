@@ -30,6 +30,37 @@ let test_latency_model () =
   Latency_model.charge_read Latency_model.free free ~bytes:(1 lsl 20);
   Alcotest.(check int64) "free model charges nothing" 0L (Clock.now free)
 
+let test_latency_exact () =
+  (* exact charge arithmetic, per the model constants *)
+  let c = Clock.create () in
+  Latency_model.charge_read Latency_model.default c ~bytes:2048;
+  (* 100µs seek + 4µs/KB × 2KB *)
+  Alcotest.(check int64) "read arithmetic" 108L (Clock.now c);
+  Latency_model.charge_cloud Latency_model.default c;
+  Alcotest.(check int64) "default cloud rtt" 20_108L (Clock.now c);
+  Latency_model.charge_cloud Latency_model.cloud_service c;
+  Alcotest.(check int64) "cloud-service rtt" 50_108L (Clock.now c);
+  Latency_model.charge_net Latency_model.default c;
+  Alcotest.(check int64) "net rtt" 50_308L (Clock.now c);
+  Latency_model.charge_seek Latency_model.default c;
+  Alcotest.(check int64) "seek" 50_408L (Clock.now c)
+
+let test_latency_monotone () =
+  (* any interleaving of charges only moves the clock forward *)
+  let c = Clock.create () in
+  let last = ref (-1L) in
+  for i = 0 to 99 do
+    (match i mod 4 with
+    | 0 -> Latency_model.charge_seek Latency_model.default c
+    | 1 -> Latency_model.charge_read Latency_model.free c ~bytes:(i * 37)
+    | 2 -> Latency_model.charge_net Latency_model.default c
+    | _ -> Latency_model.charge_read Latency_model.default c ~bytes:i);
+    let now = Clock.now c in
+    Alcotest.(check bool) "clock never goes back" true
+      (Int64.compare now !last >= 0);
+    last := now
+  done
+
 let test_stream_store_basic () =
   let store = Stream_store.create () in
   let s = Stream_store.stream store "journals" in
@@ -272,6 +303,8 @@ let base_suite =
   [
     tc "clock" `Quick test_clock;
     tc "latency model" `Quick test_latency_model;
+    tc "latency exact arithmetic" `Quick test_latency_exact;
+    tc "latency monotone" `Quick test_latency_monotone;
     tc "stream store basics" `Quick test_stream_store_basic;
     tc "stream store erase" `Quick test_stream_store_erase;
     tc "stream store latency" `Quick test_stream_store_latency;

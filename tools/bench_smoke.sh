@@ -1,0 +1,51 @@
+#!/bin/sh
+# Smoke-check the machine-readable bench output.
+#
+#   bench_smoke.sh --run <bench-exe> <outdir>
+#       run the fixed-seed smoke benches, writing BENCH_*.json to <outdir>
+#
+#   bench_smoke.sh --check <BENCH_x.json> <schema.keys>
+#       fail if the JSON's key set differs from the checked-in schema
+#       (a renamed or dropped metric breaks downstream consumers)
+set -eu
+
+usage() {
+  echo "usage: bench_smoke.sh --run <bench-exe> <outdir>" >&2
+  echo "       bench_smoke.sh --check <json> <schema.keys>" >&2
+  exit 2
+}
+
+keys_of() {
+  # every quoted object key ("name":), sorted and deduplicated
+  grep -o '"[^"]*"[[:space:]]*:' "$1" | sed 's/"[[:space:]]*:$/"/' | sort -u
+}
+
+case "${1:-}" in
+--run)
+  [ $# -eq 3 ] || usage
+  exe=$2
+  outdir=$3
+  mkdir -p "$outdir"
+  "$exe" micro fig7 --smoke --json "$outdir"
+  ;;
+--check)
+  [ $# -eq 3 ] || usage
+  json=$2
+  schema=$3
+  [ -f "$json" ] || { echo "bench_smoke: missing $json" >&2; exit 1; }
+  [ -f "$schema" ] || { echo "bench_smoke: missing schema $schema" >&2; exit 1; }
+  tmp=$(mktemp)
+  trap 'rm -f "$tmp"' EXIT
+  keys_of "$json" >"$tmp"
+  if ! diff -u "$schema" "$tmp"; then
+    echo "bench_smoke: key set of $json diverged from $schema" >&2
+    echo "bench_smoke: if intentional, regenerate the schema:" >&2
+    echo "  grep -o '\"[^\"]*\"[[:space:]]*:' $json | sed 's/\"[[:space:]]*:\$/\"/' | sort -u > $schema" >&2
+    exit 1
+  fi
+  echo "bench_smoke: $json matches $schema"
+  ;;
+*)
+  usage
+  ;;
+esac

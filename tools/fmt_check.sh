@@ -12,7 +12,7 @@ fi
 root=$(dirname "$0")/..
 status=0
 for f in $(find "$root/lib" "$root/bin" "$root/test" "$root/examples" \
-    -name '*.ml' -o -name '*.mli' 2>/dev/null); do
+    "$root/bench" -name '*.ml' -o -name '*.mli' 2>/dev/null); do
   if ! ocamlformat --check "$f" 2>/dev/null; then
     echo "fmt check: $f is not formatted"
     status=1

@@ -1,0 +1,151 @@
+(* Batched commit amortization + verification cache payoff.
+
+   Everything here is measured on the simulated clock, so the numbers
+   are deterministic: a batch of k entries pays one network charge and
+   one storage round instead of k, so the per-entry commit cost must be
+   strictly decreasing in k — the bench fails loudly if it is not (that
+   is the acceptance shape for the machine-readable output).  The cache
+   section replays one verification workload twice against an attached
+   {!Verify_cache}: the cold pass pays proof replays and latency-charged
+   payload reads, the warm pass answers from cached verdicts. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_bench_util
+
+let batch_sizes = [ 1; 4; 16; 64 ]
+
+let build_ledger name =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name; block_size = 16; fam_delta = 10;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let member, priv =
+    Ledger.new_member ledger ~name:"bclient" ~role:Roles.Regular_user
+  in
+  (clock, ledger, member, priv)
+
+let payload_of i = Bytes.of_string (Printf.sprintf "batch-bench-payload-%06d" i)
+
+(* Commit [entries] journals in batches of [k]; simulated µs per entry. *)
+let measure_batch ~entries k =
+  let clock, ledger, member, priv = build_ledger (Printf.sprintf "bb-%d" k) in
+  let t0 = Clock.now clock in
+  let i = ref 0 in
+  while !i < entries do
+    let n = min k (entries - !i) in
+    let batch =
+      List.init n (fun j ->
+          (payload_of (!i + j), [ "bk" ^ string_of_int ((!i + j) mod 4) ]))
+    in
+    ignore (Ledger.append_batch ledger ~member ~priv ~seal:false batch);
+    i := !i + n
+  done;
+  Ledger.seal_block ledger;
+  let total_us = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+  (total_us, total_us /. float_of_int entries)
+
+(* One verification workload (existence with payload digest + receipt
+   check per jsn), replayed cold then warm against one attached cache. *)
+let measure_cache ~entries =
+  let clock, ledger, member, priv = build_ledger "bb-cache" in
+  let receipts =
+    List.init entries (fun i ->
+        List.hd
+          (Ledger.append_batch ledger ~member ~priv ~seal:false
+             [ (payload_of i, [ "bk" ^ string_of_int (i mod 4) ]) ]))
+  in
+  Ledger.seal_block ledger;
+  let cache = Verify_cache.create ~capacity:(4 * entries) () in
+  Verify_cache.attach cache ledger;
+  let pass () =
+    let t0 = Clock.now clock in
+    List.iteri
+      (fun i (r : Receipt.t) ->
+        let existence =
+          Verify_api.Existence
+            { jsn = r.Receipt.jsn;
+              payload_digest = Some (Hash.digest_bytes (payload_of i)) }
+        in
+        ignore (Verify_api.verify ~cache ledger ~level:Verify_api.Server existence);
+        ignore
+          (Verify_api.verify ~cache ledger ~level:Verify_api.Server
+             (Verify_api.Receipt_check r)))
+      receipts;
+    Int64.to_float (Int64.sub (Clock.now clock) t0) /. float_of_int (2 * entries)
+  in
+  let cold_us = pass () in
+  let warm_us = pass () in
+  (cold_us, warm_us, Verify_cache.hits cache, Verify_cache.misses cache)
+
+let run ?(smoke = false) ?json () =
+  let entries = if smoke then 128 else 512 in
+  Table.print_title
+    (Printf.sprintf
+       "Batched commit amortization (%d journals, simulated clock)" entries)
+  ;
+  let results = List.map (fun k -> (k, measure_batch ~entries k)) batch_sizes in
+  Table.print_table
+    ~header:[ "batch"; "total (ms)"; "per entry (us)" ]
+    (List.map
+       (fun (k, (total_us, per_entry_us)) ->
+         [
+           string_of_int k;
+           Table.human_ms (total_us /. 1000.);
+           Printf.sprintf "%.1f" per_entry_us;
+         ])
+       results);
+  (* the acceptance shape: amortization must actually amortize *)
+  ignore
+    (List.fold_left
+       (fun prev (k, (_, per_entry_us)) ->
+         (match prev with
+         | Some (pk, prev_us) when per_entry_us >= prev_us ->
+             failwith
+               (Printf.sprintf
+                  "bench_batch: per-entry cost not decreasing (b%d %.1fus >= b%d %.1fus)"
+                  k per_entry_us pk prev_us)
+         | _ -> ());
+         Some (k, per_entry_us))
+       None results);
+  let cold_us, warm_us, hits, misses = measure_cache ~entries in
+  Table.print_title "Verification cache (cold replay vs warm verdicts)";
+  Table.print_table
+    ~header:[ "pass"; "per op (us)" ]
+    [
+      [ "cold"; Printf.sprintf "%.1f" cold_us ];
+      [ "warm"; Printf.sprintf "%.1f" warm_us ];
+    ];
+  Printf.printf "cache: %d hits / %d misses\n" hits misses;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let open Json_out in
+      let size_obj (k, (total_us, per_entry_us)) =
+        ( "b" ^ string_of_int k,
+          Obj
+            [
+              ("batch", Int k);
+              ("total_us", Float total_us);
+              ("per_entry_us", Float per_entry_us);
+            ] )
+      in
+      write_file path
+        (Obj
+           [
+             ("figure", Str "batch");
+             ("entries", Int entries);
+             ("sizes", Obj (List.map size_obj results));
+             ( "cache",
+               Obj
+                 [
+                   ("cold_us_per_op", Float cold_us);
+                   ("warm_us_per_op", Float warm_us);
+                   ("hits", Int hits);
+                   ("misses", Int misses);
+                 ] );
+           ]);
+      Printf.printf "wrote %s\n" path)

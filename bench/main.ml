@@ -18,7 +18,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|all]\n\
+    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|all]\n\
     \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
@@ -80,6 +80,7 @@ let () =
     | "storage" -> Bench_storage.run ()
     | "proofsize" | "proof-size" -> Bench_proof_size.run ()
     | "micro" -> Bench_micro.run ~smoke ?json:(json "micro") ()
+    | "batch" -> Bench_batch.run ~smoke ?json:(json "batch") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
@@ -90,7 +91,8 @@ let () =
         Bench_table2.run ();
         Bench_ablations.run ();
         Bench_storage.run ();
-        Bench_proof_size.run ()
+        Bench_proof_size.run ();
+        Bench_batch.run ~smoke ()
     | other ->
         Printf.printf "unknown target: %s\n" other;
         usage ()

@@ -22,7 +22,7 @@ let () =
 
   (* client side *)
   let client =
-    Service.Client.create ~ledger_uri:(Ledger.uri ledger) ~member ~priv
+    Service.Client.create ~ledger_uri:(Ledger.uri ledger) ~member ~priv ()
   in
   let parse = Service.Client.parse in
 

@@ -5,6 +5,7 @@ type kind =
   | Bit_flip of { offset : int; mask : int }
   | Truncate_tail of { drop : int }
   | Zero_range of { offset : int; len : int }
+  | Torn_frame of { frame : int; within : int }
 
 type fault = { file : string; kind : kind }
 
@@ -18,6 +19,8 @@ let kind_to_string = function
       Printf.sprintf "bit-flip @%d mask=0x%02x" offset mask
   | Truncate_tail { drop } -> Printf.sprintf "truncate tail -%d bytes" drop
   | Zero_range { offset; len } -> Printf.sprintf "zero [%d,%d)" offset (offset + len)
+  | Torn_frame { frame; within } ->
+      Printf.sprintf "torn frame #%d (+%d bytes kept)" frame within
 
 let fault_to_string f = Printf.sprintf "%s: %s" f.file (kind_to_string f.kind)
 
@@ -45,8 +48,27 @@ let targets ?only ~dir () =
          end
          else None)
 
-let plan ~seed ?(bit_flips = 0) ?(truncations = 0) ?(zero_ranges = 0) ?only
-    ~dir () =
+(* (start, length) of every intact CRC frame of a {!Framing} log, in file
+   order — the cut points a torn-frame fault chooses between. *)
+let frame_spans path =
+  let ic = open_in_bin path in
+  let spans = ref [] in
+  (try
+     let continue = ref true in
+     while !continue do
+       let start = pos_in ic in
+       match Framing.read ic with
+       | Framing.Record _ -> spans := (start, pos_in ic - start) :: !spans
+       | Framing.End | Framing.Torn _ | Framing.Corrupt _ -> continue := false
+     done
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  close_in ic;
+  List.rev !spans
+
+let plan ~seed ?(bit_flips = 0) ?(truncations = 0) ?(zero_ranges = 0)
+    ?(torn_frames = 0) ?only ~dir () =
   let rng = Det_rng.create ~seed in
   let targets = targets ?only ~dir () in
   if targets = [] then { seed; faults = [] }
@@ -72,6 +94,18 @@ let plan ~seed ?(bit_flips = 0) ?(truncations = 0) ?(zero_ranges = 0) ?only
       let len = 1 + Det_rng.int rng (min 64 (size - offset)) in
       faults := { file; kind = Zero_range { offset; len } } :: !faults
     done;
+    for _ = 1 to torn_frames do
+      (* crash inside a batched flush: everything before the chosen frame
+         is durable, the frame itself is half-written *)
+      let file, _ = pick_target () in
+      match frame_spans (Filename.concat dir file) with
+      | [] -> () (* not a framed log; no frame to tear *)
+      | spans ->
+          let frame = Det_rng.int rng (List.length spans) in
+          let _, len = List.nth spans frame in
+          let within = 1 + Det_rng.int rng (max 1 (len - 1)) in
+          faults := { file; kind = Torn_frame { frame; within } } :: !faults
+    done;
     { seed; faults = List.rev !faults }
   end
 
@@ -94,7 +128,8 @@ let apply_fault ~dir { file; kind } =
   (match kind with
   | Bit_flip _ -> Ledger_obs.Metrics.incr "fault_bit_flip_total"
   | Truncate_tail _ -> Ledger_obs.Metrics.incr "fault_truncate_total"
-  | Zero_range _ -> Ledger_obs.Metrics.incr "fault_zero_range_total");
+  | Zero_range _ -> Ledger_obs.Metrics.incr "fault_zero_range_total"
+  | Torn_frame _ -> Ledger_obs.Metrics.incr "fault_torn_frame_total");
   match kind with
   | Bit_flip { offset; mask } ->
       let b = read_file path in
@@ -114,5 +149,13 @@ let apply_fault ~dir { file; kind } =
         Bytes.fill b offset len '\000';
         write_file path b
       end
+  | Torn_frame { frame; within } -> (
+      match frame_spans path with
+      | [] -> ()
+      | spans ->
+          let start, len = List.nth spans (min frame (List.length spans - 1)) in
+          (* keep at least one byte of the frame, never the whole of it *)
+          let keep = start + max 1 (min within (len - 1)) in
+          Framing.truncate_file path ~keep)
 
 let apply t ~dir = List.iter (apply_fault ~dir) t.faults

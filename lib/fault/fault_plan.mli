@@ -18,6 +18,10 @@ type kind =
   | Bit_flip of { offset : int; mask : int }
   | Truncate_tail of { drop : int }
   | Zero_range of { offset : int; len : int }
+  | Torn_frame of { frame : int; within : int }
+      (** crash inside a batched flush: the file is cut [within] bytes
+          into its [frame]-th CRC frame, so every earlier frame is
+          durable and the chosen one is half-written *)
 
 type fault = { file : string; kind : kind }
 
@@ -33,13 +37,16 @@ val plan :
   ?bit_flips:int ->
   ?truncations:int ->
   ?zero_ranges:int ->
+  ?torn_frames:int ->
   ?only:string list ->
   dir:string ->
   unit ->
   t
 (** Draw the requested number of faults against the (non-empty, regular)
     files of [dir]; [only] restricts the candidate files by name.
-    Offsets, masks and lengths all come from the seeded rng. *)
+    Offsets, masks and lengths all come from the seeded rng.  A
+    [torn_frames] draw against a file with no intact CRC frames is
+    silently skipped (there is no frame to tear). *)
 
 val apply : t -> dir:string -> unit
 (** Inflict every fault on the files under [dir]. *)

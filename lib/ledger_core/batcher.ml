@@ -1,0 +1,59 @@
+open Ledger_crypto
+open Ledger_storage
+open Ledger_obs
+
+type policy = {
+  max_entries : int;
+  max_delay_us : int64;
+  seal_on_flush : bool;
+}
+
+let default_policy =
+  { max_entries = 64; max_delay_us = 10_000L; seal_on_flush = true }
+
+type t = {
+  ledger : Ledger.t;
+  member : Roles.member;
+  priv : Ecdsa.private_key;
+  policy : policy;
+  mutable buffer : (bytes * string list) list; (* newest first *)
+  mutable oldest_ts : int64 option; (* clock at first buffered entry *)
+  mutable flushes : int;
+}
+
+let create ?(policy = default_policy) ledger ~member ~priv =
+  if policy.max_entries < 1 then invalid_arg "Batcher.create: bad max_entries";
+  if policy.max_delay_us < 0L then invalid_arg "Batcher.create: bad max_delay_us";
+  { ledger; member; priv; policy; buffer = []; oldest_ts = None; flushes = 0 }
+
+let pending t = List.length t.buffer
+let flushes t = t.flushes
+
+let flush t =
+  match t.buffer with
+  | [] -> []
+  | buffered ->
+      let entries = List.rev buffered in
+      t.buffer <- [];
+      t.oldest_ts <- None;
+      t.flushes <- t.flushes + 1;
+      Metrics.incr "ledger_batcher_flushes_total";
+      Ledger.append_batch t.ledger ~member:t.member ~priv:t.priv
+        ~seal:t.policy.seal_on_flush entries
+
+let deadline_expired t =
+  match t.oldest_ts with
+  | None -> false
+  | Some since ->
+      Int64.sub (Clock.now (Ledger.clock t.ledger)) since
+      >= t.policy.max_delay_us
+
+let tick t = if deadline_expired t then flush t else []
+
+let submit t ?(clues = []) payload =
+  if t.buffer = [] then
+    t.oldest_ts <- Some (Clock.now (Ledger.clock t.ledger));
+  t.buffer <- (payload, clues) :: t.buffer;
+  if List.length t.buffer >= t.policy.max_entries || deadline_expired t then
+    flush t
+  else []

@@ -69,6 +69,9 @@ type t = {
   mutable pseudo_genesis_jsn : int option;
   mutable survivor_jsns : int list;
   mutable nonce : int;
+  mutable on_mutate : (unit -> unit) list;
+      (* fired after purge/occult/reorganize — lets verification caches
+         drop verdicts whose underlying data may have been erased *)
 }
 
 (* placeholder slot for unoccupied array cells; always overwritten before
@@ -125,7 +128,11 @@ let create ?(config = default_config) ?t_ledger ?tsa ~clock () =
     pseudo_genesis_jsn = None;
     survivor_jsns = [];
     nonce = 0;
+    on_mutate = [];
   }
+
+let on_mutate t f = t.on_mutate <- f :: t.on_mutate
+let notify_mutation t = List.iter (fun f -> f ()) t.on_mutate
 
 let config t = t.cfg
 let clock t = t.clock
@@ -237,19 +244,9 @@ let ensure_slot_capacity t =
 
 (* Commit a fully formed journal: storage, fam, CM-Tree, world-state,
    block fill.  Returns the slot. *)
-let commit_journal t (j : Journal.t) =
-  ensure_slot_capacity t;
-  let sp = Trace.enter "ledger.commit" in
-  Trace.attr_int sp "jsn" j.Journal.jsn;
-  let sp_persist = Trace.enter "persist" in
-  let store_index = Stream_store.append t.journal_stream j.Journal.payload in
-  Trace.exit sp_persist;
-  let tx = Journal.tx_hash j in
-  let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
-  t.slots.(t.count) <- s;
-  t.count <- t.count + 1;
-  let sp_acc = Trace.enter "accumulate" in
-  ignore (Fam.append t.fam tx);
+(* CM-Tree, cSL skip list and world-state entries for one journal —
+   shared by the sequential and batched commit paths. *)
+let index_clues t (j : Journal.t) tx =
   List.iter
     (fun clue ->
       ignore (Cm_tree.insert t.cm ~clue tx);
@@ -269,17 +266,86 @@ let commit_journal t (j : Journal.t) =
       (match Hashtbl.find_opt t.state_index clue with
       | Some r -> r := leaf_index :: !r
       | None -> Hashtbl.replace t.state_index clue (ref [ leaf_index ])))
-    j.Journal.clues;
-  Trace.exit sp_acc;
+    j.Journal.clues
+
+let install_slot t (j : Journal.t) ~tx ~store_index =
+  ensure_slot_capacity t;
+  let s = { journal = j; tx; store_index; request_hash = j.Journal.request_hash } in
+  t.slots.(t.count) <- s;
+  t.count <- t.count + 1;
+  index_clues t j tx;
   t.pending_txs <- tx :: t.pending_txs;
-  if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
   (match j.Journal.kind with
   | Journal.Time _ -> t.time_journals <- j.Journal.jsn :: t.time_journals
   | _ -> ());
   Metrics.incr "ledger_appends_total";
   Metrics.observe_int "ledger_payload_bytes" (Bytes.length j.Journal.payload);
+  s
+
+let commit_journal t (j : Journal.t) =
+  let sp = Trace.enter "ledger.commit" in
+  Trace.attr_int sp "jsn" j.Journal.jsn;
+  let sp_persist = Trace.enter "persist" in
+  let store_index = Stream_store.append t.journal_stream j.Journal.payload in
+  Trace.exit sp_persist;
+  let tx = Journal.tx_hash j in
+  let sp_acc = Trace.enter "accumulate" in
+  ignore (Fam.append t.fam tx);
+  let s = install_slot t j ~tx ~store_index in
+  Trace.exit sp_acc;
+  if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
   Trace.exit sp;
   s
+
+(* Batched commit: one storage append and one fam accumulation per chunk,
+   at most one seal per filled block.  Chunks end exactly at block
+   boundaries so every auto-seal captures the same accumulator state a
+   sequential replay would have — batched and unbatched histories stay
+   byte-identical (locked down by test_batch_diff). *)
+let commit_batch t journals =
+  let sp = Trace.enter "ledger.flush_batch" in
+  Trace.attr_int sp "batch_size" (List.length journals);
+  let rec split_at n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | j :: rest -> split_at (n - 1) (j :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | js ->
+        let room = t.cfg.block_size - List.length t.pending_txs in
+        if room <= 0 then begin
+          seal_block t;
+          go acc js
+        end
+        else begin
+          let chunk, rest = split_at (min room (List.length js)) [] js in
+          let sp_persist = Trace.enter "persist" in
+          let first_store =
+            Stream_store.append_many t.journal_stream
+              (List.map (fun (j : Journal.t) -> j.Journal.payload) chunk)
+          in
+          Trace.exit sp_persist;
+          let txs = List.map Journal.tx_hash chunk in
+          let sp_acc = Trace.enter "accumulate" in
+          ignore (Fam.append_many t.fam txs);
+          let slots =
+            List.map2
+              (fun (j : Journal.t) (tx, k) ->
+                install_slot t j ~tx ~store_index:(first_store + k))
+              chunk
+              (List.mapi (fun k tx -> (tx, k)) txs)
+          in
+          Trace.exit sp_acc;
+          if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
+          go (List.rev_append slots acc) rest
+        end
+  in
+  let slots = go [] journals in
+  Metrics.incr "ledger_batch_appends_total";
+  Metrics.observe_int "ledger_batch_size" (List.length journals);
+  Trace.exit sp;
+  slots
 
 let make_receipt t s =
   Metrics.incr "ledger_receipts_issued_total";
@@ -399,16 +465,17 @@ let append_signed t ~member_id ~payload ~clues ~client_ts ~nonce ~signature =
         Ok (make_receipt t s)
       end
 
-(* Batched append: one network round trip and one block seal for the
-   whole batch — the ingestion path behind LedgerDB's 300K+ TPS claim. *)
-let append_batch t ~member ~priv entries =
+(* Batched append: one network round trip, one storage append, one fam
+   accumulation and (with [seal]) one trailing block seal for the whole
+   batch — the ingestion path behind LedgerDB's 300K+ TPS claim. *)
+let append_batch t ~member ~priv ?(seal = true) entries =
   (match Roles.find t.registry member.Roles.id with
   | Some _ -> ()
   | None -> invalid_arg "Ledger.append_batch: unknown member");
   Latency_model.charge_net t.cfg.latency t.clock;
-  let receipts =
-    List.map
-      (fun (payload_bytes, clues) ->
+  let journals =
+    List.mapi
+      (fun i (payload_bytes, clues) ->
         let client_ts = Clock.now t.clock in
         t.nonce <- t.nonce + 1;
         let request_hash =
@@ -423,26 +490,72 @@ let append_batch t ~member ~priv entries =
             (verify_with_profile t ~pub:member.Roles.pub request_hash
                client_sig)
         then invalid_arg "Ledger.append_batch: bad client signature";
-        let j =
-          {
-            Journal.jsn = t.count;
-            kind = Journal.Normal;
-            client_id = member.Roles.id;
-            payload = payload_bytes;
-            clues;
-            client_ts;
-            server_ts = Clock.now t.clock;
-            nonce = t.nonce;
-            request_hash;
-            client_sig = Some client_sig;
-            cosigners = [];
-          }
-        in
-        commit_journal t j)
+        {
+          Journal.jsn = t.count + i;
+          kind = Journal.Normal;
+          client_id = member.Roles.id;
+          payload = payload_bytes;
+          clues;
+          client_ts;
+          server_ts = Clock.now t.clock;
+          nonce = t.nonce;
+          request_hash;
+          client_sig = Some client_sig;
+          cosigners = [];
+        })
       entries
   in
-  seal_block t;
-  List.map (make_receipt t) receipts
+  let slots = commit_batch t journals in
+  if seal then seal_block t;
+  List.map (make_receipt t) slots
+
+(* Remote batched append (the [Append_batch] wire request): every entry
+   was signed client-side; the whole batch is validated before anything
+   commits, so a bad signature rejects the batch atomically. *)
+let append_signed_batch t ~member_id entries =
+  match Roles.find t.registry member_id with
+  | None -> Error "append_batch: unknown member"
+  | Some member ->
+      Latency_model.charge_net t.cfg.latency t.clock;
+      let rec validate i acc = function
+        | [] -> Ok (List.rev acc)
+        | (payload, clues, client_ts, nonce, signature) :: rest ->
+            let request_hash =
+              Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal"
+                ~payload ~clues ~client_ts ~nonce
+            in
+            if
+              not
+                (verify_with_profile t ~pub:member.Roles.pub request_hash
+                   signature)
+            then
+              Error
+                (Printf.sprintf "append_batch: bad client signature (entry %d)"
+                   i)
+            else
+              let j =
+                {
+                  Journal.jsn = t.count + i;
+                  kind = Journal.Normal;
+                  client_id = member_id;
+                  payload;
+                  clues;
+                  client_ts;
+                  server_ts = Clock.now t.clock;
+                  nonce;
+                  request_hash;
+                  client_sig = Some signature;
+                  cosigners = [];
+                }
+              in
+              validate (i + 1) (j :: acc) rest
+      in
+      (match validate 0 [] entries with
+      | Error _ as e -> e
+      | Ok journals ->
+          let slots = commit_batch t journals in
+          seal_block t;
+          Ok (List.map (make_receipt t) slots))
 
 let get_receipt t jsn = make_receipt t (slot t jsn)
 
@@ -848,6 +961,7 @@ let purge t ~request ~signers =
       end;
       t.pseudo_genesis_jsn <- Some pg_jsn;
       seal_block t;
+      notify_mutation t;
       Metrics.incr "ledger_purges_total";
       Log.info (fun m ->
           m "purged journals [0,%d) with %d survivors; pseudo-genesis at %d"
@@ -913,6 +1027,7 @@ let occult t ~target_jsn ~mode ~signers ~reason =
           (slot t target_jsn).journal <-
             { old with Journal.payload = Bytes.empty }
       | Async -> t.occult_pending <- target_jsn :: t.occult_pending);
+      notify_mutation t;
       Ok j
     end
   end
@@ -946,6 +1061,7 @@ let reorganize t =
       (slot t jsn).journal <- { old with Journal.payload = Bytes.empty })
     t.occult_pending;
   t.occult_pending <- [];
+  if n > 0 then notify_mutation t;
   n
 
 (* --- introspection --------------------------------------------------------- *)

@@ -106,10 +106,16 @@ val append_batch :
   t ->
   member:Roles.member ->
   priv:Ecdsa.private_key ->
+  ?seal:bool ->
   (bytes * string list) list ->
   Receipt.t list
-(** Append a batch of (payload, clues) pairs in one round trip, sealing
-    the block once at the end; all receipts are final. *)
+(** Append a batch of (payload, clues) pairs in one round trip: one
+    network charge, one storage append and one fam accumulation per
+    block-sized chunk, and (with [seal], the default) a single trailing
+    block seal so all receipts are final.  [~seal:false] leaves a partial
+    trailing block pending — exactly the state sequential {!append}s
+    would have left — for callers that keep batching.  The committed
+    history is byte-identical to appending the entries one at a time. *)
 
 val append_signed :
   t ->
@@ -123,6 +129,17 @@ val append_signed :
 (** Remote append (Fig. 1): the request was signed on the client side;
     the server re-derives the request hash and validates π_c before
     committing. *)
+
+val append_signed_batch :
+  t ->
+  member_id:Hash.t ->
+  (bytes * string list * int64 * int * Ecdsa.signature) list ->
+  (Receipt.t list, string) result
+(** Remote batched append (the [Append_batch] wire request): each entry
+    is [(payload, clues, client_ts, nonce, signature)].  Every signature
+    is validated before anything commits — a bad entry rejects the whole
+    batch atomically.  Commits through the amortized batch pipeline and
+    seals the trailing block, so all receipts are final. *)
 
 val get_receipt : t -> int -> Receipt.t
 (** Final receipt for a jsn (re-signed with the block hash once the block
@@ -284,6 +301,12 @@ val occult_by_clue :
 val is_occulted : t -> int -> bool
 val reorganize : t -> int
 (** Physically erase async-occulted payloads; returns how many. *)
+
+val on_mutate : t -> (unit -> unit) -> unit
+(** Register a callback fired after every history mutation — purge,
+    occult (either mode) and a non-empty {!reorganize}.  This is the
+    invalidation feed for {!Verify_cache}: a cached verdict must never
+    outlive the data it vouched for. *)
 
 (** {1 Introspection} *)
 

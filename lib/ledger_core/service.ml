@@ -11,6 +11,10 @@ type request =
       nonce : int;
       signature : Ecdsa.signature;
     }
+  | Append_batch of {
+      member_id : Hash.t;
+      entries : (bytes * string list * int64 * int * Ecdsa.signature) list;
+    }
   | Get_payload of { jsn : int }
   | Get_proof of { jsn : int }
   | Get_receipt of { jsn : int }
@@ -24,6 +28,7 @@ type request =
 
 type response =
   | Receipt_r of Receipt.t
+  | Receipts_r of Receipt.t list
   | Payload_r of bytes option
   | Proof_r of Fam.proof
   | Clue_proof_r of Cm_tree.clue_proof option
@@ -89,7 +94,18 @@ let encode_request req =
       Wire.w_u8 w 8;
       Wire.w_int w height
   | Get_members -> Wire.w_u8 w 9
-  | Get_checkpoint -> Wire.w_u8 w 10);
+  | Get_checkpoint -> Wire.w_u8 w 10
+  | Append_batch { member_id; entries } ->
+      Wire.w_u8 w 11;
+      Wire.w_hash w member_id;
+      Wire.w_list w
+        (fun (payload, clues, client_ts, nonce, signature) ->
+          Wire.w_bytes w payload;
+          Wire.w_list w (Wire.w_string w) clues;
+          Wire.w_int64 w client_ts;
+          Wire.w_int w nonce;
+          w_sig w signature)
+        entries);
   Wire.contents w
 
 let decode_request data =
@@ -117,6 +133,18 @@ let decode_request data =
       | 8 -> Get_block { height = Wire.r_int r }
       | 9 -> Get_members
       | 10 -> Get_checkpoint
+      | 11 ->
+          let member_id = Wire.r_hash r in
+          let entries =
+            Wire.r_list ~max:65536 r (fun () ->
+                let payload = Wire.r_bytes r in
+                let clues = Wire.r_list ~max:64 r (fun () -> Wire.r_string r) in
+                let client_ts = Wire.r_int64 r in
+                let nonce = Wire.r_int r in
+                let signature = r_sig r in
+                (payload, clues, client_ts, nonce, signature))
+          in
+          Append_batch { member_id; entries }
       | _ -> raise Wire.Corrupt)
 
 let w_receipt w (r : Receipt.t) =
@@ -193,7 +221,10 @@ let encode_response resp =
       Wire.w_option w (Wire.w_int w) pseudo_genesis
   | Error_r msg ->
       Wire.w_u8 w 5;
-      Wire.w_string w msg);
+      Wire.w_string w msg
+  | Receipts_r receipts ->
+      Wire.w_u8 w 11;
+      Wire.w_list w (w_receipt w) receipts);
   Wire.contents w
 
 let decode_response data =
@@ -244,12 +275,14 @@ let decode_response data =
           Checkpoint_r
             { name; size; block_count; commitment; clue_root; nonce;
               pseudo_genesis }
+      | 11 -> Receipts_r (Wire.r_list ~max:65536 r (fun () -> r_receipt r))
       | _ -> raise Wire.Corrupt)
 
 (* --- server ---------------------------------------------------------------- *)
 
 let request_kind = function
   | Append _ -> "append"
+  | Append_batch _ -> "append_batch"
   | Get_payload _ -> "get_payload"
   | Get_proof _ -> "get_proof"
   | Get_receipt _ -> "get_receipt"
@@ -268,6 +301,10 @@ let dispatch ledger = function
           ~nonce ~signature
       with
       | Ok receipt -> Receipt_r receipt
+      | Error msg -> Error_r msg)
+  | Append_batch { member_id; entries } -> (
+      match Ledger.append_signed_batch ledger ~member_id entries with
+      | Ok receipts -> Receipts_r receipts
       | Error msg -> Error_r msg)
   | Get_payload { jsn } ->
       if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
@@ -358,21 +395,62 @@ module Client = struct
     member : Roles.member;
     priv : Ecdsa.private_key;
     mutable nonce : int;
+    auto_batch : int option;
+    mutable buffer :
+      (bytes * string list * int64 * int * Ecdsa.signature) list;
+      (* newest first; drained by flush *)
   }
 
-  let create ~ledger_uri ~member ~priv = { ledger_uri; member; priv; nonce = 0 }
+  let create ?auto_batch ~ledger_uri ~member ~priv () =
+    (match auto_batch with
+    | Some n when n < 1 -> invalid_arg "Service.Client.create: bad auto_batch"
+    | Some _ | None -> ());
+    { ledger_uri; member; priv; nonce = 0; auto_batch; buffer = [] }
 
-  let make_append t ?(clues = []) ~client_ts payload =
+  let sign_entry t ?(clues = []) ~client_ts payload =
     t.nonce <- t.nonce + 1;
     let request_hash =
       Journal.request_digest ~ledger_uri:t.ledger_uri ~kind_tag:"normal"
         ~payload ~clues ~client_ts ~nonce:t.nonce
     in
     let signature = Ecdsa.sign t.priv request_hash in
+    (payload, clues, client_ts, t.nonce, signature)
+
+  let make_append t ?clues ~client_ts payload =
+    let payload, clues, client_ts, nonce, signature =
+      sign_entry t ?clues ~client_ts payload
+    in
     encode_request
       (Append
-         { member_id = t.member.Roles.id; payload; clues; client_ts;
-           nonce = t.nonce; signature })
+         { member_id = t.member.Roles.id; payload; clues; client_ts; nonce;
+           signature })
+
+  let make_append_batch t entries =
+    let entries =
+      List.map
+        (fun (payload, clues, client_ts) ->
+          sign_entry t ~clues ~client_ts payload)
+        entries
+    in
+    encode_request (Append_batch { member_id = t.member.Roles.id; entries })
+
+  let pending t = List.length t.buffer
+
+  let flush t =
+    match t.buffer with
+    | [] -> None
+    | buffered ->
+        t.buffer <- [];
+        Some
+          (encode_request
+             (Append_batch
+                { member_id = t.member.Roles.id; entries = List.rev buffered }))
+
+  let buffer_append t ?clues ~client_ts payload =
+    t.buffer <- sign_entry t ?clues ~client_ts payload :: t.buffer;
+    match t.auto_batch with
+    | Some n when List.length t.buffer >= n -> flush t
+    | Some _ | None -> None
 
   let make_get_proof ~jsn = encode_request (Get_proof { jsn })
   let make_get_payload ~jsn = encode_request (Get_payload { jsn })

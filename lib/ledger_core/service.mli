@@ -20,6 +20,11 @@ type request =
       nonce : int;
       signature : Ecdsa.signature;
     }
+  | Append_batch of {
+      member_id : Hash.t;
+      entries : (bytes * string list * int64 * int * Ecdsa.signature) list;
+          (** (payload, clues, client_ts, nonce, signature) per entry *)
+    }
   | Get_payload of { jsn : int }
   | Get_proof of { jsn : int }
   | Get_receipt of { jsn : int }
@@ -33,6 +38,8 @@ type request =
 
 type response =
   | Receipt_r of Receipt.t
+  | Receipts_r of Receipt.t list
+      (** one receipt per {!Append_batch} entry, in submission order *)
   | Payload_r of bytes option
   | Proof_r of Fam.proof
   | Clue_proof_r of Cm_tree.clue_proof option
@@ -72,14 +79,40 @@ module Client : sig
   type t
 
   val create :
+    ?auto_batch:int ->
     ledger_uri:string ->
     member:Roles.member ->
     priv:Ecdsa.private_key ->
+    unit ->
     t
+  (** With [auto_batch], {!buffer_append} flushes itself every
+      [auto_batch] entries.
+      @raise Invalid_argument when [auto_batch < 1]. *)
 
   val make_append : t -> ?clues:string list -> client_ts:int64 -> bytes -> bytes
   (** Sign the request locally (π_c) and encode it.  The nonce is
       maintained per client. *)
+
+  val make_append_batch : t -> (bytes * string list * int64) list -> bytes
+  (** Sign each [(payload, clues, client_ts)] entry under the client's
+      nonce sequence and encode one {!Append_batch} request. *)
+
+  (** {2 Auto-batching}
+
+      Instead of one round trip per append, a client can buffer signed
+      entries locally and ship them as a single {!Append_batch}. *)
+
+  val buffer_append :
+    t -> ?clues:string list -> client_ts:int64 -> bytes -> bytes option
+  (** Sign and buffer one entry.  Returns an encoded {!Append_batch}
+      request when the buffer just reached the [auto_batch] threshold
+      (the buffer is then empty again), [None] otherwise. *)
+
+  val flush : t -> bytes option
+  (** Encode and drain the buffer; [None] when nothing is buffered. *)
+
+  val pending : t -> int
+  (** Entries currently buffered. *)
 
   val make_get_proof : jsn:int -> bytes
   val make_get_payload : jsn:int -> bytes

@@ -76,16 +76,66 @@ let verify_receipt ledger (r : Receipt.t) =
   then (false, "receipt tx-hash diverges from the ledger (repudiation)")
   else (true, "receipt verified")
 
-let verify ledger ~level target =
+(* Cacheable questions: a (root, jsn, verifier-string) triple must pin
+   down the whole verdict.  Existence verdicts are a deterministic
+   function of ledger state, jsn and the expected payload digest; receipt
+   verdicts additionally depend on the receipt bytes, folded into the
+   verifier string.  Clue verdicts span many journals and stay uncached. *)
+let cache_key ~level target =
+  let level_str = match level with Server -> "server" | Client -> "client" in
+  match target with
+  | Existence { jsn; payload_digest } ->
+      Some
+        ( jsn,
+          Printf.sprintf "existence:%s:%s" level_str
+            (match payload_digest with
+            | Some d -> Hash.to_hex d
+            | None -> "-") )
+  | Receipt_check r ->
+      let rd =
+        Receipt.signing_digest ~jsn:r.Receipt.jsn
+          ~request_hash:r.Receipt.request_hash ~tx_hash:r.Receipt.tx_hash
+          ~block_hash:r.Receipt.block_hash ~timestamp:r.Receipt.timestamp
+      in
+      let sd = Hash.digest_bytes (Ecdsa.signature_to_bytes r.Receipt.lsp_sig) in
+      Some
+        ( r.Receipt.jsn,
+          Printf.sprintf "receipt:%s:%s" level_str
+            (Hash.to_hex (Hash.combine rd sd)) )
+  | Clue _ | Clue_range _ -> None
+
+let verify ?cache ledger ~level target =
   let sp = Ledger_obs.Trace.enter "verify" in
+  let root = Ledger.commitment ledger in
+  let key =
+    match cache with None -> None | Some _ -> cache_key ~level target
+  in
+  let cached =
+    match (cache, key) with
+    | Some c, Some (jsn, verifier) ->
+        Option.map
+          (fun ok -> (ok, "cache: verdict reused"))
+          (Verify_cache.find c ~root ~jsn ~verifier)
+    | _ -> None
+  in
   let ok, detail =
-    match target with
-    | Existence { jsn; payload_digest } ->
-        verify_existence ledger level jsn payload_digest
-    | Clue { key } -> verify_clue ledger level key None
-    | Clue_range { key; first; last } ->
-        verify_clue ledger level key (Some (first, last))
-    | Receipt_check r -> verify_receipt ledger r
+    match cached with
+    | Some outcome -> outcome
+    | None ->
+        let ok, detail =
+          match target with
+          | Existence { jsn; payload_digest } ->
+              verify_existence ledger level jsn payload_digest
+          | Clue { key } -> verify_clue ledger level key None
+          | Clue_range { key; first; last } ->
+              verify_clue ledger level key (Some (first, last))
+          | Receipt_check r -> verify_receipt ledger r
+        in
+        (match (cache, key) with
+        | Some c, Some (jsn, verifier) ->
+            Verify_cache.store c ~root ~jsn ~verifier ok
+        | _ -> ());
+        (ok, detail)
   in
   if Ledger_obs.Obs.enabled () then begin
     let verifier =

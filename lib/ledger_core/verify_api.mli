@@ -33,7 +33,15 @@ type outcome = {
   detail : string;
 }
 
-val verify : Ledger.t -> level:level -> target -> outcome
+val verify : ?cache:Verify_cache.t -> Ledger.t -> level:level -> target -> outcome
+(** With [cache], existence and receipt verdicts are memoized per
+    (current commitment, jsn, question) and redundant proof replays are
+    skipped; clue targets always replay.  The cache MUST be
+    {!Verify_cache.attach}ed to the ledger — commitment-keying alone
+    cannot see {!Ledger.reorganize}'s payload erasure, which changes
+    verdicts without appending a journal.  Outcomes (the [ok] field)
+    are identical with and without a cache; only [detail] reveals a
+    hit. *)
 
 val verify_all : Ledger.t -> level:level -> target list -> outcome list * bool
 (** All targets; the conjunction is the second component (any failure

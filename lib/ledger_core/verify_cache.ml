@@ -1,0 +1,74 @@
+open Ledger_crypto
+open Ledger_obs
+
+type key = { root : Hash.t; jsn : int; verifier : string }
+
+type t = {
+  capacity : int;
+  table : (key, bool) Hashtbl.t;
+  order : key Queue.t; (* insertion order, oldest first — FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Verify_cache.create: bad capacity";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations
+let evictions t = t.evictions
+
+let find t ~root ~jsn ~verifier =
+  let k = { root; jsn; verifier } in
+  match Hashtbl.find_opt t.table k with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      Metrics.incr "verify_cache_hits_total";
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      Metrics.incr "verify_cache_misses_total";
+      None
+
+let rec evict_to_capacity t =
+  if Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) then begin
+    let oldest = Queue.pop t.order in
+    if Hashtbl.mem t.table oldest then begin
+      Hashtbl.remove t.table oldest;
+      t.evictions <- t.evictions + 1;
+      Metrics.incr "verify_cache_evictions_total"
+    end;
+    evict_to_capacity t
+  end
+
+let store t ~root ~jsn ~verifier verdict =
+  let k = { root; jsn; verifier } in
+  if Hashtbl.mem t.table k then Hashtbl.replace t.table k verdict
+  else begin
+    evict_to_capacity t;
+    Hashtbl.replace t.table k verdict;
+    Queue.push k t.order
+  end
+
+let invalidate t =
+  let dropped = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.invalidations <- t.invalidations + 1;
+  Metrics.incr "verify_cache_invalidations_total";
+  dropped
+
+let attach t ledger = Ledger.on_mutate ledger (fun () -> ignore (invalidate t))

@@ -1,0 +1,48 @@
+(** Verified-anchor cache.
+
+    Replaying a fam or receipt proof that an identical verifier already
+    replayed against an identical trust root is pure waste: the verdict is
+    a deterministic function of (root digest, journal index, verifier
+    question).  This cache memoizes those verdicts so {!Verify_api} and
+    {!Ledger_client} can skip redundant proof replays.
+
+    Safety comes from two sides.  {e Structurally}, every key embeds the
+    root digest the verdict was computed against, so a verdict can never
+    be served for a root it does not describe — any append changes the
+    commitment and naturally misses.  {e Operationally}, history
+    mutations (purge, occult, reorganize) erase data {e behind} a root,
+    so {!attach} subscribes the cache to {!Ledger.on_mutate} and drops
+    everything when one fires: a cached verdict must never outlive the
+    data it vouched for. *)
+
+open Ledger_crypto
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** At most [capacity] (default 1024) verdicts are retained; beyond that
+    the oldest entries are evicted first.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val find : t -> root:Hash.t -> jsn:int -> verifier:string -> bool option
+(** Cached verdict for (root, jsn, verifier), if any.  [verifier] must
+    encode the whole question (level, target kind, auxiliary digests) —
+    two different questions must never share a verifier string. *)
+
+val store : t -> root:Hash.t -> jsn:int -> verifier:string -> bool -> unit
+
+val invalidate : t -> int
+(** Drop every cached verdict; returns how many were dropped.  Called
+    automatically via {!attach} when the ledger mutates history. *)
+
+val attach : t -> Ledger.t -> unit
+(** Subscribe to the ledger's mutation feed: any purge/occult/reorganize
+    invalidates the whole cache. *)
+
+(** {1 Statistics} *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+val evictions : t -> int

@@ -63,6 +63,34 @@ let append t h =
   t.size <- t.size + 1;
   jsn
 
+(* One accumulation per batch: the leaves are split at epoch boundaries
+   (Rule 1 still rolls full trees) and each in-epoch run goes through
+   {!Shrubs.append_many}'s single interior pass.  State after the call is
+   identical to [List.iter (append t) hs]. *)
+let append_many t hs =
+  let first = t.size in
+  let rec split_at n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | h :: rest -> split_at (n - 1) (h :: acc) rest
+  in
+  let rec go = function
+    | [] -> ()
+    | hs ->
+        if Shrubs.is_full (current t) then roll_epoch t;
+        let room =
+          match Shrubs.capacity (current t) with
+          | Some c -> c - Shrubs.size (current t)
+          | None -> List.length hs
+        in
+        let chunk, rest = split_at (min room (List.length hs)) [] hs in
+        ignore (Shrubs.append_many (current t) chunk);
+        t.size <- t.size + List.length chunk;
+        go rest
+  in
+  go hs;
+  first
+
 let epoch_of_jsn t jsn =
   if jsn < 0 || jsn >= t.size then invalid_arg "Fam.epoch_of_jsn: out of range";
   let cap = t.epoch_capacity in

@@ -55,6 +55,34 @@ let append t h =
   cascade 0 i h;
   i
 
+(* Batched append: push every leaf first, then complete the interior
+   level by level — one linear pass per level instead of one cascade per
+   leaf.  The resulting node arrays are byte-identical to [n] sequential
+   {!append}s (parents are combined from the same children in the same
+   positions); only the order of interior pushes differs, and within a
+   level that order is ascending in both cases. *)
+let append_many t hs =
+  let first = t.size in
+  List.iter
+    (fun h ->
+      push_node t 0 h;
+      t.size <- t.size + 1)
+    hs;
+  let rec complete l =
+    let lv = level t l in
+    let want = lv.count / 2 in
+    let have = (level t (l + 1)).count in
+    if have < want then begin
+      for j = have to want - 1 do
+        let parent = Hash.combine (get_node t l (2 * j)) (get_node t l ((2 * j) + 1)) in
+        push_node t (l + 1) parent
+      done;
+      complete (l + 1)
+    end
+  in
+  if hs <> [] then complete 0;
+  first
+
 let size t = t.size
 
 let leaf t i =

@@ -18,6 +18,13 @@ let append t h =
   if is_full t then invalid_arg "Shrubs.append: tree is full";
   Forest.append t.forest h
 
+let append_many t hs =
+  (match capacity t with
+  | Some c when size t + List.length hs > c ->
+      invalid_arg "Shrubs.append_many: batch would overflow the tree"
+  | Some _ | None -> ());
+  Forest.append_many t.forest hs
+
 let leaf t = Forest.leaf t.forest
 let peaks t = Forest.peaks t.forest
 let commitment t = Proof.node_set_digest (peaks t)

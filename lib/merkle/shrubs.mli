@@ -17,6 +17,12 @@ val create : ?height:int -> unit -> t
 val append : t -> Hash.t -> int
 (** @raise Invalid_argument when a bounded tree is full. *)
 
+val append_many : t -> Hash.t list -> int
+(** Batched {!append} via {!Forest.append_many}: one interior pass per
+    level for the whole batch, identical resulting tree.  Returns the
+    first appended index.
+    @raise Invalid_argument when the batch would overflow a bounded tree. *)
+
 val size : t -> int
 val capacity : t -> int option
 val is_full : t -> bool

@@ -63,6 +63,21 @@ let append s payload =
   Ledger_obs.Metrics.observe_int "storage_record_bytes" (Bytes.length payload);
   i
 
+let append_many s payloads =
+  let first = s.count in
+  List.iter
+    (fun payload ->
+      ensure_capacity s;
+      s.records.(s.count) <- { payload = Some (Bytes.copy payload) };
+      s.count <- s.count + 1;
+      s.live_bytes <- s.live_bytes + Bytes.length payload;
+      Ledger_obs.Metrics.incr "storage_appends_total";
+      Ledger_obs.Metrics.observe_int "storage_record_bytes"
+        (Bytes.length payload))
+    payloads;
+  Ledger_obs.Metrics.incr "storage_batch_appends_total";
+  first
+
 let length s = s.count
 
 let check_range s i =

@@ -49,6 +49,13 @@ val stream_name : stream -> string
 val append : stream -> bytes -> int
 (** Append a record, returning its index (0-based, dense). *)
 
+val append_many : stream -> bytes list -> int
+(** Append a whole batch of records in one storage operation, returning
+    the index of the first (the pre-batch {!length} when the list is
+    empty).  Equivalent to sequential {!append}s record-for-record, but
+    counted as a single batch by the [storage_batch_appends_total]
+    metric. *)
+
 val length : stream -> int
 (** Number of records ever appended (erased records still count). *)
 

@@ -17,6 +17,8 @@ let () =
       ("bench-util", Test_bench_util.suite);
       ("persistence", Test_persistence.suite);
       ("ledger-model", Test_ledger_model.suite);
+      ("batch-diff", Test_batch_diff.suite);
+      ("verify-cache", Test_verify_cache.suite);
       ("service", Test_service.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("replica", Test_replica.suite);

@@ -1,7 +1,8 @@
-(* Stateful property test: random interleavings of append / anchor /
-   occult / purge / reorganize / seal must always leave a ledger that
-   (1) agrees with a simple reference model about sizes, clue entries and
-   payload visibility, and (2) passes the Dasein-complete audit. *)
+(* Stateful property test: random interleavings of append / batch append /
+   buffered-append-and-flush / anchor / occult / purge / reorganize / seal
+   must always leave a ledger that (1) agrees with a simple reference
+   model about sizes, clue entries and payload visibility, and (2) passes
+   the Dasein-complete audit. *)
 
 open Ledger_storage
 open Ledger_core
@@ -9,6 +10,9 @@ open Ledger_timenotary
 
 type op =
   | Append of int * int (* payload id, clue id *)
+  | Append_batch of int * int (* entry count selector, payload id *)
+  | Buffer of int * int (* payload id, clue id — pending until Flush *)
+  | Flush (* commit the pending buffer in one batch *)
   | Anchor
   | Occult of int (* target selector *)
   | Purge of int (* upto selector *)
@@ -19,7 +23,10 @@ let op_gen =
   QCheck.Gen.(
     frequency
       [
-        (10, map2 (fun a b -> Append (a, b)) (int_bound 1000) (int_bound 3));
+        (8, map2 (fun a b -> Append (a, b)) (int_bound 1000) (int_bound 3));
+        (3, map2 (fun n p -> Append_batch (n, p)) (int_bound 6) (int_bound 1000));
+        (4, map2 (fun a b -> Buffer (a, b)) (int_bound 1000) (int_bound 3));
+        (3, return Flush);
         (2, return Anchor);
         (2, map (fun t -> Occult t) (int_bound 100));
         (1, map (fun u -> Purge u) (int_bound 100));
@@ -54,6 +61,27 @@ let run_ops ops =
     { m_payloads = []; m_clues = []; m_occulted = []; m_purged_upto = 0 }
   in
   let normal_jsns = ref [] in
+  let buffer = ref [] in
+  (* model update for one committed (jsn, payload, clue) — identical for
+     sequential and batched commits *)
+  let record jsn payload clue =
+    normal_jsns := jsn :: !normal_jsns;
+    model.m_payloads <- (jsn, Some payload) :: model.m_payloads;
+    model.m_clues <-
+      (clue, 1 + Option.value ~default:0 (List.assoc_opt clue model.m_clues))
+      :: List.remove_assoc clue model.m_clues
+  in
+  let commit_batch entries =
+    let receipts =
+      Ledger.append_batch ledger ~member:user ~priv:key ~seal:false
+        (List.map
+           (fun (payload, clue) -> (Bytes.of_string payload, [ clue ]))
+           entries)
+    in
+    List.iter2
+      (fun (payload, clue) (r : Receipt.t) -> record r.Receipt.jsn payload clue)
+      entries receipts
+  in
   List.iter
     (fun op ->
       match op with
@@ -65,11 +93,26 @@ let run_ops ops =
             Ledger.append ledger ~member:user ~priv:key ~clues:[ clue ]
               (Bytes.of_string payload)
           in
-          normal_jsns := r.Receipt.jsn :: !normal_jsns;
-          model.m_payloads <- (r.Receipt.jsn, Some payload) :: model.m_payloads;
-          model.m_clues <-
-            (clue, 1 + Option.value ~default:0 (List.assoc_opt clue model.m_clues))
-            :: List.remove_assoc clue model.m_clues
+          record r.Receipt.jsn payload clue
+      | Append_batch (n, p) ->
+          Clock.advance_ms clock 10.;
+          commit_batch
+            (List.init
+               (1 + (n mod 6))
+               (fun i ->
+                 ( Printf.sprintf "payload-b%d-%d" p i,
+                   "clue-" ^ string_of_int ((p + i) mod 4) )))
+      | Buffer (p, c) ->
+          buffer :=
+            (Printf.sprintf "payload-%d" p, "clue-" ^ string_of_int c)
+            :: !buffer
+      | Flush -> (
+          match List.rev !buffer with
+          | [] -> ()
+          | entries ->
+              buffer := [];
+              Clock.advance_ms clock 10.;
+              commit_batch entries)
       | Anchor ->
           Clock.advance_ms clock 1100.;
           (match Ledger.anchor_via_t_ledger ledger with

@@ -21,7 +21,7 @@ let make_service () =
   let ledger = Ledger.create ~config ~clock () in
   let member, priv = Ledger.new_member ledger ~name:"svc-client" ~role:Roles.Regular_user in
   let client =
-    Service.Client.create ~ledger_uri:(Ledger.uri ledger) ~member ~priv
+    Service.Client.create ~ledger_uri:(Ledger.uri ledger) ~member ~priv ()
   in
   (clock, ledger, client)
 
@@ -287,4 +287,116 @@ let test_get_members_sorted () =
 
 let members_suite = [ tc "get_members deterministic order" `Quick test_get_members_sorted ]
 
-let suite = base_suite @ fuzz_suite @ extension_suite @ members_suite
+let test_append_batch_over_wire () =
+  let clock, ledger, client = make_service () in
+  Clock.advance_ms clock 10.;
+  let entries =
+    List.init 6 (fun i ->
+        ( Bytes.of_string (Printf.sprintf "batch payload %d" i),
+          [ "batch-clue" ],
+          Clock.now clock ))
+  in
+  let req = Service.Client.make_append_batch client entries in
+  let receipts =
+    match roundtrip ledger req with
+    | Some (Service.Receipts_r rs) -> rs
+    | Some (Service.Error_r e) -> Alcotest.fail e
+    | _ -> Alcotest.fail "unexpected response"
+  in
+  Alcotest.(check int) "one receipt per entry" 6 (List.length receipts);
+  Alcotest.(check int) "committed" 6 (Ledger.size ledger);
+  List.iteri
+    (fun i (r : Receipt.t) ->
+      Alcotest.(check int) (Printf.sprintf "jsn of entry %d" i) i r.Receipt.jsn;
+      Alcotest.(check bool) "wire receipt verifies" true
+        (Receipt.verify ~lsp_pub:(Ledger.lsp_public_key ledger) r))
+    receipts;
+  let report = Audit.run ~receipts ledger in
+  Alcotest.(check bool) "audit ok" true report.Audit.ok
+
+(* one bad signature anywhere must reject the WHOLE batch: nothing
+   committed, no partial prefix *)
+let test_append_batch_atomic_rejection () =
+  let clock, ledger, client = make_service () in
+  Clock.advance_ms clock 10.;
+  let entries =
+    List.init 4 (fun i ->
+        ( Bytes.of_string (Printf.sprintf "atomic payload %d" i),
+          [],
+          Clock.now clock ))
+  in
+  let req = Service.Client.make_append_batch client entries in
+  (* flip one byte inside the third entry's payload: framing survives,
+     that entry's signature breaks *)
+  let marker = Bytes.of_string "atomic payload 2" in
+  let off =
+    let rec find i =
+      if i + Bytes.length marker > Bytes.length req then
+        Alcotest.fail "payload marker not found in encoded request"
+      else if Bytes.sub req i (Bytes.length marker) = marker then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let tampered = Bytes.copy req in
+  Bytes.set tampered (off + 7)
+    (Char.chr (Char.code (Bytes.get tampered (off + 7)) lxor 1));
+  (match roundtrip ledger tampered with
+  | Some (Service.Error_r _) -> ()
+  | Some (Service.Receipts_r _) -> Alcotest.fail "tampered batch accepted"
+  | _ -> Alcotest.fail "unexpected response");
+  Alcotest.(check int) "nothing committed" 0 (Ledger.size ledger);
+  (* the untampered request still goes through afterwards *)
+  match roundtrip ledger req with
+  | Some (Service.Receipts_r rs) ->
+      Alcotest.(check int) "all committed" 4 (List.length rs)
+  | _ -> Alcotest.fail "clean batch rejected"
+
+let test_auto_batch_client () =
+  let clock, ledger, _ = make_service () in
+  let member, priv =
+    Ledger.new_member ledger ~name:"auto" ~role:Roles.Regular_user
+  in
+  let client =
+    Service.Client.create ~auto_batch:3 ~ledger_uri:(Ledger.uri ledger) ~member
+      ~priv ()
+  in
+  let flushed = ref [] in
+  for i = 0 to 4 do
+    Clock.advance_ms clock 10.;
+    match
+      Service.Client.buffer_append client ~client_ts:(Clock.now clock)
+        (Bytes.of_string (Printf.sprintf "auto %d" i))
+    with
+    | Some req ->
+        if i <> 2 then
+          Alcotest.failf "auto-flush at entry %d (expected at 2)" i;
+        flushed := req :: !flushed
+    | None -> ()
+  done;
+  Alcotest.(check int) "one auto-flush" 1 (List.length !flushed);
+  Alcotest.(check int) "two entries pending" 2 (Service.Client.pending client);
+  (match Service.Client.flush client with
+  | Some req -> flushed := req :: !flushed
+  | None -> Alcotest.fail "manual flush returned nothing");
+  Alcotest.(check int) "buffer drained" 0 (Service.Client.pending client);
+  Alcotest.(check (option bool)) "empty flush is None" None
+    (Option.map (fun _ -> true) (Service.Client.flush client));
+  List.iter
+    (fun req ->
+      match roundtrip ledger req with
+      | Some (Service.Receipts_r _) -> ()
+      | Some (Service.Error_r e) -> Alcotest.fail e
+      | _ -> Alcotest.fail "unexpected response")
+    (List.rev !flushed);
+  Alcotest.(check int) "all five committed" 5 (Ledger.size ledger)
+
+let batch_suite =
+  [
+    tc "append_batch over the wire" `Quick test_append_batch_over_wire;
+    tc "batch with one bad signature rejected atomically" `Quick
+      test_append_batch_atomic_rejection;
+    tc "client auto-batching" `Quick test_auto_batch_client;
+  ]
+
+let suite = base_suite @ fuzz_suite @ extension_suite @ members_suite @ batch_suite

@@ -1,0 +1,311 @@
+(* Verify_cache safety: a cached verdict must never be served once a
+   history mutation invalidates its root, and cache-on vs cache-off
+   verification must always agree.
+
+   The load-bearing scenario is {!Ledger.reorganize}: it erases
+   async-occulted payloads WITHOUT appending a journal, so the fam
+   commitment — the cache's structural key — does not change.  Only the
+   {!Verify_cache.attach} mutation feed keeps the cache sound there. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+
+(* ---------- unit: FIFO capacity, counters, invalidate ---------- *)
+
+let h s = Hash.digest_string s
+
+let test_fifo_eviction () =
+  let c = Verify_cache.create ~capacity:2 () in
+  Verify_cache.store c ~root:(h "r") ~jsn:0 ~verifier:"a" true;
+  Verify_cache.store c ~root:(h "r") ~jsn:1 ~verifier:"b" false;
+  Alcotest.(check int) "full" 2 (Verify_cache.size c);
+  Verify_cache.store c ~root:(h "r") ~jsn:2 ~verifier:"c" true;
+  Alcotest.(check int) "capacity held" 2 (Verify_cache.size c);
+  Alcotest.(check int) "one eviction" 1 (Verify_cache.evictions c);
+  Alcotest.(check (option bool))
+    "oldest evicted" None
+    (Verify_cache.find c ~root:(h "r") ~jsn:0 ~verifier:"a");
+  Alcotest.(check (option bool))
+    "newer kept" (Some false)
+    (Verify_cache.find c ~root:(h "r") ~jsn:1 ~verifier:"b");
+  Alcotest.(check (option bool))
+    "newest kept" (Some true)
+    (Verify_cache.find c ~root:(h "r") ~jsn:2 ~verifier:"c");
+  Alcotest.(check int) "hits" 2 (Verify_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Verify_cache.misses c);
+  (* replacing an existing key must not evict *)
+  Verify_cache.store c ~root:(h "r") ~jsn:2 ~verifier:"c" false;
+  Alcotest.(check int) "replace keeps size" 2 (Verify_cache.size c);
+  Alcotest.(check int) "replace does not evict" 1 (Verify_cache.evictions c)
+
+let test_key_discrimination () =
+  let c = Verify_cache.create () in
+  Verify_cache.store c ~root:(h "r1") ~jsn:7 ~verifier:"q" true;
+  Alcotest.(check (option bool))
+    "other root misses" None
+    (Verify_cache.find c ~root:(h "r2") ~jsn:7 ~verifier:"q");
+  Alcotest.(check (option bool))
+    "other jsn misses" None
+    (Verify_cache.find c ~root:(h "r1") ~jsn:8 ~verifier:"q");
+  Alcotest.(check (option bool))
+    "other question misses" None
+    (Verify_cache.find c ~root:(h "r1") ~jsn:7 ~verifier:"q2")
+
+let test_invalidate_counts () =
+  let c = Verify_cache.create () in
+  Verify_cache.store c ~root:(h "r") ~jsn:0 ~verifier:"a" true;
+  Verify_cache.store c ~root:(h "r") ~jsn:1 ~verifier:"b" true;
+  Alcotest.(check int) "dropped" 2 (Verify_cache.invalidate c);
+  Alcotest.(check int) "empty" 0 (Verify_cache.size c);
+  Alcotest.(check int) "recorded" 1 (Verify_cache.invalidations c);
+  Alcotest.(check int) "empty drop" 0 (Verify_cache.invalidate c)
+
+let test_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Verify_cache.create: bad capacity") (fun () ->
+      ignore (Verify_cache.create ~capacity:0 ()))
+
+(* ---------- fixtures ---------- *)
+
+let build_ledger name =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name; block_size = 4; fam_delta = 3;
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let user, key = Ledger.new_member ledger ~name:"user" ~role:Roles.Regular_user in
+  let dba, dba_key = Ledger.new_member ledger ~name:"dba" ~role:Roles.Dba in
+  let reg, reg_key = Ledger.new_member ledger ~name:"reg" ~role:Roles.Regulator in
+  (clock, ledger, (user, key), (dba, dba_key), (reg, reg_key))
+
+let payload_str i = Printf.sprintf "cached-payload-%d" i
+
+let append_n clock ledger (user, key) n =
+  List.init n (fun i ->
+      Clock.advance_ms clock 10.;
+      Ledger.append ledger ~member:user ~priv:key
+        ~clues:[ "vc" ^ string_of_int (i mod 2) ]
+        (Bytes.of_string (payload_str i)))
+
+(* ---------- scripted: reorganize is invisible to the root ---------- *)
+
+(* With attach, the verdict flips after reorganize; without it, the stale
+   verdict WOULD be replayed — demonstrating the feed is load-bearing. *)
+let test_reorganize_invalidation () =
+  let run ~attached =
+    let clock, ledger, u, dba, reg = build_ledger "vc-reorg" in
+    ignore (append_n clock ledger u 8);
+    Ledger.seal_block ledger;
+    let cache = Verify_cache.create () in
+    if attached then Verify_cache.attach cache ledger;
+    let target =
+      Verify_api.Existence
+        { jsn = 0; payload_digest = Some (Hash.digest_string (payload_str 0)) }
+    in
+    let check () = Verify_api.verify ~cache ledger ~level:Verify_api.Server target in
+    Alcotest.(check bool) "fresh verdict" true (check ()).Verify_api.ok;
+    (match
+       Ledger.occult ledger ~target_jsn:0 ~mode:Ledger.Async
+         ~signers:[ dba; reg ] ~reason:"test"
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    (* Async occult retains the payload until reorganize, but appended an
+       occult journal — the root moved, so this recomputes either way *)
+    Alcotest.(check bool) "pre-reorganize verdict" true (check ()).Verify_api.ok;
+    (* warm the cache under the post-occult root *)
+    let warm = check () in
+    Alcotest.(check string)
+      "warmed" "cache: verdict reused" warm.Verify_api.detail;
+    let erased = Ledger.reorganize ledger in
+    Alcotest.(check int) "one payload erased" 1 erased;
+    check ()
+  in
+  let sound = run ~attached:true in
+  Alcotest.(check bool) "attached: stale verdict dropped" false
+    sound.Verify_api.ok;
+  Alcotest.(check bool) "attached: recomputed, not replayed" true
+    (sound.Verify_api.detail <> "cache: verdict reused");
+  let stale = run ~attached:false in
+  Alcotest.(check string)
+    "unattached: the stale verdict is replayed (why attach exists)"
+    "cache: verdict reused" stale.Verify_api.detail;
+  Alcotest.(check bool) "unattached: wrong verdict" true stale.Verify_api.ok
+
+let test_purge_invalidation () =
+  let clock, ledger, ((_user, key) as u), (dba, dba_key), reg =
+    build_ledger "vc-purge"
+  in
+  ignore (append_n clock ledger u 8);
+  Ledger.seal_block ledger;
+  let cache = Verify_cache.create () in
+  Verify_cache.attach cache ledger;
+  let target =
+    Verify_api.Existence
+      { jsn = 1; payload_digest = Some (Hash.digest_string (payload_str 1)) }
+  in
+  let check () = Verify_api.verify ~cache ledger ~level:Verify_api.Server target in
+  Alcotest.(check bool) "pre-purge" true (check ()).Verify_api.ok;
+  Alcotest.(check string)
+    "cached pre-purge" "cache: verdict reused" (check ()).Verify_api.detail;
+  ignore reg;
+  let affected = Ledger.affected_members ledger ~upto_jsn:4 in
+  let signers =
+    (dba, dba_key)
+    :: List.map
+         (fun (m : Roles.member) ->
+           if m.Roles.name = "user" then (m, key) else (m, dba_key))
+         affected
+  in
+  (match
+     Ledger.purge ledger
+       ~request:{ Ledger.upto_jsn = 4; survivors = []; erase_fam_nodes = false }
+       ~signers
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "purge flushed the cache" 0 (Verify_cache.size cache);
+  let post = check () in
+  Alcotest.(check bool) "purged payload now refused" false post.Verify_api.ok;
+  Alcotest.(check bool) "recomputed" true
+    (post.Verify_api.detail <> "cache: verdict reused")
+
+(* ---------- property: cache-on == cache-off, always ---------- *)
+
+type vop =
+  | V_append of int
+  | V_exist of int * bool  (* jsn pick, with payload digest *)
+  | V_receipt of int
+  | V_occult of int * bool  (* target pick, async? *)
+  | V_reorganize
+  | V_seal
+
+let vop_to_string = function
+  | V_append p -> Printf.sprintf "Append %d" p
+  | V_exist (j, d) -> Printf.sprintf "Exist(%d,%b)" j d
+  | V_receipt j -> Printf.sprintf "Receipt %d" j
+  | V_occult (t, a) -> Printf.sprintf "Occult(%d,async=%b)" t a
+  | V_reorganize -> "Reorganize"
+  | V_seal -> "Seal"
+
+let vop_gen =
+  QCheck.Gen.(
+    frequency
+      [ (6, map (fun p -> V_append p) (int_bound 999));
+        (6, map2 (fun j d -> V_exist (j, d)) (int_bound 999) bool);
+        (3, map (fun j -> V_receipt j) (int_bound 999));
+        (3, map2 (fun t a -> V_occult (t, a)) (int_bound 999) bool);
+        (2, return V_reorganize);
+        (1, return V_seal) ])
+
+let arb_vops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map vop_to_string ops))
+    QCheck.Gen.(list_size (int_range 5 40) vop_gen)
+
+(* Interpret the ops over one ledger, holding an attached cache; every
+   verification runs twice — cached and uncached — and any verdict
+   disagreement fails the property.  Mutations must also leave the cache
+   empty (the on_mutate feed fired). *)
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"cache-on and cache-off verdicts always agree"
+    ~count:40 arb_vops (fun ops ->
+      let clock, ledger, ((user, key) as u), dba, reg =
+        build_ledger "vc-prop"
+      in
+      ignore u;
+      let cache = Verify_cache.create ~capacity:64 () in
+      Verify_cache.attach cache ledger;
+      let receipts = ref [] in
+      let normal_jsns = ref [] in
+      let payloads = ref [] in
+      let pick lst n =
+        match lst with [] -> None | l -> Some (List.nth l (n mod List.length l))
+      in
+      let agree level target =
+        let cached = Verify_api.verify ~cache ledger ~level target in
+        let plain = Verify_api.verify ledger ~level target in
+        if cached.Verify_api.ok <> plain.Verify_api.ok then
+          QCheck.Test.fail_reportf "verdict diverged: cached=%b plain=%b on %a"
+            cached.Verify_api.ok plain.Verify_api.ok Verify_api.pp_outcome plain
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | V_append p ->
+              Clock.advance_ms clock 10.;
+              let r =
+                Ledger.append ledger ~member:user ~priv:key
+                  ~clues:[ "vp" ^ string_of_int (p mod 2) ]
+                  (Bytes.of_string (payload_str p))
+              in
+              receipts := r :: !receipts;
+              normal_jsns := r.Receipt.jsn :: !normal_jsns;
+              payloads := (r.Receipt.jsn, payload_str p) :: !payloads
+          | V_exist (j, with_digest) -> (
+              match pick !normal_jsns j with
+              | None -> ()
+              | Some jsn ->
+                  let payload_digest =
+                    if with_digest then
+                      Option.map Hash.digest_string
+                        (List.assoc_opt jsn !payloads)
+                    else None
+                  in
+                  let t = Verify_api.Existence { jsn; payload_digest } in
+                  agree Verify_api.Server t;
+                  agree Verify_api.Client t)
+          | V_receipt j -> (
+              match pick !receipts j with
+              | None -> ()
+              | Some r ->
+                  agree Verify_api.Server (Verify_api.Receipt_check r);
+                  agree Verify_api.Client (Verify_api.Receipt_check r))
+          | V_occult (t, async) -> (
+              match pick !normal_jsns t with
+              | None -> ()
+              | Some jsn ->
+                  if not (Ledger.is_occulted ledger jsn) then begin
+                    (match
+                       Ledger.occult ledger ~target_jsn:jsn
+                         ~mode:(if async then Ledger.Async else Ledger.Sync)
+                         ~signers:[ dba; reg ] ~reason:"prop"
+                     with
+                    | Ok _ -> ()
+                    | Error e -> failwith e);
+                    if Verify_cache.size cache <> 0 then
+                      QCheck.Test.fail_report
+                        "occult left verdicts in the cache"
+                  end)
+          | V_reorganize ->
+              if Ledger.reorganize ledger > 0 && Verify_cache.size cache <> 0
+              then
+                QCheck.Test.fail_report "reorganize left verdicts in the cache"
+          | V_seal -> Ledger.seal_block ledger)
+        ops;
+      (* terminal sweep: every known jsn, both levels, digest and not *)
+      List.iter
+        (fun jsn ->
+          List.iter
+            (fun payload_digest ->
+              let t = Verify_api.Existence { jsn; payload_digest } in
+              agree Verify_api.Server t;
+              agree Verify_api.Client t)
+            [ None;
+              Option.map Hash.digest_string (List.assoc_opt jsn !payloads) ])
+        !normal_jsns;
+      true)
+
+let suite =
+  [ Alcotest.test_case "fifo eviction and counters" `Quick test_fifo_eviction;
+    Alcotest.test_case "key discrimination" `Quick test_key_discrimination;
+    Alcotest.test_case "invalidate drops everything" `Quick
+      test_invalidate_counts;
+    Alcotest.test_case "bad capacity rejected" `Quick test_bad_capacity;
+    Alcotest.test_case "reorganize invalidates without moving the root" `Quick
+      test_reorganize_invalidation;
+    Alcotest.test_case "purge flushes cached verdicts" `Quick
+      test_purge_invalidation;
+    QCheck_alcotest.to_alcotest prop_cache_transparent ]

@@ -16,7 +16,91 @@ open Ledger_timenotary
 
 (* --- demo ------------------------------------------------------------------ *)
 
-let run_demo journals batch tamper real_crypto =
+(* Sharded demo: route the same workload across N shards, seal an epoch
+   super-root, verify every entry against it, audit every shard. *)
+let run_demo_sharded journals batch shards real_crypto =
+  let module SL = Ledger_shard.Sharded_ledger in
+  let clock = Clock.create () in
+  let pool = Tsa.pool [ Tsa.create ~clock "cli-tsa" ] in
+  let config =
+    {
+      SL.base =
+        { Ledger.default_config with name = "cli"; block_size = 16;
+          fam_delta = 8;
+          crypto =
+            (if real_crypto then Crypto_profile.Real
+             else Crypto_profile.default_simulated) };
+      shards;
+    }
+  in
+  let fleet = SL.create ~config ~clock () in
+  let user, key = SL.new_member fleet ~name:"cli-user" ~role:Roles.Regular_user in
+  let entry i =
+    ( Bytes.of_string (Printf.sprintf "record %d" i),
+      [ "item-" ^ string_of_int (i mod 5) ] )
+  in
+  let committed = ref [] in
+  let i = ref 0 in
+  while !i < journals do
+    Clock.advance_ms clock 100.;
+    if batch > 1 then begin
+      let n = min batch (journals - !i) in
+      let entries = List.init n (fun j -> entry (!i + j)) in
+      committed :=
+        List.rev_append
+          (SL.append_batch fleet ~member:user ~priv:key ~seal:false entries)
+          !committed;
+      i := !i + n
+    end
+    else begin
+      let payload, clues = entry !i in
+      committed := SL.append fleet ~member:user ~priv:key ~clues payload :: !committed;
+      incr i
+    end
+  done;
+  match SL.seal_epoch fleet with
+  | Error msg ->
+      Printf.printf "epoch seal refused: %s\n" msg;
+      1
+  | Ok sealed ->
+      let super = Ledger_shard.Super_root.commitment sealed in
+      let token = SL.anchor_epoch fleet pool in
+      Printf.printf
+        "fleet built: %d journals over %d shards, epoch %d super-root %s \
+         (TSA-anchored at %Ldus)\n"
+        (SL.total_size fleet) shards sealed.Ledger_shard.Super_root.epoch
+        (Hash.short_hex super) token.Tsa.timestamp;
+      for s = 0 to shards - 1 do
+        Printf.printf "  shard %d: %d journals, root %s\n" s
+          (Ledger.size (SL.shard fleet s))
+          (Hash.short_hex sealed.Ledger_shard.Super_root.shard_roots.(s))
+      done;
+      let all_verified =
+        List.for_all
+          (fun (shard, (r : Receipt.t)) ->
+            let o =
+              Ledger_shard.Verify_api.verify_sharded fleet
+                ~level:Ledger_shard.Verify_api.Client ~shard
+                (Ledger_shard.Verify_api.Existence
+                   { jsn = r.Receipt.jsn; payload_digest = None })
+            in
+            o.Ledger_shard.Verify_api.outcome.Ledger_shard.Verify_api.ok)
+          !committed
+      in
+      Printf.printf "cross-shard verification: %s (%d entries vs super-root)\n"
+        (if all_verified then "ok" else "FAILED")
+        (List.length !committed);
+      let audits_ok =
+        List.for_all
+          (fun s -> (Audit.run (SL.shard fleet s)).Audit.ok)
+          (List.init shards Fun.id)
+      in
+      Printf.printf "per-shard audits: %s\n" (if audits_ok then "ok" else "FAILED");
+      if all_verified && audits_ok then 0 else 1
+
+let run_demo journals batch shards tamper real_crypto =
+  if shards > 1 then run_demo_sharded journals batch shards real_crypto
+  else
   let clock = Clock.create () in
   let pool = Tsa.pool [ Tsa.create ~clock "cli-tsa" ] in
   let tl = T_ledger.create ~clock ~tsa:pool () in
@@ -87,6 +171,14 @@ let demo_cmd =
                    entries (1 = unbatched); the resulting history is \
                    byte-identical, only the cost profile changes.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Spread the workload over $(docv) ledger shards under one \
+                   epoch super-root (1 = the plain unsharded demo); every \
+                   entry is then verified cross-shard against the fleet \
+                   digest.")
+  in
   let tamper =
     Arg.(value & opt (some int) None
          & info [ "tamper" ] ~docv:"JSN" ~doc:"Rewrite journal $(docv) before auditing.")
@@ -97,7 +189,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Build a ledger, optionally tamper, run a Dasein audit")
-    Term.(const run_demo $ journals $ batch $ tamper $ real)
+    Term.(const run_demo $ journals $ batch $ shards $ tamper $ real)
 
 (* --- attack ----------------------------------------------------------------- *)
 
@@ -190,7 +282,82 @@ let snapshot_cmd =
 
 (* --- stats ----------------------------------------------------------------- *)
 
-let run_stats journals trace_out prometheus =
+(* Sharded stats: the audit log tags each verdict with a
+   ["shard<i>:server"/"shard<i>:client"] verifier, so verification
+   coverage can be broken down per shard with [coverage_where]. *)
+let run_stats_sharded journals shards trace_out prometheus =
+  let module Obs = Ledger_obs.Obs in
+  let module Trace = Ledger_obs.Trace in
+  let module Audit_log = Ledger_obs.Audit_log in
+  let module SL = Ledger_shard.Sharded_ledger in
+  let module SV = Ledger_shard.Verify_api in
+  let clock = Clock.create () in
+  Obs.reset ();
+  Obs.enable ~time:(fun () -> Clock.now clock) ();
+  let config =
+    {
+      SL.base =
+        { Ledger.default_config with name = "stats"; block_size = 16;
+          fam_delta = 8; crypto = Crypto_profile.default_simulated };
+      shards;
+    }
+  in
+  let fleet = SL.create ~config ~clock () in
+  let user, key = SL.new_member fleet ~name:"stats-user" ~role:Roles.Regular_user in
+  for i = 0 to journals - 1 do
+    Clock.advance_ms clock 100.;
+    ignore
+      (SL.append fleet ~member:user ~priv:key
+         ~clues:[ "item-" ^ string_of_int (i mod 5) ]
+         (Bytes.of_string (Printf.sprintf "record %d" i)))
+  done;
+  let sealed = SL.seal_epoch fleet in
+  (match sealed with
+  | Ok s ->
+      Printf.printf "epoch %d sealed over %d shards, super-root %s\n"
+        s.Ledger_shard.Super_root.epoch shards
+        (Hash.short_hex (Ledger_shard.Super_root.commitment s))
+  | Error msg -> Printf.printf "epoch seal refused: %s\n" msg);
+  (* touch every journal on every shard at both trust levels so the
+     per-shard audit-log slices each cover their whole shard *)
+  for s = 0 to shards - 1 do
+    for jsn = 0 to Ledger.size (SL.shard fleet s) - 1 do
+      let target = SV.Existence { jsn; payload_digest = None } in
+      ignore (SV.verify_sharded fleet ~level:SV.Server ~shard:s target);
+      ignore (SV.verify_sharded fleet ~level:SV.Client ~shard:s target)
+    done
+  done;
+  if prometheus then print_string (Obs.to_prometheus_text ())
+  else Obs.dump Format.std_formatter;
+  let all_covered = ref true in
+  Printf.printf "\nper-shard verification coverage:\n";
+  for s = 0 to shards - 1 do
+    let size = Ledger.size (SL.shard fleet s) in
+    let c =
+      Audit_log.coverage_where
+        ~verifier_prefix:(Printf.sprintf "shard%d:" s)
+        ~ledger_size:size
+    in
+    if c.Audit_log.ratio < 1.0 then all_covered := false;
+    Printf.printf "  shard %d: %d/%d journals (%.1f%%)\n" s
+      c.Audit_log.verified_jsns c.Audit_log.total_jsns
+      (100. *. c.Audit_log.ratio)
+  done;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let lines = Trace.to_json_lines () in
+      output_string oc lines;
+      if String.length lines > 0 then output_char oc '\n';
+      close_out oc;
+      Printf.printf "trace written to %s (%d spans)\n" path (Trace.span_count ()));
+  Obs.disable ();
+  if Result.is_ok sealed && !all_covered then 0 else 1
+
+let run_stats journals shards trace_out prometheus =
+  if shards > 1 then run_stats_sharded journals shards trace_out prometheus
+  else
   let module Obs = Ledger_obs.Obs in
   let module Trace = Ledger_obs.Trace in
   let module Audit_log = Ledger_obs.Audit_log in
@@ -260,6 +427,12 @@ let stats_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write the span tree as JSON lines to $(docv).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Instrument a sharded fleet of $(docv) shards and break \
+                   verification coverage down per shard (1 = unsharded).")
+  in
   let prometheus =
     Arg.(value & flag
          & info [ "prometheus" ] ~doc:"Emit metrics in Prometheus text exposition format.")
@@ -267,7 +440,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented workload; dump metrics, trace and verification coverage")
-    Term.(const run_stats $ journals $ trace_out $ prometheus)
+    Term.(const run_stats $ journals $ shards $ trace_out $ prometheus)
 
 let main =
   Cmd.group

@@ -19,12 +19,14 @@ type t = {
   mutable buffer : (bytes * string list) list; (* newest first *)
   mutable oldest_ts : int64 option; (* clock at first buffered entry *)
   mutable flushes : int;
+  mutable closed : bool;
 }
 
 let create ?(policy = default_policy) ledger ~member ~priv =
   if policy.max_entries < 1 then invalid_arg "Batcher.create: bad max_entries";
   if policy.max_delay_us < 0L then invalid_arg "Batcher.create: bad max_delay_us";
-  { ledger; member; priv; policy; buffer = []; oldest_ts = None; flushes = 0 }
+  { ledger; member; priv; policy; buffer = []; oldest_ts = None; flushes = 0;
+    closed = false }
 
 let pending t = List.length t.buffer
 let flushes t = t.flushes
@@ -48,9 +50,20 @@ let deadline_expired t =
       Int64.sub (Clock.now (Ledger.clock t.ledger)) since
       >= t.policy.max_delay_us
 
-let tick t = if deadline_expired t then flush t else []
+let tick t =
+  if t.closed then invalid_arg "Batcher.tick: batcher is closed";
+  if deadline_expired t then flush t else []
+
+let close t =
+  if t.closed then []
+  else begin
+    let receipts = flush t in
+    t.closed <- true;
+    receipts
+  end
 
 let submit t ?(clues = []) payload =
+  if t.closed then invalid_arg "Batcher.submit: batcher is closed";
   if t.buffer = [] then
     t.oldest_ts <- Some (Clock.now (Ledger.clock t.ledger));
   t.buffer <- (payload, clues) :: t.buffer;

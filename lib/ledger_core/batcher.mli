@@ -46,6 +46,13 @@ val flush : t -> Receipt.t list
 (** Unconditionally drain the buffer through one batched commit; [[]]
     when nothing is pending. *)
 
+val close : t -> Receipt.t list
+(** Drain any buffered entries through one final flush and mark the
+    batcher closed: subsequent {!submit}/{!tick} raise
+    [Invalid_argument].  Idempotent — a second [close] returns [[]].
+    Guarantees no entry handed to {!submit} is silently dropped at
+    shutdown. *)
+
 val pending : t -> int
 val flushes : t -> int
 (** Batched commits performed over this batcher's lifetime. *)

@@ -169,6 +169,8 @@ let verify_with_profile t ~pub digest signature =
   Crypto_profile.verify t.cfg.crypto t.clock ~pub digest signature
 
 let size t = t.count
+let store_healthy t = Stream_store.healthy t.store
+let backing_store t = t.store
 
 let slot t jsn =
   if jsn < 0 || jsn >= t.count then

@@ -79,6 +79,17 @@ val append :
     @raise Invalid_argument if the member is unknown. *)
 
 val size : t -> int
+
+val store_healthy : t -> bool
+(** [false] once the backing {!Stream_store} has been killed by the
+    chaos hooks ({!Stream_store.Unsafe.kill}); sharded coordinators
+    probe every member ledger before sealing an epoch so a dead shard
+    refuses the seal instead of tearing it. *)
+
+val backing_store : t -> Stream_store.t
+(** The ledger's stream store — exposed for the fault-injection suite
+    ({!Stream_store.Unsafe.kill} on one shard) and storage accounting. *)
+
 val journal : t -> int -> Journal.t
 (** Journal metadata by jsn (present even after occult/purge tombstoning —
     see {!payload} for the data itself).

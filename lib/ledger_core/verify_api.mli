@@ -33,6 +33,14 @@ type outcome = {
   detail : string;
 }
 
+val cache_key : level:level -> target -> (int * string) option
+(** The memoization key [(jsn, verifier-question)] for a target, or
+    [None] for targets that must always replay (clue lineages).  The
+    verifier string pins the whole question — level, target kind and
+    auxiliary digests — so two different questions never collide.
+    Exposed for layers that key verdicts under a different trust root
+    (the sharded engine keys by super-root). *)
+
 val verify : ?cache:Verify_cache.t -> Ledger.t -> level:level -> target -> outcome
 (** With [cache], existence and receipt verdicts are memoized per
     (current commitment, jsn, question) and redundant proof replays are

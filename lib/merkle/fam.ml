@@ -69,6 +69,10 @@ let append t h =
    identical to [List.iter (append t) hs]. *)
 let append_many t hs =
   let first = t.size in
+  (* the empty batch is an explicit no-op: in particular it must not
+     roll an epoch even when the current Shrubs is exactly full *)
+  if hs = [] then first
+  else begin
   let rec split_at n acc = function
     | rest when n = 0 -> (List.rev acc, rest)
     | [] -> (List.rev acc, [])
@@ -90,6 +94,7 @@ let append_many t hs =
   in
   go hs;
   first
+  end
 
 let epoch_of_jsn t jsn =
   if jsn < 0 || jsn >= t.size then invalid_arg "Fam.epoch_of_jsn: out of range";

@@ -63,24 +63,30 @@ let append t h =
    level that order is ascending in both cases. *)
 let append_many t hs =
   let first = t.size in
-  List.iter
-    (fun h ->
-      push_node t 0 h;
-      t.size <- t.size + 1)
-    hs;
-  let rec complete l =
-    let lv = level t l in
-    let want = lv.count / 2 in
-    let have = (level t (l + 1)).count in
-    if have < want then begin
-      for j = have to want - 1 do
-        let parent = Hash.combine (get_node t l (2 * j)) (get_node t l ((2 * j) + 1)) in
-        push_node t (l + 1) parent
-      done;
-      complete (l + 1)
-    end
-  in
-  if hs <> [] then complete 0;
+  (* the empty batch is an explicit no-op: no leaf pushes, no interior
+     completion pass, state untouched *)
+  if hs <> [] then begin
+    List.iter
+      (fun h ->
+        push_node t 0 h;
+        t.size <- t.size + 1)
+      hs;
+    let rec complete l =
+      let lv = level t l in
+      let want = lv.count / 2 in
+      let have = (level t (l + 1)).count in
+      if have < want then begin
+        for j = have to want - 1 do
+          let parent =
+            Hash.combine (get_node t l (2 * j)) (get_node t l ((2 * j) + 1))
+          in
+          push_node t (l + 1) parent
+        done;
+        complete (l + 1)
+      end
+    in
+    complete 0
+  end;
   first
 
 let size t = t.size

@@ -19,11 +19,14 @@ let append t h =
   Forest.append t.forest h
 
 let append_many t hs =
-  (match capacity t with
-  | Some c when size t + List.length hs > c ->
-      invalid_arg "Shrubs.append_many: batch would overflow the tree"
-  | Some _ | None -> ());
-  Forest.append_many t.forest hs
+  if hs = [] then size t (* empty batch: no-op, no overflow check needed *)
+  else begin
+    (match capacity t with
+    | Some c when size t + List.length hs > c ->
+        invalid_arg "Shrubs.append_many: batch would overflow the tree"
+    | Some _ | None -> ());
+    Forest.append_many t.forest hs
+  end
 
 let leaf t = Forest.leaf t.forest
 let peaks t = Forest.peaks t.forest

@@ -20,7 +20,8 @@ val append : t -> Hash.t -> int
 val append_many : t -> Hash.t list -> int
 (** Batched {!append} via {!Forest.append_many}: one interior pass per
     level for the whole batch, identical resulting tree.  Returns the
-    first appended index.
+    first appended index (the pre-batch {!size} for an empty batch,
+    which is a no-op even on a full bounded tree).
     @raise Invalid_argument when the batch would overflow a bounded tree. *)
 
 val size : t -> int

@@ -60,13 +60,13 @@ type coverage = { verified_jsns : int; total_jsns : int; ratio : float }
 
 (* A jsn counts as covered when at least one Verified entry targets its
    journal or its receipt.  Degraded/Repudiated attempts never cover. *)
-let coverage ~ledger_size =
+let coverage_filtered ~keep ~ledger_size =
   let seen = Hashtbl.create (max 16 ledger_size) in
   List.iter
     (fun e ->
       match (e.outcome, e.subject) with
       | Verified, (Journal jsn | Receipt jsn)
-        when jsn >= 0 && jsn < ledger_size ->
+        when jsn >= 0 && jsn < ledger_size && keep e ->
           Hashtbl.replace seen jsn ()
       | _ -> ())
     !entries_rev;
@@ -78,6 +78,16 @@ let coverage ~ledger_size =
       (if ledger_size = 0 then 1.
        else float_of_int verified_jsns /. float_of_int ledger_size);
   }
+
+let coverage ~ledger_size = coverage_filtered ~keep:(fun _ -> true) ~ledger_size
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let coverage_where ~verifier_prefix ~ledger_size =
+  coverage_filtered ~ledger_size
+    ~keep:(fun e -> starts_with ~prefix:verifier_prefix e.verifier)
 
 let to_json_line e =
   let detail =

@@ -1,0 +1,264 @@
+open Ledger_crypto
+open Ledger_storage
+open Ledger_merkle
+open Ledger_core
+open Ledger_obs
+
+type config = { base : Ledger.config; shards : int }
+
+let default_config = { base = Ledger.default_config; shards = 4 }
+
+(* A one-shard fleet keeps the base name so every name-derived secret
+   (LSP key, member key seeds, ledger URI) matches the unsharded ledger
+   bit for bit — the N=1 differential property depends on this. *)
+let shard_name cfg i =
+  if cfg.shards = 1 then cfg.base.Ledger.name
+  else Printf.sprintf "%s/s%d" cfg.base.Ledger.name i
+
+let shard_config cfg i = { cfg.base with Ledger.name = shard_name cfg i }
+
+type shard_state = {
+  ledger : Ledger.t;
+  clock : Clock.t;
+  cache : Verify_cache.t;
+}
+
+type t = {
+  cfg : config;
+  router : Shard_router.t;
+  members : shard_state array;
+  fleet_clock : Clock.t;
+  mutable sealed_rev : Super_root.sealed list; (* newest first *)
+  mutable sealed_count : int;
+}
+
+let create ?(config = default_config) ~clock () =
+  if config.shards < 1 || config.shards > 1024 then
+    invalid_arg "Sharded_ledger.create: shards must be in [1,1024]";
+  let members =
+    Array.init config.shards (fun i ->
+        let shard_clock =
+          if config.shards = 1 then clock
+          else Clock.create ~start:(Clock.now clock) ()
+        in
+        let ledger =
+          Ledger.create ~config:(shard_config config i) ~clock:shard_clock ()
+        in
+        let cache = Verify_cache.create () in
+        Verify_cache.attach cache ledger;
+        { ledger; clock = shard_clock; cache })
+  in
+  {
+    cfg = config;
+    router = Shard_router.create ~shards:config.shards;
+    members;
+    fleet_clock = clock;
+    sealed_rev = [];
+    sealed_count = 0;
+  }
+
+let config t = t.cfg
+let router t = t.router
+let shard_count t = t.cfg.shards
+
+let member_state t i =
+  if i < 0 || i >= Array.length t.members then
+    invalid_arg
+      (Printf.sprintf "Sharded_ledger: shard %d out of range [0,%d)" i
+         (Array.length t.members));
+  t.members.(i)
+
+let shard t i = (member_state t i).ledger
+let shard_clock t i = (member_state t i).clock
+let shard_cache t i = (member_state t i).cache
+let fleet_clock t = t.fleet_clock
+
+let total_size t =
+  Array.fold_left (fun acc m -> acc + Ledger.size m.ledger) 0 t.members
+
+let new_member t ~name ~role =
+  (* seed from the base name — exactly what Ledger.new_member does on
+     the unsharded ledger — then register the same key everywhere *)
+  let priv, pub = Ecdsa.generate ~seed:(t.cfg.base.Ledger.name ^ ":" ^ name) in
+  let members =
+    Array.map
+      (fun m -> Ledger.register_member m.ledger ~name ~role pub)
+      t.members
+  in
+  (members.(0), priv)
+
+(* --- routed append --------------------------------------------------------- *)
+
+let shard_metric fmt i = Printf.sprintf fmt i
+
+let append t ~member ~priv ?(clues = []) payload =
+  let i = Shard_router.route t.router ~clues ~payload in
+  let m = member_state t i in
+  let receipt = Ledger.append m.ledger ~member ~priv ~clues payload in
+  Metrics.incr (shard_metric "shard_appends_total_s%d" i);
+  (i, receipt)
+
+let append_batch t ~member ~priv ?(seal = true) entries =
+  (* partition by owning shard, remembering each entry's submission
+     index so results come back in submission order *)
+  let buckets = Array.make (shard_count t) [] in
+  List.iteri
+    (fun pos (payload, clues) ->
+      let i = Shard_router.route t.router ~clues ~payload in
+      buckets.(i) <- (pos, payload, clues) :: buckets.(i))
+    entries;
+  let results = Array.make (List.length entries) None in
+  Array.iteri
+    (fun i bucket ->
+      match List.rev bucket with
+      | [] -> ()
+      | in_order ->
+          let m = member_state t i in
+          let receipts =
+            Ledger.append_batch m.ledger ~member ~priv ~seal
+              (List.map (fun (_, payload, clues) -> (payload, clues)) in_order)
+          in
+          Metrics.incr (shard_metric "shard_appends_total_s%d" i)
+            ~by:(List.length in_order);
+          List.iter2
+            (fun (pos, _, _) r -> results.(pos) <- Some (i, r))
+            in_order receipts)
+    buckets;
+  Array.to_list results
+  |> List.map (function
+       | Some r -> r
+       | None -> assert false (* every position was bucketed *))
+
+(* --- epoch sealing --------------------------------------------------------- *)
+
+let advance_to clock target =
+  let d = Int64.sub target (Clock.now clock) in
+  if d > 0L then Clock.advance clock d
+
+let seal_epoch t =
+  let sp = Trace.enter "super_root_seal" in
+  Trace.attr_int sp "epoch" t.sealed_count;
+  let dead = ref [] in
+  Array.iteri
+    (fun i m -> if not (Ledger.store_healthy m.ledger) then dead := i :: !dead)
+    t.members;
+  let result =
+    match List.rev !dead with
+    | i :: _ ->
+        Metrics.incr "shard_seals_refused_total";
+        Error
+          (Printf.sprintf
+             "seal refused: shard %d store unhealthy (no partial super-root)"
+             i)
+    | [] -> (
+        try
+          Array.iter (fun m -> Ledger.seal_block m.ledger) t.members;
+          (* the barrier: every clock — shards and coordinator — meets
+             at the fleet maximum *)
+          let horizon =
+            Array.fold_left
+              (fun acc m -> max acc (Clock.now m.clock))
+              (Clock.now t.fleet_clock) t.members
+          in
+          advance_to t.fleet_clock horizon;
+          Array.iter (fun m -> advance_to m.clock horizon) t.members;
+          let sealed =
+            Super_root.seal ~epoch:t.sealed_count ~at:horizon
+              (Array.map
+                 (fun m -> (Ledger.commitment m.ledger, Ledger.size m.ledger))
+                 t.members)
+          in
+          t.sealed_rev <- sealed :: t.sealed_rev;
+          t.sealed_count <- t.sealed_count + 1;
+          Metrics.incr "shard_epochs_sealed_total";
+          Ok sealed
+        with Sys_error msg ->
+          Metrics.incr "shard_seals_refused_total";
+          Error (Printf.sprintf "seal refused: %s (no partial super-root)" msg))
+  in
+  Trace.exit sp;
+  result
+
+let epochs t = List.rev t.sealed_rev
+let latest t = match t.sealed_rev with [] -> None | s :: _ -> Some s
+
+let epoch t e =
+  List.find_opt (fun (s : Super_root.sealed) -> s.Super_root.epoch = e)
+    t.sealed_rev
+
+let super_digest t = Option.map Super_root.commitment (latest t)
+
+let anchor_epoch t pool =
+  match latest t with
+  | None -> invalid_arg "Sharded_ledger.anchor_epoch: no sealed epoch"
+  | Some sealed ->
+      Ledger_timenotary.Tsa.pool_endorse pool (Super_root.commitment sealed)
+
+(* --- cross-shard proofs ---------------------------------------------------- *)
+
+type sharded_proof = {
+  shard : int;
+  jsn : int;
+  fam : Fam.proof;
+  inclusion : Super_root.inclusion;
+}
+
+let prove t ~shard:i ~jsn =
+  let m = member_state t i in
+  match latest t with
+  | None -> Error "no sealed epoch: seal_epoch before proving"
+  | Some sealed ->
+      if not (Hash.equal (Ledger.commitment m.ledger) sealed.Super_root.shard_roots.(i))
+      then
+        Error
+          (Printf.sprintf
+             "shard %d has committed past epoch %d's sealed root; reseal" i
+             sealed.Super_root.epoch)
+      else if jsn < 0 || jsn >= Ledger.size m.ledger then
+        Error (Printf.sprintf "jsn %d out of range on shard %d" jsn i)
+      else
+        Ok
+          {
+            shard = i;
+            jsn;
+            fam = Ledger.get_proof m.ledger jsn;
+            inclusion = Super_root.prove sealed ~shard:i;
+          }
+
+let verify_proof t ~super ?payload_digest proof =
+  proof.inclusion.Super_root.shard = proof.shard
+  && Super_root.verify ~super proof.inclusion
+  &&
+  let m = member_state t proof.shard in
+  proof.jsn >= 0
+  && proof.jsn < Ledger.size m.ledger
+  &&
+  let leaf = Ledger.tx_hash_of m.ledger proof.jsn in
+  Fam.verify ~commitment:proof.inclusion.Super_root.shard_root ~leaf proof.fam
+  &&
+  match payload_digest with
+  | None -> true
+  | Some d -> (
+      match Ledger.payload m.ledger proof.jsn with
+      | Some p -> Hash.equal (Hash.digest_bytes p) d
+      | None -> false)
+
+let w_sharded_proof w p =
+  Wire.w_int w p.shard;
+  Wire.w_int w p.jsn;
+  Proof_codec.w_fam_proof w p.fam;
+  Super_root.w_inclusion w p.inclusion
+
+let r_sharded_proof r =
+  let shard = Wire.r_int r in
+  let jsn = Wire.r_int r in
+  let fam = Proof_codec.r_fam_proof r in
+  let inclusion = Super_root.r_inclusion r in
+  { shard; jsn; fam; inclusion }
+
+let encode_sharded_proof p =
+  let w = Wire.writer () in
+  w_sharded_proof w p;
+  Wire.contents w
+
+let decode_sharded_proof b = Wire.decode b r_sharded_proof

@@ -1,0 +1,144 @@
+(** A fleet of ledger shards under one epoch super-root.
+
+    N independent {!Ledger_core.Ledger} instances — each with its own
+    fam accumulator, CM-Tree, stream store and batched commit pipeline —
+    are coordinated behind the {!Shard_router} placement function.  At
+    epoch boundaries {!seal_epoch} seals every shard's trailing block
+    and commits the N shard roots into one {!Super_root.sealed}, so a
+    single client-held digest (and a single time-notary anchor) covers
+    the whole fleet.
+
+    {b Degenerate fleet.}  With [shards = 1] the single shard {e is} an
+    unsharded ledger: it keeps the base config name (so member keys, the
+    LSP key and the ledger URI derive identically) and shares the
+    caller's clock, making the committed history byte-identical to a
+    plain [Ledger.t] driven with the same operations — the differential
+    property the test suite pins.
+
+    {b Cost model.}  With [shards > 1] each shard runs on its own
+    simulated clock (forked from the coordinator's at creation);
+    appends charge only the owning shard, and {!seal_epoch} is the
+    barrier that advances every clock to the fleet maximum.  Fleet
+    makespan is therefore the slowest shard's time, which is what
+    [bench_shard] measures as shard count scales. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_merkle
+open Ledger_core
+
+type config = {
+  base : Ledger.config;  (** per-shard ledger parameters *)
+  shards : int;  (** fleet width, 1..1024 *)
+}
+
+val default_config : config
+(** [Ledger.default_config] with 4 shards. *)
+
+val shard_name : config -> int -> string
+(** [base.name] for a one-shard fleet; ["<base>/s<i>"] otherwise. *)
+
+val shard_config : config -> int -> Ledger.config
+(** The full per-shard ledger config (used by replicas to rebuild a
+    shard with matching LSP key derivation and block geometry). *)
+
+type t
+
+val create : ?config:config -> clock:Clock.t -> unit -> t
+(** [clock] is the coordinator (fleet) clock.  A one-shard fleet shares
+    it with the shard; larger fleets fork one clock per shard from its
+    current reading. *)
+
+val config : t -> config
+val router : t -> Shard_router.t
+val shard_count : t -> int
+
+val shard : t -> int -> Ledger.t
+(** @raise Invalid_argument if out of range. *)
+
+val shard_clock : t -> int -> Clock.t
+val shard_cache : t -> int -> Verify_cache.t
+(** The shard's verdict cache, already {!Verify_cache.attach}ed to the
+    shard's mutation feed: purge/occult on one shard drops only that
+    shard's verdicts. *)
+
+val fleet_clock : t -> Clock.t
+val total_size : t -> int
+(** Sum of shard sizes. *)
+
+val new_member :
+  t -> name:string -> role:Roles.role -> Roles.member * Ecdsa.private_key
+(** One keypair (seeded from the {e base} name, as the unsharded ledger
+    would) registered on every shard, so a client can append wherever
+    the router sends it. *)
+
+(** {1 Routed append} *)
+
+val append :
+  t ->
+  member:Roles.member ->
+  priv:Ecdsa.private_key ->
+  ?clues:string list ->
+  bytes ->
+  int * Receipt.t
+(** Route by {!Shard_router.route} and append to the owning shard;
+    returns [(shard, receipt)].  The receipt's [jsn] is shard-local. *)
+
+val append_batch :
+  t ->
+  member:Roles.member ->
+  priv:Ecdsa.private_key ->
+  ?seal:bool ->
+  (bytes * string list) list ->
+  (int * Receipt.t) list
+(** Partition a batch by owning shard (preserving submission order
+    within each shard) and commit one amortized {!Ledger.append_batch}
+    per shard.  Results are in submission order. *)
+
+(** {1 Epoch sealing} *)
+
+val seal_epoch : t -> (Super_root.sealed, string) result
+(** Seal every shard's trailing block, synchronize the fleet clocks and
+    commit the epoch super-root.  {e All-or-nothing}: every shard's
+    store is probed first and any dead shard ([not Ledger.store_healthy])
+    refuses the whole seal with an error naming the shard — no partial
+    super-root is ever recorded. *)
+
+val epochs : t -> Super_root.sealed list
+(** Oldest first. *)
+
+val latest : t -> Super_root.sealed option
+val epoch : t -> int -> Super_root.sealed option
+val super_digest : t -> Hash.t option
+(** {!Super_root.commitment} of the latest sealed epoch. *)
+
+val anchor_epoch : t -> Ledger_timenotary.Tsa.pool -> Ledger_timenotary.Tsa.token
+(** One TSA endorsement covers the fleet: the token signs the latest
+    epoch's {!Super_root.commitment}.
+    @raise Invalid_argument when no epoch has been sealed. *)
+
+(** {1 Cross-shard proofs} *)
+
+type sharded_proof = {
+  shard : int;
+  jsn : int;  (** shard-local journal sequence number *)
+  fam : Fam.proof;  (** journal → shard commitment *)
+  inclusion : Super_root.inclusion;  (** shard commitment → super-root *)
+}
+
+val prove : t -> shard:int -> jsn:int -> (sharded_proof, string) result
+(** Compose the two hops against the latest sealed epoch.  Refused when
+    no epoch is sealed, or when the shard has committed past its sealed
+    root (the proof would dangle) — reseal and retry. *)
+
+val verify_proof :
+  t -> super:Hash.t -> ?payload_digest:Hash.t -> sharded_proof -> bool
+(** Client-level replay against a trusted super-root digest: the fam
+    proof must chain the journal's retained leaf to the inclusion's
+    shard root, and the inclusion must chain that root to [super].
+    With [payload_digest], the stored payload must still match. *)
+
+val w_sharded_proof : Wire.writer -> sharded_proof -> unit
+val r_sharded_proof : Wire.reader -> sharded_proof
+val encode_sharded_proof : sharded_proof -> bytes
+val decode_sharded_proof : bytes -> sharded_proof option

@@ -1,0 +1,56 @@
+(** Fleet replication: pull every shard independently, resume per shard,
+    and validate the fleet against the announced epoch super-root.
+
+    Each shard is pulled through the self-healing
+    {!Ledger_core.Replica.pull_verbose} over a per-shard sub-transport
+    (shard-local requests wrapped in {!Sharded_service.request.To_shard}
+    envelopes), staged in its own scratch subdirectory — so an
+    interrupted fleet pull resumes shard by shard from each shard's last
+    intact journal, and one flaky shard never restarts the others.
+
+    After the pulls, the announced latest super-root (if any) is checked
+    strictly: every replica's commitment and size must equal that
+    shard's sealed root, and the recomputed Merkle root over the sealed
+    leaves must reproduce the announced one.  A fleet that fails this is
+    refused, not returned. *)
+
+open Ledger_storage
+open Ledger_core
+
+type fleet = {
+  name : string;  (** base ledger name announced by the service *)
+  shards : Ledger.t array;  (** locally verified replica per shard *)
+  super : Super_root.sealed option;
+      (** the latest sealed epoch announced by the service, already
+          validated against every replica *)
+  stats : Replica.stats array;  (** per-shard transfer statistics *)
+}
+
+type error =
+  | Topology of string  (** topology discovery failed or mismatched *)
+  | Shard of { shard : int; error : Replica.error }
+      (** one shard's pull failed (earlier shards' stages survive) *)
+  | Super_root_mismatch of string
+      (** the pulled fleet does not reproduce the announced super-root *)
+
+val error_to_string : error -> string
+
+val shard_transport : Transport.t -> int -> Transport.t
+(** Wrap a fleet transport into a shard-local one: requests travel in
+    [To_shard] envelopes and [From_shard] frames are unwrapped.  A
+    non-envelope response is passed through raw (so transport-level
+    failures keep their retry semantics). *)
+
+val pull_all :
+  transport:Transport.t ->
+  ?policy:Transport.policy ->
+  ?config:Sharded_ledger.config ->
+  ?resume:bool ->
+  clock:Clock.t ->
+  scratch_dir:string ->
+  unit ->
+  (fleet, error) result
+(** [transport] speaks {!Sharded_service}.  The shard count and base
+    name come from [Get_topology]; when [config] is given its geometry
+    must agree (checked).  [scratch_dir/shard-<i>] stages shard [i];
+    defaults to {!Transport.default_policy} and [~resume:true]. *)

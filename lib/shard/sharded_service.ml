@@ -1,0 +1,217 @@
+open Ledger_crypto
+open Ledger_core
+open Ledger_obs
+
+type request =
+  | To_shard of { shard : int; inner : bytes }
+  | Routed_append of { inner : bytes }
+  | Get_topology
+  | Seal_epoch
+  | Get_super_root of { epoch : int option }
+  | Get_sharded_proof of { shard : int; jsn : int }
+
+type response =
+  | From_shard of { shard : int; inner : bytes }
+  | Topology_r of { name : string; shards : int }
+  | Sealed_r of Super_root.sealed
+  | Super_root_r of Super_root.sealed option
+  | Sharded_proof_r of Sharded_ledger.sharded_proof
+  | Error_r of string
+
+let encode_request req =
+  let w = Wire.writer () in
+  (match req with
+  | To_shard { shard; inner } ->
+      Wire.w_u8 w 1;
+      Wire.w_int w shard;
+      Wire.w_bytes w inner
+  | Routed_append { inner } ->
+      Wire.w_u8 w 2;
+      Wire.w_bytes w inner
+  | Get_topology -> Wire.w_u8 w 3
+  | Seal_epoch -> Wire.w_u8 w 4
+  | Get_super_root { epoch } ->
+      Wire.w_u8 w 5;
+      Wire.w_option w (Wire.w_int w) epoch
+  | Get_sharded_proof { shard; jsn } ->
+      Wire.w_u8 w 6;
+      Wire.w_int w shard;
+      Wire.w_int w jsn);
+  Wire.contents w
+
+let decode_request b =
+  Wire.decode b (fun r ->
+      match Wire.r_u8 r with
+      | 1 ->
+          let shard = Wire.r_int r in
+          let inner = Wire.r_bytes r in
+          To_shard { shard; inner }
+      | 2 -> Routed_append { inner = Wire.r_bytes r }
+      | 3 -> Get_topology
+      | 4 -> Seal_epoch
+      | 5 -> Get_super_root { epoch = Wire.r_option r (fun () -> Wire.r_int r) }
+      | 6 ->
+          let shard = Wire.r_int r in
+          let jsn = Wire.r_int r in
+          Get_sharded_proof { shard; jsn }
+      | _ -> raise Wire.Corrupt)
+
+let encode_response resp =
+  let w = Wire.writer () in
+  (match resp with
+  | Error_r msg ->
+      Wire.w_u8 w 0;
+      Wire.w_string w msg
+  | From_shard { shard; inner } ->
+      Wire.w_u8 w 1;
+      Wire.w_int w shard;
+      Wire.w_bytes w inner
+  | Topology_r { name; shards } ->
+      Wire.w_u8 w 2;
+      Wire.w_string w name;
+      Wire.w_int w shards
+  | Sealed_r sealed ->
+      Wire.w_u8 w 3;
+      Super_root.w_sealed w sealed
+  | Super_root_r sealed ->
+      Wire.w_u8 w 4;
+      Wire.w_option w (Super_root.w_sealed w) sealed
+  | Sharded_proof_r proof ->
+      Wire.w_u8 w 5;
+      Sharded_ledger.w_sharded_proof w proof);
+  Wire.contents w
+
+let decode_response b =
+  Wire.decode b (fun r ->
+      match Wire.r_u8 r with
+      | 0 -> Error_r (Wire.r_string r)
+      | 1 ->
+          let shard = Wire.r_int r in
+          let inner = Wire.r_bytes r in
+          From_shard { shard; inner }
+      | 2 ->
+          let name = Wire.r_string r in
+          let shards = Wire.r_int r in
+          Topology_r { name; shards }
+      | 3 -> Sealed_r (Super_root.r_sealed r)
+      | 4 ->
+          Super_root_r (Wire.r_option r (fun () -> Super_root.r_sealed r))
+      | 5 -> Sharded_proof_r (Sharded_ledger.r_sharded_proof r)
+      | _ -> raise Wire.Corrupt)
+
+(* The owning shard of an encoded append request, by the public
+   placement function.  A batch must be single-shard on this wire. *)
+let route_inner t inner =
+  match Service.decode_request inner with
+  | Some (Service.Append { payload; clues; _ }) ->
+      Ok (Shard_router.route (Sharded_ledger.router t) ~clues ~payload)
+  | Some (Service.Append_batch { entries; _ }) -> (
+      let shards =
+        List.map
+          (fun (payload, clues, _, _, _) ->
+            Shard_router.route (Sharded_ledger.router t) ~clues ~payload)
+          entries
+      in
+      match shards with
+      | [] -> Error "routed append: empty batch"
+      | s :: rest ->
+          if List.for_all (( = ) s) rest then Ok s
+          else Error "routed append: batch spans shards (split per shard)")
+  | Some _ -> Error "routed append: not an append request"
+  | None -> Error "routed append: malformed inner request"
+
+let dispatch t = function
+  | To_shard { shard; inner } ->
+      if shard < 0 || shard >= Sharded_ledger.shard_count t then
+        Error_r (Printf.sprintf "no such shard %d" shard)
+      else
+        From_shard
+          { shard; inner = Service.handle (Sharded_ledger.shard t shard) inner }
+  | Routed_append { inner } -> (
+      match route_inner t inner with
+      | Error msg -> Error_r msg
+      | Ok shard ->
+          From_shard
+            { shard;
+              inner = Service.handle (Sharded_ledger.shard t shard) inner })
+  | Get_topology ->
+      Topology_r
+        {
+          name = (Sharded_ledger.config t).Sharded_ledger.base.Ledger.name;
+          shards = Sharded_ledger.shard_count t;
+        }
+  | Seal_epoch -> (
+      match Sharded_ledger.seal_epoch t with
+      | Ok sealed -> Sealed_r sealed
+      | Error msg -> Error_r msg)
+  | Get_super_root { epoch } -> (
+      match epoch with
+      | None -> Super_root_r (Sharded_ledger.latest t)
+      | Some e -> Super_root_r (Sharded_ledger.epoch t e))
+  | Get_sharded_proof { shard; jsn } -> (
+      if shard < 0 || shard >= Sharded_ledger.shard_count t then
+        Error_r (Printf.sprintf "no such shard %d" shard)
+      else
+        match Sharded_ledger.prove t ~shard ~jsn with
+        | Ok proof -> Sharded_proof_r proof
+        | Error msg -> Error_r msg)
+
+let handle t b =
+  Metrics.incr "sharded_service_requests_total";
+  let resp =
+    match decode_request b with
+    | None -> Error_r "malformed sharded request"
+    | Some req -> (
+        try dispatch t req
+        with Invalid_argument msg | Failure msg | Sys_error msg -> Error_r msg)
+  in
+  (match resp with
+  | Error_r _ -> Metrics.incr "sharded_service_errors_total"
+  | _ -> ());
+  encode_response resp
+
+module Client = struct
+  type t = {
+    router : Shard_router.t;
+    per_shard : Service.Client.t array;
+  }
+
+  let create ~config ~member ~priv () =
+    let shards = config.Sharded_ledger.shards in
+    {
+      router = Shard_router.create ~shards;
+      per_shard =
+        Array.init shards (fun i ->
+            Service.Client.create
+              ~ledger_uri:("ledger://" ^ Sharded_ledger.shard_name config i)
+              ~member ~priv ());
+    }
+
+  let shards t = Array.length t.per_shard
+  let route t ~clues ~payload = Shard_router.route t.router ~clues ~payload
+
+  let make_append t ?(clues = []) ~client_ts payload =
+    let shard = route t ~clues ~payload in
+    let inner =
+      Service.Client.make_append t.per_shard.(shard) ~clues ~client_ts payload
+    in
+    (shard, encode_request (Routed_append { inner }))
+
+  let make_to_shard ~shard inner = encode_request (To_shard { shard; inner })
+  let make_get_topology () = encode_request Get_topology
+  let make_seal_epoch () = encode_request Seal_epoch
+
+  let make_get_super_root ?epoch () =
+    encode_request (Get_super_root { epoch })
+
+  let make_get_sharded_proof ~shard ~jsn =
+    encode_request (Get_sharded_proof { shard; jsn })
+
+  let parse = decode_response
+
+  let parse_from_shard b =
+    match decode_response b with
+    | Some (From_shard { shard; inner }) ->
+        Option.map (fun r -> (shard, r)) (Service.Client.parse inner)
+    | _ -> None
+end

@@ -1,0 +1,45 @@
+(** The unified Verify API, extended over a sharded fleet.
+
+    Re-exports {!Ledger_core.Verify_api} (same [level], [target] and
+    [outcome] types, so [open Ledger_shard] after [open Ledger_core]
+    shadows it with a superset) and adds {!verify_sharded}: route the
+    target to its owning shard, run the shard-local verification, and —
+    when a sealed epoch covers the shard's state — compose it with the
+    shard-inclusion-in-super-root check so the verdict is pinned to the
+    single fleet digest.
+
+    Verdicts are memoized in the owning shard's {!Verify_cache} keyed by
+    the epoch {e super-root} (falling back to the shard commitment while
+    no seal covers the state), so one shard's purge/occult invalidates
+    only that shard's cached verdicts. *)
+
+open Ledger_crypto
+
+include module type of struct
+  include Ledger_core.Verify_api
+end
+
+type sharded_outcome = {
+  shard : int;  (** owning shard the target was routed to *)
+  outcome : outcome;  (** the composed verdict *)
+  super : Hash.t option;
+      (** the super-root digest the verdict was pinned to, when a sealed
+          epoch covered the shard's state at verification time *)
+}
+
+val verify_sharded :
+  ?use_cache:bool ->
+  Sharded_ledger.t ->
+  level:level ->
+  ?shard:int ->
+  target ->
+  sharded_outcome
+(** [~shard] names the owning shard for shard-local targets
+    ([Existence], [Receipt_check] — their jsns are shard-local); clue
+    targets may omit it and are routed by {!Shard_router.route_clue}.
+    [use_cache] (default true) consults the owning shard's attached
+    cache.  At [Client] level with a sealed epoch covering the shard,
+    the shard-local proof replay is composed with
+    {!Super_root.verify} — a journal only verifies if its shard's
+    sealed root is included in the epoch super-root.
+    @raise Invalid_argument when a shard-local target omits [~shard]. *)

@@ -7,9 +7,14 @@ type stream = {
   mutable records : record array;
   mutable count : int;
   mutable live_bytes : int;
+  killed : bool ref;  (* shared with the owning store, see {!Unsafe.kill} *)
 }
 
-type t = { dir : string option; streams : (string, stream) Hashtbl.t }
+type t = {
+  dir : string option;
+  streams : (string, stream) Hashtbl.t;
+  killed : bool ref;
+}
 
 type read_error =
   | Out_of_range of { stream : string; index : int; length : int }
@@ -33,14 +38,28 @@ let create ?dir () =
   (match dir with
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
   | Some _ | None -> ());
-  { dir; streams = Hashtbl.create 16 }
+  { dir; streams = Hashtbl.create 16; killed = ref false }
+
+let healthy t = not !(t.killed)
+
+let check_alive killed =
+  if !killed then raise (Sys_error "stream store killed")
+
+let stream_alive (s : stream) = check_alive s.killed
+
+module Unsafe = struct
+  let kill t =
+    t.killed := true;
+    Ledger_obs.Metrics.incr "storage_killed_total"
+end
 
 let stream t name =
+  check_alive t.killed;
   match Hashtbl.find_opt t.streams name with
   | Some s -> s
   | None ->
       let s = { name; records = Array.make 64 { payload = None }; count = 0;
-                live_bytes = 0 } in
+                live_bytes = 0; killed = t.killed } in
       Hashtbl.replace t.streams name s;
       s
 
@@ -54,6 +73,7 @@ let ensure_capacity s =
   end
 
 let append s payload =
+  stream_alive s;
   ensure_capacity s;
   let i = s.count in
   s.records.(i) <- { payload = Some (Bytes.copy payload) };
@@ -64,6 +84,7 @@ let append s payload =
   i
 
 let append_many s payloads =
+  stream_alive s;
   let first = s.count in
   List.iter
     (fun payload ->
@@ -92,6 +113,7 @@ let charge latency bytes =
   | Some (model, clock) -> Latency_model.charge_read model clock ~bytes
 
 let read_result ?latency s i =
+  stream_alive s;
   if i < 0 || i >= s.count then
     Error (Out_of_range { stream = s.name; index = i; length = s.count })
   else
@@ -102,6 +124,7 @@ let read_result ?latency s i =
         Ok (Bytes.copy p)
 
 let read_opt ?latency s i =
+  stream_alive s;
   check_range s i;
   match s.records.(i).payload with
   | None -> None
@@ -175,6 +198,7 @@ let unframe_record frame =
 let log_path dir name = Filename.concat dir (name ^ ".log")
 
 let persist t =
+  check_alive t.killed;
   match t.dir with
   | None -> ()
   | Some dir ->

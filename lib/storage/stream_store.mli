@@ -41,6 +41,20 @@ val create : ?dir:string -> unit -> t
 (** In-memory store; with [dir], {!persist} writes each stream to
     [dir/<stream>.log] so content survives the process. *)
 
+val healthy : t -> bool
+(** [false] once {!Unsafe.kill} has been applied; higher layers probe
+    this before committing work that must not be torn across stores
+    (e.g. an epoch super-root seal over many shards). *)
+
+(** Chaos hooks for the fault-injection suite. *)
+module Unsafe : sig
+  val kill : t -> unit
+  (** Simulate a dead storage node: every subsequent append/read/persist
+      on the store (or on any of its stream handles) raises [Sys_error],
+      and {!healthy} reports [false].  Irreversible for the lifetime of
+      the store. *)
+end
+
 val stream : t -> string -> stream
 (** Get or create the named stream. *)
 

@@ -24,4 +24,5 @@ let () =
       ("replica", Test_replica.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("shard", Test_shard.suite);
     ]

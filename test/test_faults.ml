@@ -471,6 +471,58 @@ let test_compromised_is_sticky () =
   Alcotest.(check string) "still compromised" "compromised"
     (Ledger_client.status_to_string (Ledger_client.status client))
 
+(* A shard's store dying mid-epoch must refuse the super-root seal
+   outright — never record a torn epoch covering a dead shard. *)
+let test_dead_shard_refuses_super_root () =
+  let module SL = Ledger_shard.Sharded_ledger in
+  let clock = Clock.create () in
+  let config =
+    {
+      SL.base =
+        { Ledger.default_config with name = "chaos-fleet"; block_size = 4;
+          fam_delta = 3; crypto = Crypto_profile.default_simulated };
+      shards = 3;
+    }
+  in
+  let fleet = SL.create ~config ~clock () in
+  let user, key = SL.new_member fleet ~name:"cuser" ~role:Roles.Regular_user in
+  let append i =
+    ignore
+      (SL.append fleet ~member:user ~priv:key
+         ~clues:[ "fc" ^ string_of_int i ]
+         (Bytes.of_string (Printf.sprintf "chaos %d" i)))
+  in
+  for i = 0 to 11 do append i done;
+  (match SL.seal_epoch fleet with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("healthy seal refused: " ^ e));
+  Alcotest.(check int) "first epoch sealed" 1 (List.length (SL.epochs fleet));
+  (* new entries land, then one shard's storage node dies mid-epoch *)
+  for i = 12 to 23 do append i done;
+  Stream_store.Unsafe.kill (Ledger.backing_store (SL.shard fleet 1));
+  Alcotest.(check bool) "shard 1 store dead" false
+    (Ledger.store_healthy (SL.shard fleet 1));
+  Alcotest.(check bool) "shard 0 store alive" true
+    (Ledger.store_healthy (SL.shard fleet 0));
+  (match SL.seal_epoch fleet with
+  | Ok _ -> Alcotest.fail "sealed a super-root over a dead shard"
+  | Error msg ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "refusal names the dead shard" true
+        (contains msg "shard 1"));
+  (* refused, not torn: the epoch list still ends at the healthy seal *)
+  Alcotest.(check int) "no partial epoch recorded" 1
+    (List.length (SL.epochs fleet));
+  match SL.latest fleet with
+  | Some s ->
+      Alcotest.(check int) "latest epoch unchanged" 0
+        s.Ledger_shard.Super_root.epoch
+  | None -> Alcotest.fail "healthy epoch lost"
+
 let suite =
   [
     tc "storage chaos schedules" `Slow test_storage_chaos_schedules;
@@ -482,4 +534,6 @@ let suite =
     tc "persistent garbling refused" `Slow test_persistent_garbling_refused;
     tc "client degrades then recovers" `Quick test_client_degrades_then_recovers;
     tc "compromised is sticky" `Quick test_compromised_is_sticky;
+    tc "dead shard refuses super-root seal" `Quick
+      test_dead_shard_refuses_super_root;
   ]

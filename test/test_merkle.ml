@@ -574,9 +574,55 @@ let prop_fam_accumulator_same_leaf_order =
         (fun i -> Hash.equal (Accumulator.leaf acc i) (Fam.leaf fam i))
         (List.init n Fun.id))
 
+(* --- empty batches ------------------------------------------------------- *)
+
+(* append_many [] is a contract, not an accident: no state change, no
+   overflow check, no epoch roll — even at the structure's boundaries. *)
+let test_forest_empty_batch () =
+  let f = Forest.create () in
+  ignore (Forest.append_many f [ leaf 0; leaf 1; leaf 2 ]);
+  let before = Forest.peaks f in
+  Alcotest.(check int) "returns current size" 3 (Forest.append_many f []);
+  Alcotest.(check int) "size untouched" 3 (Forest.size f);
+  Alcotest.(check bool) "peaks untouched" true
+    (Proof.node_set_equal before (Forest.peaks f))
+
+let test_shrubs_empty_batch_on_full_tree () =
+  let s = Shrubs.create ~height:2 () in
+  ignore (Shrubs.append_many s [ leaf 0; leaf 1; leaf 2; leaf 3 ]);
+  Alcotest.(check bool) "tree is full" true (Shrubs.is_full s);
+  (* a non-empty batch would overflow; the empty one must not even look *)
+  Alcotest.(check int) "empty batch is a no-op" 4 (Shrubs.append_many s []);
+  Alcotest.check_raises "one more leaf overflows"
+    (Invalid_argument "Shrubs.append_many: batch would overflow the tree")
+    (fun () -> ignore (Shrubs.append_many s [ leaf 4 ]))
+
+let test_fam_empty_batch_at_epoch_boundary () =
+  let f = Fam.create ~delta:2 in
+  (* fill the first epoch exactly (capacity 2^delta) *)
+  ignore (Fam.append_many f [ leaf 0; leaf 1; leaf 2; leaf 3 ]);
+  let epochs = Fam.epoch_count f in
+  let commitment = Fam.commitment f in
+  Alcotest.(check int) "returns current size" 4 (Fam.append_many f []);
+  Alcotest.(check int) "no epoch rolled" epochs (Fam.epoch_count f);
+  Alcotest.(check bool) "commitment untouched" true
+    (Hash.equal commitment (Fam.commitment f));
+  (* the next real append does roll, proving the boundary was live *)
+  ignore (Fam.append f (leaf 4));
+  Alcotest.(check int) "boundary was real" (epochs + 1) (Fam.epoch_count f)
+
+let empty_batch_suite =
+  [
+    tc "forest empty batch is a no-op" `Quick test_forest_empty_batch;
+    tc "shrubs empty batch skips overflow check" `Quick
+      test_shrubs_empty_batch_on_full_tree;
+    tc "fam empty batch does not roll the epoch" `Quick
+      test_fam_empty_batch_at_epoch_boundary;
+  ]
+
 let agreement_suite =
   [ qcheck prop_models_agree_on_membership; qcheck prop_fam_accumulator_same_leaf_order ]
 
 let suite =
   base_suite @ bamt_suite @ consistency_suite @ fam_extension_suite
-  @ agreement_suite
+  @ empty_batch_suite @ agreement_suite

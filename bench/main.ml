@@ -18,7 +18,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|all]\n\
+    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|all]\n\
     \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
@@ -82,6 +82,7 @@ let () =
     | "micro" -> Bench_micro.run ~smoke ?json:(json "micro") ()
     | "batch" -> Bench_batch.run ~smoke ?json:(json "batch") ()
     | "shard" | "shards" -> Bench_shard.run ~smoke ?json:(json "shard") ()
+    | "par" | "multicore" -> Bench_par.run ~smoke ?json:(json "par") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
@@ -94,7 +95,8 @@ let () =
         Bench_storage.run ();
         Bench_proof_size.run ();
         Bench_batch.run ~smoke ();
-        Bench_shard.run ~smoke ()
+        Bench_shard.run ~smoke ();
+        Bench_par.run ~smoke ()
     | other ->
         Printf.printf "unknown target: %s\n" other;
         usage ()

@@ -98,7 +98,12 @@ let run_demo_sharded journals batch shards real_crypto =
       Printf.printf "per-shard audits: %s\n" (if audits_ok then "ok" else "FAILED");
       if all_verified && audits_ok then 0 else 1
 
-let run_demo journals batch shards tamper real_crypto =
+let run_demo journals batch shards tamper real_crypto domains =
+  (match domains with
+  | None -> ()
+  | Some n ->
+      Ledger_par.Domain_pool.set_default
+        (Ledger_par.Domain_pool.create ~domains:n ()));
   if shards > 1 then run_demo_sharded journals batch shards real_crypto
   else
   let clock = Clock.create () in
@@ -187,9 +192,18 @@ let demo_cmd =
     Arg.(value & flag
          & info [ "real-crypto" ] ~doc:"Use real ECDSA instead of the simulated profile.")
   in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Size the process-wide domain pool to $(docv) (caller \
+                   included) for parallel hashing, signature checking and \
+                   shard fan-out.  Defaults to \\$LEDGERDB_DOMAINS or the \
+                   host's recommended domain count; the committed history \
+                   is byte-identical at every setting.")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Build a ledger, optionally tamper, run a Dasein audit")
-    Term.(const run_demo $ journals $ batch $ shards $ tamper $ real)
+    Term.(const run_demo $ journals $ batch $ shards $ tamper $ real $ domains)
 
 (* --- attack ----------------------------------------------------------------- *)
 

@@ -23,14 +23,25 @@ let of_hex s =
   done;
   b
 
+let hex_digits = "0123456789abcdef"
+
 let to_hex t =
-  let buf = Buffer.create 64 in
-  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
-  Buffer.contents buf
+  let n = Bytes.length t in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get t i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1)
+      (String.unsafe_get hex_digits (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 
 let equal = Bytes.equal
 let compare = Bytes.compare
-let hash t = Hashtbl.hash (Bytes.to_string t)
+
+(* unsafe_to_string: Hashtbl.hash neither mutates nor retains its
+   argument, so the copy the safe conversion makes buys nothing *)
+let hash t = Hashtbl.hash (Bytes.unsafe_to_string t)
 let zero = Bytes.make size '\000'
 let digest_bytes b = Sha256.digest_bytes b
 let digest_string s = Sha256.digest_string s

@@ -36,8 +36,9 @@ let init () =
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-let compress ctx block off =
-  let w = ctx.w in
+(* Works on an explicit state array so [finalize] can compress a copy of
+   the running state without disturbing the context. *)
+let compress_state h w block off =
   for i = 0 to 15 do
     let j = off + (i * 4) in
     w.(i) <-
@@ -55,7 +56,6 @@ let compress ctx block off =
     in
     w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
   done;
-  let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
@@ -82,6 +82,8 @@ let compress ctx block off =
   h.(5) <- (h.(5) + !f) land mask32;
   h.(6) <- (h.(6) + !g) land mask32;
   h.(7) <- (h.(7) + !hh) land mask32
+
+let compress ctx block off = compress_state ctx.h ctx.w block off
 
 let update_sub ctx b off len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
@@ -113,27 +115,43 @@ let update_sub ctx b off len =
 let update ctx b = update_sub ctx b 0 (Bytes.length b)
 let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
 
+(* Non-destructive finalize: the padding blocks are compressed into a
+   *copy* of the running state, so the context stays valid — callers can
+   keep absorbing and finalize again (running digests of a stream).
+
+   The padding itself is built in place.  Bytes of [ctx.buf] at or past
+   [buf_len] are dead storage (every later [update_sub] overwrites them
+   before reading), so the common case — fewer than 56 buffered bytes —
+   pads directly inside [ctx.buf] and allocates nothing beyond the state
+   copy and the digest, replacing the old per-call [Bytes.make] pad. *)
 let finalize ctx =
   let total_bits = ctx.total * 8 in
-  (* Append 0x80, pad with zeros, then the 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod 64 in
-    if rem = 0 then 1 else 1 + (64 - rem)
+  let bl = ctx.buf_len in
+  let h = Array.copy ctx.h in
+  let write_length b off =
+    for i = 0 to 7 do
+      Bytes.set b (off + i) (Char.chr ((total_bits lsr ((7 - i) * 8)) land 0xFF))
+    done
   in
-  let pad = Bytes.make (pad_len + 8) '\000' in
-  Bytes.set pad 0 '\x80';
-  for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
-      (Char.chr ((total_bits lsr ((7 - i) * 8)) land 0xFF))
-  done;
-  (* Bypass the total counter: padding is not message data. *)
-  let saved = ctx.total in
-  update ctx pad;
-  ctx.total <- saved;
+  if bl + 9 <= 64 then begin
+    (* one final block: 0x80, zeros, 64-bit big-endian bit length *)
+    Bytes.set ctx.buf bl '\x80';
+    Bytes.fill ctx.buf (bl + 1) (56 - (bl + 1)) '\000';
+    write_length ctx.buf 56;
+    compress_state h ctx.w ctx.buf 0
+  end
+  else begin
+    (* the length does not fit: a second, rare block carries it *)
+    Bytes.set ctx.buf bl '\x80';
+    Bytes.fill ctx.buf (bl + 1) (64 - (bl + 1)) '\000';
+    compress_state h ctx.w ctx.buf 0;
+    let last = Bytes.make 64 '\000' in
+    write_length last 56;
+    compress_state h ctx.w last 0
+  end;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
-    let v = ctx.h.(i) in
+    let v = h.(i) in
     Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xFF));
     Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xFF));
     Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));

@@ -19,7 +19,9 @@ val update_sub : ctx -> bytes -> int -> int -> unit
 val update_string : ctx -> string -> unit
 
 val finalize : ctx -> bytes
-(** Produce the 32-byte digest.  The context must not be used afterwards. *)
+(** Produce the 32-byte digest of everything absorbed so far.
+    Non-destructive: the context stays valid, so callers may keep
+    absorbing and finalize again to get running digests of a stream. *)
 
 val digest_bytes : bytes -> bytes
 (** One-shot digest of a byte buffer. *)

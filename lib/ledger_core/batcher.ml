@@ -16,17 +16,21 @@ type t = {
   member : Roles.member;
   priv : Ecdsa.private_key;
   policy : policy;
+  pool : Ledger_par.Domain_pool.t;
   mutable buffer : (bytes * string list) list; (* newest first *)
   mutable oldest_ts : int64 option; (* clock at first buffered entry *)
   mutable flushes : int;
   mutable closed : bool;
 }
 
-let create ?(policy = default_policy) ledger ~member ~priv =
+let create ?(policy = default_policy) ?pool ledger ~member ~priv =
   if policy.max_entries < 1 then invalid_arg "Batcher.create: bad max_entries";
   if policy.max_delay_us < 0L then invalid_arg "Batcher.create: bad max_delay_us";
-  { ledger; member; priv; policy; buffer = []; oldest_ts = None; flushes = 0;
-    closed = false }
+  let pool =
+    match pool with Some p -> p | None -> Ledger_par.Domain_pool.default ()
+  in
+  { ledger; member; priv; policy; pool; buffer = []; oldest_ts = None;
+    flushes = 0; closed = false }
 
 let pending t = List.length t.buffer
 let flushes t = t.flushes
@@ -40,7 +44,7 @@ let flush t =
       t.oldest_ts <- None;
       t.flushes <- t.flushes + 1;
       Metrics.incr "ledger_batcher_flushes_total";
-      Ledger.append_batch t.ledger ~member:t.member ~priv:t.priv
+      Ledger.append_batch ~pool:t.pool t.ledger ~member:t.member ~priv:t.priv
         ~seal:t.policy.seal_on_flush entries
 
 let deadline_expired t =

@@ -27,9 +27,16 @@ val default_policy : policy
 type t
 
 val create :
-  ?policy:policy -> Ledger.t -> member:Roles.member -> priv:Ecdsa.private_key -> t
+  ?policy:policy ->
+  ?pool:Ledger_par.Domain_pool.t ->
+  Ledger.t ->
+  member:Roles.member ->
+  priv:Ecdsa.private_key ->
+  t
 (** One batcher per appending member (entries are signed with the
-    member's key at flush time).
+    member's key at flush time).  [pool] (default
+    {!Ledger_par.Domain_pool.default}) feeds every flush's
+    {!Ledger.append_batch}.
     @raise Invalid_argument on a non-positive [max_entries] or negative
     [max_delay_us]. *)
 

@@ -27,10 +27,21 @@ let sign t clock ~priv ~pub digest =
       ignore priv;
       simulated_signature pub digest
 
-let verify t clock ~pub digest signature =
+(* Pure signature predicate: no clock, no mutation — safe to evaluate
+   from pooled tasks.  [verify] = [charge_verify] then [check], so the
+   sequential path's clock behaviour is unchanged. *)
+let check t ~pub digest signature =
   match t with
   | Real -> Ecdsa.verify pub digest signature
-  | Simulated { verify_us; _ } ->
-      charge clock verify_us;
+  | Simulated _ ->
       Ecdsa.signature_to_bytes (simulated_signature pub digest)
       = Ecdsa.signature_to_bytes signature
+
+let charge_verify t clock =
+  match t with
+  | Real -> ()
+  | Simulated { verify_us; _ } -> charge clock verify_us
+
+let verify t clock ~pub digest signature =
+  charge_verify t clock;
+  check t ~pub digest signature

@@ -30,3 +30,14 @@ val sign :
   Ecdsa.signature
 
 val verify : t -> Clock.t -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature -> bool
+(** Charges the simulated verify cost, then decides — exactly
+    [charge_verify] followed by [check]. *)
+
+val check : t -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature -> bool
+(** The pure half of {!verify}: decides without touching any clock, so
+    it is safe to evaluate from pooled tasks.  Callers that must keep
+    the simulated clock byte-identical to the sequential path charge
+    separately with {!charge_verify}, in submission order. *)
+
+val charge_verify : t -> Clock.t -> unit
+(** Advance the clock by the simulated verify cost ([Real]: no-op). *)

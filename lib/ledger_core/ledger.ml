@@ -12,6 +12,7 @@ module Obs = Ledger_obs.Obs
 module Metrics = Ledger_obs.Metrics
 module Trace = Ledger_obs.Trace
 module Audit_log = Ledger_obs.Audit_log
+module Domain_pool = Ledger_par.Domain_pool
 
 type config = {
   name : string;
@@ -168,6 +169,12 @@ let sign_with_profile t ~priv ~pub digest =
 let verify_with_profile t ~pub digest signature =
   Crypto_profile.verify t.cfg.crypto t.clock ~pub digest signature
 
+(* Pure check — no clock charge — for pooled batch verification; the
+   caller charges with {!Crypto_profile.charge_verify} in submission
+   order to keep the simulated clock byte-identical. *)
+let check_with_profile t ~pub digest signature =
+  Crypto_profile.check t.cfg.crypto ~pub digest signature
+
 let size t = t.count
 let store_healthy t = Stream_store.healthy t.store
 let backing_store t = t.store
@@ -304,7 +311,7 @@ let commit_journal t (j : Journal.t) =
    boundaries so every auto-seal captures the same accumulator state a
    sequential replay would have — batched and unbatched histories stay
    byte-identical (locked down by test_batch_diff). *)
-let commit_batch t journals =
+let commit_batch ?(pool = Domain_pool.sequential) t journals =
   let sp = Trace.enter "ledger.flush_batch" in
   Trace.attr_int sp "batch_size" (List.length journals);
   let rec split_at n acc = function
@@ -328,9 +335,13 @@ let commit_batch t journals =
               (List.map (fun (j : Journal.t) -> j.Journal.payload) chunk)
           in
           Trace.exit sp_persist;
-          let txs = List.map Journal.tx_hash chunk in
+          (* leaf hashing is pure per journal: fan it out, keep order *)
+          let txs =
+            Domain_pool.map_list pool ~label:"tx_hash" ~min_chunk:8
+              Journal.tx_hash chunk
+          in
           let sp_acc = Trace.enter "accumulate" in
-          ignore (Fam.append_many t.fam txs);
+          ignore (Fam.append_many ~pool t.fam txs);
           let slots =
             List.map2
               (fun (j : Journal.t) (tx, k) ->
@@ -470,7 +481,8 @@ let append_signed t ~member_id ~payload ~clues ~client_ts ~nonce ~signature =
 (* Batched append: one network round trip, one storage append, one fam
    accumulation and (with [seal]) one trailing block seal for the whole
    batch — the ingestion path behind LedgerDB's 300K+ TPS claim. *)
-let append_batch t ~member ~priv ?(seal = true) entries =
+let append_batch ?(pool = Domain_pool.default ()) t ~member ~priv
+    ?(seal = true) entries =
   (match Roles.find t.registry member.Roles.id with
   | Some _ -> ()
   | None -> invalid_arg "Ledger.append_batch: unknown member");
@@ -487,11 +499,10 @@ let append_batch t ~member ~priv ?(seal = true) entries =
         let client_sig =
           sign_with_profile t ~priv ~pub:member.Roles.pub request_hash
         in
-        if
-          not
-            (verify_with_profile t ~pub:member.Roles.pub request_hash
-               client_sig)
-        then invalid_arg "Ledger.append_batch: bad client signature";
+        (* the π_c *decision* is deferred to one pooled pass below; only
+           its clock charge stays here so server_ts is byte-identical to
+           the sequential sign-verify interleaving *)
+        Crypto_profile.charge_verify t.cfg.crypto t.clock;
         {
           Journal.jsn = t.count + i;
           kind = Journal.Normal;
@@ -507,30 +518,54 @@ let append_batch t ~member ~priv ?(seal = true) entries =
         })
       entries
   in
-  let slots = commit_batch t journals in
+  let checks =
+    Domain_pool.map_list pool ~label:"sig_check" ~min_chunk:2
+      (fun (j : Journal.t) ->
+        match j.Journal.client_sig with
+        | Some s ->
+            check_with_profile t ~pub:member.Roles.pub j.Journal.request_hash s
+        | None -> false)
+      journals
+  in
+  if List.exists not checks then
+    invalid_arg "Ledger.append_batch: bad client signature";
+  let slots = commit_batch ~pool t journals in
   if seal then seal_block t;
   List.map (make_receipt t) slots
 
 (* Remote batched append (the [Append_batch] wire request): every entry
    was signed client-side; the whole batch is validated before anything
    commits, so a bad signature rejects the batch atomically. *)
-let append_signed_batch t ~member_id entries =
+let append_signed_batch ?(pool = Domain_pool.default ()) t ~member_id entries =
   match Roles.find t.registry member_id with
   | None -> Error "append_batch: unknown member"
   | Some member ->
       Latency_model.charge_net t.cfg.latency t.clock;
-      let rec validate i acc = function
-        | [] -> Ok (List.rev acc)
-        | (payload, clues, client_ts, nonce, signature) :: rest ->
+      (* pooled pre-pass: re-derive every request digest and decide every
+         π_c purely, before any state mutation.  Clock charges and
+         journal construction stay sequential below, in submission
+         order, so accepted histories — and the clock at the moment a
+         bad entry rejects the batch — are byte-identical to the
+         sequential validation loop. *)
+      let checked =
+        Domain_pool.map_list pool ~label:"sig_check" ~min_chunk:2
+          (fun (payload, clues, client_ts, nonce, signature) ->
             let request_hash =
               Journal.request_digest ~ledger_uri:(uri t) ~kind_tag:"normal"
                 ~payload ~clues ~client_ts ~nonce
             in
-            if
-              not
-                (verify_with_profile t ~pub:member.Roles.pub request_hash
-                   signature)
-            then
+            ( request_hash,
+              check_with_profile t ~pub:member.Roles.pub request_hash signature
+            ))
+          entries
+      in
+      let rec validate i acc entries checked =
+        match (entries, checked) with
+        | [], [] -> Ok (List.rev acc)
+        | ( (payload, clues, client_ts, nonce, signature) :: rest,
+            (request_hash, ok) :: checked_rest ) ->
+            Crypto_profile.charge_verify t.cfg.crypto t.clock;
+            if not ok then
               Error
                 (Printf.sprintf "append_batch: bad client signature (entry %d)"
                    i)
@@ -550,12 +585,13 @@ let append_signed_batch t ~member_id entries =
                   cosigners = [];
                 }
               in
-              validate (i + 1) (j :: acc) rest
+              validate (i + 1) (j :: acc) rest checked_rest
+        | _ -> assert false (* same length by construction *)
       in
-      (match validate 0 [] entries with
+      (match validate 0 [] entries checked with
       | Error _ as e -> e
       | Ok journals ->
-          let slots = commit_batch t journals in
+          let slots = commit_batch ~pool t journals in
           seal_block t;
           Ok (List.map (make_receipt t) slots))
 

@@ -114,6 +114,7 @@ val seal_block : t -> unit
 (** Force-commit a partial block. *)
 
 val append_batch :
+  ?pool:Ledger_par.Domain_pool.t ->
   t ->
   member:Roles.member ->
   priv:Ecdsa.private_key ->
@@ -126,7 +127,12 @@ val append_batch :
     block seal so all receipts are final.  [~seal:false] leaves a partial
     trailing block pending — exactly the state sequential {!append}s
     would have left — for callers that keep batching.  The committed
-    history is byte-identical to appending the entries one at a time. *)
+    history is byte-identical to appending the entries one at a time.
+
+    [pool] (default {!Ledger_par.Domain_pool.default}) fans the pure
+    work — leaf hashing, fam interior hashing, π_c checks — across
+    domains; signing, clock charges and accumulation stay sequential, so
+    the history is byte-identical for any pool size (DESIGN.md §12). *)
 
 val append_signed :
   t ->
@@ -142,14 +148,17 @@ val append_signed :
     committing. *)
 
 val append_signed_batch :
+  ?pool:Ledger_par.Domain_pool.t ->
   t ->
   member_id:Hash.t ->
   (bytes * string list * int64 * int * Ecdsa.signature) list ->
   (Receipt.t list, string) result
 (** Remote batched append (the [Append_batch] wire request): each entry
     is [(payload, clues, client_ts, nonce, signature)].  Every signature
-    is validated before anything commits — a bad entry rejects the whole
-    batch atomically.  Commits through the amortized batch pipeline and
+    is validated — digests re-derived and π_c decided across [pool],
+    before any state mutation — and a bad entry rejects the whole batch
+    atomically, with the same error and simulated-clock position as the
+    sequential path.  Commits through the amortized batch pipeline and
     seals the trailing block, so all receipts are final. *)
 
 val get_receipt : t -> int -> Receipt.t

@@ -53,9 +53,74 @@ let staged_journals path =
     !n
   end
 
+(* Pre-replay π_c screen: decode every staged journal frame and check
+   its recorded client signature against the fetched membership, purely
+   (no clock) and across the pool.  This rejects a corrupted stage
+   before {!Ledger.load} starts replaying trees; journals whose signer
+   is not in the membership (LSP/system journals) and frames the codec
+   refuses are left for the loader's authoritative verdict.  Returns the
+   lowest failing jsn. *)
+let staged_sig_precheck ~pool ~crypto ~members path =
+  if not (Sys.file_exists path) then Ok ()
+  else begin
+    let pubs = Hashtbl.create 16 in
+    List.iter
+      (fun (_name, _role, pub_bytes) ->
+        match Ecdsa.public_key_of_bytes pub_bytes with
+        | Some pub -> Hashtbl.replace pubs (Ecdsa.public_key_id pub) pub
+        | None -> ())
+      members;
+    let ic = open_in_bin path in
+    let frames = ref [] in
+    (try
+       let continue = ref true in
+       while !continue do
+         match Framing.read ic with
+         | Framing.End -> continue := false
+         | Framing.Record frame when Bytes.length frame >= 32 ->
+             frames := Bytes.sub frame 32 (Bytes.length frame - 32) :: !frames
+         | Framing.Record _ | Framing.Corrupt _ | Framing.Torn _ ->
+             continue := false
+       done;
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    let encoded = Array.of_list (List.rev !frames) in
+    let first_bad = Atomic.make max_int in
+    let note jsn =
+      let rec go () =
+        let cur = Atomic.get first_bad in
+        if jsn < cur && not (Atomic.compare_and_set first_bad cur jsn) then
+          go ()
+      in
+      go ()
+    in
+    Ledger_par.Domain_pool.parallel_for pool ~label:"replica_pi_c"
+      ~min_chunk:4 ~n:(Array.length encoded) (fun i ->
+        match Journal_codec.decode encoded.(i) with
+        | None -> ()
+        | Some j -> (
+            match j.Journal.client_sig with
+            | None -> ()
+            | Some s -> (
+                match Hashtbl.find_opt pubs j.Journal.client_id with
+                | None -> ()
+                | Some pub ->
+                    if
+                      not
+                        (Crypto_profile.check crypto ~pub
+                           j.Journal.request_hash s)
+                    then note j.Journal.jsn)));
+    match Atomic.get first_bad with
+    | jsn when jsn = max_int -> Ok ()
+    | jsn ->
+        Error (Printf.sprintf "staged journal %d: bad client signature" jsn)
+  end
+
 let pull_verbose ~transport ?(policy = Transport.default_policy)
-    ?(config = Ledger.default_config) ?t_ledger ?tsa ?(resume = true) ~clock
-    ~scratch_dir () =
+    ?(config = Ledger.default_config) ?t_ledger ?tsa ?(resume = true)
+    ?(pool = Ledger_par.Domain_pool.default ()) ~clock ~scratch_dir () =
   Ledger_obs.Metrics.incr "replica_pulls_total";
   let requests = ref 0 in
   let retries = ref 0 in
@@ -199,7 +264,14 @@ let pull_verbose ~transport ?(policy = Transport.default_policy)
             (match pseudo_genesis with Some j -> string_of_int j | None -> "-"));
       with_out "survivors.ldb" (fun _ -> () (* not replicated *));
       match
-        Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
+        (* π_c screen before any replay state is built; a poisoned
+           resumed stage heals exactly like a failed load below *)
+        match
+          staged_sig_precheck ~pool ~crypto:config.Ledger.crypto ~members
+            journals_path
+        with
+        | Ok () -> Ledger.load ~config ?t_ledger ?tsa ~clock ~dir:scratch_dir ()
+        | Error msg -> Error msg
       with
       | Ok ledger ->
           if resumed_from > 0 then
@@ -225,11 +297,11 @@ let pull_verbose ~transport ?(policy = Transport.default_policy)
   with Sys_error msg -> Error (Load_failed ("staging I/O: " ^ msg))
 
 let pull ~transport ?(policy = Transport.no_retry) ?config ?t_ledger ?tsa
-    ?(resume = false) ~clock ~scratch_dir () =
+    ?(resume = false) ?pool ~clock ~scratch_dir () =
   try
     match
-      pull_verbose ~transport ~policy ?config ?t_ledger ?tsa ~resume ~clock
-        ~scratch_dir ()
+      pull_verbose ~transport ~policy ?config ?t_ledger ?tsa ~resume ?pool
+        ~clock ~scratch_dir ()
     with
     | Ok (ledger, _) -> Ok ledger
     | Error e -> Error (error_to_string e)

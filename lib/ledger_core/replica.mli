@@ -48,6 +48,7 @@ val pull :
   ?t_ledger:T_ledger.t ->
   ?tsa:Tsa.pool ->
   ?resume:bool ->
+  ?pool:Ledger_par.Domain_pool.t ->
   clock:Clock.t ->
   scratch_dir:string ->
   unit ->
@@ -67,10 +68,20 @@ val pull_verbose :
   ?t_ledger:T_ledger.t ->
   ?tsa:Tsa.pool ->
   ?resume:bool ->
+  ?pool:Ledger_par.Domain_pool.t ->
   clock:Clock.t ->
   scratch_dir:string ->
   unit ->
   (Ledger.t * stats, error) result
 (** Like {!pull} with typed errors and transfer statistics.  Defaults to
     {!Transport.default_policy} and [~resume:true] — the self-healing
-    behaviour. *)
+    behaviour.
+
+    [pool] (default {!Ledger_par.Domain_pool.default}) fans the staged
+    π_c signature pre-check across domains: every staged journal whose
+    recorded signer appears in the fetched membership has its client
+    signature re-checked — purely, with no simulated-clock charges —
+    before {!Ledger.load} replays anything.  A failing stage refuses (or,
+    when resumed, heals) exactly like a failed load.  RPC staging itself
+    stays sequential: the transport's seeded retry policy and the
+    simulated clock are shared, deterministic state. *)

@@ -67,7 +67,7 @@ let append t h =
    (Rule 1 still rolls full trees) and each in-epoch run goes through
    {!Shrubs.append_many}'s single interior pass.  State after the call is
    identical to [List.iter (append t) hs]. *)
-let append_many t hs =
+let append_many ?pool t hs =
   let first = t.size in
   (* the empty batch is an explicit no-op: in particular it must not
      roll an epoch even when the current Shrubs is exactly full *)
@@ -88,7 +88,7 @@ let append_many t hs =
           | None -> List.length hs
         in
         let chunk, rest = split_at (min room (List.length hs)) [] hs in
-        ignore (Shrubs.append_many (current t) chunk);
+        ignore (Shrubs.append_many ?pool (current t) chunk);
         t.size <- t.size + List.length chunk;
         go rest
   in

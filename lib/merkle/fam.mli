@@ -28,12 +28,13 @@ val delta : t -> int
 val append : t -> Hash.t -> int
 (** Append a journal digest; returns its jsn. *)
 
-val append_many : t -> Hash.t list -> int
+val append_many : ?pool:Ledger_par.Domain_pool.t -> t -> Hash.t list -> int
 (** Accumulate a whole batch of journal digests at once: the batch is
     split at epoch boundaries and each in-epoch run updates the Shrubs
     interior in one pass per level.  Resulting state is identical to
-    sequential {!append}s; returns the first assigned jsn (the pre-batch
-    size for an empty batch). *)
+    sequential {!append}s (with or without [pool], which parallelises
+    only the per-level parent hashing); returns the first assigned jsn
+    (the pre-batch size for an empty batch). *)
 
 val size : t -> int
 (** Number of journal digests appended (merged leaves not counted). *)

@@ -1,4 +1,5 @@
 open Ledger_crypto
+open Ledger_par
 
 (* Per-level dynamic arrays of complete-node digests.  [None] marks a
    node forgotten after a purge. *)
@@ -61,7 +62,7 @@ let append t h =
    {!append}s (parents are combined from the same children in the same
    positions); only the order of interior pushes differs, and within a
    level that order is ascending in both cases. *)
-let append_many t hs =
+let append_many ?(pool = Domain_pool.sequential) t hs =
   let first = t.size in
   (* the empty batch is an explicit no-op: no leaf pushes, no interior
      completion pass, state untouched *)
@@ -76,12 +77,18 @@ let append_many t hs =
       let want = lv.count / 2 in
       let have = (level t (l + 1)).count in
       if have < want then begin
-        for j = have to want - 1 do
-          let parent =
-            Hash.combine (get_node t l (2 * j)) (get_node t l ((2 * j) + 1))
-          in
-          push_node t (l + 1) parent
-        done;
+        let n = want - have in
+        (* parents of one level are independent: hash them across the
+           pool into index slots, then push sequentially in ascending
+           order — the node arrays end up byte-identical to the
+           sequential loop *)
+        let parents = Array.make n Hash.zero in
+        Domain_pool.parallel_for pool ~label:"merkle_level" ~min_chunk:16 ~n
+          (fun k ->
+            let j = have + k in
+            parents.(k) <-
+              Hash.combine (get_node t l (2 * j)) (get_node t l ((2 * j) + 1)));
+        Array.iter (push_node t (l + 1)) parents;
         complete (l + 1)
       end
     in

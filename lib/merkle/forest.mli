@@ -21,11 +21,14 @@ val create : unit -> t
 val append : t -> Hash.t -> int
 (** Append a leaf digest; returns its index. *)
 
-val append_many : t -> Hash.t list -> int
+val append_many : ?pool:Ledger_par.Domain_pool.t -> t -> Hash.t list -> int
 (** Append a batch of leaves, completing the interior with one pass per
     level instead of one cascade per leaf.  The resulting forest is
-    byte-identical to sequential {!append}s.  Returns the index of the
-    first appended leaf (the pre-batch size when the list is empty). *)
+    byte-identical to sequential {!append}s.  With [pool], each level's
+    parent hashes are computed across the pool (pushes stay sequential
+    and ascending, so the result is still byte-identical).  Returns the
+    index of the first appended leaf (the pre-batch size when the list
+    is empty). *)
 
 val size : t -> int
 (** Number of leaves appended. *)

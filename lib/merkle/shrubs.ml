@@ -18,14 +18,14 @@ let append t h =
   if is_full t then invalid_arg "Shrubs.append: tree is full";
   Forest.append t.forest h
 
-let append_many t hs =
+let append_many ?pool t hs =
   if hs = [] then size t (* empty batch: no-op, no overflow check needed *)
   else begin
     (match capacity t with
     | Some c when size t + List.length hs > c ->
         invalid_arg "Shrubs.append_many: batch would overflow the tree"
     | Some _ | None -> ());
-    Forest.append_many t.forest hs
+    Forest.append_many ?pool t.forest hs
   end
 
 let leaf t = Forest.leaf t.forest

@@ -17,7 +17,7 @@ val create : ?height:int -> unit -> t
 val append : t -> Hash.t -> int
 (** @raise Invalid_argument when a bounded tree is full. *)
 
-val append_many : t -> Hash.t list -> int
+val append_many : ?pool:Ledger_par.Domain_pool.t -> t -> Hash.t list -> int
 (** Batched {!append} via {!Forest.append_many}: one interior pass per
     level for the whole batch, identical resulting tree.  Returns the
     first appended index (the pre-batch {!size} for an empty batch,

@@ -28,13 +28,14 @@ let entries_rev : entry list ref = ref []
 let count = ref 0
 
 let record ~verifier subject outcome =
-  if !Obs_core.enabled then begin
-    entries_rev :=
-      { seq = Obs_core.next_seq (); at_us = Obs_core.now (); verifier;
-        subject; outcome }
-      :: !entries_rev;
-    incr count
-  end
+  if !Obs_core.enabled then
+    (* locked: pooled verification tasks may record concurrently *)
+    Obs_core.locked (fun () ->
+        entries_rev :=
+          { seq = Obs_core.next_seq (); at_us = Obs_core.now (); verifier;
+            subject; outcome }
+          :: !entries_rev;
+        incr count)
 
 let entries () = List.rev !entries_rev
 let size () = !count

@@ -27,17 +27,21 @@ let find_or_add name make =
       Hashtbl.replace registry name m;
       m
 
+(* Write paths lock because pooled tasks (shard fan-out, batch verify)
+   record from worker domains; the disabled path stays lock-free. *)
 let incr ?(by = 1) name =
   if !Obs_core.enabled then
-    match find_or_add name (fun () -> Counter (ref 0)) with
-    | Counter c -> c := !c + by
-    | Gauge _ | Hist _ -> ()
+    Obs_core.locked (fun () ->
+        match find_or_add name (fun () -> Counter (ref 0)) with
+        | Counter c -> c := !c + by
+        | Gauge _ | Hist _ -> ())
 
 let set_gauge name v =
   if !Obs_core.enabled then
-    match find_or_add name (fun () -> Gauge (ref 0.)) with
-    | Gauge g -> g := v
-    | Counter _ | Hist _ -> ()
+    Obs_core.locked (fun () ->
+        match find_or_add name (fun () -> Gauge (ref 0.)) with
+        | Gauge g -> g := v
+        | Counter _ | Hist _ -> ())
 
 let new_hist () =
   {
@@ -66,16 +70,17 @@ let bucket_upper_bound i = Float.of_int 1 *. (2. ** float_of_int i)
 
 let observe name v =
   if !Obs_core.enabled then
-    match find_or_add name (fun () -> Hist (new_hist ())) with
-    | Hist h ->
-        h.count <- h.count + 1;
-        h.sum <- h.sum +. v;
-        if v < h.min_v then h.min_v <- v;
-        if v > h.max_v then h.max_v <- v;
-        let i = bucket_index v in
-        if i >= bucket_count then h.overflow <- h.overflow + 1
-        else h.buckets.(i) <- h.buckets.(i) + 1
-    | Counter _ | Gauge _ -> ()
+    Obs_core.locked (fun () ->
+        match find_or_add name (fun () -> Hist (new_hist ())) with
+        | Hist h ->
+            h.count <- h.count + 1;
+            h.sum <- h.sum +. v;
+            if v < h.min_v then h.min_v <- v;
+            if v > h.max_v then h.max_v <- v;
+            let i = bucket_index v in
+            if i >= bucket_count then h.overflow <- h.overflow + 1
+            else h.buckets.(i) <- h.buckets.(i) + 1
+        | Counter _ | Gauge _ -> ())
 
 let observe_int name v = observe name (float_of_int v)
 

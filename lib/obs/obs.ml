@@ -11,7 +11,7 @@ let reset () =
   Metrics.reset ();
   Trace.reset ();
   Audit_log.reset ();
-  Obs_core.seq := 0
+  Atomic.set Obs_core.seq 0
 
 (* --- human-readable dump ------------------------------------------------- *)
 

@@ -12,13 +12,31 @@ let enabled = ref false
 let time_source : (unit -> int64) ref = ref (fun () -> 0L)
 let now () = !time_source ()
 
+(* Pooled tasks (ledgerdb.par) may record metrics and audit entries from
+   worker domains, so the mutable registries are guarded by one shared
+   lock.  The disabled fast path never touches it. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+(* Spans carry an implicit parent stack, which only makes sense on one
+   domain: the one that loaded this module.  Trace drops spans entered
+   from any other domain. *)
+let main_domain : int = (Domain.self () :> int)
+let on_main_domain () = (Domain.self () :> int) = main_domain
+
 (* One sequence shared by spans and audit entries, so interleavings are
    reconstructible even when simulated time stands still. *)
-let seq = ref 0
-
-let next_seq () =
-  incr seq;
-  !seq
+let seq = Atomic.make 0
+let next_seq () = Atomic.fetch_and_add seq 1 + 1
 
 (* Minimal JSON string escaping for the line exporters. *)
 let escape s =

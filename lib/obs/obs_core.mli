@@ -13,9 +13,21 @@ val time_source : (unit -> int64) ref
 val now : unit -> int64
 (** Current simulated time per {!time_source} (0 when never set). *)
 
-val seq : int ref
+val seq : int Atomic.t
 val next_seq : unit -> int
-(** Monotone event sequence shared by spans and audit entries. *)
+(** Monotone event sequence shared by spans and audit entries.  Atomic,
+    so pooled tasks recording audit entries keep unique sequence
+    numbers. *)
+
+val locked : (unit -> 'a) -> 'a
+(** Run under the shared registry lock.  Guards every mutable registry
+    (metrics, audit log) against concurrent pooled tasks; the disabled
+    fast path never takes it. *)
+
+val on_main_domain : unit -> bool
+(** Whether the caller runs on the domain that initialised observability.
+    Spans are only recorded there — the parent stack is single-domain by
+    construction. *)
 
 val escape : string -> string
 (** JSON string-body escaping for the line exporters. *)

@@ -39,8 +39,11 @@ let ensure_capacity () =
 
 let get id = !records.(id - 1)
 
+(* Spans carry an implicit parent stack that only makes sense on one
+   domain; [enter] from a pooled worker returns [none], so every other
+   call no-ops there — pooled tasks simply don't trace. *)
 let enter name : span =
-  if not !Obs_core.enabled then none
+  if (not !Obs_core.enabled) || not (Obs_core.on_main_domain ()) then none
   else begin
     ensure_capacity ();
     let parent = match !stack with [] -> 0 | p :: _ -> p in

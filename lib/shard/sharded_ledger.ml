@@ -3,6 +3,7 @@ open Ledger_storage
 open Ledger_merkle
 open Ledger_core
 open Ledger_obs
+open Ledger_par
 
 type config = { base : Ledger.config; shards : int }
 
@@ -98,7 +99,8 @@ let append t ~member ~priv ?(clues = []) payload =
   Metrics.incr (shard_metric "shard_appends_total_s%d" i);
   (i, receipt)
 
-let append_batch t ~member ~priv ?(seal = true) entries =
+let append_batch ?(pool = Domain_pool.default ()) t ~member ~priv
+    ?(seal = true) entries =
   (* partition by owning shard, remembering each entry's submission
      index so results come back in submission order *)
   let buckets = Array.make (shard_count t) [] in
@@ -108,22 +110,25 @@ let append_batch t ~member ~priv ?(seal = true) entries =
       buckets.(i) <- (pos, payload, clues) :: buckets.(i))
     entries;
   let results = Array.make (List.length entries) None in
-  Array.iteri
-    (fun i bucket ->
-      match List.rev bucket with
+  (* shards are independent kernels on forked clocks, so per-shard
+     appends fan out across the pool; every task touches only its own
+     shard state and its own [results] slots.  A 1-shard fleet shares
+     the fleet clock but then has exactly one task. *)
+  Domain_pool.parallel_for pool ~label:"shard_append" ~n:(shard_count t)
+    (fun i ->
+      match List.rev buckets.(i) with
       | [] -> ()
       | in_order ->
           let m = member_state t i in
           let receipts =
-            Ledger.append_batch m.ledger ~member ~priv ~seal
+            Ledger.append_batch ~pool m.ledger ~member ~priv ~seal
               (List.map (fun (_, payload, clues) -> (payload, clues)) in_order)
           in
           Metrics.incr (shard_metric "shard_appends_total_s%d" i)
             ~by:(List.length in_order);
           List.iter2
             (fun (pos, _, _) r -> results.(pos) <- Some (i, r))
-            in_order receipts)
-    buckets;
+            in_order receipts);
   Array.to_list results
   |> List.map (function
        | Some r -> r
@@ -135,7 +140,7 @@ let advance_to clock target =
   let d = Int64.sub target (Clock.now clock) in
   if d > 0L then Clock.advance clock d
 
-let seal_epoch t =
+let seal_epoch ?(pool = Domain_pool.default ()) t =
   let sp = Trace.enter "super_root_seal" in
   Trace.attr_int sp "epoch" t.sealed_count;
   let dead = ref [] in
@@ -152,7 +157,12 @@ let seal_epoch t =
              i)
     | [] -> (
         try
-          Array.iter (fun m -> Ledger.seal_block m.ledger) t.members;
+          (* per-shard seals fan out: each touches only its own shard;
+             a Sys_error raised inside a pooled task cancels the rest
+             and re-raises here, landing in the same refusal below *)
+          Domain_pool.parallel_for pool ~label:"shard_seal"
+            ~n:(Array.length t.members) (fun i ->
+              Ledger.seal_block t.members.(i).ledger);
           (* the barrier: every clock — shards and coordinator — meets
              at the fleet maximum *)
           let horizon =

@@ -85,6 +85,7 @@ val append :
     returns [(shard, receipt)].  The receipt's [jsn] is shard-local. *)
 
 val append_batch :
+  ?pool:Ledger_par.Domain_pool.t ->
   t ->
   member:Roles.member ->
   priv:Ecdsa.private_key ->
@@ -93,16 +94,22 @@ val append_batch :
   (int * Receipt.t) list
 (** Partition a batch by owning shard (preserving submission order
     within each shard) and commit one amortized {!Ledger.append_batch}
-    per shard.  Results are in submission order. *)
+    per shard.  Results are in submission order.  Per-shard appends fan
+    out across [pool] (default {!Ledger_par.Domain_pool.default}) —
+    shards are independent kernels on forked clocks, so the committed
+    fleet state is byte-identical for any pool size. *)
 
 (** {1 Epoch sealing} *)
 
-val seal_epoch : t -> (Super_root.sealed, string) result
-(** Seal every shard's trailing block, synchronize the fleet clocks and
-    commit the epoch super-root.  {e All-or-nothing}: every shard's
-    store is probed first and any dead shard ([not Ledger.store_healthy])
-    refuses the whole seal with an error naming the shard — no partial
-    super-root is ever recorded. *)
+val seal_epoch :
+  ?pool:Ledger_par.Domain_pool.t -> t -> (Super_root.sealed, string) result
+(** Seal every shard's trailing block (fanned out across [pool]),
+    synchronize the fleet clocks and commit the epoch super-root.
+    {e All-or-nothing}: every shard's store is probed first and any dead
+    shard ([not Ledger.store_healthy]) refuses the whole seal with an
+    error naming the shard — no partial super-root is ever recorded.  A
+    store failure surfacing mid-seal inside a pooled task yields the
+    same refused verdict as the sequential path. *)
 
 val epochs : t -> Super_root.sealed list
 (** Oldest first. *)

@@ -96,7 +96,8 @@ let validate_fleet ~announced (replicas : Ledger.t array) =
       end
 
 let pull_all ~transport ?(policy = Transport.default_policy) ?config
-    ?(resume = true) ~clock ~scratch_dir () =
+    ?(resume = true) ?(pool = Ledger_par.Domain_pool.default ()) ~clock
+    ~scratch_dir () =
   let sp = Trace.enter "sharded_replica.pull_all" in
   let finish r =
     Trace.exit sp;
@@ -138,10 +139,14 @@ let pull_all ~transport ?(policy = Transport.default_policy) ?config
             if !failed = None then begin
               let sub = Filename.concat scratch_dir (Printf.sprintf "shard-%d" i) in
               match
+                (* shard pulls stay sequential — they share one
+                   transport (seeded, deterministic retries) and one
+                   clock — but each pull fans its staged π_c pre-check
+                   across [pool] *)
                 Replica.pull_verbose ~transport:(shard_transport transport i)
                   ~policy
                   ~config:(Sharded_ledger.shard_config cfg i)
-                  ~resume ~clock ~scratch_dir:sub ()
+                  ~resume ~pool ~clock ~scratch_dir:sub ()
               with
               | Ok (ledger, st) ->
                   replicas.(i) <- Some ledger;

@@ -46,6 +46,7 @@ val pull_all :
   ?policy:Transport.policy ->
   ?config:Sharded_ledger.config ->
   ?resume:bool ->
+  ?pool:Ledger_par.Domain_pool.t ->
   clock:Clock.t ->
   scratch_dir:string ->
   unit ->
@@ -53,4 +54,9 @@ val pull_all :
 (** [transport] speaks {!Sharded_service}.  The shard count and base
     name come from [Get_topology]; when [config] is given its geometry
     must agree (checked).  [scratch_dir/shard-<i>] stages shard [i];
-    defaults to {!Transport.default_policy} and [~resume:true]. *)
+    defaults to {!Transport.default_policy} and [~resume:true].
+
+    [pool] feeds each shard's {!Replica.pull_verbose} π_c pre-check.
+    Shard staging itself is sequential by design: every shard shares the
+    one fleet transport (whose retry/backoff policy is seeded and
+    deterministic) and the one simulated clock. *)

@@ -25,4 +25,5 @@ let () =
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
+      ("par", Test_par.suite);
     ]

@@ -133,7 +133,7 @@ let test_storage_chaos_schedules () =
    its CRC frames — a flush torn in half by a crash.  Same contract as
    above: strict load refuses, recovering load yields a verified faithful
    prefix or refuses; nothing may come back silently wrong. *)
-let run_batch_flush_crash ~seed =
+let run_batch_flush_crash ?(pool = Ledger_par.Domain_pool.sequential) ~seed () =
   let clock = Clock.create () in
   let config =
     { Ledger.default_config with name = "chaos-batch"; block_size = 4;
@@ -146,7 +146,7 @@ let run_batch_flush_crash ~seed =
   let batch n tag =
     Clock.advance_ms clock 25.;
     ignore
-      (Ledger.append_batch ledger ~member:user ~priv:key
+      (Ledger.append_batch ~pool ledger ~member:user ~priv:key
          (List.init n (fun i ->
               ( Bytes.of_string (Printf.sprintf "batch %s/%d" tag i),
                 [ "bc" ^ string_of_int (i mod 2) ] ))))
@@ -201,12 +201,36 @@ let run_batch_flush_crash ~seed =
           (Printf.sprintf "seed %d: recovered prefix passes audit" seed)
           true
           (Audit.run restored).Audit.ok;
-      `Recovered_prefix
+      `Recovered_prefix report.Ledger.replayed
 
 let test_batch_flush_crash () =
-  let outcomes = List.init 8 (fun i -> run_batch_flush_crash ~seed:(i + 101)) in
+  let outcomes =
+    List.init 8 (fun i -> run_batch_flush_crash ~seed:(i + 101) ())
+  in
   Alcotest.(check bool) "some torn flush recovered a prefix" true
-    (List.mem `Recovered_prefix outcomes)
+    (List.exists (function `Recovered_prefix _ -> true | _ -> false) outcomes)
+
+(* The same torn-flush schedules, with every batch committed through a
+   4-domain pool: pooled ingestion writes byte-identical frames, so each
+   seed's recovered-or-refused verdict — including how many journals the
+   recovery salvaged — must match the sequential run exactly. *)
+let test_batch_flush_crash_pooled_matches () =
+  let pool = Ledger_par.Domain_pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Ledger_par.Domain_pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let sequential = run_batch_flush_crash ~seed () in
+          let pooled = run_batch_flush_crash ~pool ~seed () in
+          let show = function
+            | `Refused -> "refused"
+            | `Recovered_prefix n -> Printf.sprintf "recovered %d" n
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: pooled verdict matches sequential" seed)
+            (show sequential) (show pooled))
+        [ 101; 103; 105; 107 ])
 
 let test_stream_store_chaos () =
   List.iter
@@ -340,7 +364,7 @@ let test_resumable_pull () =
         (Ledger.size replica = Ledger.size remote
         && Hash.equal (Ledger.commitment replica) (Ledger.commitment remote))
 
-let test_poisoned_stage_heals () =
+let run_poisoned_stage_heals ?domain_pool () =
   let clock, remote, config, (tl, pool), _ = build_ledger () in
   let scratch = fresh_dir () in
   Sys.mkdir scratch 0o755;
@@ -353,7 +377,7 @@ let test_poisoned_stage_heals () =
   close_out oc;
   match
     Replica.pull_verbose ~transport:(Service.handle remote) ~config
-      ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:scratch ()
+      ?pool:domain_pool ~t_ledger:tl ~tsa:pool ~clock ~scratch_dir:scratch ()
   with
   | Error e -> Alcotest.failf "healing pull failed: %s" (Replica.error_to_string e)
   | Ok (replica, stats) ->
@@ -361,6 +385,16 @@ let test_poisoned_stage_heals () =
         stats.Replica.restarted;
       Alcotest.(check bool) "healed replica matches" true
         (Hash.equal (Ledger.commitment replica) (Ledger.commitment remote))
+
+let test_poisoned_stage_heals () = run_poisoned_stage_heals ()
+
+(* The staged π_c pre-check runs across the pool; a poisoned stage hit
+   from pooled tasks must heal exactly like the sequential pre-check. *)
+let test_poisoned_stage_heals_pooled () =
+  let dp = Ledger_par.Domain_pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Ledger_par.Domain_pool.shutdown dp)
+    (fun () -> run_poisoned_stage_heals ~domain_pool:dp ())
 
 let test_persistent_garbling_refused () =
   let clock, remote, config, (tl, pool), _ = build_ledger () in
@@ -504,16 +538,30 @@ let test_dead_shard_refuses_super_root () =
     (Ledger.store_healthy (SL.shard fleet 1));
   Alcotest.(check bool) "shard 0 store alive" true
     (Ledger.store_healthy (SL.shard fleet 0));
-  (match SL.seal_epoch fleet with
-  | Ok _ -> Alcotest.fail "sealed a super-root over a dead shard"
-  | Error msg ->
-      let contains hay needle =
-        let n = String.length needle and h = String.length hay in
-        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-        go 0
-      in
-      Alcotest.(check bool) "refusal names the dead shard" true
-        (contains msg "shard 1"));
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let sequential_refusal =
+    match SL.seal_epoch fleet with
+    | Ok _ -> Alcotest.fail "sealed a super-root over a dead shard"
+    | Error msg ->
+        Alcotest.(check bool) "refusal names the dead shard" true
+          (contains msg "shard 1");
+        msg
+  in
+  (* the dead shard hit from a pooled seal task must yield the same
+     refused verdict, word for word, as the sequential seal *)
+  let dp = Ledger_par.Domain_pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Ledger_par.Domain_pool.shutdown dp)
+    (fun () ->
+      match SL.seal_epoch ~pool:dp fleet with
+      | Ok _ -> Alcotest.fail "pooled seal accepted a dead shard"
+      | Error msg ->
+          Alcotest.(check string) "pooled refusal matches sequential"
+            sequential_refusal msg);
   (* refused, not torn: the epoch list still ends at the healthy seal *)
   Alcotest.(check int) "no partial epoch recorded" 1
     (List.length (SL.epochs fleet));
@@ -527,10 +575,14 @@ let suite =
   [
     tc "storage chaos schedules" `Slow test_storage_chaos_schedules;
     tc "batch flush crash" `Slow test_batch_flush_crash;
+    tc "batch flush crash: pooled verdicts match" `Slow
+      test_batch_flush_crash_pooled_matches;
     tc "stream store chaos" `Quick test_stream_store_chaos;
     tc "flaky pull converges" `Slow test_flaky_pull_converges;
     tc "resumable pull" `Slow test_resumable_pull;
     tc "poisoned stage heals" `Slow test_poisoned_stage_heals;
+    tc "poisoned stage heals (pooled pre-check)" `Slow
+      test_poisoned_stage_heals_pooled;
     tc "persistent garbling refused" `Slow test_persistent_garbling_refused;
     tc "client degrades then recovers" `Quick test_client_degrades_then_recovers;
     tc "compromised is sticky" `Quick test_compromised_is_sticky;

@@ -18,7 +18,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|all]\n\
+    "usage: main.exe \
+     [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|recover|all]\n\
     \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
@@ -83,6 +84,7 @@ let () =
     | "batch" -> Bench_batch.run ~smoke ?json:(json "batch") ()
     | "shard" | "shards" -> Bench_shard.run ~smoke ?json:(json "shard") ()
     | "par" | "multicore" -> Bench_par.run ~smoke ?json:(json "par") ()
+    | "recover" | "repair" -> Bench_recover.run ~smoke ?json:(json "recover") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
@@ -96,7 +98,8 @@ let () =
         Bench_proof_size.run ();
         Bench_batch.run ~smoke ();
         Bench_shard.run ~smoke ();
-        Bench_par.run ~smoke ()
+        Bench_par.run ~smoke ();
+        Bench_recover.run ~smoke ()
     | other ->
         Printf.printf "unknown target: %s\n" other;
         usage ()

@@ -1,11 +1,19 @@
 (* Fixed-seed chaos smoke check, wired into `dune runtest`.
 
    Runs a small battery of deterministic fault schedules — storage damage
-   against saved snapshots, a lossy transport under a replica pull — and
-   enforces the robustness contract: every schedule must end in either a
-   verified recovery or an explicit refusal.  Any silently-wrong outcome
-   exits non-zero.  Seeds are fixed so a failure here reproduces
-   byte-identically with `dune exec bin/chaos_check.exe`. *)
+   against saved snapshots, a lossy transport under a replica pull, and
+   (with the `matrix` argument) the scripted survivability scenarios of
+   Chaos_orchestrator — and enforces the robustness contract: every
+   schedule must end in either a verified recovery or an explicit
+   refusal.  Seeds are fixed so a failure reproduces byte-identically
+   with `dune exec bin/chaos_check.exe`; LEDGERDB_CHAOS_SEED=<n> offsets
+   the whole battery for exploratory runs (garbage values are ignored).
+
+   Exit codes distinguish the two ways this can go wrong:
+     0  every schedule honoured the contract
+     1  a fault schedule surfaced a real robustness bug
+     2  the harness itself failed (an unexpected exception — not a
+        verdict about the ledger at all) *)
 
 open Ledger_crypto
 open Ledger_storage
@@ -120,12 +128,47 @@ let transport_schedule seed =
           stats.Replica.retries
       else fail "seed %d: flaky pull produced a divergent replica" seed
 
+(* Survivability matrix: supervised fleet vs never-faulted reference. *)
+let matrix_schedule seed =
+  List.iter
+    (fun r ->
+      print_endline ("     " ^ Chaos_orchestrator.report_to_string r);
+      if not (Chaos_orchestrator.passed r) then
+        fail "scenario %s seed %d violated the survivability contract"
+          r.Chaos_orchestrator.scenario r.Chaos_orchestrator.seed)
+    (Chaos_orchestrator.run_matrix ~seed ())
+
+(* Seed override, parsed garbage-proof like LEDGERDB_DOMAINS: anything
+   but a non-negative integer silently keeps the default. *)
+let env_seed () =
+  match Sys.getenv_opt "LEDGERDB_CHAOS_SEED" with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> Some n
+      | _ -> None)
+
 let () =
-  List.iter storage_schedule [ 1; 2; 3; 4 ];
-  List.iter transport_schedule [ 11; 12 ];
-  if !failures > 0 then begin
-    Printf.printf "chaos check: %d schedule(s) violated the contract\n"
-      !failures;
-    exit 1
-  end
-  else print_endline "chaos check: all schedules recovered or refused"
+  let offset = Option.value (env_seed ()) ~default:0 in
+  let matrix_only =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "matrix"
+  in
+  match
+    if matrix_only then matrix_schedule (42 + offset)
+    else begin
+      List.iter storage_schedule (List.map (( + ) offset) [ 1; 2; 3; 4 ]);
+      List.iter transport_schedule (List.map (( + ) offset) [ 11; 12 ]);
+      matrix_schedule (42 + offset)
+    end
+  with
+  | () ->
+      if !failures > 0 then begin
+        Printf.printf "chaos check: %d schedule(s) violated the contract\n"
+          !failures;
+        exit 1
+      end
+      else print_endline "chaos check: all schedules recovered or refused"
+  | exception e ->
+      (* not a chaos verdict: the harness broke *)
+      Printf.printf "chaos check: harness error: %s\n" (Printexc.to_string e);
+      exit 2

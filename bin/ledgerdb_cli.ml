@@ -6,6 +6,8 @@
      systems  print the Table I system comparison
      snapshot build a ledger, save it to disk, reload, re-audit
      stats    instrumented run: metrics dump, trace, verification coverage
+     health   survivability walkthrough: quarantine, degraded seal, repair,
+              and (with --equivocate) gossip fork evidence
    Run `ledgerdb_cli <cmd> --help` for options. *)
 
 open Cmdliner
@@ -456,11 +458,293 @@ let stats_cmd =
        ~doc:"Run an instrumented workload; dump metrics, trace and verification coverage")
     Term.(const run_stats $ journals $ shards $ trace_out $ prometheus)
 
+(* --- health ----------------------------------------------------------------- *)
+
+(* Survivability walkthrough.  Kills one shard's store under a
+   supervised fleet and narrates the failure model end to end: the
+   supervisor quarantines the shard, appends routed to it degrade into
+   typed rejections, the epoch still seals (Degraded_skip, the absent
+   shard's last root carried and verifiably flagged), proofs on live
+   shards keep verifying, and self-repair resyncs the shard from a
+   healthy replica until the fleet is byte-identical to a never-faulted
+   reference.  With --equivocate the service then signs a second root
+   for a sealed epoch; the gossip mesh folds the two announcements into
+   self-verifying fork evidence and condemns the client. *)
+let run_health shards journals equivocate =
+  let module SL = Ledger_shard.Sharded_ledger in
+  let module Sup = Ledger_shard.Shard_supervisor in
+  let module Gossip = Ledger_shard.Gossip in
+  let module SR = Ledger_shard.Super_root in
+  if shards < 2 then begin
+    prerr_endline "health: need at least 2 shards (a 1-shard fleet cannot seal around an outage)";
+    2
+  end
+  else begin
+    let ok = ref true in
+    let check cond fmt =
+      Printf.ksprintf
+        (fun msg ->
+          if not cond then begin
+            ok := false;
+            Printf.printf "FAILED: %s\n" msg
+          end)
+        fmt
+    in
+    let config =
+      {
+        SL.base =
+          { Ledger.default_config with name = "health-fleet"; block_size = 8;
+            fam_delta = 5; crypto = Crypto_profile.default_simulated };
+        shards;
+      }
+    in
+    (* subject + never-faulted reference share the base name, so every
+       name-derived key matches: the reference is both the repair source
+       and the oracle the repaired fleet must be byte-identical to *)
+    let make_fleet () =
+      let clock = Clock.create () in
+      let fleet = SL.create ~config ~clock () in
+      let member, priv =
+        SL.new_member fleet ~name:"health-user" ~role:Roles.Regular_user
+      in
+      (fleet, member, priv)
+    in
+    let subject, member, priv = make_fleet () in
+    let reference, ref_member, ref_priv = make_fleet () in
+    let clocks fleet =
+      SL.fleet_clock fleet :: List.init shards (SL.shard_clock fleet)
+    in
+    let barrier () =
+      let all = clocks subject @ clocks reference in
+      let horizon =
+        List.fold_left (fun acc c -> max acc (Clock.now c)) 0L all
+      in
+      List.iter
+        (fun c ->
+          let d = Int64.sub horizon (Clock.now c) in
+          if d > 0L then Clock.advance c d)
+        all
+    in
+    let scratch = Filename.temp_file "ledgerdb_health" "" in
+    Sys.remove scratch;
+    Sys.mkdir scratch 0o755;
+    let supervisor =
+      Sup.create
+        ~source:(Ledger_shard.Sharded_service.handle reference)
+        ~fleet:subject ~scratch_dir:scratch ()
+    in
+    let next = ref 0 in
+    let append_wave n =
+      Clock.advance_ms (SL.fleet_clock subject) 100.;
+      barrier ();
+      let accepted = ref 0 and rejected = ref 0 in
+      let first_rejection = ref None in
+      for _ = 1 to n do
+        let i = !next in
+        incr next;
+        let payload = Bytes.of_string (Printf.sprintf "record %d" i) in
+        let clues = [ "item-" ^ string_of_int (i mod 7) ] in
+        ignore
+          (SL.append reference ~member:ref_member ~priv:ref_priv ~clues payload);
+        match Sup.append supervisor ~member ~priv ~clues payload with
+        | Ok _ -> incr accepted
+        | Error u ->
+            incr rejected;
+            if !first_rejection = None then first_rejection := Some u
+      done;
+      (!accepted, !rejected, !first_rejection)
+    in
+    let print_statuses () =
+      for i = 0 to shards - 1 do
+        Printf.printf "  shard %d: %-28s %d journals\n" i
+          (Sup.status_to_string (Sup.status supervisor i))
+          (Ledger.size (SL.shard subject i))
+      done
+    in
+    (* 1: healthy baseline *)
+    let accepted, rejected, _ = append_wave journals in
+    barrier ();
+    (match Sup.seal_epoch supervisor with
+    | Error msg -> check false "healthy seal refused: %s" msg
+    | Ok sealed ->
+        check (SR.full sealed) "healthy epoch sealed degraded";
+        Printf.printf "[1] healthy fleet: %d appends accepted (%d rejected), \
+                       epoch %d sealed full, super-root %s\n"
+          accepted rejected sealed.SR.epoch
+          (Hash.short_hex (SR.commitment sealed)));
+    (match SL.seal_epoch reference with
+    | Ok _ -> ()
+    | Error msg -> check false "reference seal refused: %s" msg);
+    print_statuses ();
+    (* a short wave after the checkpoint, so the dead shard's committed
+       state is ahead of its last checkpoint: salvage must refuse (it
+       would lose those journals) and repair has to resync from the
+       replica — which also backfills what the outage rejects below *)
+    let _ = append_wave (journals / 2) in
+    (* 2: kill a shard's store *)
+    let victim = 1 in
+    Stream_store.Unsafe.kill (Ledger.backing_store (SL.shard subject victim));
+    Sup.quarantine supervisor victim;
+    Printf.printf "\n[2] shard %d store killed -> %s\n" victim
+      (Sup.status_to_string (Sup.status supervisor victim));
+    (* 3: degraded mode — typed rejections, no hang *)
+    let accepted, rejected, first_rejection = append_wave journals in
+    Printf.printf "\n[3] degraded appends: %d accepted, %d rejected (typed)\n"
+      accepted rejected;
+    (match first_rejection with
+    | Some u -> Printf.printf "    e.g. %s\n" (Sup.unavailable_to_string u)
+    | None -> check false "no append was routed to the dead shard");
+    (* 4: the epoch still seals, the outage verifiably carried *)
+    barrier ();
+    (match Sup.seal_epoch supervisor with
+    | Error msg -> check false "degraded seal refused: %s" msg
+    | Ok sealed ->
+        check (not (SR.full sealed)) "outage not reflected in the epoch";
+        Printf.printf "\n[4] epoch %d sealed around the outage:\n" sealed.SR.epoch;
+        Array.iteri
+          (fun i presence ->
+            Printf.printf "    shard %d: %s root %s\n" i
+              (match presence with
+              | SR.Sealed -> "sealed "
+              | SR.Carried -> "carried")
+              (Hash.short_hex sealed.SR.shard_roots.(i)))
+          sealed.SR.presence;
+        let super = SR.commitment sealed in
+        let live = if victim = 0 then 1 else 0 in
+        let size = sealed.SR.shard_sizes.(live) in
+        (match SL.prove subject ~shard:live ~jsn:(size - 1) with
+        | Error msg -> check false "prove on live shard refused: %s" msg
+        | Ok proof ->
+            check
+              (SL.verify_proof subject ~super proof)
+              "valid proof refused on live shard";
+            Printf.printf
+              "    proofs on live shards still verify (shard %d jsn %d ok)\n"
+              live (size - 1)));
+    (match SL.seal_epoch reference with
+    | Ok _ -> ()
+    | Error msg -> check false "reference seal refused: %s" msg);
+    (* 5: self-repair *)
+    let t0 = Clock.now (SL.fleet_clock subject) in
+    let ticks = ref 0 in
+    while Sup.status supervisor victim <> Sup.Healthy && !ticks < 10_000 do
+      incr ticks;
+      Clock.advance (SL.fleet_clock subject) 10_000L;
+      barrier ();
+      Sup.tick supervisor
+    done;
+    check
+      (Sup.status supervisor victim = Sup.Healthy)
+      "repair did not land within the tick budget";
+    Printf.printf "\n[5] self-repair: shard %d resynced from the replica in \
+                   %.0f ms -> %s\n"
+      victim
+      (Int64.to_float (Int64.sub (Clock.now (SL.fleet_clock subject)) t0)
+      /. 1000.)
+      (Sup.status_to_string (Sup.status supervisor victim));
+    print_statuses ();
+    (* 6: convergence with the never-faulted reference *)
+    for i = 0 to shards - 1 do
+      let s = SL.shard subject i and r = SL.shard reference i in
+      check
+        (Ledger.size s = Ledger.size r
+        && Hash.equal (Ledger.commitment s) (Ledger.commitment r))
+        "shard %d diverges from the never-faulted reference" i
+    done;
+    barrier ();
+    (match (Sup.seal_epoch supervisor, SL.seal_epoch reference) with
+    | Ok s, Ok r ->
+        check (SR.full s) "post-repair epoch still degraded";
+        check
+          (Hash.equal (SR.commitment s) (SR.commitment r))
+          "post-repair super-root diverges from the reference";
+        if SR.full s && Hash.equal (SR.commitment s) (SR.commitment r) then
+          Printf.printf "\n[6] converged: epoch %d full again, super-root %s \
+                         byte-identical to a never-faulted run\n"
+            s.SR.epoch
+            (Hash.short_hex (SR.commitment s))
+    | Error msg, _ | _, Error msg ->
+        check false "post-repair seal refused: %s" msg);
+    (* 7: non-equivocation gossip *)
+    let service_pub = SL.service_public_key subject in
+    let peer_a =
+      Gossip.create ~name:"auditor-a" ~service_pub ~ledger:"health-fleet" ()
+    in
+    let peer_b =
+      Gossip.create ~name:"auditor-b" ~service_pub ~ledger:"health-fleet" ()
+    in
+    let client =
+      Ledger_client.create ~name:"health-client"
+        ~lsp_pub:(Ledger.lsp_public_key (SL.shard subject 0))
+    in
+    (match SL.announce subject with
+    | None -> check false "sealed fleet has no announcement"
+    | Some ann ->
+        (match Gossip.observe peer_a ann with
+        | Gossip.Fresh | Gossip.Confirmed -> ()
+        | _ -> check false "honest announcement not accepted");
+        ignore (Gossip.observe peer_b ann);
+        Printf.printf "\n[7] gossip: both auditors hold the service-signed \
+                       announcement for epoch %d; client %s\n"
+          ann.Gossip.epoch
+          (Ledger_client.status_to_string (Ledger_client.status client)));
+    if equivocate then begin
+      match (SL.announce_epoch subject 0, SL.Unsafe.equivocate subject ~epoch:0) with
+      | None, _ | _, None -> check false "cannot equivocate: epoch 0 not sealed"
+      | Some honest, Some forged -> (
+          (* one auditor saw the honest epoch-0 announcement, the other
+             the forged one — comparing notes must surface the fork *)
+          ignore (Gossip.observe peer_a honest);
+          ignore (Gossip.observe peer_b forged);
+          match Gossip.exchange peer_a peer_b with
+          | None -> check false "equivocation went undetected"
+          | Some ev ->
+              check
+                (Gossip.verify_fork ~service_pub ev)
+                "fork evidence does not self-verify";
+              Gossip.condemn peer_a client;
+              check
+                (Ledger_client.status client = Ledger_client.Compromised)
+                "client not condemned by fork evidence";
+              Printf.printf
+                "\n[8] the service signed a second root for epoch 0:\n\
+                \    %s\n\
+                \    evidence verifies under the service key alone; client \
+                 is now %s\n"
+                (Gossip.fork_to_string ev)
+                (Ledger_client.status_to_string (Ledger_client.status client)))
+    end;
+    Printf.printf "\nhealth walkthrough: %s\n"
+      (if !ok then "ok" else "FAILED");
+    if !ok then 0 else 1
+  end
+
+let health_cmd =
+  let shards =
+    Arg.(value & opt int 3
+         & info [ "shards" ] ~docv:"N" ~doc:"Fleet width (at least 2).")
+  in
+  let journals =
+    Arg.(value & opt int 24
+         & info [ "n"; "journals" ] ~doc:"Appends per phase.")
+  in
+  let equivocate =
+    Arg.(value & flag
+         & info [ "equivocate" ]
+             ~doc:"Make the service sign a second root for a sealed epoch \
+                   and show the gossip mesh folding it into fork evidence.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Survivability walkthrough: quarantine, degraded sealing, \
+             self-repair, fork evidence")
+    Term.(const run_health $ shards $ journals $ equivocate)
+
 let main =
   Cmd.group
     (Cmd.info "ledgerdb_cli" ~version:"1.0.0"
        ~doc:"LedgerDB ubiquitous-verification reproduction CLI")
-    [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd; stats_cmd ]
+    [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd; stats_cmd; health_cmd ]
 
 let () =
   (* -v / --verbosity via LEDGERDB_VERBOSE; cmdliner subcommands keep their

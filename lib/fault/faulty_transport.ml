@@ -41,15 +41,23 @@ type t = {
   inner : Ledger_core.Transport.t;
   stats : stats;
   mutable held : bytes option;  (* response in flight, for reordering *)
+  mutable partitioned : bool;
 }
 
 let create ~rng ~config ?latency ~clock inner =
   { rng; config; clock; latency; inner;
     stats =
       { calls = 0; drops = 0; dups = 0; garbles = 0; reorders = 0; delays = 0 };
-    held = None }
+    held = None; partitioned = false }
 
 let stats t = t.stats
+let set_partitioned t on = t.partitioned <- on
+let partitioned t = t.partitioned
+
+(* A jitter source over the same seeded RNG that drives the fault
+   schedule — hand it to Transport.request's [backoff_rng] so one seed
+   replays faults and retry timing together. *)
+let backoff_rng t () = float_of_int (Det_rng.int t.rng 1_000_000) /. 1e6
 
 let hit rng prob =
   prob > 0. && Det_rng.int rng 1_000_000 < int_of_float (prob *. 1e6)
@@ -69,6 +77,14 @@ let garble rng resp =
 let transport t req =
   t.stats.calls <- t.stats.calls + 1;
   Ledger_obs.Metrics.incr "faulty_transport_calls_total";
+  (* a hard partition loses every message without consuming any of the
+     probabilistic fate draws, so healing resumes the seeded schedule
+     exactly where it left off *)
+  if t.partitioned then begin
+    t.stats.drops <- t.stats.drops + 1;
+    Ledger_obs.Metrics.incr "faulty_transport_drops_total";
+    raise (Ledger_core.Transport.Timeout "network partitioned")
+  end;
   (* draw the whole fate of this exchange up front so the schedule depends
      only on the seed and the call sequence, not on short-circuiting *)
   let dropped = hit t.rng t.config.drop_prob in

@@ -56,6 +56,20 @@ val create :
 
 val stats : t -> stats
 
+val set_partitioned : t -> bool -> unit
+(** Hard partition switch: while on, every call raises
+    {!Ledger_core.Transport.Timeout} without consuming any probabilistic
+    fate draws — healing resumes the seeded fault schedule exactly where
+    it left off.  The chaos orchestrator's partition primitive. *)
+
+val partitioned : t -> bool
+
+val backoff_rng : t -> unit -> float
+(** A jitter draw in [0,1) over the {e same} seeded RNG that drives the
+    fault schedule — pass as [backoff_rng] to
+    {!Ledger_core.Transport.request} so one seed replays faults and
+    retry timing together. *)
+
 val transport : t -> Ledger_core.Transport.t
 (** The faulty channel. Each call draws its full fate (drop, dup, delay,
     garble, reorder) from the rng up front, charges [latency] and any

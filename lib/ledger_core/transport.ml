@@ -47,6 +47,23 @@ let backoff_ms policy ~seed ~attempt =
   in
   Float.min policy.max_backoff_ms exp *. jitter_factor policy ~seed ~attempt
 
+(* When the caller supplies a jitter source (e.g. the seeded fault-plan
+   RNG), the backoff draw comes from it instead of the (seed, attempt)
+   mix — one RNG then governs both the fault schedule and the retry
+   schedule, so a chaos scenario replays end to end from one seed. *)
+let backoff_ms_drawn policy ~seed ~attempt ~backoff_rng =
+  match backoff_rng with
+  | None -> backoff_ms policy ~seed ~attempt
+  | Some draw ->
+      let exp =
+        policy.base_backoff_ms *. (2. ** float_of_int (max 0 (attempt - 1)))
+      in
+      let unit_f = Float.max 0. (Float.min 1. (draw ())) in
+      let factor =
+        if policy.jitter <= 0. then 1. else 1. -. (policy.jitter *. unit_f)
+      in
+      Float.min policy.max_backoff_ms exp *. factor
+
 type error = { attempts : int; reason : string }
 
 let error_to_string e =
@@ -63,8 +80,8 @@ let failure_to_string = function
 (* [count_failures] lets {!request_expect} reuse the single-attempt body
    without its inner one-shot exhaustion being recorded as a terminal
    transport failure — only the outer loop's give-up counts. *)
-let request_counted ~count_failures ~policy ~seed ~on_retry ~clock transport
-    payload =
+let request_counted ?backoff_rng ~count_failures ~policy ~seed ~on_retry ~clock
+    transport payload =
   let rec go attempt =
     Ledger_obs.Metrics.incr "transport_attempts_total";
     let t0 = Clock.now clock in
@@ -93,18 +110,19 @@ let request_counted ~count_failures ~policy ~seed ~on_retry ~clock transport
         else begin
           Ledger_obs.Metrics.incr "transport_retries_total";
           on_retry ~attempt ~reason;
-          Clock.advance_ms clock (backoff_ms policy ~seed ~attempt);
+          Clock.advance_ms clock
+            (backoff_ms_drawn policy ~seed ~attempt ~backoff_rng);
           go (attempt + 1)
         end
   in
   go 1
 
-let request ?(policy = default_policy) ?(seed = 0)
+let request ?(policy = default_policy) ?(seed = 0) ?backoff_rng
     ?(on_retry = fun ~attempt:_ ~reason:_ -> ()) ~clock transport payload =
-  request_counted ~count_failures:true ~policy ~seed ~on_retry ~clock transport
-    payload
+  request_counted ?backoff_rng ~count_failures:true ~policy ~seed ~on_retry
+    ~clock transport payload
 
-let request_expect ?(policy = default_policy) ?(seed = 0)
+let request_expect ?(policy = default_policy) ?(seed = 0) ?backoff_rng
     ?(on_retry = fun ~attempt:_ ~reason:_ -> ()) ~clock ~decode transport
     payload =
   (* A response that decodes but has the wrong shape is indistinguishable
@@ -133,7 +151,7 @@ let request_expect ?(policy = default_policy) ?(seed = 0)
     else begin
       Ledger_obs.Metrics.incr "transport_retries_total";
       on_retry ~attempt ~reason;
-      Clock.advance_ms clock (backoff_ms policy ~seed ~attempt);
+      Clock.advance_ms clock (backoff_ms_drawn policy ~seed ~attempt ~backoff_rng);
       go (attempt + 1)
     end
   in

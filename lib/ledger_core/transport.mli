@@ -62,6 +62,7 @@ val failure_to_string : failure -> string
 val request :
   ?policy:policy ->
   ?seed:int ->
+  ?backoff_rng:(unit -> float) ->
   ?on_retry:(attempt:int -> reason:string -> unit) ->
   clock:Clock.t ->
   t ->
@@ -70,11 +71,16 @@ val request :
 (** Send [bytes], decode the response, retrying transient faults
     (transport {!Timeout}, undecodable bytes, responses slower than the
     policy's timeout) with backoff.  [on_retry] fires before each backoff
-    — clients use it to enter degraded mode. *)
+    — clients use it to enter degraded mode.  When [backoff_rng] is given
+    (a draw in [0,1], e.g. {!Ledger_fault.Faulty_transport.backoff_rng}
+    over the seeded fault-plan RNG), backoff jitter is drawn from it
+    instead of the internal (seed, attempt) mix, so one seed governs the
+    fault schedule {e and} the retry schedule. *)
 
 val request_expect :
   ?policy:policy ->
   ?seed:int ->
+  ?backoff_rng:(unit -> float) ->
   ?on_retry:(attempt:int -> reason:string -> unit) ->
   clock:Clock.t ->
   decode:(Service.response -> 'a option) ->

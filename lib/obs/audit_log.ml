@@ -10,6 +10,7 @@ type subject =
   | Commitment of int (* ledger size at verification time *)
   | Clue of string
   | Extension of { old_size : int; new_size : int }
+  | Fork_epoch of int
 
 type outcome =
   | Verified
@@ -47,6 +48,7 @@ let subject_to_string = function
   | Clue clue -> "clue:" ^ clue
   | Extension { old_size; new_size } ->
       Printf.sprintf "extension:%d->%d" old_size new_size
+  | Fork_epoch epoch -> Printf.sprintf "fork:%d" epoch
 
 let outcome_to_string = function
   | Verified -> "ok"

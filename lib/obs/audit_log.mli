@@ -13,6 +13,9 @@ type subject =
   | Clue of string  (** clue (label) completeness check *)
   | Extension of { old_size : int; new_size : int }
       (** append-only growth between two sizes *)
+  | Fork_epoch of int
+      (** non-equivocation gossip surfaced conflicting service-signed
+          super-roots for this epoch (always [Repudiated]) *)
 
 type outcome =
   | Verified

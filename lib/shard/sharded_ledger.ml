@@ -29,9 +29,16 @@ type t = {
   router : Shard_router.t;
   members : shard_state array;
   fleet_clock : Clock.t;
+  service_priv : Ecdsa.private_key;
+  service_pub : Ecdsa.public_key;
   mutable sealed_rev : Super_root.sealed list; (* newest first *)
   mutable sealed_count : int;
 }
+
+(* The fleet's own signing identity (epoch announcements): derived from
+   the base name like every other name-seeded key, and distinct from any
+   shard's LSP key. *)
+let service_keys base_name = Ecdsa.generate ~seed:("fleet:" ^ base_name)
 
 let create ?(config = default_config) ~clock () =
   if config.shards < 1 || config.shards > 1024 then
@@ -49,11 +56,14 @@ let create ?(config = default_config) ~clock () =
         Verify_cache.attach cache ledger;
         { ledger; clock = shard_clock; cache })
   in
+  let service_priv, service_pub = service_keys config.base.Ledger.name in
   {
     cfg = config;
     router = Shard_router.create ~shards:config.shards;
     members;
     fleet_clock = clock;
+    service_priv;
+    service_pub;
     sealed_rev = [];
     sealed_count = 0;
   }
@@ -73,6 +83,14 @@ let shard t i = (member_state t i).ledger
 let shard_clock t i = (member_state t i).clock
 let shard_cache t i = (member_state t i).cache
 let fleet_clock t = t.fleet_clock
+let shard_healthy t i = Ledger.store_healthy (member_state t i).ledger
+let service_public_key t = t.service_pub
+
+let replace_shard t i ~ledger ~clock =
+  ignore (member_state t i);
+  let cache = Verify_cache.create () in
+  Verify_cache.attach cache ledger;
+  t.members.(i) <- { ledger; clock; cache }
 
 let total_size t =
   Array.fold_left (fun acc m -> acc + Ledger.size m.ledger) 0 t.members
@@ -140,47 +158,92 @@ let advance_to clock target =
   let d = Int64.sub target (Clock.now clock) in
   if d > 0L then Clock.advance clock d
 
-let seal_epoch ?(pool = Domain_pool.default ()) t =
+type seal_policy = All_or_nothing | Degraded_skip
+
+(* What a Degraded_skip epoch records for an absent shard: its last
+   sealed root and size, or — if the shard never sealed — a
+   domain-separated placeholder over an empty history. *)
+let carried_entry t i =
+  match t.sealed_rev with
+  | s :: _ -> (s.Super_root.shard_roots.(i), s.Super_root.shard_sizes.(i))
+  | [] ->
+      (Hash.digest_string (Printf.sprintf "ledgerdb:carried-empty:%d" i), 0)
+
+let seal_epoch ?(pool = Domain_pool.default ()) ?(policy = All_or_nothing)
+    ?(skip = []) t =
   let sp = Trace.enter "super_root_seal" in
   Trace.attr_int sp "epoch" t.sealed_count;
-  let dead = ref [] in
+  let n = Array.length t.members in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg
+          (Printf.sprintf "Sharded_ledger.seal_epoch: skip shard %d out of range"
+             i))
+    skip;
+  (* a shard is absent when the supervisor says so ([skip]) or its store
+     probe fails; [skip] lets a quarantined shard be excluded without
+     touching it at all *)
+  let absent = Array.make n false in
+  List.iter (fun i -> absent.(i) <- true) skip;
   Array.iteri
-    (fun i m -> if not (Ledger.store_healthy m.ledger) then dead := i :: !dead)
+    (fun i m ->
+      if (not absent.(i)) && not (Ledger.store_healthy m.ledger) then
+        absent.(i) <- true)
     t.members;
+  let dead = ref [] in
+  Array.iteri (fun i a -> if a then dead := i :: !dead) absent;
+  let dead = List.rev !dead in
   let result =
-    match List.rev !dead with
-    | i :: _ ->
+    match (policy, dead) with
+    | All_or_nothing, i :: _ ->
         Metrics.incr "shard_seals_refused_total";
         Error
           (Printf.sprintf
              "seal refused: shard %d store unhealthy (no partial super-root)"
              i)
-    | [] -> (
+    | Degraded_skip, _ when List.length dead = n ->
+        Metrics.incr "shard_seals_refused_total";
+        Error "seal refused: every shard is unavailable (no quorum to carry)"
+    | (All_or_nothing | Degraded_skip), _ -> (
         try
-          (* per-shard seals fan out: each touches only its own shard;
-             a Sys_error raised inside a pooled task cancels the rest
-             and re-raises here, landing in the same refusal below *)
-          Domain_pool.parallel_for pool ~label:"shard_seal"
-            ~n:(Array.length t.members) (fun i ->
-              Ledger.seal_block t.members.(i).ledger);
-          (* the barrier: every clock — shards and coordinator — meets
-             at the fleet maximum *)
+          (* per-shard seals fan out, absent shards untouched: each task
+             touches only its own shard; a Sys_error raised inside a
+             pooled task cancels the rest and re-raises here, landing in
+             the same refusal below *)
+          Domain_pool.parallel_for pool ~label:"shard_seal" ~n (fun i ->
+              if not absent.(i) then Ledger.seal_block t.members.(i).ledger);
+          (* the barrier: every live clock — shards and coordinator —
+             meets at the fleet maximum.  Absent shards' clocks are left
+             alone; repair resynchronizes them on re-admission. *)
           let horizon =
             Array.fold_left
               (fun acc m -> max acc (Clock.now m.clock))
               (Clock.now t.fleet_clock) t.members
           in
           advance_to t.fleet_clock horizon;
-          Array.iter (fun m -> advance_to m.clock horizon) t.members;
+          Array.iteri
+            (fun i m -> if not absent.(i) then advance_to m.clock horizon)
+            t.members;
+          let presence =
+            Array.init n (fun i ->
+                if absent.(i) then Super_root.Carried else Super_root.Sealed)
+          in
           let sealed =
-            Super_root.seal ~epoch:t.sealed_count ~at:horizon
-              (Array.map
-                 (fun m -> (Ledger.commitment m.ledger, Ledger.size m.ledger))
-                 t.members)
+            Super_root.seal ~epoch:t.sealed_count ~at:horizon ~presence
+              (Array.init n (fun i ->
+                   if absent.(i) then carried_entry t i
+                   else
+                     let m = t.members.(i) in
+                     (Ledger.commitment m.ledger, Ledger.size m.ledger)))
           in
           t.sealed_rev <- sealed :: t.sealed_rev;
           t.sealed_count <- t.sealed_count + 1;
           Metrics.incr "shard_epochs_sealed_total";
+          if dead <> [] then begin
+            Metrics.incr "shard_epochs_degraded_total";
+            Metrics.incr "shard_roots_carried_total" ~by:(List.length dead)
+          end;
           Ok sealed
         with Sys_error msg ->
           Metrics.incr "shard_seals_refused_total";
@@ -203,6 +266,38 @@ let anchor_epoch t pool =
   | None -> invalid_arg "Sharded_ledger.anchor_epoch: no sealed epoch"
   | Some sealed ->
       Ledger_timenotary.Tsa.pool_endorse pool (Super_root.commitment sealed)
+
+(* --- signed epoch announcements (non-equivocation gossip) ------------------ *)
+
+let announce_sealed t (sealed : Super_root.sealed) =
+  Gossip.sign ~priv:t.service_priv ~ledger:t.cfg.base.Ledger.name
+    ~epoch:sealed.Super_root.epoch
+    ~super:(Super_root.commitment sealed)
+    ~sealed_at:sealed.Super_root.sealed_at
+
+let announce t = Option.map (announce_sealed t) (latest t)
+let announce_epoch t e = Option.map (announce_sealed t) (epoch t e)
+
+module Unsafe = struct
+  (* An equivocating service: mint a second validly signed announcement
+     for an already-sealed epoch whose super-root differs from the one
+     actually sealed.  Deterministic, so differential runs agree on the
+     forged root.  Gossip peers holding both announcements fold them
+     into self-verifying fork evidence. *)
+  let equivocate t ~epoch:e =
+    match epoch t e with
+    | None -> None
+    | Some sealed ->
+        let forged_super =
+          Hash.combine
+            (Super_root.commitment sealed)
+            (Hash.digest_string "ledgerdb:equivocation")
+        in
+        Some
+          (Gossip.sign ~priv:t.service_priv ~ledger:t.cfg.base.Ledger.name
+             ~epoch:e ~super:forged_super
+             ~sealed_at:sealed.Super_root.sealed_at)
+end
 
 (* --- cross-shard proofs ---------------------------------------------------- *)
 

@@ -66,6 +66,22 @@ val fleet_clock : t -> Clock.t
 val total_size : t -> int
 (** Sum of shard sizes. *)
 
+val shard_healthy : t -> int -> bool
+(** [Ledger.store_healthy] of the shard — the probe the supervisor and
+    the seal path share. *)
+
+val service_public_key : t -> Ecdsa.public_key
+(** The fleet service's announcement-signing key (seeded from
+    ["fleet:<base name>"]).  Gossip peers verify announcements — and
+    judge fork evidence — against this key alone. *)
+
+val replace_shard : t -> int -> ledger:Ledger.t -> clock:Clock.t -> unit
+(** Swap in a repaired shard kernel (rebuilt by
+    {!Ledger_core.Replica.pull_verbose} from a healthy replica) together
+    with the clock it was rebuilt on.  A fresh verdict cache is created
+    and attached; the old shard state is dropped.
+    @raise Invalid_argument if out of range. *)
+
 val new_member :
   t -> name:string -> role:Roles.role -> Roles.member * Ecdsa.private_key
 (** One keypair (seeded from the {e base} name, as the unsharded ledger
@@ -101,15 +117,34 @@ val append_batch :
 
 (** {1 Epoch sealing} *)
 
+type seal_policy =
+  | All_or_nothing
+      (** any absent shard refuses the whole seal — no partial
+          super-root is ever recorded (the original, default policy) *)
+  | Degraded_skip
+      (** absent shards are carried: the epoch seals with their last
+          sealed root and size under a [Carried] presence flag, so the
+          fleet stays live while the skip remains verifiable in every
+          inclusion proof.  Refused only when {e every} shard is
+          absent. *)
+
 val seal_epoch :
-  ?pool:Ledger_par.Domain_pool.t -> t -> (Super_root.sealed, string) result
+  ?pool:Ledger_par.Domain_pool.t ->
+  ?policy:seal_policy ->
+  ?skip:int list ->
+  t ->
+  (Super_root.sealed, string) result
 (** Seal every shard's trailing block (fanned out across [pool]),
-    synchronize the fleet clocks and commit the epoch super-root.
-    {e All-or-nothing}: every shard's store is probed first and any dead
-    shard ([not Ledger.store_healthy]) refuses the whole seal with an
-    error naming the shard — no partial super-root is ever recorded.  A
-    store failure surfacing mid-seal inside a pooled task yields the
-    same refused verdict as the sequential path. *)
+    synchronize the fleet clocks and commit the epoch super-root.  A
+    shard is {e absent} when it is listed in [skip] (the supervisor's
+    quarantine set — excluded without touching it) or when its store
+    probe fails ([not Ledger.store_healthy]).  Under the default
+    [All_or_nothing] policy any absent shard refuses the whole seal with
+    an error naming the shard; under [Degraded_skip] absent shards are
+    carried forward (see {!seal_policy}) and their clocks are left
+    untouched.  A store failure surfacing mid-seal inside a pooled task
+    yields the same refused verdict as the sequential path.
+    @raise Invalid_argument if a [skip] index is out of range. *)
 
 val epochs : t -> Super_root.sealed list
 (** Oldest first. *)
@@ -123,6 +158,25 @@ val anchor_epoch : t -> Ledger_timenotary.Tsa.pool -> Ledger_timenotary.Tsa.toke
 (** One TSA endorsement covers the fleet: the token signs the latest
     epoch's {!Super_root.commitment}.
     @raise Invalid_argument when no epoch has been sealed. *)
+
+(** {1 Signed epoch announcements} *)
+
+val announce : t -> Gossip.announcement option
+(** The service-signed announcement of the latest sealed epoch — what
+    the service publishes to gossip peers.  [None] before any seal. *)
+
+val announce_epoch : t -> int -> Gossip.announcement option
+(** Announcement for a specific sealed epoch. *)
+
+(** Test-only adversarial entry points. *)
+module Unsafe : sig
+  val equivocate : t -> epoch:int -> Gossip.announcement option
+  (** Behave as a forking service: mint a {e second} validly signed
+      announcement for an already-sealed epoch whose super-root is a
+      deterministic perturbation of the real one.  Feeding this and the
+      honest announcement to any {!Gossip} peer yields self-verifying
+      fork evidence.  [None] if the epoch was never sealed. *)
+end
 
 (** {1 Cross-shard proofs} *)
 

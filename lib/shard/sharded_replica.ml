@@ -12,14 +12,18 @@ type fleet = {
 
 type error =
   | Topology of string
+  | Fleet_transport of Transport.error
   | Shard of { shard : int; error : Replica.error }
   | Super_root_mismatch of string
+  | Equivocation of Gossip.fork_evidence
 
 let error_to_string = function
   | Topology msg -> "topology: " ^ msg
+  | Fleet_transport e -> Transport.error_to_string e
   | Shard { shard; error } ->
       Printf.sprintf "shard %d: %s" shard (Replica.error_to_string error)
   | Super_root_mismatch msg -> "super-root mismatch: " ^ msg
+  | Equivocation ev -> Gossip.fork_to_string ev
 
 let shard_transport transport shard : Transport.t =
  fun req ->
@@ -39,9 +43,26 @@ let shard_transport transport shard : Transport.t =
 (* One fleet-level request outside the Replica machinery.  Transport's
    typed retry loop decodes Service responses, not sharded frames, so
    the same policy (attempts, backoff against the simulated clock) is
-   replayed here at the raw byte level. *)
-let fleet_request ~transport ~policy ~clock req =
+   replayed here at the raw byte level.  Exhaustion is a typed
+   {!Transport.error} carrying the attempt count — never the last raw
+   failure string alone. *)
+let fleet_request ?backoff_rng ~transport ~policy ~clock req =
   let max_attempts = max 1 policy.Transport.max_attempts in
+  let backoff ~attempt =
+    match backoff_rng with
+    | None -> Transport.backoff_ms policy ~seed:0 ~attempt
+    | Some rng ->
+        let exp =
+          policy.Transport.base_backoff_ms
+          *. (2. ** float_of_int (max 0 (attempt - 1)))
+        in
+        let unit_f = Float.max 0. (Float.min 1. (rng ())) in
+        let factor =
+          if policy.Transport.jitter <= 0. then 1.
+          else 1. -. (policy.Transport.jitter *. unit_f)
+        in
+        Float.min policy.Transport.max_backoff_ms exp *. factor
+  in
   let rec go attempt =
     let outcome =
       match transport req with
@@ -54,10 +75,11 @@ let fleet_request ~transport ~policy ~clock req =
     match outcome with
     | Ok r -> Ok r
     | Error _ when attempt < max_attempts ->
-        Clock.advance_ms clock (Transport.backoff_ms policy ~seed:0 ~attempt);
+        Clock.advance_ms clock (backoff ~attempt);
         go (attempt + 1)
-    | Error msg ->
-        Error (Printf.sprintf "%s (after %d attempts)" msg attempt)
+    | Error reason ->
+        Metrics.incr "transport_failures_total";
+        Error { Transport.attempts = attempt; reason }
   in
   go 1
 
@@ -95,16 +117,44 @@ let validate_fleet ~announced (replicas : Ledger.t array) =
         match !bad with Some msg -> Error msg | None -> Ok (Some sealed)
       end
 
+(* Fetch the service's signed announcement for the pulled epoch and fold
+   it into the gossip peer.  Forked evidence fails the pull — a fleet
+   whose service is provably equivocating is refused, not returned.
+   Announcement fetch failures are non-fatal (gossip is best-effort);
+   a missing announcement for a sealed epoch is suspicious but the
+   super-root validation above already bound the bytes. *)
+let gossip_check ?backoff_rng ~transport ~policy ~clock ~gossip
+    (super : Super_root.sealed option) =
+  match (gossip, super) with
+  | None, _ | _, None -> Ok ()
+  | Some peer, Some sealed -> (
+      match
+        fleet_request ?backoff_rng ~transport ~policy ~clock
+          Sharded_service.(
+            encode_request
+              (Get_announcement { epoch = Some sealed.Super_root.epoch }))
+      with
+      | Error _ | Ok (Sharded_service.Error_r _) -> Ok ()
+      | Ok (Sharded_service.Announcement_r None) -> Ok ()
+      | Ok (Sharded_service.Announcement_r (Some ann)) -> (
+          match Gossip.observe peer ann with
+          | Gossip.Forked ev -> Error (Equivocation ev)
+          | Gossip.Fresh | Gossip.Confirmed | Gossip.Rejected _ -> Ok ())
+      | Ok _ -> Ok ())
+
 let pull_all ~transport ?(policy = Transport.default_policy) ?config
-    ?(resume = true) ?(pool = Ledger_par.Domain_pool.default ()) ~clock
-    ~scratch_dir () =
+    ?(resume = true) ?(pool = Ledger_par.Domain_pool.default ()) ?gossip
+    ?backoff_rng ~clock ~scratch_dir () =
   let sp = Trace.enter "sharded_replica.pull_all" in
   let finish r =
     Trace.exit sp;
     r
   in
-  match fleet_request ~transport ~policy ~clock Sharded_service.(encode_request Get_topology) with
-  | Error msg -> finish (Error (Topology msg))
+  match
+    fleet_request ?backoff_rng ~transport ~policy ~clock
+      Sharded_service.(encode_request Get_topology)
+  with
+  | Error e -> finish (Error (Fleet_transport e))
   | Ok (Sharded_service.Error_r msg) -> finish (Error (Topology msg))
   | Ok (Sharded_service.Topology_r { name; shards }) -> (
       let cfg =
@@ -161,16 +211,22 @@ let pull_all ~transport ?(policy = Transport.default_policy) ?config
             let replicas = Array.map Option.get replicas in
             let stats = Array.map Option.get stats in
             match
-              fleet_request ~transport ~policy ~clock
+              fleet_request ?backoff_rng ~transport ~policy ~clock
                 Sharded_service.(encode_request (Get_super_root { epoch = None }))
             with
-            | Error msg -> finish (Error (Topology msg))
+            | Error e -> finish (Error (Fleet_transport e))
             | Ok (Sharded_service.Error_r msg) -> finish (Error (Topology msg))
             | Ok (Sharded_service.Super_root_r announced) -> (
                 match validate_fleet ~announced replicas with
                 | Error msg -> finish (Error (Super_root_mismatch msg))
-                | Ok super ->
-                    finish (Ok { name; shards = replicas; super; stats }))
+                | Ok super -> (
+                    match
+                      gossip_check ?backoff_rng ~transport ~policy ~clock
+                        ~gossip super
+                    with
+                    | Error e -> finish (Error e)
+                    | Ok () ->
+                        finish (Ok { name; shards = replicas; super; stats })))
             | Ok _ ->
                 finish (Error (Topology "unexpected super-root response")))
       end)

@@ -28,10 +28,17 @@ type fleet = {
 
 type error =
   | Topology of string  (** topology discovery failed or mismatched *)
+  | Fleet_transport of Transport.error
+      (** a fleet-level request exhausted its retries: typed, carrying
+          the attempt count — never just the last raw failure *)
   | Shard of { shard : int; error : Replica.error }
       (** one shard's pull failed (earlier shards' stages survive) *)
   | Super_root_mismatch of string
       (** the pulled fleet does not reproduce the announced super-root *)
+  | Equivocation of Gossip.fork_evidence
+      (** the service's signed announcement for the pulled epoch
+          conflicts with one the gossip peer already holds — the fleet
+          is refused and the self-verifying evidence returned *)
 
 val error_to_string : error -> string
 
@@ -47,6 +54,8 @@ val pull_all :
   ?config:Sharded_ledger.config ->
   ?resume:bool ->
   ?pool:Ledger_par.Domain_pool.t ->
+  ?gossip:Gossip.t ->
+  ?backoff_rng:(unit -> float) ->
   clock:Clock.t ->
   scratch_dir:string ->
   unit ->
@@ -59,4 +68,12 @@ val pull_all :
     [pool] feeds each shard's {!Replica.pull_verbose} π_c pre-check.
     Shard staging itself is sequential by design: every shard shares the
     one fleet transport (whose retry/backoff policy is seeded and
-    deterministic) and the one simulated clock. *)
+    deterministic) and the one simulated clock.
+
+    With [gossip], the service's signed announcement for the pulled
+    epoch is fetched and folded into the peer: conflicting announcements
+    refuse the whole pull with {!error.Equivocation} (announcement fetch
+    failures are non-fatal — the super-root bytes were already
+    validated).  [backoff_rng] threads a jitter source (e.g.
+    {!Ledger_fault.Faulty_transport.backoff_rng}) into the fleet-level
+    retry loops, so one seed replays faults and retry timing. *)

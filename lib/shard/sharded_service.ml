@@ -9,6 +9,7 @@ type request =
   | Seal_epoch
   | Get_super_root of { epoch : int option }
   | Get_sharded_proof of { shard : int; jsn : int }
+  | Get_announcement of { epoch : int option }
 
 type response =
   | From_shard of { shard : int; inner : bytes }
@@ -16,6 +17,7 @@ type response =
   | Sealed_r of Super_root.sealed
   | Super_root_r of Super_root.sealed option
   | Sharded_proof_r of Sharded_ledger.sharded_proof
+  | Announcement_r of Gossip.announcement option
   | Error_r of string
 
 let encode_request req =
@@ -36,7 +38,10 @@ let encode_request req =
   | Get_sharded_proof { shard; jsn } ->
       Wire.w_u8 w 6;
       Wire.w_int w shard;
-      Wire.w_int w jsn);
+      Wire.w_int w jsn
+  | Get_announcement { epoch } ->
+      Wire.w_u8 w 7;
+      Wire.w_option w (Wire.w_int w) epoch);
   Wire.contents w
 
 let decode_request b =
@@ -54,6 +59,8 @@ let decode_request b =
           let shard = Wire.r_int r in
           let jsn = Wire.r_int r in
           Get_sharded_proof { shard; jsn }
+      | 7 ->
+          Get_announcement { epoch = Wire.r_option r (fun () -> Wire.r_int r) }
       | _ -> raise Wire.Corrupt)
 
 let encode_response resp =
@@ -78,7 +85,10 @@ let encode_response resp =
       Wire.w_option w (Super_root.w_sealed w) sealed
   | Sharded_proof_r proof ->
       Wire.w_u8 w 5;
-      Sharded_ledger.w_sharded_proof w proof);
+      Sharded_ledger.w_sharded_proof w proof
+  | Announcement_r ann ->
+      Wire.w_u8 w 6;
+      Wire.w_option w (Gossip.w_announcement w) ann);
   Wire.contents w
 
 let decode_response b =
@@ -97,6 +107,8 @@ let decode_response b =
       | 4 ->
           Super_root_r (Wire.r_option r (fun () -> Super_root.r_sealed r))
       | 5 -> Sharded_proof_r (Sharded_ledger.r_sharded_proof r)
+      | 6 ->
+          Announcement_r (Wire.r_option r (fun () -> Gossip.r_announcement r))
       | _ -> raise Wire.Corrupt)
 
 (* The owning shard of an encoded append request, by the public
@@ -155,6 +167,10 @@ let dispatch t = function
         match Sharded_ledger.prove t ~shard ~jsn with
         | Ok proof -> Sharded_proof_r proof
         | Error msg -> Error_r msg)
+  | Get_announcement { epoch } -> (
+      match epoch with
+      | None -> Announcement_r (Sharded_ledger.announce t)
+      | Some e -> Announcement_r (Sharded_ledger.announce_epoch t e))
 
 let handle t b =
   Metrics.incr "sharded_service_requests_total";
@@ -206,6 +222,9 @@ module Client = struct
 
   let make_get_sharded_proof ~shard ~jsn =
     encode_request (Get_sharded_proof { shard; jsn })
+
+  let make_get_announcement ?epoch () =
+    encode_request (Get_announcement { epoch })
 
   let parse = decode_response
 

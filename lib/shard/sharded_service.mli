@@ -26,6 +26,9 @@ type request =
   | Seal_epoch
   | Get_super_root of { epoch : int option }  (** [None] = latest *)
   | Get_sharded_proof of { shard : int; jsn : int }
+  | Get_announcement of { epoch : int option }
+      (** the service-signed epoch announcement ([None] = latest) —
+          gossip peers cross-check these for equivocation *)
 
 type response =
   | From_shard of { shard : int; inner : bytes }
@@ -34,6 +37,7 @@ type response =
   | Sealed_r of Super_root.sealed
   | Super_root_r of Super_root.sealed option
   | Sharded_proof_r of Sharded_ledger.sharded_proof
+  | Announcement_r of Gossip.announcement option
   | Error_r of string
 
 val encode_request : request -> bytes
@@ -77,6 +81,7 @@ module Client : sig
   val make_seal_epoch : unit -> bytes
   val make_get_super_root : ?epoch:int -> unit -> bytes
   val make_get_sharded_proof : shard:int -> jsn:int -> bytes
+  val make_get_announcement : ?epoch:int -> unit -> bytes
 
   val parse : bytes -> response option
 

@@ -23,6 +23,7 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("replica", Test_replica.suite);
       ("faults", Test_faults.suite);
+      ("survivability", Test_survivability.suite);
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
       ("par", Test_par.suite);

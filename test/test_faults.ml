@@ -287,6 +287,166 @@ let test_stream_store_chaos () =
            = Stream_store.length s'))
     [ 101; 102; 103; 104; 105; 106 ]
 
+(* helpers for surgical damage: whole-file images in and out *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Double fault: a torn tail AND a corrupted interior record in the same
+   log.  Recovery must report the graver damage class, stop at the last
+   record before the corruption (not merely before the tear), and still
+   hand back only byte-faithful records. *)
+let test_recover_torn_plus_corrupt () =
+  let dir = fresh_dir () in
+  let store = Stream_store.create ~dir () in
+  let s = Stream_store.stream store "df" in
+  let payload i = Printf.sprintf "double-fault-record-%02d" i in
+  for i = 0 to 15 do
+    ignore (Stream_store.append s (Bytes.of_string (payload i)))
+  done;
+  Stream_store.persist store;
+  let path = Filename.concat dir "df.log" in
+  let image = read_file path in
+  (* flip one payload byte inside record 5, then tear the tail off *)
+  let off =
+    match find_sub image (payload 5) with
+    | Some o -> o
+    | None -> Alcotest.fail "record 5 not found in the log image"
+  in
+  let b = Bytes.of_string image in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+  let torn = Bytes.sub b 0 (Bytes.length b - 5) in
+  write_file path (Bytes.to_string torn);
+  let recovered, reports = Stream_store.recover ~dir () in
+  let r =
+    match reports with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "expected one recovery report"
+  in
+  (* the corruption dominates the tear in the report *)
+  Alcotest.(check bool) "graver damage class reported" true
+    (r.Stream_store.damage = Stream_store.Corrupt_record);
+  Alcotest.(check int) "stopped before the corrupt record" 5
+    r.Stream_store.recovered_upto;
+  Alcotest.(check bool) "both faults' bytes accounted for" true
+    (r.Stream_store.dropped_bytes > 0);
+  let s' = Stream_store.stream recovered "df" in
+  Alcotest.(check int) "recovered length" 5 (Stream_store.length s');
+  for i = 0 to 4 do
+    Alcotest.(check string)
+      (Printf.sprintf "record %d intact" i)
+      (payload i)
+      (Bytes.to_string (Stream_store.read s' i))
+  done;
+  (* both faults were truncated off disk in one pass *)
+  let again, reports2 = Stream_store.recover ~dir () in
+  let r2 = List.hd reports2 in
+  Alcotest.(check bool) "second recover clean" true
+    (r2.Stream_store.damage = Stream_store.Intact);
+  Alcotest.(check int) "clean length stable" 5
+    (Stream_store.length (Stream_store.stream again "df"))
+
+(* Generation mismatch: the snapshot metadata and the journal log come
+   from different saves of the same ledger.  Every splice must refuse —
+   strict and recovering alike — because a clean-framed log that
+   disagrees with its metadata is evidence of tampering or a botched
+   restore, not a crash.  A stale log that is ALSO torn may recover, but
+   only as a flagged partial prefix of the stale generation. *)
+let test_snapshot_log_generation_mismatch () =
+  let clock, ledger, config, (tl, pool), (user, key) = build_ledger () in
+  let dir_old = fresh_dir () in
+  Ledger.save ledger ~dir:dir_old;
+  let old_size = Ledger.size ledger in
+  for i = 0 to 7 do
+    Clock.advance_ms clock 50.;
+    ignore
+      (Ledger.append ledger ~member:user ~priv:key
+         ~clues:[ "gen" ^ string_of_int (i mod 2) ]
+         (Bytes.of_string (Printf.sprintf "newer %d" i)))
+  done;
+  Clock.advance_ms clock 1100.;
+  (match Ledger.anchor_via_t_ledger ledger with
+  | Ok _ -> ()
+  | Error _ -> assert false);
+  Ledger.seal_block ledger;
+  let dir_new = fresh_dir () in
+  Ledger.save ledger ~dir:dir_new;
+  let old_log = read_file (Filename.concat dir_old "journals.ldb") in
+  let new_log = read_file (Filename.concat dir_new "journals.ldb") in
+  Alcotest.(check bool) "generations actually differ" true
+    (String.length new_log > String.length old_log);
+  let refuses label dir =
+    (match Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir () with
+    | Ok _ -> Alcotest.failf "%s: strict load accepted the splice" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: strict refusal has a diagnostic" label)
+          true
+          (String.length msg > 0));
+    match
+      Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true ~clock
+        ~dir ()
+    with
+    | Ok _ -> Alcotest.failf "%s: recovering load accepted the splice" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: recover refusal has a diagnostic" label)
+          true
+          (String.length msg > 0)
+  in
+  (* stale log under the new metadata: fewer journals than declared *)
+  write_file (Filename.concat dir_new "journals.ldb") old_log;
+  refuses "stale log under new meta" dir_new;
+  (* newer log under the old metadata: more journals than declared *)
+  write_file (Filename.concat dir_old "journals.ldb") new_log;
+  refuses "new log under old meta" dir_old;
+  (* stale AND torn: the tear flags the load as partial, so recovery may
+     return the faithful stale prefix — but never silently, and never
+     more than the stale generation held *)
+  let dir_torn = fresh_dir () in
+  Ledger.save ledger ~dir:dir_torn;
+  write_file
+    (Filename.concat dir_torn "journals.ldb")
+    (String.sub old_log 0 (String.length old_log - 7));
+  (match Ledger.load ~config ~t_ledger:tl ~tsa:pool ~clock ~dir:dir_torn () with
+  | Ok _ -> Alcotest.fail "stale+torn: strict load accepted"
+  | Error _ -> ());
+  match
+    Ledger.load_verbose ~config ~t_ledger:tl ~tsa:pool ~recover:true ~clock
+      ~dir:dir_torn ()
+  with
+  | Error msg ->
+      Alcotest.(check bool) "stale+torn: refusal has a diagnostic" true
+        (String.length msg > 0)
+  | Ok (restored, report) ->
+      Alcotest.(check bool) "stale+torn: flagged, never silent" true
+        (report.Ledger.torn_tail && report.Ledger.checkpoint = `Partial);
+      Alcotest.(check bool) "stale+torn: at most the stale generation" true
+        (report.Ledger.replayed <= old_size);
+      for jsn = 0 to report.Ledger.replayed - 1 do
+        let got = Option.map Bytes.to_string (Ledger.payload restored jsn) in
+        let want = Option.map Bytes.to_string (Ledger.payload ledger jsn) in
+        if got <> want then
+          Alcotest.failf "stale+torn: jsn %d silently altered" jsn
+      done
+
 (* -------------------------------------------------------------------- *)
 (* Transport chaos: a flaky network delays the pull, never poisons it.  *)
 (* -------------------------------------------------------------------- *)
@@ -578,6 +738,10 @@ let suite =
     tc "batch flush crash: pooled verdicts match" `Slow
       test_batch_flush_crash_pooled_matches;
     tc "stream store chaos" `Quick test_stream_store_chaos;
+    tc "recover: torn tail + corrupt interior" `Quick
+      test_recover_torn_plus_corrupt;
+    tc "snapshot/log generation mismatch" `Quick
+      test_snapshot_log_generation_mismatch;
     tc "flaky pull converges" `Slow test_flaky_pull_converges;
     tc "resumable pull" `Slow test_resumable_pull;
     tc "poisoned stage heals" `Slow test_poisoned_stage_heals;

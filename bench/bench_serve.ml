@@ -1,0 +1,146 @@
+(* Serving-layer bench: a real multi-domain socket server driven by the
+   verifying load harness over loopback.
+
+   Unlike every other bench in this harness, nothing here runs on the
+   simulated clock: frames cross real kernel sockets, latencies are
+   wall-clock microseconds, and the percentiles are exact (sorted
+   sample, not bucketed).  The run is still self-checking — every
+   receipt signature, fam proof, whole-clue lineage proof and replica
+   pull is verified by the clients, and the bench fails hard on any
+   cryptographic mismatch, any abandoned op, or disordered
+   percentiles — so the numbers it reports are for traffic that was
+   actually proven correct.
+
+   Smoke sizes (CI): 10⁴ logical clients over 8 connections, a few
+   thousand mixed ops, one concurrent replica pull.  Full sizes push
+   the logical-client population to 10⁵ and the op count to 2·10⁴. *)
+
+open Ledger_storage
+open Ledger_core
+open Ledger_net
+open Ledger_bench_util
+
+let build_server ~members ~seed_entries ~workers =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "bench-serve";
+      crypto = Crypto_profile.default_simulated }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  (* members c0..cN-1 have name-derived keys, so the load harness can
+     reconstruct every credential from the membership list alone *)
+  for i = 0 to members - 1 do
+    ignore
+      (Ledger.new_member ledger
+         ~name:(Printf.sprintf "c%d" i)
+         ~role:Roles.Regular_user)
+  done;
+  let m, k = Ledger.new_member ledger ~name:"seeder" ~role:Roles.Regular_user in
+  for i = 0 to seed_entries - 1 do
+    Clock.advance_ms clock 5.;
+    ignore
+      (Ledger.append ledger ~member:m ~priv:k
+         ~clues:[ "seed-" ^ string_of_int (i mod 4) ]
+         (Bytes.of_string (Printf.sprintf "seed %d" i)))
+  done;
+  ( Net_server.create
+      ~config:{ Net_server.default_config with port = 0; workers }
+      (Service.handle ledger),
+    config )
+
+let gate cond msg = if not cond then failwith ("bench_serve: " ^ msg)
+
+let run ?(smoke = false) ?json () =
+  let clients = if smoke then 10_000 else 100_000 in
+  let ops = if smoke then 2_000 else 20_000 in
+  let connections = 8 and workers = 4 in
+  Table.print_title
+    (Printf.sprintf
+       "Serving layer: %d logical verifying clients over %d connections, %d \
+        mixed ops (loopback TCP)"
+       clients connections ops);
+  let server, served_config = build_server ~members:64 ~seed_entries:8 ~workers in
+  let r =
+    Load_gen.run
+      {
+        Load_gen.default_config with
+        port = Net_server.port server;
+        logical_clients = clients;
+        connections;
+        total_ops = ops;
+        pulls = 1;
+        crypto = served_config.Ledger.crypto;
+        ledger_config = Some served_config;
+      }
+  in
+  Net_server.stop server;
+  let s = Net_server.stats server in
+  (* the bench is a checker first: any unverified or abandoned traffic
+     voids the numbers *)
+  gate (r.Load_gen.verify_failures = 0) "cryptographic verification failed";
+  gate (r.Load_gen.transport_failures = 0) "ops abandoned or refused";
+  gate (r.Load_gen.pulls_failed = 0) "replica pull failed";
+  gate (r.Load_gen.ops = ops) "op budget not fully spent";
+  gate (r.Load_gen.pulls_ok = 1) "replica pull did not complete";
+  gate (r.Load_gen.tps > 0.) "non-positive throughput";
+  gate
+    (r.Load_gen.p50_us <= r.Load_gen.p95_us
+    && r.Load_gen.p95_us <= r.Load_gen.p99_us
+    && r.Load_gen.p99_us <= r.Load_gen.max_us)
+    "percentiles out of order";
+  gate (s.Net_server.framing_errors = 0) "server saw framing errors";
+  Table.print_table
+    ~header:[ "metric"; "value" ]
+    [
+      [ "ops (append/verify/lineage)";
+        Printf.sprintf "%d (%d/%d/%d)" r.Load_gen.ops r.Load_gen.appends
+          r.Load_gen.verifies r.Load_gen.lineages ];
+      [ "replica pulls"; Printf.sprintf "%d ok" r.Load_gen.pulls_ok ];
+      [ "sustained"; Printf.sprintf "%s ops/s" (Table.human_rate r.Load_gen.tps) ];
+      [ "p50 / p95 / p99 (ms)";
+        Printf.sprintf "%s / %s / %s"
+          (Table.human_ms (r.Load_gen.p50_us /. 1000.))
+          (Table.human_ms (r.Load_gen.p95_us /. 1000.))
+          (Table.human_ms (r.Load_gen.p99_us /. 1000.)) ];
+      [ "p99.9 / max (ms)";
+        Printf.sprintf "%s / %s"
+          (Table.human_ms (r.Load_gen.p999_us /. 1000.))
+          (Table.human_ms (r.Load_gen.max_us /. 1000.)) ];
+      [ "server"; Printf.sprintf "%d conns accepted, %d requests served"
+          s.Net_server.accepted s.Net_server.served ];
+    ];
+  match json with
+  | None -> ()
+  | Some path ->
+      let open Json_out in
+      write_file path
+        (Obj
+           [
+             ("figure", Str "serve");
+             ("logical_clients", Int r.Load_gen.logical_clients);
+             ("connections", Int r.Load_gen.connections);
+             ("ops", Int r.Load_gen.ops);
+             ("appends", Int r.Load_gen.appends);
+             ("verifies", Int r.Load_gen.verifies);
+             ("lineages", Int r.Load_gen.lineages);
+             ("pulls_ok", Int r.Load_gen.pulls_ok);
+             ("transport_failures", Int r.Load_gen.transport_failures);
+             ("verify_failures", Int r.Load_gen.verify_failures);
+             ("duration_s", Float r.Load_gen.duration_s);
+             ("tps", Float r.Load_gen.tps);
+             ("mean_us", Float r.Load_gen.mean_us);
+             ("p50_us", Float r.Load_gen.p50_us);
+             ("p95_us", Float r.Load_gen.p95_us);
+             ("p99_us", Float r.Load_gen.p99_us);
+             ("p999_us", Float r.Load_gen.p999_us);
+             ("max_us", Float r.Load_gen.max_us);
+             ( "server",
+               Obj
+                 [
+                   ("accepted", Int s.Net_server.accepted);
+                   ("refused", Int s.Net_server.refused);
+                   ("served", Int s.Net_server.served);
+                   ("framing_errors", Int s.Net_server.framing_errors);
+                 ] );
+           ]);
+      Printf.printf "wrote %s\n" path

@@ -19,7 +19,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|recover|all]\n\
+     [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|recover|serve|all]\n\
     \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
@@ -85,6 +85,7 @@ let () =
     | "shard" | "shards" -> Bench_shard.run ~smoke ?json:(json "shard") ()
     | "par" | "multicore" -> Bench_par.run ~smoke ?json:(json "par") ()
     | "recover" | "repair" -> Bench_recover.run ~smoke ?json:(json "recover") ()
+    | "serve" | "net" -> Bench_serve.run ~smoke ?json:(json "serve") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
@@ -99,7 +100,8 @@ let () =
         Bench_batch.run ~smoke ();
         Bench_shard.run ~smoke ();
         Bench_par.run ~smoke ();
-        Bench_recover.run ~smoke ()
+        Bench_recover.run ~smoke ();
+        Bench_serve.run ~smoke ()
     | other ->
         Printf.printf "unknown target: %s\n" other;
         usage ()

@@ -8,6 +8,8 @@
      stats    instrumented run: metrics dump, trace, verification coverage
      health   survivability walkthrough: quarantine, degraded seal, repair,
               and (with --equivocate) gossip fork evidence
+     serve    serve the wire protocol on a real TCP socket (multi-domain)
+     load     drive a serving endpoint with verifying load clients
    Run `ledgerdb_cli <cmd> --help` for options. *)
 
 open Cmdliner
@@ -15,6 +17,7 @@ open Ledger_crypto
 open Ledger_storage
 open Ledger_core
 open Ledger_timenotary
+open Ledger_net
 
 (* --- demo ------------------------------------------------------------------ *)
 
@@ -740,11 +743,270 @@ let health_cmd =
              self-repair, fork evidence")
     Term.(const run_health $ shards $ journals $ equivocate)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+(* Serve the wire protocol on a real socket.  Members c0..c<N-1> are
+   pre-registered with name-derived keys, so a load generator (or any
+   client knowing the ledger name) can reconstruct its credentials
+   without any out-of-band exchange. *)
+let run_serve host port workers name members seed_entries shards real_crypto
+    duration =
+  let module Obs = Ledger_obs.Obs in
+  let clock = Clock.create () in
+  Obs.reset ();
+  Obs.enable ();
+  let crypto =
+    if real_crypto then Crypto_profile.Real
+    else Crypto_profile.default_simulated
+  in
+  let backend, describe =
+    if shards > 1 then begin
+      let module SL = Ledger_shard.Sharded_ledger in
+      let config =
+        { SL.base = { Ledger.default_config with name; crypto }; shards }
+      in
+      let fleet = SL.create ~config ~clock () in
+      for i = 0 to members - 1 do
+        ignore
+          (SL.new_member fleet
+             ~name:(Printf.sprintf "c%d" i)
+             ~role:Roles.Regular_user)
+      done;
+      let m, k = SL.new_member fleet ~name:"seeder" ~role:Roles.Regular_user in
+      for i = 0 to seed_entries - 1 do
+        ignore
+          (SL.append fleet ~member:m ~priv:k
+             ~clues:[ "seed-" ^ string_of_int (i mod 4) ]
+             (Bytes.of_string (Printf.sprintf "seed %d" i)))
+      done;
+      if seed_entries > 0 then
+        (match SL.seal_epoch fleet with Ok _ -> () | Error _ -> ());
+      ( Ledger_shard.Sharded_service.handle fleet,
+        fun () ->
+          Printf.sprintf "sharded fleet '%s' (%d shards, %d journals)" name
+            shards (SL.total_size fleet) )
+    end
+    else begin
+      let config = { Ledger.default_config with name; crypto } in
+      let ledger = Ledger.create ~config ~clock () in
+      for i = 0 to members - 1 do
+        ignore
+          (Ledger.new_member ledger
+             ~name:(Printf.sprintf "c%d" i)
+             ~role:Roles.Regular_user)
+      done;
+      let m, k =
+        Ledger.new_member ledger ~name:"seeder" ~role:Roles.Regular_user
+      in
+      for i = 0 to seed_entries - 1 do
+        Clock.advance_ms clock 5.;
+        ignore
+          (Ledger.append ledger ~member:m ~priv:k
+             ~clues:[ "seed-" ^ string_of_int (i mod 4) ]
+             (Bytes.of_string (Printf.sprintf "seed %d" i)))
+      done;
+      ( Service.handle ledger,
+        fun () ->
+          Printf.sprintf "ledger '%s' (%d journals)" name (Ledger.size ledger)
+      )
+    end
+  in
+  let server =
+    Net_server.create
+      ~config:{ Net_server.default_config with host; port; workers }
+      backend
+  in
+  Net_server.install_signal_handlers server;
+  Printf.printf
+    "serving %s on %s:%d — %d worker domains, %d derivable members\n\
+     (profile: %s; stop with SIGINT/SIGTERM%s)\n\
+     %!"
+    (describe ()) host (Net_server.port server) workers members
+    (if real_crypto then "real ECDSA" else "simulated")
+    (match duration with
+    | Some d -> Printf.sprintf ", or automatically after %.0fs" d
+    | None -> "");
+  (match duration with
+  | Some d ->
+      Unix.sleepf d;
+      Net_server.stop server
+  | None ->
+      while Net_server.running server do
+        Unix.sleepf 0.25
+      done);
+  (* the signal handler may have initiated the stop; finish the drain *)
+  Net_server.stop server;
+  let s = Net_server.stats server in
+  Printf.printf
+    "drained: served %s, %d connections accepted (%d refused), %d framing \
+     errors\n"
+    (describe ()) s.Net_server.accepted s.Net_server.refused
+    s.Net_server.framing_errors;
+  Obs.disable ();
+  0
+
+let serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int 7878
+         & info [ "port" ] ~doc:"TCP port (0 picks an ephemeral one).")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Accept/serve domains.")
+  in
+  let lname =
+    Arg.(value & opt string "served"
+         & info [ "name" ]
+             ~doc:"Ledger name; member and LSP keys derive from it, so a \
+                   load generator needs nothing else to reconstruct \
+                   credentials.")
+  in
+  let members =
+    Arg.(value & opt int 64
+         & info [ "members" ] ~docv:"N"
+             ~doc:"Pre-registered members c0..c$(docv)-1 with name-derived \
+                   keys.")
+  in
+  let seed_entries =
+    Arg.(value & opt int 8
+         & info [ "seed" ] ~docv:"N" ~doc:"Journals appended before serving.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Serve a sharded fleet of $(docv) shards (speaks the \
+                   Sharded_service protocol; 1 = plain Service).")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real-crypto" ]
+             ~doc:"Use real ECDSA instead of the simulated profile.  Load \
+                   clients must match.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Stop automatically after $(docv) seconds (for scripted \
+                   runs); default: serve until SIGINT/SIGTERM.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the ledger wire protocol on a real TCP socket")
+    Term.(const run_serve $ host $ port $ workers $ lname $ members
+          $ seed_entries $ shards $ real $ duration)
+
+(* --- load ------------------------------------------------------------------ *)
+
+let run_load host port clients connections ops rate payload clues zipf
+    append_w verify_w lineage_w pulls seed real_crypto =
+  let cfg =
+    {
+      Load_gen.default_config with
+      host;
+      port;
+      logical_clients = clients;
+      connections;
+      total_ops = ops;
+      rate_per_s = rate;
+      payload_size = payload;
+      clue_count = clues;
+      zipf_s = zipf;
+      mix = { Load_gen.append_w; verify_w; lineage_w };
+      pulls;
+      seed;
+      crypto =
+        (if real_crypto then Crypto_profile.Real
+         else Crypto_profile.default_simulated);
+    }
+  in
+  match Load_gen.run cfg with
+  | exception Failure msg ->
+      Printf.eprintf "load: %s\n" msg;
+      2
+  | r ->
+      Format.printf "%a@." Load_gen.pp_result r;
+      if r.Load_gen.verify_failures = 0 && r.Load_gen.pulls_failed = 0 then 0
+      else 1
+
+let load_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7878 & info [ "port" ] ~doc:"Server TCP port.")
+  in
+  let clients =
+    Arg.(value & opt int 10_000
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Logical verifying clients multiplexed over the \
+                   connection pool.")
+  in
+  let connections =
+    Arg.(value & opt int 8
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Socket connections = driver threads.")
+  in
+  let ops =
+    Arg.(value & opt int 4_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Total request-level operations.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"OPS_PER_S"
+             ~doc:"Open-loop arrival rate; omit for closed-loop.")
+  in
+  let payload =
+    Arg.(value & opt int 64
+         & info [ "payload" ] ~docv:"BYTES" ~doc:"Append payload size.")
+  in
+  let clues =
+    Arg.(value & opt int 128
+         & info [ "clues" ] ~docv:"N" ~doc:"Shared-clue population.")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf skew exponent over the shared clues (0 = uniform).")
+  in
+  let append_w =
+    Arg.(value & opt int 3 & info [ "append-weight" ] ~doc:"Append mix weight.")
+  in
+  let verify_w =
+    Arg.(value & opt int 2 & info [ "verify-weight" ] ~doc:"Verify mix weight.")
+  in
+  let lineage_w =
+    Arg.(value & opt int 1
+         & info [ "lineage-weight" ] ~doc:"Lineage mix weight.")
+  in
+  let pulls =
+    Arg.(value & opt int 1
+         & info [ "pulls" ] ~docv:"N"
+             ~doc:"Full replica pulls run concurrently with the op traffic.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic run seed.")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real-crypto" ]
+             ~doc:"Sign and check under real ECDSA (must match the server).")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive a serving endpoint with mixed verifying load")
+    Term.(const run_load $ host $ port $ clients $ connections $ ops $ rate
+          $ payload $ clues $ zipf $ append_w $ verify_w $ lineage_w $ pulls
+          $ seed $ real)
+
 let main =
   Cmd.group
     (Cmd.info "ledgerdb_cli" ~version:"1.0.0"
        ~doc:"LedgerDB ubiquitous-verification reproduction CLI")
-    [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd; stats_cmd; health_cmd ]
+    [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd; stats_cmd; health_cmd;
+      serve_cmd; load_cmd ]
 
 let () =
   (* -v / --verbosity via LEDGERDB_VERBOSE; cmdliner subcommands keep their

@@ -32,3 +32,36 @@ let size_label n =
   else if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
   else if n >= 1 lsl 10 then Printf.sprintf "%dK" (n lsr 10)
   else string_of_int n
+
+(* Zipfian rank sampler: cumulative mass over 1/(k+1)^s, drawn by
+   binary search on a uniform deviate. *)
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Workload.zipf: n <= 0";
+  if s < 0. then invalid_arg "Workload.zipf: s < 0";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  { cdf }
+
+let zipf_draw z rng =
+  let n = Array.length z.cdf in
+  (* 53 uniformly-random mantissa bits, as a deviate in [0,1) *)
+  let u =
+    float_of_int (Int64.to_int (Det_rng.next rng) land ((1 lsl 53) - 1))
+    /. float_of_int (1 lsl 53)
+  in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -17,3 +17,18 @@ val lineage :
 
 val size_label : int -> string
 (** "32K", "2^20" style labels for geometric sweeps. *)
+
+(** {1 Skewed access}
+
+    Load generators model popularity with a Zipf distribution: rank [k]
+    (0-based) is drawn with probability proportional to [1/(k+1)^s].
+    The sampler precomputes the cumulative mass once and draws by
+    binary search, so a million draws cost a million [log n] probes. *)
+
+type zipf
+
+val zipf : n:int -> s:float -> zipf
+(** @raise Invalid_argument when [n <= 0] or [s < 0]. *)
+
+val zipf_draw : zipf -> Det_rng.t -> int
+(** A rank in [\[0, n)]; [s = 0] degenerates to uniform. *)

@@ -19,13 +19,18 @@ let simulated_signature pub digest =
 
 let charge clock us = Clock.advance clock (Int64.of_float us)
 
-let sign t clock ~priv ~pub digest =
+let sign_pure t ~priv ~pub digest =
   match t with
   | Real -> Ecdsa.sign priv digest
-  | Simulated { sign_us; _ } ->
-      charge clock sign_us;
+  | Simulated _ ->
       ignore priv;
       simulated_signature pub digest
+
+let sign t clock ~priv ~pub digest =
+  (match t with
+  | Real -> ()
+  | Simulated { sign_us; _ } -> charge clock sign_us);
+  sign_pure t ~priv ~pub digest
 
 (* Pure signature predicate: no clock, no mutation — safe to evaluate
    from pooled tasks.  [verify] = [charge_verify] then [check], so the

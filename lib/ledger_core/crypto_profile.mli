@@ -29,6 +29,15 @@ val sign :
   t -> Clock.t -> priv:Ecdsa.private_key -> pub:Ecdsa.public_key -> Hash.t ->
   Ecdsa.signature
 
+val sign_pure :
+  t -> priv:Ecdsa.private_key -> pub:Ecdsa.public_key -> Hash.t ->
+  Ecdsa.signature
+(** The pure half of {!sign}: produce a signature without touching any
+    clock.  Remote clients live outside the server's simulated-time
+    boundary — a socket client signing π_c has no ledger clock to
+    charge — so they sign with this and the wall clock pays the real
+    cost. *)
+
 val verify : t -> Clock.t -> pub:Ecdsa.public_key -> Hash.t -> Ecdsa.signature -> bool
 (** Charges the simulated verify cost, then decides — exactly
     [charge_verify] followed by [check]. *)

@@ -25,6 +25,8 @@ type request =
   | Get_block of { height : int }
   | Get_members
   | Get_checkpoint
+  | Get_proof_bundle of { jsn : int }
+  | Get_clue_bundle of { clue : string; first : int option; last : int option }
 
 type response =
   | Receipt_r of Receipt.t
@@ -47,6 +49,8 @@ type response =
       nonce : int;
       pseudo_genesis : int option;
     }
+  | Proof_bundle_r of { proof : Fam.proof; commitment : Hash.t; size : int }
+  | Clue_bundle_r of { proof : Cm_tree.clue_proof option; clue_root : Hash.t }
   | Error_r of string
 
 (* --- codecs ------------------------------------------------------------- *)
@@ -95,6 +99,14 @@ let encode_request req =
       Wire.w_int w height
   | Get_members -> Wire.w_u8 w 9
   | Get_checkpoint -> Wire.w_u8 w 10
+  | Get_proof_bundle { jsn } ->
+      Wire.w_u8 w 12;
+      Wire.w_int w jsn
+  | Get_clue_bundle { clue; first; last } ->
+      Wire.w_u8 w 13;
+      Wire.w_string w clue;
+      Wire.w_option w (Wire.w_int w) first;
+      Wire.w_option w (Wire.w_int w) last
   | Append_batch { member_id; entries } ->
       Wire.w_u8 w 11;
       Wire.w_hash w member_id;
@@ -133,6 +145,12 @@ let decode_request data =
       | 8 -> Get_block { height = Wire.r_int r }
       | 9 -> Get_members
       | 10 -> Get_checkpoint
+      | 12 -> Get_proof_bundle { jsn = Wire.r_int r }
+      | 13 ->
+          let clue = Wire.r_string r in
+          let first = Wire.r_option r (fun () -> Wire.r_int r) in
+          let last = Wire.r_option r (fun () -> Wire.r_int r) in
+          Get_clue_bundle { clue; first; last }
       | 11 ->
           let member_id = Wire.r_hash r in
           let entries =
@@ -224,7 +242,16 @@ let encode_response resp =
       Wire.w_string w msg
   | Receipts_r receipts ->
       Wire.w_u8 w 11;
-      Wire.w_list w (w_receipt w) receipts);
+      Wire.w_list w (w_receipt w) receipts
+  | Proof_bundle_r { proof; commitment; size } ->
+      Wire.w_u8 w 12;
+      Proof_codec.w_fam_proof w proof;
+      Wire.w_hash w commitment;
+      Wire.w_int w size
+  | Clue_bundle_r { proof; clue_root } ->
+      Wire.w_u8 w 13;
+      Wire.w_option w (Cm_tree.w_clue_proof w) proof;
+      Wire.w_hash w clue_root);
   Wire.contents w
 
 let decode_response data =
@@ -276,6 +303,15 @@ let decode_response data =
             { name; size; block_count; commitment; clue_root; nonce;
               pseudo_genesis }
       | 11 -> Receipts_r (Wire.r_list ~max:65536 r (fun () -> r_receipt r))
+      | 12 ->
+          let proof = Proof_codec.r_fam_proof r in
+          let commitment = Wire.r_hash r in
+          let size = Wire.r_int r in
+          Proof_bundle_r { proof; commitment; size }
+      | 13 ->
+          let proof = Wire.r_option r (fun () -> Cm_tree.r_clue_proof r) in
+          let clue_root = Wire.r_hash r in
+          Clue_bundle_r { proof; clue_root }
       | _ -> raise Wire.Corrupt)
 
 (* --- server ---------------------------------------------------------------- *)
@@ -293,6 +329,8 @@ let request_kind = function
   | Get_block _ -> "get_block"
   | Get_members -> "get_members"
   | Get_checkpoint -> "get_checkpoint"
+  | Get_proof_bundle _ -> "get_proof_bundle"
+  | Get_clue_bundle _ -> "get_clue_bundle"
 
 let dispatch ledger = function
   | Append { member_id; payload; clues; client_ts; nonce; signature } -> (
@@ -353,6 +391,23 @@ let dispatch ledger = function
                ( m.Roles.name,
                  Roles.role_to_string m.Roles.role,
                  Ecdsa.public_key_to_bytes m.Roles.pub )))
+  | Get_proof_bundle { jsn } ->
+      if jsn < 0 || jsn >= Ledger.size ledger then Error_r "jsn out of range"
+      else
+        (* one dispatch = one snapshot: the proof and the root it hashes
+           to cannot straddle a concurrent append *)
+        Proof_bundle_r
+          {
+            proof = Ledger.get_proof ledger jsn;
+            commitment = Ledger.commitment ledger;
+            size = Ledger.size ledger;
+          }
+  | Get_clue_bundle { clue; first; last } ->
+      Clue_bundle_r
+        {
+          proof = Ledger.prove_clue ledger ~clue ?first ?last ();
+          clue_root = Cm_tree.root_hash (Ledger.cm_tree ledger);
+        }
   | Get_checkpoint ->
       Checkpoint_r
         {
@@ -394,6 +449,7 @@ module Client = struct
     ledger_uri : string;
     member : Roles.member;
     priv : Ecdsa.private_key;
+    crypto : Crypto_profile.t;
     mutable nonce : int;
     auto_batch : int option;
     mutable buffer :
@@ -401,11 +457,12 @@ module Client = struct
       (* newest first; drained by flush *)
   }
 
-  let create ?auto_batch ~ledger_uri ~member ~priv () =
+  let create ?auto_batch ?(crypto = Crypto_profile.Real) ~ledger_uri ~member
+      ~priv () =
     (match auto_batch with
     | Some n when n < 1 -> invalid_arg "Service.Client.create: bad auto_batch"
     | Some _ | None -> ());
-    { ledger_uri; member; priv; nonce = 0; auto_batch; buffer = [] }
+    { ledger_uri; member; priv; crypto; nonce = 0; auto_batch; buffer = [] }
 
   let sign_entry t ?(clues = []) ~client_ts payload =
     t.nonce <- t.nonce + 1;
@@ -413,7 +470,10 @@ module Client = struct
       Journal.request_digest ~ledger_uri:t.ledger_uri ~kind_tag:"normal"
         ~payload ~clues ~client_ts ~nonce:t.nonce
     in
-    let signature = Ecdsa.sign t.priv request_hash in
+    let signature =
+      Crypto_profile.sign_pure t.crypto ~priv:t.priv
+        ~pub:t.member.Roles.pub request_hash
+    in
     (payload, clues, client_ts, t.nonce, signature)
 
   let make_append t ?clues ~client_ts payload =
@@ -465,5 +525,10 @@ module Client = struct
   let make_get_block ~height = encode_request (Get_block { height })
   let make_get_members () = encode_request Get_members
   let make_get_checkpoint () = encode_request Get_checkpoint
+  let make_get_proof_bundle ~jsn = encode_request (Get_proof_bundle { jsn })
+
+  let make_get_clue_bundle ~clue ?first ?last () =
+    encode_request (Get_clue_bundle { clue; first; last })
+
   let parse = decode_response
 end

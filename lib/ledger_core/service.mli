@@ -35,6 +35,13 @@ type request =
   | Get_block of { height : int }
   | Get_members
   | Get_checkpoint
+  | Get_proof_bundle of { jsn : int }
+      (** existence proof {e and} the commitment it verifies against,
+          snapshotted atomically under one dispatch — so a client
+          verifying while other clients append never races the root *)
+  | Get_clue_bundle of { clue : string; first : int option; last : int option }
+      (** clue lineage proof with the CM-Tree root it hashes to, same
+          atomic-snapshot contract as {!request.Get_proof_bundle} *)
 
 type response =
   | Receipt_r of Receipt.t
@@ -60,6 +67,12 @@ type response =
       nonce : int;
       pseudo_genesis : int option;
     }
+  | Proof_bundle_r of { proof : Fam.proof; commitment : Hash.t; size : int }
+      (** the proof is valid against exactly this [commitment]/[size];
+          trust in the commitment itself still comes from out-of-band
+          anchors (T-Ledger, gossip) — the bundle only removes the
+          fetch-proof/fetch-root race under concurrent appends *)
+  | Clue_bundle_r of { proof : Cm_tree.clue_proof option; clue_root : Hash.t }
   | Error_r of string
 
 val encode_request : request -> bytes
@@ -80,13 +93,17 @@ module Client : sig
 
   val create :
     ?auto_batch:int ->
+    ?crypto:Crypto_profile.t ->
     ledger_uri:string ->
     member:Roles.member ->
     priv:Ecdsa.private_key ->
     unit ->
     t
   (** With [auto_batch], {!buffer_append} flushes itself every
-      [auto_batch] entries.
+      [auto_batch] entries.  [crypto] (default {!Crypto_profile.Real})
+      selects how π_c is produced: a client of a simulated-profile
+      service must sign under the same profile for the service's
+      signature check to accept — see {!Crypto_profile.sign_pure}.
       @raise Invalid_argument when [auto_batch < 1]. *)
 
   val make_append : t -> ?clues:string list -> client_ts:int64 -> bytes -> bytes
@@ -124,6 +141,10 @@ module Client : sig
   val make_get_block : height:int -> bytes
   val make_get_members : unit -> bytes
   val make_get_checkpoint : unit -> bytes
+  val make_get_proof_bundle : jsn:int -> bytes
+
+  val make_get_clue_bundle :
+    clue:string -> ?first:int -> ?last:int -> unit -> bytes
 
   val parse : bytes -> response option
 end

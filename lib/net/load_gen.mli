@@ -1,0 +1,93 @@
+(** Load harness: 10⁴–10⁶ logical verifying clients over a bounded
+    connection pool.
+
+    Each of [connections] driver threads owns one {!Net_transport}
+    endpoint and a disjoint slice of the logical client population;
+    logical clients materialise lazily (a {!Ledger_core.Service.Client}
+    signing state plus a private-clue history), so a million of them
+    cost memory only as they are touched.  Credentials are {e derived},
+    not transferred: the serving ledger seeds member keys from
+    [name ^ ":" ^ member], so the harness reads the membership list off
+    the wire and reconstructs each usable keypair locally — exactly what
+    a real population of pre-registered clients would hold.
+
+    Every response is {e verified}, not just timed:
+    - appends check the LSP receipt signature (π_s) against the derived
+      LSP public key;
+    - verify ops fetch an atomic proof bundle and replay the fam proof
+      against the bundled commitment;
+    - lineage ops replay a whole-clue CM-Tree proof for a clue the
+      logical client wholly owns, binding every version to the digests
+      in its own receipts (a shared clue cannot be client-verified
+      without knowing {e all} of its entries — §IV-C);
+    - replica pulls run {!Ledger_core.Replica.pull_verbose} end to end,
+      re-deriving every tree from the downloaded snapshot.
+
+    Any cryptographic mismatch lands in [verify_failures]; a healthy
+    run must report zero. *)
+
+open Ledger_core
+
+type mix = { append_w : int; verify_w : int; lineage_w : int }
+(** Relative weights of the three request-level op kinds; replica pulls
+    are scheduled separately ([pulls]) because one pull is a whole
+    ledger download, not a request. *)
+
+type config = {
+  host : string;
+  port : int;
+  logical_clients : int;
+  connections : int;  (** driver threads = socket connections *)
+  total_ops : int;  (** closed-loop op budget across all drivers *)
+  rate_per_s : float option;
+      (** [Some r]: open loop — ops are released on a fixed schedule of
+          [r] per second regardless of completions; [None]: closed loop *)
+  payload_size : int;
+  clue_count : int;  (** shared-clue population for the Zipfian skew *)
+  zipf_s : float;  (** skew exponent; 0 = uniform *)
+  mix : mix;
+  pulls : int;  (** full replica pulls run concurrently with the ops *)
+  seed : int;
+  crypto : Crypto_profile.t;
+      (** must match the serving ledger's profile — π_c/π_s cross the
+          wire and are checked on both sides *)
+  ledger_config : Ledger.config option;
+      (** served ledger's config, needed by replica pulls; [None]
+          derives [default_config] with the announced name + [crypto] *)
+  scratch_dir : string option;  (** replica staging area; [None] = tmp *)
+}
+
+val default_config : config
+(** Loopback, 10⁴ logical clients over 8 connections, 4 000 closed-loop
+    ops with a 3:2:1 append/verify/lineage mix, one replica pull,
+    [Crypto_profile.Real]. *)
+
+type result = {
+  logical_clients : int;
+  connections : int;
+  ops : int;  (** request-level ops completed *)
+  appends : int;
+  verifies : int;
+  lineages : int;
+  pulls_ok : int;
+  pulls_failed : int;
+  transport_failures : int;
+      (** ops abandoned after the retry budget, plus service refusals *)
+  verify_failures : int;  (** cryptographic mismatches — must be 0 *)
+  duration_s : float;
+  tps : float;  (** ops / duration *)
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+      (** latency percentiles are exact (sorted sample), not bucketed *)
+}
+
+val run : config -> result
+(** Drive the workload to completion and aggregate.  Raises [Failure]
+    when the server cannot be reached at all or announces no usable
+    (derivable-key) members. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,138 @@
+(* Incremental frame codec over a TCP byte stream.
+
+   Wire layout:   "LDBW"  len:u32be  payload  crc:u32be
+   crc = CRC-32 over (len:u32be ++ payload), matching the on-disk
+   Framing discipline with a distinct magic.
+
+   The decoder holds one flat buffer with a consumed-prefix offset;
+   feeds compact the prefix away before growing, so steady-state
+   request/response traffic stays allocation-quiet. *)
+
+open Ledger_storage
+
+let magic = "LDBW"
+let header_len = 8
+let overhead = 12
+let default_max_frame = 8 * 1024 * 1024
+
+type error =
+  | Bad_magic
+  | Oversized of { claimed : int; limit : int }
+  | Bad_crc
+
+let error_to_string = function
+  | Bad_magic -> "bad frame magic"
+  | Oversized { claimed; limit } ->
+      Printf.sprintf "oversized frame: claimed %d bytes, limit %d" claimed
+        limit
+  | Bad_crc -> "frame checksum mismatch"
+
+let u32_to_be v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (v land 0xFF));
+  b
+
+let be_to_u32 b pos =
+  (Char.code (Bytes.get b pos) lsl 24)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get b (pos + 3))
+
+let crc_of ~len_be payload ~pos ~len =
+  Int32.to_int (Crc32.update (Crc32.bytes len_be) payload ~pos ~len)
+  land 0xFFFFFFFF
+
+let encode payload =
+  let len = Bytes.length payload in
+  let len_be = u32_to_be len in
+  let out = Bytes.create (overhead + len) in
+  Bytes.blit_string magic 0 out 0 4;
+  Bytes.blit len_be 0 out 4 4;
+  Bytes.blit payload 0 out header_len len;
+  Bytes.blit (u32_to_be (crc_of ~len_be payload ~pos:0 ~len)) 0 out
+    (header_len + len) 4;
+  out
+
+type decoder = {
+  max_frame : int;
+  mutable buf : bytes;
+  mutable off : int; (* start of unconsumed bytes *)
+  mutable len : int; (* unconsumed byte count *)
+  mutable failed : error option;
+}
+
+type step =
+  | Frame of bytes
+  | Awaiting of int
+  | Fail of error
+
+let create_decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; off = 0; len = 0; failed = None }
+
+let buffered d = d.len
+
+let feed d src ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Bytes.length src then
+    invalid_arg "Net_framing.feed";
+  if d.failed = None && len > 0 then begin
+    (* compact the consumed prefix before considering growth *)
+    if d.off > 0 then begin
+      Bytes.blit d.buf d.off d.buf 0 d.len;
+      d.off <- 0
+    end;
+    let need = d.len + len in
+    if need > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf * 2) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit d.buf 0 bigger 0 d.len;
+      d.buf <- bigger
+    end;
+    Bytes.blit src pos d.buf d.len len;
+    d.len <- d.len + len
+  end
+
+let fail d e =
+  d.failed <- Some e;
+  Fail e
+
+let next d =
+  match d.failed with
+  | Some e -> Fail e
+  | None ->
+      (* Check however much of the magic has arrived: a wrong byte is
+         detectable before the header completes. *)
+      let magic_ok = ref true in
+      for i = 0 to min d.len 4 - 1 do
+        if Bytes.get d.buf (d.off + i) <> magic.[i] then magic_ok := false
+      done;
+      if not !magic_ok then fail d Bad_magic
+      else if d.len < header_len then Awaiting (header_len - d.len)
+      else begin
+        let claimed = be_to_u32 d.buf (d.off + 4) in
+        if claimed > d.max_frame then
+          fail d (Oversized { claimed; limit = d.max_frame })
+        else begin
+          let total = overhead + claimed in
+          if d.len < total then Awaiting (total - d.len)
+          else begin
+            let len_be = Bytes.sub d.buf (d.off + 4) 4 in
+            let got = be_to_u32 d.buf (d.off + header_len + claimed) in
+            let want =
+              crc_of ~len_be d.buf ~pos:(d.off + header_len) ~len:claimed
+            in
+            if got <> want then fail d Bad_crc
+            else begin
+              let payload = Bytes.sub d.buf (d.off + header_len) claimed in
+              d.off <- d.off + total;
+              d.len <- d.len - total;
+              Frame payload
+            end
+          end
+        end
+      end

@@ -139,6 +139,35 @@ let approx_quantile name q =
       in
       walk 0 h.buckets
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+let summary name =
+  match hist_snapshot name with
+  | None -> None
+  | Some h when h.count = 0 -> None
+  | Some h ->
+      (* a bucket's upper bound can overshoot the observed maximum;
+         clamping keeps p50 <= p95 <= p99 <= max always true *)
+      let q p =
+        Float.min h.max_v (Option.value (approx_quantile name p) ~default:h.max_v)
+      in
+      Some
+        {
+          s_count = h.count;
+          s_mean = h.sum /. float_of_int h.count;
+          s_p50 = q 0.50;
+          s_p95 = q 0.95;
+          s_p99 = q 0.99;
+          s_max = h.max_v;
+        }
+
 type kind = K_counter | K_gauge | K_hist
 
 let names () =

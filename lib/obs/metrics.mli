@@ -42,6 +42,20 @@ val approx_quantile : string -> float -> float option
 (** Upper bound of the bucket holding the q-th observation — a
     log-precision quantile estimate. *)
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+val summary : string -> summary option
+(** Percentile digest of a histogram via {!approx_quantile}; [None] for
+    an unknown or empty histogram.  This is what the Prometheus summary
+    exposition and the CLI stats table print. *)
+
 val bucket_index : float -> int
 (** Exposed for boundary tests: index of the bucket a value lands in. *)
 

@@ -106,7 +106,28 @@ let to_prometheus_text () =
                 (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
               Buffer.add_string buf
                 (Printf.sprintf "%s_sum %s\n%s_count %d\n" pname
-                   (prom_float h.Metrics.sum) pname h.Metrics.count)
+                   (prom_float h.Metrics.sum) pname h.Metrics.count);
+              (* network-layer histograms additionally expose a
+                 percentile summary (a scrape shouldn't have to rebuild
+                 quantiles from log buckets); a distinct metric name
+                 keeps the types legal *)
+              if String.length name >= 4 && String.sub name 0 4 = "net_" then
+                Option.iter
+                  (fun (s : Metrics.summary) ->
+                    let sname = pname ^ "_summary" in
+                    Buffer.add_string buf
+                      (Printf.sprintf "# TYPE %s summary\n" sname);
+                    List.iter
+                      (fun (q, v) ->
+                        Buffer.add_string buf
+                          (Printf.sprintf "%s{quantile=\"%s\"} %s\n" sname q
+                             (prom_float v)))
+                      [ ("0.5", s.Metrics.s_p50); ("0.95", s.Metrics.s_p95);
+                        ("0.99", s.Metrics.s_p99) ];
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_sum %s\n%s_count %d\n" sname
+                         (prom_float h.Metrics.sum) sname s.Metrics.s_count))
+                  (Metrics.summary name)
           | None -> ()))
     (Metrics.names ());
   Buffer.contents buf

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
       ("par", Test_par.suite);
+      ("net", Test_net.suite);
     ]

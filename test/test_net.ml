@@ -1,0 +1,569 @@
+(* The real network serving layer: frame codec hostile-input properties,
+   loopback differential equivalence (TCP verdicts ≡ in-process
+   verdicts), graceful drain, socket-level fault handling, replica
+   resume over TCP, and a miniature closed-loop load run with every
+   receipt and proof verified client-side. *)
+
+open Ledger_crypto
+open Ledger_storage
+open Ledger_core
+open Ledger_net
+
+let tc = Alcotest.test_case
+let qcheck = QCheck_alcotest.to_alcotest
+
+let fresh_dir () =
+  let d = Filename.temp_file "net" "scratch" in
+  Sys.remove d;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Net_framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let feed_all dec b = Net_framing.feed dec b ~pos:0 ~len:(Bytes.length b)
+
+let drain dec =
+  let rec go acc =
+    match Net_framing.next dec with
+    | Net_framing.Frame p -> go (p :: acc)
+    | Net_framing.Awaiting _ | Net_framing.Fail _ -> List.rev acc
+  in
+  go []
+
+let test_framing_roundtrip () =
+  let dec = Net_framing.create_decoder () in
+  let payloads =
+    [ Bytes.create 0; Bytes.of_string "x"; Bytes.of_string (String.make 5000 'p') ]
+  in
+  List.iter (fun p -> feed_all dec (Net_framing.encode p)) payloads;
+  let out = drain dec in
+  Alcotest.(check int) "all frames decoded" (List.length payloads)
+    (List.length out);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "payload intact" true (Bytes.equal a b))
+    payloads out;
+  Alcotest.(check int) "buffer fully consumed" 0 (Net_framing.buffered dec)
+
+let prop_chunked_concat =
+  QCheck.Test.make ~name:"concatenated frames survive arbitrary chunking"
+    ~count:60
+    QCheck.(pair (small_list (string_of_size (QCheck.Gen.int_range 0 200))) (int_range 1 17))
+    (fun (strings, chunk) ->
+      let payloads = List.map Bytes.of_string strings in
+      let wire =
+        Bytes.concat Bytes.empty (List.map Net_framing.encode payloads)
+      in
+      let dec = Net_framing.create_decoder () in
+      let n = Bytes.length wire in
+      let pos = ref 0 in
+      let out = ref [] in
+      while !pos < n do
+        let len = min chunk (n - !pos) in
+        Net_framing.feed dec wire ~pos:!pos ~len;
+        pos := !pos + len;
+        out := List.rev_append (drain dec) !out
+      done;
+      let out = List.rev !out in
+      List.length out = List.length payloads
+      && List.for_all2 Bytes.equal payloads out)
+
+let prop_truncation =
+  QCheck.Test.make ~name:"truncation awaits, then completes" ~count:80
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 300))
+    (fun s ->
+      let payload = Bytes.of_string s in
+      let frame = Net_framing.encode payload in
+      let total = Bytes.length frame in
+      (* every proper prefix must yield Awaiting, never a frame or an
+         exception; completing the bytes must yield the exact payload *)
+      let ok = ref true in
+      for cut = 0 to total - 1 do
+        let dec = Net_framing.create_decoder () in
+        Net_framing.feed dec frame ~pos:0 ~len:cut;
+        (match Net_framing.next dec with
+        | Net_framing.Awaiting need ->
+            if need <= 0 || need > total - cut then ok := false
+        | Net_framing.Frame _ | Net_framing.Fail _ -> ok := false);
+        Net_framing.feed dec frame ~pos:cut ~len:(total - cut);
+        match Net_framing.next dec with
+        | Net_framing.Frame p -> if not (Bytes.equal p payload) then ok := false
+        | _ -> ok := false
+      done;
+      !ok)
+
+let prop_bit_flip =
+  QCheck.Test.make ~name:"single bit flip never yields a frame" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 120)) (pair small_nat small_nat))
+    (fun (s, (byte_seed, bit)) ->
+      let frame = Net_framing.encode (Bytes.of_string s) in
+      let i = byte_seed mod Bytes.length frame in
+      Bytes.set frame i
+        (Char.chr (Char.code (Bytes.get frame i) lxor (1 lsl (bit mod 8))));
+      let dec = Net_framing.create_decoder () in
+      feed_all dec frame;
+      match Net_framing.next dec with
+      | Net_framing.Frame _ -> false (* CRC, magic or length must catch it *)
+      | Net_framing.Awaiting _ | Net_framing.Fail _ -> true)
+
+let test_framing_oversized () =
+  let dec = Net_framing.create_decoder ~max_frame:1024 () in
+  let header = Bytes.create 8 in
+  Bytes.blit_string Net_framing.magic 0 header 0 4;
+  (* claim 1 MiB against a 1 KiB limit *)
+  Bytes.set header 4 '\x00';
+  Bytes.set header 5 '\x10';
+  Bytes.set header 6 '\x00';
+  Bytes.set header 7 '\x00';
+  feed_all dec header;
+  (match Net_framing.next dec with
+  | Net_framing.Fail (Net_framing.Oversized { claimed; limit }) ->
+      Alcotest.(check int) "claimed" (1 lsl 20) claimed;
+      Alcotest.(check int) "limit" 1024 limit
+  | _ -> Alcotest.fail "oversized prefix not rejected");
+  (* poisoned: a valid frame afterwards is still refused *)
+  feed_all dec (Net_framing.encode (Bytes.of_string "ok"));
+  match Net_framing.next dec with
+  | Net_framing.Fail _ -> ()
+  | _ -> Alcotest.fail "decoder resynchronised after poison"
+
+let test_framing_garbage () =
+  let dec = Net_framing.create_decoder () in
+  feed_all dec (Bytes.of_string "GET / HTTP/1.1\r\n");
+  match Net_framing.next dec with
+  | Net_framing.Fail Net_framing.Bad_magic -> ()
+  | _ -> Alcotest.fail "garbage not rejected as Bad_magic"
+
+(* ------------------------------------------------------------------ *)
+(* server fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let build_ledger ~name ?(crypto = Crypto_profile.Real) ?(members = 2)
+    ?(entries = 8) () =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name; block_size = 4; fam_delta = 3; crypto }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let creds =
+    List.init members (fun i ->
+        Ledger.new_member ledger ~name:(Printf.sprintf "c%d" i)
+          ~role:Roles.Regular_user)
+  in
+  let member, priv = List.hd creds in
+  for i = 0 to entries - 1 do
+    Clock.advance_ms clock 10.;
+    ignore
+      (Ledger.append ledger ~member ~priv
+         ~clues:[ "seed-" ^ string_of_int (i mod 3) ]
+         (Bytes.of_string (Printf.sprintf "seed %d" i)))
+  done;
+  (clock, config, ledger, creds)
+
+let with_server ?config backend f =
+  let server = Net_server.create ?config backend in
+  Fun.protect ~finally:(fun () -> Net_server.stop server) (fun () -> f server)
+
+let loopback_transport server =
+  let ep =
+    Net_transport.connect ~host:"127.0.0.1" ~port:(Net_server.port server) ()
+  in
+  (ep, Net_transport.transport ep)
+
+(* ------------------------------------------------------------------ *)
+(* differential: TCP verdicts ≡ in-process verdicts                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential () =
+  (* two bit-identical ledgers driven by the same request bytes: one
+     dispatched in-process, one across loopback TCP *)
+  let _, _, local, _ = build_ledger ~name:"diff" () in
+  let _, _, remote, creds = build_ledger ~name:"diff" () in
+  let member, priv = List.hd creds in
+  let svc =
+    Service.Client.create ~ledger_uri:(Ledger.uri remote) ~member ~priv ()
+  in
+  let script =
+    List.concat
+      [
+        List.init 3 (fun i ->
+            Service.Client.make_append svc
+              ~clues:[ "wire-" ^ string_of_int i ]
+              ~client_ts:(Int64.of_int (1000 + i))
+              (Bytes.of_string (Printf.sprintf "wire %d" i)));
+        [
+          Service.Client.make_get_commitment ();
+          Service.Client.make_get_proof ~jsn:2;
+          Service.Client.make_get_proof_bundle ~jsn:5;
+          Service.Client.make_get_clue_bundle ~clue:"seed-1" ();
+          Service.Client.make_get_receipt ~jsn:1;
+          Service.Client.make_get_journal ~jsn:3;
+          Service.Client.make_get_members ();
+          Service.Client.make_get_checkpoint ();
+          Service.Client.make_get_extension ~old_size:4;
+        ];
+      ]
+  in
+  with_server (Service.handle remote) (fun server ->
+      let ep, transport = loopback_transport server in
+      List.iteri
+        (fun i req ->
+          let in_process = Service.handle local req in
+          let over_tcp = transport req in
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d: TCP response ≡ in-process" i)
+            true
+            (Bytes.equal in_process over_tcp))
+        script;
+      Net_transport.close ep)
+
+let test_concurrent_clients () =
+  let clock0, _, ledger, creds = build_ledger ~name:"conc" ~members:4 () in
+  ignore clock0;
+  let size0 = Ledger.size ledger in
+  let lsp_pub = Ledger.lsp_public_key ledger in
+  let n_threads = 4 and per_thread = 6 in
+  with_server (Service.handle ledger) (fun server ->
+      let bad = Atomic.make 0 in
+      let threads =
+        List.mapi
+          (fun ti (member, priv) ->
+            Thread.create
+              (fun () ->
+                let ep, transport = loopback_transport server in
+                let clock = Clock.create () in
+                let svc =
+                  Service.Client.create ~ledger_uri:(Ledger.uri ledger)
+                    ~member ~priv ()
+                in
+                for i = 0 to per_thread - 1 do
+                  let req =
+                    Service.Client.make_append svc
+                      ~clues:[ Printf.sprintf "t%d" ti ]
+                      ~client_ts:(Int64.of_int i)
+                      (Bytes.of_string (Printf.sprintf "t%d-%d" ti i))
+                  in
+                  match
+                    Transport.request_expect ~clock
+                      ~decode:(function
+                        | Service.Receipt_r r -> Some r
+                        | _ -> None)
+                      transport req
+                  with
+                  | Ok r ->
+                      if not (Receipt.verify ~lsp_pub r) then
+                        Atomic.incr bad
+                  | Error _ -> Atomic.incr bad
+                done;
+                Net_transport.close ep)
+              ())
+          creds
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no failed or unverified appends" 0
+        (Atomic.get bad);
+      Alcotest.(check int) "every append committed"
+        (size0 + (n_threads * per_thread))
+        (Ledger.size ledger);
+      let stats = Net_server.stats server in
+      Alcotest.(check bool) "served counter covers the appends" true
+        (stats.Net_server.served >= n_threads * per_thread);
+      Alcotest.(check int) "no framing errors" 0
+        stats.Net_server.framing_errors)
+
+(* ------------------------------------------------------------------ *)
+(* graceful shutdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_graceful_shutdown () =
+  let _, _, ledger, _ = build_ledger ~name:"drain" () in
+  let slow req =
+    Unix.sleepf 0.15;
+    Service.handle ledger req
+  in
+  let server = Net_server.create slow in
+  let port = Net_server.port server in
+  let ep, transport = loopback_transport server in
+  let answer = ref None in
+  let client =
+    Thread.create
+      (fun () ->
+        answer := Some (transport (Service.Client.make_get_commitment ())))
+      ()
+  in
+  Thread.delay 0.05;
+  (* in flight now; stop must drain it, not cut it *)
+  Net_server.stop server;
+  Thread.join client;
+  (match !answer with
+  | Some resp -> (
+      match Service.Client.parse resp with
+      | Some (Service.Commitment_r _) -> ()
+      | _ -> Alcotest.fail "in-flight request drained to a wrong response")
+  | None -> Alcotest.fail "in-flight request was cut by shutdown");
+  Net_transport.close ep;
+  Alcotest.(check bool) "server reports stopped" false
+    (Net_server.running server);
+  (* new connections are refused, surfacing as a typed transport error *)
+  let ep2 = Net_transport.connect ~host:"127.0.0.1" ~port () in
+  let clock = Clock.create () in
+  (match
+     Transport.request ~policy:{ Transport.no_retry with max_attempts = 2 }
+       ~clock
+       (Net_transport.transport ep2)
+       (Service.Client.make_get_commitment ())
+   with
+  | Error e -> Alcotest.(check int) "attempt count reported" 2 e.Transport.attempts
+  | Ok _ -> Alcotest.fail "stopped server still answering");
+  Net_transport.close ep2;
+  (* the port is free immediately: SO_REUSEADDR, listener closed *)
+  let server2 =
+    Net_server.create
+      ~config:{ Net_server.default_config with port }
+      (Service.handle ledger)
+  in
+  Alcotest.(check int) "rebound the same port" port (Net_server.port server2);
+  let ep3, transport3 = loopback_transport server2 in
+  (match Service.Client.parse (transport3 (Service.Client.make_get_commitment ())) with
+  | Some (Service.Commitment_r _) -> ()
+  | _ -> Alcotest.fail "restarted server not serving");
+  Net_transport.close ep3;
+  Net_server.stop server2
+
+(* ------------------------------------------------------------------ *)
+(* socket-level faults                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_killed_server_mid_request () =
+  let _, _, ledger, _ = build_ledger ~name:"kill" () in
+  let server = Net_server.create (Service.handle ledger) in
+  let ep, transport = loopback_transport server in
+  let clock = Clock.create () in
+  (* establish the connection with one good request *)
+  (match
+     Transport.request ~clock transport (Service.Client.make_get_commitment ())
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "warm-up request failed");
+  Net_server.stop server;
+  (* the established connection is now dead: EOF mid-request, then
+     reconnects are refused — all mapped to transient faults, retried,
+     and reported with the attempt count *)
+  let policy = { Transport.default_policy with max_attempts = 3 } in
+  (match
+     Transport.request ~policy ~clock transport
+       (Service.Client.make_get_commitment ())
+   with
+  | Ok _ -> Alcotest.fail "request succeeded against a killed server"
+  | Error e ->
+      Alcotest.(check int) "every attempt was used" 3 e.Transport.attempts);
+  Net_transport.close ep
+
+let test_replica_pull_resumes_over_tcp () =
+  let _, config, ledger, _ = build_ledger ~name:"pullnet" ~entries:12 () in
+  with_server (Service.handle ledger) (fun server ->
+      let scratch = fresh_dir () in
+      (* first attempt: the connection dies after 8 requests *)
+      let ep1, tr1 = loopback_transport server in
+      let seen = ref 0 in
+      let flaky req =
+        incr seen;
+        if !seen > 8 then raise (Transport.Timeout "simulated cut")
+        else tr1 req
+      in
+      let clock = Clock.create () in
+      (match
+         Replica.pull_verbose ~transport:flaky ~policy:Transport.no_retry
+           ~config ~clock ~scratch_dir:scratch ()
+       with
+      | Ok _ -> Alcotest.fail "pull survived a cut transport"
+      | Error _ -> ());
+      Net_transport.close ep1;
+      (* reconnect: the pull resumes from the staged journals *)
+      let ep2, tr2 = loopback_transport server in
+      (match
+         Replica.pull_verbose ~transport:tr2 ~config ~clock
+           ~scratch_dir:scratch ()
+       with
+      | Error e -> Alcotest.fail (Replica.error_to_string e)
+      | Ok (replica, stats) ->
+          Alcotest.(check int) "replica complete" (Ledger.size ledger)
+            (Ledger.size replica);
+          Alcotest.(check bool) "commitments agree" true
+            (Hash.equal (Ledger.commitment ledger) (Ledger.commitment replica));
+          Alcotest.(check bool) "resumed from the interrupted stage" true
+            (stats.Replica.resumed_from > 0));
+      Net_transport.close ep2)
+
+let test_sharded_pull_over_tcp () =
+  let module SL = Ledger_shard.Sharded_ledger in
+  let module SS = Ledger_shard.Sharded_service in
+  let clock = Clock.create () in
+  let config =
+    {
+      SL.base =
+        { Ledger.default_config with name = "netfleet"; block_size = 4;
+          fam_delta = 3 };
+      shards = 2;
+    }
+  in
+  let fleet = SL.create ~config ~clock () in
+  let user, key = SL.new_member fleet ~name:"nfu" ~role:Roles.Regular_user in
+  for i = 0 to 15 do
+    ignore
+      (SL.append fleet ~member:user ~priv:key
+         ~clues:[ "nf" ^ string_of_int i ]
+         (Bytes.of_string (Printf.sprintf "nf %d" i)))
+  done;
+  (match SL.seal_epoch fleet with Ok _ -> () | Error e -> Alcotest.fail e);
+  with_server (SS.handle fleet) (fun server ->
+      let ep, transport = loopback_transport server in
+      let pull_clock = Clock.create () in
+      (match
+         Ledger_shard.Sharded_replica.pull_all ~transport ~config
+           ~clock:pull_clock ~scratch_dir:(fresh_dir ()) ()
+       with
+      | Error e ->
+          Alcotest.fail (Ledger_shard.Sharded_replica.error_to_string e)
+      | Ok fl ->
+          Alcotest.(check int) "both shards pulled over TCP" 2
+            (Array.length fl.Ledger_shard.Sharded_replica.shards);
+          Array.iteri
+            (fun i replica ->
+              Alcotest.(check bool)
+                (Printf.sprintf "shard %d commitment matches" i)
+                true
+                (Hash.equal
+                   (Ledger.commitment (SL.shard fleet i))
+                   (Ledger.commitment replica)))
+            fl.Ledger_shard.Sharded_replica.shards);
+      Net_transport.close ep)
+
+(* ------------------------------------------------------------------ *)
+(* load harness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mini_load_run () =
+  let crypto = Crypto_profile.default_simulated in
+  let _, _, ledger, _ =
+    build_ledger ~name:"mini-load" ~crypto ~members:8 ~entries:4 ()
+  in
+  with_server (Service.handle ledger) (fun server ->
+      let cfg =
+        {
+          Load_gen.default_config with
+          port = Net_server.port server;
+          logical_clients = 500;
+          connections = 4;
+          total_ops = 160;
+          clue_count = 32;
+          payload_size = 32;
+          pulls = 1;
+          seed = 7;
+          crypto;
+          (* the replica pull replays with this geometry; fam epoch
+             rolls make the commitment delta-dependent past 2^delta
+             journals, so it must match the served fixture exactly *)
+          ledger_config =
+            Some
+              { Ledger.default_config with name = "mini-load"; block_size = 4;
+                fam_delta = 3; crypto };
+          scratch_dir = Some (fresh_dir ());
+        }
+      in
+      let r = Load_gen.run cfg in
+      Alcotest.(check int) "all ops completed" 160 r.Load_gen.ops;
+      Alcotest.(check int) "no transport failures" 0
+        r.Load_gen.transport_failures;
+      Alcotest.(check int) "no verification failures" 0
+        r.Load_gen.verify_failures;
+      Alcotest.(check int) "replica pull verified" 1 r.Load_gen.pulls_ok;
+      Alcotest.(check bool) "append/verify/lineage all exercised" true
+        (r.Load_gen.appends > 0 && r.Load_gen.verifies > 0
+        && r.Load_gen.lineages > 0);
+      Alcotest.(check bool) "percentiles ordered" true
+        (r.Load_gen.p50_us <= r.Load_gen.p95_us
+        && r.Load_gen.p95_us <= r.Load_gen.p99_us
+        && r.Load_gen.p99_us <= r.Load_gen.max_us);
+      Alcotest.(check bool) "sustained tps reported" true
+        (r.Load_gen.tps > 0.))
+
+(* ------------------------------------------------------------------ *)
+(* metrics satellites                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_summary () =
+  let module Metrics = Ledger_obs.Metrics in
+  let module Obs = Ledger_obs.Obs in
+  Obs.enable ();
+  Metrics.reset ();
+  for v = 1 to 1000 do
+    Metrics.observe "net_test_us" (float_of_int v)
+  done;
+  (match Metrics.summary "net_test_us" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      Alcotest.(check int) "count" 1000 s.Metrics.s_count;
+      Alcotest.(check (float 0.001)) "mean" 500.5 s.Metrics.s_mean;
+      Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+        (s.Metrics.s_p50 <= s.Metrics.s_p95
+        && s.Metrics.s_p95 <= s.Metrics.s_p99
+        && s.Metrics.s_p99 <= s.Metrics.s_max));
+  Alcotest.(check (option Alcotest.string)) "no summary for counters" None
+    (Option.map (fun _ -> "yes") (Metrics.summary "absent"));
+  let text = Obs.to_prometheus_text () in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "net_* histograms expose summary quantiles" true
+    (has "net_test_us_summary{quantile=\"0.5\"}"
+    && has "net_test_us_summary{quantile=\"0.99\"}");
+  Metrics.reset ();
+  Obs.disable ()
+
+let test_zipf () =
+  let rng = Ledger_bench_util.Det_rng.create ~seed:99 in
+  let z = Ledger_bench_util.Workload.zipf ~n:50 ~s:1.2 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let k = Ledger_bench_util.Workload.zipf_draw z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 50);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 10" true
+    (counts.(0) > counts.(10) && counts.(10) > 0);
+  (* s = 0 degenerates to uniform: no rank should dominate by 3x *)
+  let u = Ledger_bench_util.Workload.zipf ~n:10 ~s:0. in
+  let uc = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Ledger_bench_util.Workload.zipf_draw u rng in
+    uc.(k) <- uc.(k) + 1
+  done;
+  let mn = Array.fold_left min max_int uc and mx = Array.fold_left max 0 uc in
+  Alcotest.(check bool) "roughly uniform at s=0" true (mx < 3 * mn)
+
+let suite =
+  [
+    tc "framing: round-trip" `Quick test_framing_roundtrip;
+    qcheck prop_chunked_concat;
+    qcheck prop_truncation;
+    qcheck prop_bit_flip;
+    tc "framing: oversized prefix refused unallocated" `Quick
+      test_framing_oversized;
+    tc "framing: garbage is Bad_magic" `Quick test_framing_garbage;
+    tc "server: TCP ≡ in-process (differential)" `Quick test_differential;
+    tc "server: concurrent verifying clients" `Quick test_concurrent_clients;
+    tc "server: graceful drain, refusal, same-port restart" `Quick
+      test_graceful_shutdown;
+    tc "transport: killed server surfaces attempts" `Quick
+      test_killed_server_mid_request;
+    tc "replica: pull resumes over TCP after reconnect" `Quick
+      test_replica_pull_resumes_over_tcp;
+    tc "sharded: fleet pull over TCP" `Quick test_sharded_pull_over_tcp;
+    tc "load: mini closed-loop run, all proofs verify" `Quick
+      test_mini_load_run;
+    tc "metrics: summary + prometheus quantiles" `Quick test_metrics_summary;
+    tc "workload: zipf sampler" `Quick test_zipf;
+  ]

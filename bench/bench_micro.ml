@@ -19,6 +19,15 @@ let test_fig7_ecdsa_verify =
   Test.make ~name:"fig7/ecdsa-verify"
     (Staged.stage (fun () -> assert (Ecdsa.verify pub digest signature)))
 
+let test_fig7_ecdsa_verify_ref =
+  (* same verification through the retained pre-kernel pipeline; the
+     fast/ref ratio is the kernel's speedup and is gated in [run] *)
+  let priv, pub = Ecdsa.generate ~seed:"bench" in
+  let digest = Hash.digest_string "bench message" in
+  let signature = Ecdsa.sign priv digest in
+  Test.make ~name:"fig7/ecdsa-verify-ref"
+    (Staged.stage (fun () -> assert (Ecdsa.Ref.verify pub digest signature)))
+
 let test_fig8_fam_append =
   let fam = Fam.create ~delta:15 in
   let i = ref 0 in
@@ -96,6 +105,7 @@ let tests =
     [
       test_fig5_tsa_endorse;
       test_fig7_ecdsa_verify;
+      test_fig7_ecdsa_verify_ref;
       test_fig8_fam_append;
       test_fig8_tim_append;
       test_fig8_fam_getproof;
@@ -153,6 +163,30 @@ let run ?(smoke = false) ?json () =
       ~predictor:Measure.run results
   in
   Notty_unix.eol img |> Notty_unix.output_image;
+  let ests = estimates results in
+  (* Speedup gate: the wNAF/GLV kernel must keep ECDSA verification at
+     least 10x faster than the reference pipeline (ISSUE 8 acceptance).
+     Smoke runs use a tiny sample budget, so they gate at a loose 3x —
+     enough to catch an accidental fallback to the slow path without
+     flaking CI on scheduler noise. *)
+  let speedup =
+    match
+      ( List.assoc_opt "ledgerdb fig7/ecdsa-verify" ests,
+        List.assoc_opt "ledgerdb fig7/ecdsa-verify-ref" ests )
+    with
+    | Some (Some fast), Some (Some ref_ns) when fast > 0. -> Some (ref_ns /. fast)
+    | _ -> None
+  in
+  (match speedup with
+  | None -> failwith "bench_micro: missing ecdsa verify estimates"
+  | Some s ->
+      Printf.printf "ecdsa verify speedup (ref/fast): %.1fx\n" s;
+      let floor = if smoke then 3.0 else 10.0 in
+      if s < floor then
+        failwith
+          (Printf.sprintf
+             "bench_micro: ecdsa verify speedup %.1fx below the %.0fx gate" s
+             floor));
   match json with
   | None -> ()
   | Some path ->
@@ -161,7 +195,7 @@ let run ?(smoke = false) ?json () =
         List.map
           (fun (name, ns) ->
             (name, match ns with Some v -> Float v | None -> Null))
-          (estimates results)
+          ests
       in
       write_file path
         (Obj
@@ -169,6 +203,7 @@ let run ?(smoke = false) ?json () =
              ("figure", Str "micro");
              ("unit", Str "ns_per_run");
              ("smoke", Bool smoke);
+             ("verify_speedup", match speedup with Some s -> Float s | None -> Null);
              ("tests", Obj tests);
            ]);
       Printf.printf "wrote %s\n" path

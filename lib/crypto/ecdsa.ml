@@ -5,17 +5,21 @@ type signature = { r : Uint256.t; s : Uint256.t }
 let n = Secp256k1.n
 let n_minus_1 = fst (Uint256.sub n Uint256.one)
 
-(* Map 32 bytes to [1, n-1]. *)
+(* Map 32 bytes to [1, n-1].  v < 2^256 < 2(n-1), so reduction mod n-1
+   is a single conditional subtraction. *)
 let scalar_of_bytes b =
   let v = Uint256.of_bytes_be b in
-  let v = snd (Uint256.div_mod v n_minus_1) in
+  let v =
+    if Uint256.compare v n_minus_1 >= 0 then fst (Uint256.sub v n_minus_1)
+    else v
+  in
   fst (Uint256.add v Uint256.one)
 
 let generate ~seed =
   let d = scalar_of_bytes (Sha256.digest_string ("ledgerdb-key:" ^ seed)) in
-  (d, Secp256k1.scalar_mul d Secp256k1.generator)
+  (d, Secp256k1.scalar_mul_base d)
 
-let public_key d = Secp256k1.scalar_mul d Secp256k1.generator
+let public_key d = Secp256k1.scalar_mul_base d
 
 (* Deterministic nonce in the spirit of RFC 6979: chained HMAC over the
    private key and digest, with a retry counter. *)
@@ -26,23 +30,24 @@ let nonce d msg_hash attempt =
   Bytes.set data 32 (Char.chr (attempt land 0xFF));
   scalar_of_bytes (Hmac_sha256.mac ~key data)
 
-let z_of_hash h = snd (Uint256.div_mod (Uint256.of_bytes_be (Hash.to_bytes h)) n)
+let z_of_hash h =
+  Secp256k1.Scalar.reduce (Uint256.of_bytes_be (Hash.to_bytes h))
 
 let sign d msg_hash =
   let z = z_of_hash msg_hash in
   let rec attempt i =
     if i > 100 then failwith "Ecdsa.sign: could not find a valid nonce";
     let k = nonce d msg_hash i in
-    let kg = Secp256k1.scalar_mul k Secp256k1.generator in
+    let kg = Secp256k1.scalar_mul_base k in
     match Secp256k1.to_affine kg with
     | None -> attempt (i + 1)
     | Some (x, _) ->
-        let r = snd (Uint256.div_mod x n) in
+        let r = Secp256k1.Scalar.reduce x in
         if Uint256.is_zero r then attempt (i + 1)
         else begin
-          let kinv = Uint256.inv_mod k n in
-          let rd = Uint256.mul_mod r d n in
-          let s = Uint256.mul_mod kinv (Uint256.add_mod z rd n) n in
+          let kinv = Secp256k1.Scalar.inv k in
+          let rd = Secp256k1.Scalar.mul r d in
+          let s = Secp256k1.Scalar.mul kinv (Secp256k1.Scalar.add z rd) in
           if Uint256.is_zero s then attempt (i + 1) else { r; s }
         end
   in
@@ -55,13 +60,13 @@ let verify q msg_hash { r; s } =
   else if Secp256k1.is_infinity q then false
   else begin
     let z = z_of_hash msg_hash in
-    let w = Uint256.inv_mod s n in
-    let u1 = Uint256.mul_mod z w n in
-    let u2 = Uint256.mul_mod r w n in
+    let w = Secp256k1.Scalar.inv s in
+    let u1 = Secp256k1.Scalar.mul z w in
+    let u2 = Secp256k1.Scalar.mul r w in
     let pt = Secp256k1.double_scalar_mul u1 Secp256k1.generator u2 q in
-    match Secp256k1.to_affine pt with
-    | None -> false
-    | Some (x, _) -> Uint256.equal (snd (Uint256.div_mod x n)) r
+    (* compare x(pt) to r without an affine conversion (saves a field
+       inversion): r is already known to be in [1, n) here *)
+    Secp256k1.has_x_mod_n pt r
   end
 
 let public_key_to_bytes q =
@@ -102,3 +107,70 @@ let pp_signature fmt { r; s } =
   Format.fprintf fmt "sig(r=%s…, s=%s…)"
     (String.sub (Uint256.to_hex r) 0 8)
     (String.sub (Uint256.to_hex s) 0 8)
+
+(* ----------------------------------------------------------------------
+   Reference signer/verifier over Secp256k1.Ref: the pre-kernel pipeline
+   (long-division scalar arithmetic, double-and-add ladders).  The
+   differential suites assert sign/verify agree bit-for-bit with the
+   fast path above.
+   ---------------------------------------------------------------------- *)
+
+module Ref = struct
+  let z_of_hash h =
+    snd (Uint256.div_mod (Uint256.of_bytes_be (Hash.to_bytes h)) n)
+
+  let scalar_of_bytes b =
+    let v = Uint256.of_bytes_be b in
+    let v = snd (Uint256.div_mod v n_minus_1) in
+    fst (Uint256.add v Uint256.one)
+
+  let nonce d msg_hash attempt =
+    let key = Uint256.to_bytes_be d in
+    let data = Bytes.create 33 in
+    Bytes.blit (Hash.to_bytes msg_hash) 0 data 0 32;
+    Bytes.set data 32 (Char.chr (attempt land 0xFF));
+    scalar_of_bytes (Hmac_sha256.mac ~key data)
+
+  let sign d msg_hash =
+    let z = z_of_hash msg_hash in
+    let rec attempt i =
+      if i > 100 then failwith "Ecdsa.Ref.sign: could not find a valid nonce";
+      let k = nonce d msg_hash i in
+      let kg = Secp256k1.Ref.scalar_mul k Secp256k1.Ref.generator in
+      match Secp256k1.Ref.to_affine kg with
+      | None -> attempt (i + 1)
+      | Some (x, _) ->
+          let r = snd (Uint256.div_mod x n) in
+          if Uint256.is_zero r then attempt (i + 1)
+          else begin
+            let kinv = Uint256.inv_mod k n in
+            let rd = Uint256.mul_mod r d n in
+            let s = Uint256.mul_mod kinv (Uint256.add_mod z rd n) n in
+            if Uint256.is_zero s then attempt (i + 1) else { r; s }
+          end
+    in
+    attempt 0
+
+  (* Accepts the fast-representation public key and re-expresses it for
+     the reference ladder, so both verifiers can be run on identical
+     inputs. *)
+  let verify q msg_hash { r; s } =
+    if not (in_range r && in_range s) then false
+    else if Secp256k1.is_infinity q then false
+    else begin
+      match Secp256k1.to_affine q with
+      | None -> false
+      | Some (qx, qy) ->
+          let q = Secp256k1.Ref.of_affine qx qy in
+          let z = z_of_hash msg_hash in
+          let w = Uint256.inv_mod s n in
+          let u1 = Uint256.mul_mod z w n in
+          let u2 = Uint256.mul_mod r w n in
+          let pt =
+            Secp256k1.Ref.double_scalar_mul u1 Secp256k1.Ref.generator u2 q
+          in
+          (match Secp256k1.Ref.to_affine pt with
+          | None -> false
+          | Some (x, _) -> Uint256.equal (snd (Uint256.div_mod x n)) r)
+    end
+end

@@ -7,7 +7,11 @@
     source inside the sealed test environment. *)
 
 type private_key
-type public_key
+
+type public_key = Secp256k1.point
+(** Transparent alias so callers (and the vector suite) can feed curve
+    points — including pathological ones like the point at infinity —
+    straight into {!verify}; [Secp256k1.point] itself stays abstract. *)
 
 type signature = { r : Uint256.t; s : Uint256.t }
 
@@ -38,3 +42,15 @@ val signature_to_bytes : signature -> bytes
 val signature_of_bytes : bytes -> signature option
 
 val pp_signature : Format.formatter -> signature -> unit
+
+(** {1 Reference pipeline}
+
+    Signer/verifier over {!Secp256k1.Ref} — the pre-kernel long-division
+    scalar arithmetic and double-and-add ladders.  Nonce derivation is
+    identical, so [Ref.sign] must produce bit-for-bit the same signature
+    as {!sign}; the differential suites assert this on every build. *)
+
+module Ref : sig
+  val sign : private_key -> Hash.t -> signature
+  val verify : public_key -> Hash.t -> signature -> bool
+end

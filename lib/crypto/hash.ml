@@ -46,18 +46,20 @@ let zero = Bytes.make size '\000'
 let digest_bytes b = Sha256.digest_bytes b
 let digest_string s = Sha256.digest_string s
 
+(* Inner Merkle nodes: every [t] is exactly [size] bytes by module
+   invariant, so the blits below cannot go out of bounds. *)
 let combine l r =
   let b = Bytes.create (2 * size) in
-  Bytes.blit l 0 b 0 size;
-  Bytes.blit r 0 b size size;
+  Bytes.unsafe_blit l 0 b 0 size;
+  Bytes.unsafe_blit r 0 b size size;
   Sha256.digest_bytes b
 
 let combine_tagged tag l r =
   let tl = String.length tag in
   let b = Bytes.create (tl + (2 * size)) in
   Bytes.blit_string tag 0 b 0 tl;
-  Bytes.blit l 0 b tl size;
-  Bytes.blit r 0 b (tl + size) size;
+  Bytes.unsafe_blit l 0 b tl size;
+  Bytes.unsafe_blit r 0 b (tl + size) size;
   Sha256.digest_bytes b
 
 let scatter key = Sha3.digest_string key

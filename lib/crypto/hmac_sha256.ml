@@ -4,10 +4,13 @@ let mac ~key msg =
   let key =
     if Bytes.length key > block_size then Sha256.digest_bytes key else key
   in
+  let klen = Bytes.length key in
   let pad_key c =
     let b = Bytes.make block_size c in
-    for i = 0 to Bytes.length key - 1 do
-      Bytes.set b i (Char.chr (Char.code (Bytes.get key i) lxor Char.code c))
+    let cc = Char.code c in
+    for i = 0 to klen - 1 do
+      Bytes.unsafe_set b i
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get key i) lxor cc))
     done;
     b
   in

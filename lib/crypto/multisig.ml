@@ -1,22 +1,32 @@
-type entry = { signer : Ecdsa.public_key; signature : Ecdsa.signature }
+(* Each entry caches [Ecdsa.public_key_id signer] at insertion time:
+   [covers] used to re-hash every recorded signer for every required key
+   (O(n·m) SHA-256 calls on the purge/occult admission path); with the id
+   memoized it hashes each required key once. *)
+type entry = {
+  signer : Ecdsa.public_key;
+  signer_id : Hash.t;
+  signature : Ecdsa.signature;
+}
+
 type t = { digest : Hash.t; entries : entry list }
 
 let empty digest = { digest; entries = [] }
 let digest t = t.digest
-
 let remove_signer entries id =
-  List.filter (fun e -> not (Hash.equal (Ecdsa.public_key_id e.signer) id)) entries
+  List.filter (fun e -> not (Hash.equal e.signer_id id)) entries
 
 let add t ~signer priv =
   let signature = Ecdsa.sign priv t.digest in
-  let entries = remove_signer t.entries (Ecdsa.public_key_id signer) in
-  { t with entries = { signer; signature } :: entries }
+  let signer_id = Ecdsa.public_key_id signer in
+  let entries = remove_signer t.entries signer_id in
+  { t with entries = { signer; signer_id; signature } :: entries }
 
 let add_signature t ~signer signature =
-  let entries = remove_signer t.entries (Ecdsa.public_key_id signer) in
-  { t with entries = { signer; signature } :: entries }
+  let signer_id = Ecdsa.public_key_id signer in
+  let entries = remove_signer t.entries signer_id in
+  { t with entries = { signer; signer_id; signature } :: entries }
 
-let signer_ids t = List.map (fun e -> Ecdsa.public_key_id e.signer) t.entries
+let signer_ids t = List.map (fun e -> e.signer_id) t.entries
 
 let verify_all t =
   List.for_all (fun e -> Ecdsa.verify e.signer t.digest e.signature) t.entries
@@ -26,9 +36,7 @@ let covers t ~required =
   && List.for_all
        (fun pk ->
          let id = Ecdsa.public_key_id pk in
-         List.exists
-           (fun e -> Hash.equal (Ecdsa.public_key_id e.signer) id)
-           t.entries)
+         List.exists (fun e -> Hash.equal e.signer_id id) t.entries)
        required
 
 let cardinal t = List.length t.entries

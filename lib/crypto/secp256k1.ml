@@ -20,183 +20,1202 @@ let p_minus_2 =
   Uint256.of_hex
     "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2d"
 
-(* --- field arithmetic with fast pseudo-Mersenne reduction ------------- *)
+(* GLV endomorphism: (x, y) -> (beta*x, y) equals multiplication by
+   lambda, where beta^3 = 1 (mod p) and lambda^3 = 1 (mod n). *)
+let beta =
+  Uint256.of_hex
+    "7ae96a2b657c07106e64479eac3434e99cf0497512f58995c1396c28719501ee"
 
-let limb_mask = 0xFFFF
-let limb_bits = 16
+let lambda =
+  Uint256.of_hex
+    "5363ad4cc05c30e0a5261c028812645a122e22ea20816678df02967c1b23bd72"
 
-(* p = 2^256 - c with c = 2^32 + 977: fold the high half down repeatedly. *)
-let reduce_wide w =
-  let significant a =
-    let rec go i = if i < 0 then 0 else if a.(i) <> 0 then i + 1 else go (i - 1) in
-    go (Array.length a - 1)
-  in
-  let current = ref (Array.copy w) in
-  let len = ref (significant !current) in
-  while !len > 16 do
-    let a = !current in
-    let hi_len = !len - 16 in
-    (* acc = lo + (hi << 32) + 977 * hi *)
-    let acc = Array.make (max 16 (hi_len + 3) + 1) 0 in
-    Array.blit a 0 acc 0 16;
-    (* add hi * 977 at offset 0 *)
-    let carry = ref 0 in
-    for i = 0 to hi_len - 1 do
-      let s = acc.(i) + (a.(16 + i) * 977) + !carry in
-      acc.(i) <- s land limb_mask;
-      carry := s lsr limb_bits
+(* ======================================================================
+   Reference kernel.
+
+   The straightforward implementation the fast kernel below is checked
+   against: generic 16-bit-limb field arithmetic through
+   [Uint256.mul_wide], plain MSB-first double-and-add, and the naive
+   two-table Shamir ladder.  Kept alive verbatim so the differential and
+   vector suites compare fast-vs-reference on every build; performance
+   is irrelevant here.
+   ====================================================================== *)
+
+module Ref = struct
+  let limb_mask = 0xFFFF
+  let limb_bits = 16
+
+  (* p = 2^256 - c with c = 2^32 + 977: fold the high half down repeatedly. *)
+  let reduce_wide w =
+    let significant a =
+      let rec go i =
+        if i < 0 then 0 else if a.(i) <> 0 then i + 1 else go (i - 1)
+      in
+      go (Array.length a - 1)
+    in
+    let current = ref (Array.copy w) in
+    let len = ref (significant !current) in
+    while !len > 16 do
+      let a = !current in
+      let hi_len = !len - 16 in
+      (* acc = lo + (hi << 32) + 977 * hi *)
+      let acc = Array.make (max 16 (hi_len + 3) + 1) 0 in
+      Array.blit a 0 acc 0 16;
+      (* add hi * 977 at offset 0 *)
+      let carry = ref 0 in
+      for i = 0 to hi_len - 1 do
+        let s = acc.(i) + (a.(16 + i) * 977) + !carry in
+        acc.(i) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let k = ref hi_len in
+      while !carry <> 0 do
+        let s = acc.(!k) + !carry in
+        acc.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done;
+      (* add hi << 32 (two limbs) *)
+      carry := 0;
+      for i = 0 to hi_len - 1 do
+        let s = acc.(i + 2) + a.(16 + i) + !carry in
+        acc.(i + 2) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let k = ref (hi_len + 2) in
+      while !carry <> 0 do
+        let s = acc.(!k) + !carry in
+        acc.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done;
+      current := acc;
+      len := significant acc
     done;
-    let k = ref hi_len in
-    while !carry <> 0 do
-      let s = acc.(!k) + !carry in
-      acc.(!k) <- s land limb_mask;
-      carry := s lsr limb_bits;
-      incr k
+    let r = Array.make 16 0 in
+    Array.blit !current 0 r 0 (min 16 (Array.length !current));
+    let v = ref (Uint256.of_limbs r) in
+    while Uint256.compare !v p >= 0 do
+      v := fst (Uint256.sub !v p)
     done;
-    (* add hi << 32 (two limbs) *)
-    carry := 0;
-    for i = 0 to hi_len - 1 do
-      let s = acc.(i + 2) + a.(16 + i) + !carry in
-      acc.(i + 2) <- s land limb_mask;
-      carry := s lsr limb_bits
+    !v
+
+  let fe_add a b = Uint256.add_mod a b p
+  let fe_sub a b = Uint256.sub_mod a b p
+  let fe_mul a b = reduce_wide (Uint256.mul_wide a b)
+  let fe_sqr a = fe_mul a a
+
+  let fe_pow b e =
+    let result = ref Uint256.one and base = ref b in
+    let nb = Uint256.num_bits e in
+    for i = 0 to nb - 1 do
+      if Uint256.bit e i then result := fe_mul !result !base;
+      base := fe_sqr !base
     done;
-    let k = ref (hi_len + 2) in
-    while !carry <> 0 do
-      let s = acc.(!k) + !carry in
-      acc.(!k) <- s land limb_mask;
-      carry := s lsr limb_bits;
-      incr k
+    !result
+
+  let fe_inv a =
+    if Uint256.is_zero a then invalid_arg "Secp256k1.fe_inv: zero";
+    fe_pow a p_minus_2
+
+  let fe_of_int = Uint256.of_int
+  let fe_dbl a = fe_add a a
+
+  type point = { x : fe; y : fe; z : fe }
+
+  let infinity = { x = Uint256.one; y = Uint256.one; z = Uint256.zero }
+  let is_infinity pt = Uint256.is_zero pt.z
+  let of_affine x y = { x; y; z = Uint256.one }
+  let generator = of_affine gx gy
+
+  let is_on_curve x y =
+    if Uint256.compare x p >= 0 || Uint256.compare y p >= 0 then false
+    else
+      let lhs = fe_sqr y in
+      let rhs = fe_add (fe_mul (fe_sqr x) x) (fe_of_int 7) in
+      Uint256.equal lhs rhs
+
+  let to_affine pt =
+    if is_infinity pt then None
+    else begin
+      let zinv = fe_inv pt.z in
+      let zinv2 = fe_sqr zinv in
+      let x = fe_mul pt.x zinv2 in
+      let y = fe_mul pt.y (fe_mul zinv2 zinv) in
+      Some (x, y)
+    end
+
+  let negate pt =
+    if is_infinity pt then pt
+    else { pt with y = Uint256.sub_mod Uint256.zero pt.y p }
+
+  let double pt =
+    if is_infinity pt || Uint256.is_zero pt.y then infinity
+    else begin
+      let a = fe_sqr pt.x in
+      let b = fe_sqr pt.y in
+      let c = fe_sqr b in
+      let d =
+        let t = fe_sqr (fe_add pt.x b) in
+        fe_dbl (fe_sub (fe_sub t a) c)
+      in
+      let e = fe_add (fe_dbl a) a in
+      let f = fe_sqr e in
+      let x3 = fe_sub f (fe_dbl d) in
+      let y3 =
+        let c8 = fe_dbl (fe_dbl (fe_dbl c)) in
+        fe_sub (fe_mul e (fe_sub d x3)) c8
+      in
+      let z3 = fe_dbl (fe_mul pt.y pt.z) in
+      { x = x3; y = y3; z = z3 }
+    end
+
+  let add p1 p2 =
+    if is_infinity p1 then p2
+    else if is_infinity p2 then p1
+    else begin
+      let z1z1 = fe_sqr p1.z and z2z2 = fe_sqr p2.z in
+      let u1 = fe_mul p1.x z2z2 and u2 = fe_mul p2.x z1z1 in
+      let s1 = fe_mul p1.y (fe_mul z2z2 p2.z) in
+      let s2 = fe_mul p2.y (fe_mul z1z1 p1.z) in
+      let h = fe_sub u2 u1 and r = fe_sub s2 s1 in
+      if Uint256.is_zero h then
+        if Uint256.is_zero r then double p1 else infinity
+      else begin
+        let h2 = fe_sqr h in
+        let h3 = fe_mul h h2 in
+        let u1h2 = fe_mul u1 h2 in
+        let x3 = fe_sub (fe_sub (fe_sqr r) h3) (fe_dbl u1h2) in
+        let y3 = fe_sub (fe_mul r (fe_sub u1h2 x3)) (fe_mul s1 h3) in
+        let z3 = fe_mul h (fe_mul p1.z p2.z) in
+        { x = x3; y = y3; z = z3 }
+      end
+    end
+
+  let scalar_mul k pt =
+    let nb = Uint256.num_bits k in
+    let acc = ref infinity in
+    for i = nb - 1 downto 0 do
+      acc := double !acc;
+      if Uint256.bit k i then acc := add !acc pt
     done;
-    current := acc;
-    len := significant acc
-  done;
-  let r = Array.make 16 0 in
-  Array.blit !current 0 r 0 (min 16 (Array.length !current));
-  let v = ref (Uint256.of_limbs r) in
-  while Uint256.compare !v p >= 0 do
-    v := fst (Uint256.sub !v p)
-  done;
-  !v
+    !acc
 
-let fe_add a b = Uint256.add_mod a b p
-let fe_sub a b = Uint256.sub_mod a b p
-let fe_mul a b = reduce_wide (Uint256.mul_wide a b)
-let fe_sqr a = fe_mul a a
+  let double_scalar_mul a pa b pb =
+    let sum = add pa pb in
+    let nb = max (Uint256.num_bits a) (Uint256.num_bits b) in
+    let acc = ref infinity in
+    for i = nb - 1 downto 0 do
+      acc := double !acc;
+      (match (Uint256.bit a i, Uint256.bit b i) with
+      | true, true -> acc := add !acc sum
+      | true, false -> acc := add !acc pa
+      | false, true -> acc := add !acc pb
+      | false, false -> ())
+    done;
+    !acc
 
-let fe_pow b e =
-  let result = ref Uint256.one and base = ref b in
-  let nb = Uint256.num_bits e in
-  for i = 0 to nb - 1 do
-    if Uint256.bit e i then result := fe_mul !result !base;
-    base := fe_sqr !base
-  done;
-  !result
+  let equal p1 p2 =
+    match (to_affine p1, to_affine p2) with
+    | None, None -> true
+    | Some (x1, y1), Some (x2, y2) -> Uint256.equal x1 x2 && Uint256.equal y1 y2
+    | None, Some _ | Some _, None -> false
+end
 
-let fe_inv a =
-  if Uint256.is_zero a then invalid_arg "Secp256k1.fe_inv: zero";
-  fe_pow a p_minus_2
+(* ======================================================================
+   Fast field kernel: ten little-endian limbs of 26 bits.
 
-let fe_of_int = Uint256.of_int
-let fe_dbl a = fe_add a a
+   Limb products are ≤ 52 bits and a comba column sums at most ten of
+   them plus a sub-2^31 carry, staying below 2^56 — far inside the
+   63-bit native int.  The pseudo-Mersenne structure folds in one shot:
+   2^260 ≡ 2^36 + 15632 (mod p), so a high limb h at weight 2^(260+26j)
+   contributes h·15632 at limb j and h·2^10 at limb j+1.  Every exported
+   operation returns a canonical value (< p, limbs < 2^26); arrays are
+   never mutated after creation, so values can be shared freely across
+   domains.
+   ====================================================================== *)
 
-(* --- Jacobian points --------------------------------------------------- *)
+module Fe = struct
+  type t = int array
 
-type point = { x : fe; y : fe; z : fe }
+  let nl = 10
+  let mask = 0x3FFFFFF (* 2^26 - 1 *)
 
-let infinity = { x = Uint256.one; y = Uint256.one; z = Uint256.zero }
-let is_infinity pt = Uint256.is_zero pt.z
-let of_affine x y = { x; y; z = Uint256.one }
+  (* little-endian 26-bit limbs of p = 2^256 - 2^32 - 977 *)
+  let p_limbs =
+    [|
+      0x3fffc2f; 0x3ffffbf; 0x3ffffff; 0x3ffffff; 0x3ffffff; 0x3ffffff;
+      0x3ffffff; 0x3ffffff; 0x3ffffff; 0x03fffff;
+    |]
+
+  let zero () = Array.make nl 0
+
+  let one () =
+    let a = Array.make nl 0 in
+    a.(0) <- 1;
+    a
+
+  let is_zero a =
+    let rec go i = i >= nl || (Array.unsafe_get a i = 0 && go (i + 1)) in
+    go 0
+
+  let is_one a =
+    a.(0) = 1
+    &&
+    let rec go i = i >= nl || (a.(i) = 0 && go (i + 1)) in
+    go 1
+
+  let equal a b =
+    let rec go i =
+      i >= nl || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+    in
+    go 0
+
+  let ge_p a =
+    let rec go i =
+      if i < 0 then true
+      else if a.(i) <> p_limbs.(i) then a.(i) > p_limbs.(i)
+      else go (i - 1)
+    in
+    go (nl - 1)
+
+  let sub_p_inplace a =
+    let borrow = ref 0 in
+    for i = 0 to nl - 1 do
+      let s = a.(i) - p_limbs.(i) - !borrow in
+      if s < 0 then begin
+        a.(i) <- s + mask + 1;
+        borrow := 1
+      end
+      else begin
+        a.(i) <- s;
+        borrow := 0
+      end
+    done
+
+  (* Conversions to/from the 16-bit-limb Uint256 representation.  Only
+     used at kernel boundaries (scalars, encodings, the public fe API);
+     the hot paths stay in 26-bit limbs throughout. *)
+  let of_u256 x =
+    let l = Uint256.limbs x in
+    let r = Array.make nl 0 in
+    for j = 0 to nl - 1 do
+      let b = 26 * j in
+      let i = b lsr 4 and sh = b land 15 in
+      let v = ref (l.(i) lsr sh) in
+      if i + 1 < 16 then v := !v lor (l.(i + 1) lsl (16 - sh));
+      if i + 2 < 16 && sh > 6 then v := !v lor (l.(i + 2) lsl (32 - sh));
+      r.(j) <- !v land mask
+    done;
+    r
+
+  let to_u256 a =
+    let l = Array.make 16 0 in
+    for j = 0 to nl - 1 do
+      let b = 26 * j in
+      let i = b lsr 4 and sh = b land 15 in
+      let v = a.(j) lsl sh in
+      l.(i) <- (l.(i) lor v) land 0xFFFF;
+      if i + 1 < 16 then l.(i + 1) <- (l.(i + 1) lor (v lsr 16)) land 0xFFFF;
+      if i + 2 < 16 then l.(i + 2) <- (l.(i + 2) lor (v lsr 32)) land 0xFFFF
+    done;
+    Uint256.of_limbs l
+
+  (* Fold the bits at and above 2^256 back down (2^256 ≡ 2^32 + 977),
+     then subtract p at most once.  Callers guarantee the value is below
+     2^260, i.e. fits ten limbs with limb 9 possibly above 2^22. *)
+  let normalize r =
+    while r.(nl - 1) >= 1 lsl 22 do
+      let o = r.(nl - 1) lsr 22 in
+      r.(nl - 1) <- r.(nl - 1) land 0x3FFFFF;
+      r.(0) <- r.(0) + (o * 977);
+      r.(1) <- r.(1) + (o lsl 6);
+      let c = ref 0 in
+      for j = 0 to nl - 1 do
+        let s = r.(j) + !c in
+        r.(j) <- s land mask;
+        c := s lsr 26
+      done
+      (* the final carry is impossible: the folded value is < 2^260 and
+         shrinks by o·p > 0 on every pass *)
+    done;
+    if ge_p r then sub_p_inplace r;
+    r
+
+  (* Fully-unrolled comba multiplication with fused reduction: the ten
+     26-bit limbs are lifted into local variables, the nineteen product
+     columns are accumulated with a running carry (each column sums at
+     most ten 52-bit products plus a sub-2^31 carry, staying below 2^56),
+     and the high half is folded straight down without materializing the
+     20-limb intermediate.  Generated mechanically; checked against
+     [Ref.fe_mul] by the differential suites. *)
+  let mul a b =
+    let a0 = Array.unsafe_get a 0 in
+    let a1 = Array.unsafe_get a 1 in
+    let a2 = Array.unsafe_get a 2 in
+    let a3 = Array.unsafe_get a 3 in
+    let a4 = Array.unsafe_get a 4 in
+    let a5 = Array.unsafe_get a 5 in
+    let a6 = Array.unsafe_get a 6 in
+    let a7 = Array.unsafe_get a 7 in
+    let a8 = Array.unsafe_get a 8 in
+    let a9 = Array.unsafe_get a 9 in
+    let b0 = Array.unsafe_get b 0 in
+    let b1 = Array.unsafe_get b 1 in
+    let b2 = Array.unsafe_get b 2 in
+    let b3 = Array.unsafe_get b 3 in
+    let b4 = Array.unsafe_get b 4 in
+    let b5 = Array.unsafe_get b 5 in
+    let b6 = Array.unsafe_get b 6 in
+    let b7 = Array.unsafe_get b 7 in
+    let b8 = Array.unsafe_get b 8 in
+    let b9 = Array.unsafe_get b 9 in
+    let c = 0 in
+    let s = c + (a0 * b0) in
+    let t0 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b1) + (a1 * b0) in
+    let t1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b2) + (a1 * b1) + (a2 * b0) in
+    let t2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b3) + (a1 * b2) + (a2 * b1) + (a3 * b0) in
+    let t3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b4) + (a1 * b3) + (a2 * b2) + (a3 * b1) + (a4 * b0) in
+    let t4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b5) + (a1 * b4) + (a2 * b3) + (a3 * b2) + (a4 * b1) + (a5 * b0) in
+    let t5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b6) + (a1 * b5) + (a2 * b4) + (a3 * b3) + (a4 * b2) + (a5 * b1) + (a6 * b0) in
+    let t6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b7) + (a1 * b6) + (a2 * b5) + (a3 * b4) + (a4 * b3) + (a5 * b2) + (a6 * b1) + (a7 * b0) in
+    let t7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b8) + (a1 * b7) + (a2 * b6) + (a3 * b5) + (a4 * b4) + (a5 * b3) + (a6 * b2) + (a7 * b1) + (a8 * b0) in
+    let t8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a0 * b9) + (a1 * b8) + (a2 * b7) + (a3 * b6) + (a4 * b5) + (a5 * b4) + (a6 * b3) + (a7 * b2) + (a8 * b1) + (a9 * b0) in
+    let t9 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a1 * b9) + (a2 * b8) + (a3 * b7) + (a4 * b6) + (a5 * b5) + (a6 * b4) + (a7 * b3) + (a8 * b2) + (a9 * b1) in
+    let t10 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a2 * b9) + (a3 * b8) + (a4 * b7) + (a5 * b6) + (a6 * b5) + (a7 * b4) + (a8 * b3) + (a9 * b2) in
+    let t11 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a3 * b9) + (a4 * b8) + (a5 * b7) + (a6 * b6) + (a7 * b5) + (a8 * b4) + (a9 * b3) in
+    let t12 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a4 * b9) + (a5 * b8) + (a6 * b7) + (a7 * b6) + (a8 * b5) + (a9 * b4) in
+    let t13 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a5 * b9) + (a6 * b8) + (a7 * b7) + (a8 * b6) + (a9 * b5) in
+    let t14 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a6 * b9) + (a7 * b8) + (a8 * b7) + (a9 * b6) in
+    let t15 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a7 * b9) + (a8 * b8) + (a9 * b7) in
+    let t16 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a8 * b9) + (a9 * b8) in
+    let t17 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a9 * b9) in
+    let t18 = s land mask in
+    let c = s lsr 26 in
+    let t19 = c in
+    (* fold limbs 10..19 down: 2^260 == 2^36 + 15632 (mod p) *)
+    let c = 0 in
+    let s = c + t0 + (t10 * 15632) in
+    let r0 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t1 + (t11 * 15632) + (t10 lsl 10) in
+    let r1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t2 + (t12 * 15632) + (t11 lsl 10) in
+    let r2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t3 + (t13 * 15632) + (t12 lsl 10) in
+    let r3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t4 + (t14 * 15632) + (t13 lsl 10) in
+    let r4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t5 + (t15 * 15632) + (t14 lsl 10) in
+    let r5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t6 + (t16 * 15632) + (t15 lsl 10) in
+    let r6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t7 + (t17 * 15632) + (t16 lsl 10) in
+    let r7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t8 + (t18 * 15632) + (t17 lsl 10) in
+    let r8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t9 + (t19 * 15632) + (t18 lsl 10) in
+    let r9 = s land mask in
+    let c = s lsr 26 in
+    let h = (t19 lsl 10) + c in
+    (* second fold: h at weight 2^260 is < 2^38 *)
+    let s = r0 + (h * 15632) in
+    let r0 = s land mask in
+    let s = (s lsr 26) + r1 + (h lsl 10) in
+    let r1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r2 in
+    let r2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r3 in
+    let r3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r4 in
+    let r4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r5 in
+    let r5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r6 in
+    let r6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r7 in
+    let r7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r8 in
+    let r8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r9 in
+    let r9 = s land mask in
+    let c = s lsr 26 in
+    (* any carry past limb 9 re-enters at 2^260; normalize eats it *)
+    let r = Array.make nl 0 in
+    Array.unsafe_set r 0 r0;
+    Array.unsafe_set r 1 r1;
+    Array.unsafe_set r 2 r2;
+    Array.unsafe_set r 3 r3;
+    Array.unsafe_set r 4 r4;
+    Array.unsafe_set r 5 r5;
+    Array.unsafe_set r 6 r6;
+    Array.unsafe_set r 7 r7;
+    Array.unsafe_set r 8 r8;
+    Array.unsafe_set r 9 (r9 lor (c lsl 26));
+    normalize r
+
+  let sqr a =
+    let a0 = Array.unsafe_get a 0 in
+    let a1 = Array.unsafe_get a 1 in
+    let a2 = Array.unsafe_get a 2 in
+    let a3 = Array.unsafe_get a 3 in
+    let a4 = Array.unsafe_get a 4 in
+    let a5 = Array.unsafe_get a 5 in
+    let a6 = Array.unsafe_get a 6 in
+    let a7 = Array.unsafe_get a 7 in
+    let a8 = Array.unsafe_get a 8 in
+    let a9 = Array.unsafe_get a 9 in
+    let c = 0 in
+    let s = c + (a0 * a0) in
+    let t0 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a1))) in
+    let t1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a2))) + (a1 * a1) in
+    let t2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a3) + (a1 * a2))) in
+    let t3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a4) + (a1 * a3))) + (a2 * a2) in
+    let t4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a5) + (a1 * a4) + (a2 * a3))) in
+    let t5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a6) + (a1 * a5) + (a2 * a4))) + (a3 * a3) in
+    let t6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a7) + (a1 * a6) + (a2 * a5) + (a3 * a4))) in
+    let t7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a8) + (a1 * a7) + (a2 * a6) + (a3 * a5))) + (a4 * a4) in
+    let t8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a0 * a9) + (a1 * a8) + (a2 * a7) + (a3 * a6) + (a4 * a5))) in
+    let t9 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a1 * a9) + (a2 * a8) + (a3 * a7) + (a4 * a6))) + (a5 * a5) in
+    let t10 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a2 * a9) + (a3 * a8) + (a4 * a7) + (a5 * a6))) in
+    let t11 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a3 * a9) + (a4 * a8) + (a5 * a7))) + (a6 * a6) in
+    let t12 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a4 * a9) + (a5 * a8) + (a6 * a7))) in
+    let t13 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a5 * a9) + (a6 * a8))) + (a7 * a7) in
+    let t14 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a6 * a9) + (a7 * a8))) in
+    let t15 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a7 * a9))) + (a8 * a8) in
+    let t16 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (2 * ((a8 * a9))) in
+    let t17 = s land mask in
+    let c = s lsr 26 in
+    let s = c + (a9 * a9) in
+    let t18 = s land mask in
+    let c = s lsr 26 in
+    let t19 = c in
+    (* fold limbs 10..19 down: 2^260 == 2^36 + 15632 (mod p) *)
+    let c = 0 in
+    let s = c + t0 + (t10 * 15632) in
+    let r0 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t1 + (t11 * 15632) + (t10 lsl 10) in
+    let r1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t2 + (t12 * 15632) + (t11 lsl 10) in
+    let r2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t3 + (t13 * 15632) + (t12 lsl 10) in
+    let r3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t4 + (t14 * 15632) + (t13 lsl 10) in
+    let r4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t5 + (t15 * 15632) + (t14 lsl 10) in
+    let r5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t6 + (t16 * 15632) + (t15 lsl 10) in
+    let r6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t7 + (t17 * 15632) + (t16 lsl 10) in
+    let r7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t8 + (t18 * 15632) + (t17 lsl 10) in
+    let r8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + t9 + (t19 * 15632) + (t18 lsl 10) in
+    let r9 = s land mask in
+    let c = s lsr 26 in
+    let h = (t19 lsl 10) + c in
+    (* second fold: h at weight 2^260 is < 2^38 *)
+    let s = r0 + (h * 15632) in
+    let r0 = s land mask in
+    let s = (s lsr 26) + r1 + (h lsl 10) in
+    let r1 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r2 in
+    let r2 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r3 in
+    let r3 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r4 in
+    let r4 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r5 in
+    let r5 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r6 in
+    let r6 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r7 in
+    let r7 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r8 in
+    let r8 = s land mask in
+    let c = s lsr 26 in
+    let s = c + r9 in
+    let r9 = s land mask in
+    let c = s lsr 26 in
+    (* any carry past limb 9 re-enters at 2^260; normalize eats it *)
+    let r = Array.make nl 0 in
+    Array.unsafe_set r 0 r0;
+    Array.unsafe_set r 1 r1;
+    Array.unsafe_set r 2 r2;
+    Array.unsafe_set r 3 r3;
+    Array.unsafe_set r 4 r4;
+    Array.unsafe_set r 5 r5;
+    Array.unsafe_set r 6 r6;
+    Array.unsafe_set r 7 r7;
+    Array.unsafe_set r 8 r8;
+    Array.unsafe_set r 9 (r9 lor (c lsl 26));
+    normalize r
+
+  let add a b =
+    let r = Array.make nl 0 in
+    let c = ref 0 in
+    for j = 0 to nl - 1 do
+      let s = Array.unsafe_get a j + Array.unsafe_get b j + !c in
+      Array.unsafe_set r j (s land mask);
+      c := s lsr 26
+    done;
+    (* canonical inputs sum below 2^257: no carry escapes limb 9 *)
+    normalize r
+
+  (* --- lazy (non-canonical) arithmetic for the point formulas ---------
+
+     A value of magnitude m has limbs < m·2^26 (limb 9 < m·2^22) and is
+     congruent to the represented element without being reduced.  The
+     caller tracks magnitudes: canonical values (every [mul]/[sqr]
+     output) have m = 1, [add_nc] sums magnitudes, [neg_nc m a] of a
+     magnitude-m value yields magnitude 2m.  Values may flow into
+     [mul]/[sqr] only while m <= 8 (keeps comba columns below 2^62) and
+     must pass through [normalize_nc] before being stored in a point or
+     zero-tested.  This is what lets the Jacobian ladders skip ~10 full
+     normalizations per group operation. *)
+
+  let add_nc a b =
+    let r = Array.make nl 0 in
+    for j = 0 to nl - 1 do
+      Array.unsafe_set r j (Array.unsafe_get a j + Array.unsafe_get b j)
+    done;
+    r
+
+  (* a - b in one pass, where b has magnitude <= m; result mag(a)+2m *)
+  let sub_nc m a b =
+    let r = Array.make nl 0 in
+    let m2 = 2 * m in
+    for j = 0 to nl - 1 do
+      Array.unsafe_set r j
+        (Array.unsafe_get a j
+        + (m2 * Array.unsafe_get p_limbs j)
+        - Array.unsafe_get b j)
+    done;
+    r
+
+  (* k·a for a small constant k; result mag k·mag(a) *)
+  let mul_int_nc k a =
+    let r = Array.make nl 0 in
+    for j = 0 to nl - 1 do
+      Array.unsafe_set r j (k * Array.unsafe_get a j)
+    done;
+    r
+
+  (* Carry-propagate a freshly built non-canonical value (mutated in
+     place), then reduce to canonical form.  The carry past limb 9
+     re-enters at 2^260 exactly as in [mul]'s tail. *)
+  let normalize_nc r =
+    let c = ref 0 in
+    for j = 0 to nl - 1 do
+      let s = Array.unsafe_get r j + !c in
+      Array.unsafe_set r j (s land mask);
+      c := s lsr 26
+    done;
+    Array.unsafe_set r 9 (Array.unsafe_get r 9 lor (!c lsl 26));
+    normalize r
+
+  let sub a b =
+    let r = Array.make nl 0 in
+    let borrow = ref 0 in
+    for j = 0 to nl - 1 do
+      let s = Array.unsafe_get a j - Array.unsafe_get b j - !borrow in
+      if s < 0 then begin
+        Array.unsafe_set r j (s + mask + 1);
+        borrow := 1
+      end
+      else begin
+        Array.unsafe_set r j s;
+        borrow := 0
+      end
+    done;
+    if !borrow <> 0 then begin
+      (* a < b: add p back (a - b + p < p, so no carry out of limb 9) *)
+      let c = ref 0 in
+      for j = 0 to nl - 1 do
+        let s = r.(j) + p_limbs.(j) + !c in
+        r.(j) <- s land mask;
+        c := s lsr 26
+      done
+    end;
+    r
+
+  let neg a = if is_zero a then zero () else sub (zero ()) a
+
+  let inv a =
+    if is_zero a then invalid_arg "Secp256k1.fe_inv: zero";
+    of_u256 (Uint256.inv_mod (to_u256 a) p)
+
+  (* Montgomery's trick: invert the whole array with a single modular
+     inversion and 3(k-1) multiplications. *)
+  let inv_batch xs =
+    let k = Array.length xs in
+    if k = 0 then [||]
+    else begin
+      let prefix = Array.make k [||] in
+      let acc = ref (one ()) in
+      for i = 0 to k - 1 do
+        prefix.(i) <- !acc;
+        acc := mul !acc xs.(i)
+      done;
+      let out = Array.make k [||] in
+      let suffix = ref (inv !acc) in
+      for i = k - 1 downto 0 do
+        out.(i) <- mul !suffix prefix.(i);
+        suffix := mul !suffix xs.(i)
+      done;
+      out
+    end
+end
+
+(* --- scalar arithmetic modulo the group order n ------------------------- *)
+
+module Scalar = struct
+  let n = n
+
+  (* 2^256 - n: 129 bits, nine 16-bit limbs *)
+  let t_n = Uint256.limbs (fst (Uint256.sub Uint256.zero n))
+  let t_n_len = 9
+
+  let reduce x = if Uint256.compare x n >= 0 then fst (Uint256.sub x n) else x
+
+  (* Fold-based reduction of a wide (≤ 32-limb) value: repeatedly rewrite
+     hi·2^256 + lo as lo + hi·(2^256 - n) until the value fits 16 limbs,
+     then subtract n at most once (2^256 < 2n). *)
+  let reduce_wide w =
+    let significant a =
+      let rec go i =
+        if i < 0 then 0 else if a.(i) <> 0 then i + 1 else go (i - 1)
+      in
+      go (Array.length a - 1)
+    in
+    let current = ref w in
+    let len = ref (significant w) in
+    while !len > 16 do
+      let a = !current in
+      let hi_len = !len - 16 in
+      let acc = Array.make (max 16 (hi_len + t_n_len) + 1) 0 in
+      Array.blit a 0 acc 0 16;
+      for i = 0 to hi_len - 1 do
+        let h = a.(16 + i) in
+        if h <> 0 then begin
+          let carry = ref 0 in
+          for j = 0 to t_n_len - 1 do
+            let s = acc.(i + j) + (h * t_n.(j)) + !carry in
+            acc.(i + j) <- s land 0xFFFF;
+            carry := s lsr 16
+          done;
+          let k = ref (i + t_n_len) in
+          while !carry <> 0 do
+            let s = acc.(!k) + !carry in
+            acc.(!k) <- s land 0xFFFF;
+            carry := s lsr 16;
+            incr k
+          done
+        end
+      done;
+      current := acc;
+      len := significant acc
+    done;
+    let r = Array.make 16 0 in
+    Array.blit !current 0 r 0 (min 16 (Array.length !current));
+    reduce (Uint256.of_limbs r)
+
+  let mul a b = reduce_wide (Uint256.mul_wide a b)
+  let add a b = Uint256.add_mod a b n
+  let sub a b = Uint256.sub_mod a b n
+  let inv x = Uint256.inv_mod x n
+
+  (* --- GLV scalar decomposition ---------------------------------------
+     k = k1 + k2*lambda (mod n) with |k1|, |k2| <= 2^128: the standard
+     lattice basis for secp256k1 with c_i = round(k*g_i / 2^384), where
+     g1 = round(2^384*b2/n) and g2 = round(2^384*(-b1)/n). *)
+
+  let g1 =
+    Uint256.of_hex
+      "3086d221a7d46bcde86c90e49284eb153daa8a1471e8ca7fe893209a45dbb031"
+
+  let g2 =
+    Uint256.of_hex
+      "e4437ed6010e88286f547fa90abfe4c4221208ac9df506c61571b4ae8ac47f71"
+
+  let minus_b1 = Uint256.of_hex "e4437ed6010e88286f547fa90abfe4c3"
+
+  let minus_b2 =
+    Uint256.of_hex
+      "fffffffffffffffffffffffffffffffe8a280ac50774346dd765cda83db1562c"
+
+  let half_n =
+    Uint256.of_hex
+      "7fffffffffffffffffffffffffffffff5d576e7357a4501ddfe92f46681b20a0"
+
+  (* round(a*b / 2^384): limbs 24..31 of the wide product, plus the
+     rounding bit at position 383 *)
+  let mul_shift_384 a b =
+    let w = Uint256.mul_wide a b in
+    let r = Array.make 16 0 in
+    Array.blit w 24 r 0 8;
+    let v = Uint256.of_limbs r in
+    if w.(23) land 0x8000 <> 0 then fst (Uint256.add v Uint256.one) else v
+
+  (* [split k] (k < n) returns ((neg1, k1), (neg2, k2)) with
+     k = (-1)^neg1 * k1 + (-1)^neg2 * k2 * lambda (mod n) and both
+     magnitudes at most 2^128. *)
+  let split k =
+    let c1 = mul_shift_384 k g1 in
+    let c2 = mul_shift_384 k g2 in
+    let k2 = add (mul c1 minus_b1) (mul c2 minus_b2) in
+    let k1 = sub k (mul k2 lambda) in
+    let norm v =
+      if Uint256.compare v half_n > 0 then (true, fst (Uint256.sub n v))
+      else (false, v)
+    in
+    (norm k1, norm k2)
+end
+
+(* --- Jacobian points on the fast field --------------------------------- *)
+
+type point = { x : Fe.t; y : Fe.t; z : Fe.t }
+
+let infinity = { x = Fe.one (); y = Fe.one (); z = Fe.zero () }
+let is_infinity pt = Fe.is_zero pt.z
+let of_affine x y = { x = Fe.of_u256 x; y = Fe.of_u256 y; z = Fe.one () }
 let generator = of_affine gx gy
+let gx_fe = Fe.of_u256 gx
+let gy_fe = Fe.of_u256 gy
+
+let seven =
+  let a = Fe.zero () in
+  a.(0) <- 7;
+  a
 
 let is_on_curve x y =
   if Uint256.compare x p >= 0 || Uint256.compare y p >= 0 then false
-  else
-    let lhs = fe_sqr y in
-    let rhs = fe_add (fe_mul (fe_sqr x) x) (fe_of_int 7) in
-    Uint256.equal lhs rhs
+  else begin
+    let xf = Fe.of_u256 x and yf = Fe.of_u256 y in
+    let lhs = Fe.sqr yf in
+    let rhs = Fe.add (Fe.mul (Fe.sqr xf) xf) seven in
+    Fe.equal lhs rhs
+  end
 
 let to_affine pt =
   if is_infinity pt then None
   else begin
-    let zinv = fe_inv pt.z in
-    let zinv2 = fe_sqr zinv in
-    let x = fe_mul pt.x zinv2 in
-    let y = fe_mul pt.y (fe_mul zinv2 zinv) in
-    Some (x, y)
+    let zinv = Fe.inv pt.z in
+    let zinv2 = Fe.sqr zinv in
+    let x = Fe.mul pt.x zinv2 in
+    let y = Fe.mul pt.y (Fe.mul zinv2 zinv) in
+    Some (Fe.to_u256 x, Fe.to_u256 y)
   end
 
-let negate pt =
-  if is_infinity pt then pt
-  else { pt with y = Uint256.sub_mod Uint256.zero pt.y p }
+let negate pt = if is_infinity pt then pt else { pt with y = Fe.neg pt.y }
 
+(* dbl-2009-l, a = 0: 2M + 5S.  Formula-internal sums use the lazy
+   magnitude-tracked ops (magnitudes in comments); stored coordinates
+   are always canonical. *)
 let double pt =
-  if is_infinity pt || Uint256.is_zero pt.y then infinity
+  if is_infinity pt || Fe.is_zero pt.y then infinity
   else begin
-    let a = fe_sqr pt.x in
-    let b = fe_sqr pt.y in
-    let c = fe_sqr b in
+    let a = Fe.sqr pt.x in
+    let b = Fe.sqr pt.y in
+    let c = Fe.sqr b in
     let d =
-      let t = fe_sqr (fe_add pt.x b) in
-      fe_dbl (fe_sub (fe_sub t a) c)
+      let t = Fe.sqr (Fe.add_nc pt.x b) (* arg mag 2 *) in
+      (* 2(t - a - c): 1 + 2 + 2 doubled = mag 10, then canonical *)
+      Fe.normalize_nc (Fe.mul_int_nc 2 (Fe.sub_nc 1 (Fe.sub_nc 1 t a) c))
     in
-    let e = fe_add (fe_dbl a) a in
-    let f = fe_sqr e in
-    let x3 = fe_sub f (fe_dbl d) in
+    let e = Fe.mul_int_nc 3 a (* mag 3 *) in
+    let f = Fe.sqr e in
+    let x3 = Fe.normalize_nc (Fe.sub_nc 2 f (Fe.mul_int_nc 2 d)) in
     let y3 =
-      let c8 = fe_dbl (fe_dbl (fe_dbl c)) in
-      fe_sub (fe_mul e (fe_sub d x3)) c8
+      let dx = Fe.sub_nc 1 d x3 (* mag 3 *) in
+      let c8 = Fe.mul_int_nc 8 c (* mag 8 *) in
+      Fe.normalize_nc (Fe.sub_nc 8 (Fe.mul e dx) c8)
     in
-    let z3 = fe_dbl (fe_mul pt.y pt.z) in
+    let z3 = Fe.normalize_nc (Fe.mul_int_nc 2 (Fe.mul pt.y pt.z)) in
     { x = x3; y = y3; z = z3 }
   end
 
+(* general Jacobian addition: 11M + 5S *)
 let add p1 p2 =
   if is_infinity p1 then p2
   else if is_infinity p2 then p1
   else begin
-    let z1z1 = fe_sqr p1.z and z2z2 = fe_sqr p2.z in
-    let u1 = fe_mul p1.x z2z2 and u2 = fe_mul p2.x z1z1 in
-    let s1 = fe_mul p1.y (fe_mul z2z2 p2.z) in
-    let s2 = fe_mul p2.y (fe_mul z1z1 p1.z) in
-    let h = fe_sub u2 u1 and r = fe_sub s2 s1 in
-    if Uint256.is_zero h then
-      if Uint256.is_zero r then double p1 else infinity
+    let z1z1 = Fe.sqr p1.z and z2z2 = Fe.sqr p2.z in
+    let u1 = Fe.mul p1.x z2z2 and u2 = Fe.mul p2.x z1z1 in
+    let s1 = Fe.mul p1.y (Fe.mul z2z2 p2.z) in
+    let s2 = Fe.mul p2.y (Fe.mul z1z1 p1.z) in
+    let h = Fe.normalize_nc (Fe.sub_nc 1 u2 u1) in
+    let r = Fe.normalize_nc (Fe.sub_nc 1 s2 s1) in
+    if Fe.is_zero h then if Fe.is_zero r then double p1 else infinity
     else begin
-      let h2 = fe_sqr h in
-      let h3 = fe_mul h h2 in
-      let u1h2 = fe_mul u1 h2 in
-      let x3 = fe_sub (fe_sub (fe_sqr r) h3) (fe_dbl u1h2) in
-      let y3 = fe_sub (fe_mul r (fe_sub u1h2 x3)) (fe_mul s1 h3) in
-      let z3 = fe_mul h (fe_mul p1.z p2.z) in
+      let h2 = Fe.sqr h in
+      let h3 = Fe.mul h h2 in
+      let u1h2 = Fe.mul u1 h2 in
+      let x3 =
+        (* r² - h3 - 2·u1h2: mag 1 + 2 + 4 *)
+        Fe.normalize_nc
+          (Fe.sub_nc 2 (Fe.sub_nc 1 (Fe.sqr r) h3) (Fe.mul_int_nc 2 u1h2))
+      in
+      let y3 =
+        Fe.normalize_nc
+          (Fe.sub_nc 1
+             (Fe.mul r (Fe.sub_nc 1 u1h2 x3) (* arg mag 3 *))
+             (Fe.mul s1 h3))
+      in
+      let z3 = Fe.mul h (Fe.mul p1.z p2.z) in
       { x = x3; y = y3; z = z3 }
     end
   end
 
-let scalar_mul k pt =
-  let nb = Uint256.num_bits k in
-  let acc = ref infinity in
-  for i = nb - 1 downto 0 do
-    acc := double !acc;
-    if Uint256.bit k i then acc := add !acc pt
-  done;
-  !acc
+(* mixed addition with an affine (z = 1) second operand: 7M + 4S *)
+let madd p1 x2 y2 =
+  if is_infinity p1 then { x = x2; y = y2; z = Fe.one () }
+  else begin
+    let z1z1 = Fe.sqr p1.z in
+    let u2 = Fe.mul x2 z1z1 in
+    let s2 = Fe.mul y2 (Fe.mul z1z1 p1.z) in
+    let h = Fe.normalize_nc (Fe.sub_nc 1 u2 p1.x) in
+    let r = Fe.normalize_nc (Fe.sub_nc 1 s2 p1.y) in
+    if Fe.is_zero h then if Fe.is_zero r then double p1 else infinity
+    else begin
+      let h2 = Fe.sqr h in
+      let h3 = Fe.mul h h2 in
+      let u1h2 = Fe.mul p1.x h2 in
+      let x3 =
+        Fe.normalize_nc
+          (Fe.sub_nc 2 (Fe.sub_nc 1 (Fe.sqr r) h3) (Fe.mul_int_nc 2 u1h2))
+      in
+      let y3 =
+        Fe.normalize_nc
+          (Fe.sub_nc 1 (Fe.mul r (Fe.sub_nc 1 u1h2 x3)) (Fe.mul p1.y h3))
+      in
+      let z3 = Fe.mul p1.z h in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
 
-let double_scalar_mul a pa b pb =
-  let sum = add pa pb in
-  let nb = max (Uint256.num_bits a) (Uint256.num_bits b) in
-  let acc = ref infinity in
-  for i = nb - 1 downto 0 do
-    acc := double !acc;
-    (match (Uint256.bit a i, Uint256.bit b i) with
-    | true, true -> acc := add !acc sum
-    | true, false -> acc := add !acc pa
-    | false, true -> acc := add !acc pb
-    | false, false -> ())
-  done;
-  !acc
-
+(* projective cross-comparison: x1·z2² = x2·z1² ∧ y1·z2³ = y2·z1³ *)
 let equal p1 p2 =
-  match (to_affine p1, to_affine p2) with
-  | None, None -> true
-  | Some (x1, y1), Some (x2, y2) -> Uint256.equal x1 x2 && Uint256.equal y1 y2
-  | None, Some _ | Some _, None -> false
+  match (is_infinity p1, is_infinity p2) with
+  | true, true -> true
+  | true, false | false, true -> false
+  | false, false ->
+      let z1z1 = Fe.sqr p1.z and z2z2 = Fe.sqr p2.z in
+      Fe.equal (Fe.mul p1.x z2z2) (Fe.mul p2.x z1z1)
+      && Fe.equal
+           (Fe.mul p1.y (Fe.mul z2z2 p2.z))
+           (Fe.mul p2.y (Fe.mul z1z1 p1.z))
+
+(* --- wNAF scalar recoding ---------------------------------------------- *)
+
+(* Width-w non-adjacent form: odd digits in (-2^(w-1), 2^(w-1)), at most
+   one nonzero digit in any w consecutive positions.  Works on a mutable
+   17×16-bit limb copy (one spare limb: adding back a negative digit can
+   carry past 2^256). *)
+let wnaf k w =
+  let d = Array.make 17 0 in
+  Array.blit (Uint256.limbs k) 0 d 0 16;
+  let digits = Array.make 258 0 in
+  let two_w = 1 lsl w in
+  let half = 1 lsl (w - 1) in
+  let hi = ref 16 in
+  let norm () = while !hi >= 0 && d.(!hi) = 0 do decr hi done in
+  norm ();
+  let i = ref 0 in
+  while !hi >= 0 do
+    (if d.(0) land 1 = 1 then begin
+       let u = d.(0) land (two_w - 1) in
+       let u = if u >= half then u - two_w else u in
+       digits.(!i) <- u;
+       if u > 0 then begin
+         let borrow = ref u and j = ref 0 in
+         while !borrow <> 0 do
+           let s = d.(!j) - !borrow in
+           if s < 0 then begin
+             d.(!j) <- s + 0x10000;
+             borrow := 1
+           end
+           else begin
+             d.(!j) <- s;
+             borrow := 0
+           end;
+           incr j
+         done
+       end
+       else begin
+         let carry = ref (-u) and j = ref 0 in
+         while !carry <> 0 do
+           let s = d.(!j) + !carry in
+           d.(!j) <- s land 0xFFFF;
+           carry := s lsr 16;
+           incr j
+         done;
+         (* the add-back can extend the value upward; limbs above the
+            old hi were zero, so scanning forward is enough *)
+         while !hi < 16 && d.(!hi + 1) <> 0 do
+           incr hi
+         done
+       end
+     end);
+    (* d >>= 1 *)
+    for j = 0 to !hi - 1 do
+      d.(j) <- (d.(j) lsr 1) lor ((d.(j + 1) land 1) lsl 15)
+    done;
+    if !hi >= 0 then d.(!hi) <- d.(!hi) lsr 1;
+    norm ();
+    incr i
+  done;
+  (digits, !i)
+
+(* --- precomputed tables ------------------------------------------------- *)
+
+(* Batch-normalize an array of non-infinity Jacobian points to affine
+   (x, y) limb pairs using one shared inversion. *)
+let to_affine_batch pts =
+  let zs = Array.map (fun pt -> pt.z) pts in
+  let zinvs = Fe.inv_batch zs in
+  Array.mapi
+    (fun i pt ->
+      let zi2 = Fe.sqr zinvs.(i) in
+      (Fe.mul pt.x zi2, Fe.mul pt.y (Fe.mul zi2 zinvs.(i))))
+    pts
+
+(* Odd multiples P, 3P, ..., (2^(w-1)-1)P, normalized to affine. *)
+let odd_multiples pt count =
+  let p2 = double pt in
+  let jac = Array.make count pt in
+  for i = 1 to count - 1 do
+    jac.(i) <- add jac.(i - 1) p2
+  done;
+  to_affine_batch jac
+
+(* Map a table through the endomorphism (x, y) -> (beta*x, y); the
+   resulting entries are the same odd multiples of lambda*P. *)
+let beta_fe = Fe.of_u256 beta
+let endo_table t = Array.map (fun (x, y) -> (Fe.mul beta_fe x, y)) t
+
+(* Fixed-base tables for G and lambda*G: width-10 wNAF, 256 odd
+   multiples each (~16 KB per table as affine pairs), built once at
+   module initialization (single-threaded, so safe under domains). *)
+let g_window = 10
+let g_table = odd_multiples generator (1 lsl (g_window - 2))
+let lg_table = endo_table g_table
+
+(* Width for on-the-fly tables of arbitrary points (8 odd multiples). *)
+let pt_window = 5
+
+let ladder_step acc digit table =
+  if digit = 0 then acc
+  else if digit > 0 then
+    let x, y = table.(digit lsr 1) in
+    madd acc x y
+  else
+    let x, y = table.((-digit) lsr 1) in
+    madd acc x (Fe.neg y)
+
+let is_generator pt =
+  Fe.is_one pt.z && Fe.equal pt.x gx_fe && Fe.equal pt.y gy_fe
+
+(* All scalar multiplication goes through the GLV decomposition: the
+   256-bit ladder becomes two (or four) 128-bit wNAF digit streams over
+   P and lambda*P tables sharing one ~128-step doubling chain.  A
+   negated subscalar is handled by flipping its digit signs. *)
+let scalar_mul k pt =
+  if Uint256.is_zero k || is_infinity pt then infinity
+  else begin
+    let k = Scalar.reduce k in
+    if Uint256.is_zero k then infinity
+    else begin
+      let fixed = is_generator pt in
+      let w = if fixed then g_window else pt_window in
+      let t, lt =
+        if fixed then (g_table, lg_table)
+        else begin
+          let t = odd_multiples pt (1 lsl (w - 2)) in
+          (t, endo_table t)
+        end
+      in
+      let (n1, k1), (n2, k2) = Scalar.split k in
+      let d1, l1 = wnaf k1 w in
+      let d2, l2 = wnaf k2 w in
+      let acc = ref infinity in
+      for i = max l1 l2 - 1 downto 0 do
+        acc := double !acc;
+        acc := ladder_step !acc (if n1 then -d1.(i) else d1.(i)) t;
+        acc := ladder_step !acc (if n2 then -d2.(i) else d2.(i)) lt
+      done;
+      !acc
+    end
+  end
+
+let scalar_mul_base k = scalar_mul k generator
+
+(* Shamir's trick with interleaved wNAF digits: one shared doubling
+   chain, mixed additions against per-point affine tables — four digit
+   streams after GLV decomposition of both scalars. *)
+let double_scalar_mul a pa b pb =
+  if is_infinity pa || Uint256.is_zero a then scalar_mul b pb
+  else if is_infinity pb || Uint256.is_zero b then scalar_mul a pa
+  else begin
+    let a = Scalar.reduce a and b = Scalar.reduce b in
+    if Uint256.is_zero a then scalar_mul b pb
+    else if Uint256.is_zero b then scalar_mul a pa
+    else begin
+      let a_fixed = is_generator pa in
+      let wa = if a_fixed then g_window else pt_window in
+      let ta, lta =
+        if a_fixed then (g_table, lg_table)
+        else begin
+          let t = odd_multiples pa (1 lsl (wa - 2)) in
+          (t, endo_table t)
+        end
+      in
+      let tb = odd_multiples pb (1 lsl (pt_window - 2)) in
+      let ltb = endo_table tb in
+      let (s1, a1), (s2, a2) = Scalar.split a in
+      let (s3, b1), (s4, b2) = Scalar.split b in
+      let da1, la1 = wnaf a1 wa in
+      let da2, la2 = wnaf a2 wa in
+      let db1, lb1 = wnaf b1 pt_window in
+      let db2, lb2 = wnaf b2 pt_window in
+      let len = max (max la1 la2) (max lb1 lb2) in
+      let acc = ref infinity in
+      for i = len - 1 downto 0 do
+        acc := double !acc;
+        acc := ladder_step !acc (if s1 then -da1.(i) else da1.(i)) ta;
+        acc := ladder_step !acc (if s2 then -da2.(i) else da2.(i)) lta;
+        acc := ladder_step !acc (if s3 then -db1.(i) else db1.(i)) tb;
+        acc := ladder_step !acc (if s4 then -db2.(i) else db2.(i)) ltb
+      done;
+      !acc
+    end
+  end
+
+(* ECDSA's final comparison without leaving Jacobian coordinates: does
+   pt have an affine x-coordinate congruent to [r] mod n?  x = X/Z^2, so
+   test X = c*Z^2 for c = r and (since x < p may exceed n) c = r + n. *)
+let has_x_mod_n pt r =
+  if is_infinity pt then false
+  else begin
+    let z2 = Fe.sqr pt.z in
+    let matches c = Fe.equal (Fe.mul (Fe.of_u256 c) z2) pt.x in
+    matches r
+    ||
+    let rn = fst (Uint256.add r n) in
+    Uint256.compare rn p < 0 && matches rn
+  end
+
+(* --- public field helpers (Uint256 views over the fast kernel) ---------- *)
+
+let fe_add a b = Fe.to_u256 (Fe.add (Fe.of_u256 a) (Fe.of_u256 b))
+let fe_sub a b = Fe.to_u256 (Fe.sub (Fe.of_u256 a) (Fe.of_u256 b))
+let fe_mul a b = Fe.to_u256 (Fe.mul (Fe.of_u256 a) (Fe.of_u256 b))
+let fe_sqr a = Fe.to_u256 (Fe.sqr (Fe.of_u256 a))
+let fe_inv a = Fe.to_u256 (Fe.inv (Fe.of_u256 a))
+
+let fe_inv_batch xs =
+  let any_zero = Array.exists Uint256.is_zero xs in
+  if any_zero then invalid_arg "Secp256k1.fe_inv_batch: zero element";
+  Array.map Fe.to_u256 (Fe.inv_batch (Array.map Fe.of_u256 xs))

@@ -1,16 +1,21 @@
 (** The secp256k1 elliptic curve: y² = x³ + 7 over F_p.
 
-    Field arithmetic uses the pseudo-Mersenne structure of
-    p = 2²⁵⁶ − 2³² − 977 for fast reduction; points are manipulated in
-    Jacobian coordinates to avoid per-operation field inversions.  This is
-    the curve substrate beneath {!Ecdsa}. *)
+    The fast kernel represents field elements as ten 26-bit limbs in
+    native ints with fused comba multiply + pseudo-Mersenne reduction
+    (p = 2²⁵⁶ − 2³² − 977, so 2²⁶⁰ ≡ 2³⁶ + 15632), points in Jacobian
+    coordinates, and scalar multiplication as wNAF ladders over
+    precomputed affine odd-multiple tables (a fixed width-8 table for G,
+    on-the-fly width-5 tables for arbitrary points) with Shamir's trick
+    for the dual-scalar verify path.  {!Ref} keeps the original
+    straightforward implementation alive for differential testing. *)
 
 type fe = Uint256.t
 (** A field element, canonical (< p). *)
 
 type point
 (** A curve point in Jacobian coordinates (the point at infinity is
-    representable). *)
+    representable).  Values are immutable after creation and safe to
+    share across domains. *)
 
 val p : Uint256.t
 (** The field prime. *)
@@ -37,15 +42,28 @@ val add : point -> point -> point
 val negate : point -> point
 
 val scalar_mul : Uint256.t -> point -> point
-(** [scalar_mul k pt] by MSB-first double-and-add. *)
+(** [scalar_mul k pt] by a wNAF windowed ladder; detects [pt = G] and
+    uses the precomputed fixed-base table. *)
+
+val scalar_mul_base : Uint256.t -> point
+(** [scalar_mul_base k] is [k·G] over the fixed-base table — the signing
+    hot path. *)
 
 val double_scalar_mul : Uint256.t -> point -> Uint256.t -> point -> point
 (** [double_scalar_mul a pt_a b pt_b] computes [a·pt_a + b·pt_b] with a
-    single shared doubling chain (Shamir's trick) — the hot path of ECDSA
-    verification. *)
+    single shared doubling chain and interleaved wNAF digits (Shamir's
+    trick) — the hot path of ECDSA verification. *)
 
 val equal : point -> point -> bool
-(** Structural equality of the represented affine points. *)
+(** Structural equality of the represented affine points (computed by
+    projective cross-comparison, no inversions). *)
+
+val has_x_mod_n : point -> Uint256.t -> bool
+(** [has_x_mod_n pt r] is true iff [pt] is finite and its affine
+    x-coordinate is congruent to [r] mod n, tested in Jacobian
+    coordinates (X = c·Z² for c = r or r + n) without a field
+    inversion — ECDSA verification's final comparison.  [r] must be
+    in [1, n). *)
 
 (** {1 Field helpers (exposed for tests)} *)
 
@@ -54,3 +72,57 @@ val fe_sub : fe -> fe -> fe
 val fe_mul : fe -> fe -> fe
 val fe_sqr : fe -> fe
 val fe_inv : fe -> fe
+
+val fe_inv_batch : fe array -> fe array
+(** Invert a whole array with one modular inversion plus 3(k−1)
+    multiplications (Montgomery's trick).  Raises [Invalid_argument] if
+    any element is zero. *)
+
+(** {1 Scalar arithmetic modulo the group order n} *)
+
+module Scalar : sig
+  val n : Uint256.t
+
+  val reduce : Uint256.t -> Uint256.t
+  (** Reduce a value < 2²⁵⁶ mod n (a single conditional subtraction,
+      since 2²⁵⁶ < 2n). *)
+
+  val reduce_wide : int array -> Uint256.t
+  (** Reduce a wide limb array (e.g. a {!Uint256.mul_wide} product)
+      mod n by repeated folding of the high half. *)
+
+  val mul : Uint256.t -> Uint256.t -> Uint256.t
+  val add : Uint256.t -> Uint256.t -> Uint256.t
+
+  val inv : Uint256.t -> Uint256.t
+  (** Modular inverse mod n; raises on zero. *)
+end
+
+(** {1 Reference kernel}
+
+    The original implementation — generic 16-bit-limb arithmetic through
+    [Uint256.mul_wide], repeated-fold reduction, MSB-first
+    double-and-add — kept alive verbatim so the vector and differential
+    suites can check the fast kernel against it on every build. *)
+
+module Ref : sig
+  type point
+
+  val generator : point
+  val infinity : point
+  val is_infinity : point -> bool
+  val of_affine : fe -> fe -> point
+  val to_affine : point -> (fe * fe) option
+  val is_on_curve : fe -> fe -> bool
+  val double : point -> point
+  val add : point -> point -> point
+  val negate : point -> point
+  val scalar_mul : Uint256.t -> point -> point
+  val double_scalar_mul : Uint256.t -> point -> Uint256.t -> point -> point
+  val equal : point -> point -> bool
+  val fe_add : fe -> fe -> fe
+  val fe_sub : fe -> fe -> fe
+  val fe_mul : fe -> fe -> fe
+  val fe_sqr : fe -> fe
+  val fe_inv : fe -> fe
+end

@@ -1,4 +1,11 @@
-(* SHA-256 with 32-bit arithmetic emulated on the native int. *)
+(* SHA-256 on native 63-bit ints.
+
+   The compression loop keeps every quantity in one machine word and
+   masks back to 32 bits only where an exact 32-bit value is required
+   (rotations and the final state addition): intermediate sums of a few
+   32-bit words stay below 2^36 and cannot overflow.  The message
+   schedule is preallocated in the context and all hot-loop array and
+   byte accesses are unchecked — indices are fixed by the algorithm. *)
 
 let k =
   [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
@@ -34,45 +41,64 @@ let init () =
     w = Array.make 64 0;
   }
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
-
 (* Works on an explicit state array so [finalize] can compress a copy of
    the running state without disturbing the context. *)
 let compress_state h w block off =
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for i = 16 to 63 do
+    let w15 = Array.unsafe_get w (i - 15) in
+    let w2 = Array.unsafe_get w (i - 2) in
     let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
+      ((w15 lsr 7) lor (w15 lsl 25))
+      lxor ((w15 lsr 18) lor (w15 lsl 14))
+      lxor (w15 lsr 3)
     in
     let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
+      ((w2 lsr 17) lor (w2 lsl 15))
+      lxor ((w2 lsr 19) lor (w2 lsl 13))
+      lxor (w2 lsr 10)
     in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    (* s0/s1 carry rotation bits above 2^32; a single mask at the store
+       clears everything the lxor mixed in up there *)
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask32)
   done;
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = !e land !f lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask32 in
+    let e_ = !e in
+    let s1 =
+      (((e_ lsr 6) lor (e_ lsl 26))
+      lxor ((e_ lsr 11) lor (e_ lsl 21))
+      lxor ((e_ lsr 25) lor (e_ lsl 7)))
+      land mask32
+    in
+    let ch = e_ land !f lxor (lnot e_ land !g) land mask32 in
+    let t1 = !hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i in
+    let a_ = !a in
+    let s0 =
+      (((a_ lsr 2) lor (a_ lsl 30))
+      lxor ((a_ lsr 13) lor (a_ lsl 19))
+      lxor ((a_ lsr 22) lor (a_ lsl 10)))
+      land mask32
+    in
+    let maj = a_ land !b lxor (a_ land !c) lxor (!b land !c) in
     hh := !g;
     g := !f;
-    f := !e;
+    f := e_;
     e := (!d + t1) land mask32;
     d := !c;
     c := !b;
-    b := !a;
-    a := (t1 + t2) land mask32
+    b := a_;
+    a := (t1 + s0 + maj) land mask32
   done;
   h.(0) <- (h.(0) + !a) land mask32;
   h.(1) <- (h.(1) + !b) land mask32;
@@ -123,7 +149,7 @@ let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
    [buf_len] are dead storage (every later [update_sub] overwrites them
    before reading), so the common case — fewer than 56 buffered bytes —
    pads directly inside [ctx.buf] and allocates nothing beyond the state
-   copy and the digest, replacing the old per-call [Bytes.make] pad. *)
+   copy and the digest. *)
 let finalize ctx =
   let total_bits = ctx.total * 8 in
   let bl = ctx.buf_len in
@@ -165,3 +191,93 @@ let digest_bytes b =
   finalize ctx
 
 let digest_string s = digest_bytes (Bytes.unsafe_of_string s)
+
+(* ----------------------------------------------------------------------
+   Reference compression function: the original rotr-helper loop with
+   checked accesses and per-step masking.  The vector and differential
+   suites compare the fast loop above against this on every build.
+   ---------------------------------------------------------------------- *)
+
+module Ref = struct
+  let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+  let compress_state h w block off =
+    for i = 0 to 15 do
+      let j = off + (i * 4) in
+      w.(i) <-
+        (Char.code (Bytes.get block j) lsl 24)
+        lor (Char.code (Bytes.get block (j + 1)) lsl 16)
+        lor (Char.code (Bytes.get block (j + 2)) lsl 8)
+        lor Char.code (Bytes.get block (j + 3))
+    done;
+    for i = 16 to 63 do
+      let s0 =
+        rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
+      in
+      let s1 =
+        rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
+      in
+      w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for i = 0 to 63 do
+      let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+      let ch = !e land !f lxor (lnot !e land !g) in
+      let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
+      let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+      let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+      let t2 = (s0 + maj) land mask32 in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := (!d + t1) land mask32;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := (t1 + t2) land mask32
+    done;
+    h.(0) <- (h.(0) + !a) land mask32;
+    h.(1) <- (h.(1) + !b) land mask32;
+    h.(2) <- (h.(2) + !c) land mask32;
+    h.(3) <- (h.(3) + !d) land mask32;
+    h.(4) <- (h.(4) + !e) land mask32;
+    h.(5) <- (h.(5) + !f) land mask32;
+    h.(6) <- (h.(6) + !g) land mask32;
+    h.(7) <- (h.(7) + !hh) land mask32
+
+  let digest_bytes b =
+    let h =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+    in
+    let w = Array.make 64 0 in
+    let len = Bytes.length b in
+    let full = len / 64 in
+    for i = 0 to full - 1 do
+      compress_state h w b (i * 64)
+    done;
+    let rest = len - (full * 64) in
+    let pad = Bytes.make (if rest + 9 <= 64 then 64 else 128) '\000' in
+    Bytes.blit b (full * 64) pad 0 rest;
+    Bytes.set pad rest '\x80';
+    let total_bits = len * 8 in
+    let off = Bytes.length pad - 8 in
+    for i = 0 to 7 do
+      Bytes.set pad (off + i)
+        (Char.chr ((total_bits lsr ((7 - i) * 8)) land 0xFF))
+    done;
+    compress_state h w pad 0;
+    if Bytes.length pad > 64 then compress_state h w pad 64;
+    let out = Bytes.create 32 in
+    for i = 0 to 7 do
+      let v = h.(i) in
+      Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xFF));
+      Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xFF));
+      Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));
+      Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xFF))
+    done;
+    out
+
+  let digest_string s = digest_bytes (Bytes.of_string s)
+end

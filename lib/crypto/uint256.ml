@@ -300,108 +300,111 @@ let pow_mod b e m =
 
 (* Binary extended GCD inversion for odd modulus.  Works on local mutable
    limb arrays with an explicit spare carry so that (x + m) / 2 is exact. *)
+(* Binary extended GCD on five 52-bit limbs: packing quarters the limb
+   count of the 16-bit representation, and the 11 spare bits in the top
+   limb (moduli are < 2^256, so limb 4 is < 2^48) absorb the transient
+   [x + m] overflow, so no carry word is needed anywhere.  The working
+   values stay < 2m throughout. *)
 let inv_mod x m =
   if not (is_odd m) then invalid_arg "Uint256.inv_mod: modulus must be odd";
   let x = snd (div_mod x m) in
   if is_zero x then invalid_arg "Uint256.inv_mod: zero has no inverse";
-  let u = Array.copy x and v = Array.copy m in
-  let x1 = Array.copy one and x2 = Array.copy zero in
+  let gl = 5 and gb = 52 in
+  let gmask = (1 lsl 52) - 1 in
+  (* gather bits [52j, 52j+52) of a 16x16 value; 52j mod 16 is at most
+     12, so four source limbs always suffice *)
+  let pack a =
+    let r = Array.make gl 0 in
+    for j = 0 to gl - 1 do
+      let b = gb * j in
+      let i = b lsr 4 and sh = b land 15 in
+      let v = ref (a.(i) lsr sh) in
+      if i + 1 < 16 then v := !v lor (a.(i + 1) lsl (16 - sh));
+      if i + 2 < 16 then v := !v lor (a.(i + 2) lsl (32 - sh));
+      if i + 3 < 16 then v := !v lor (a.(i + 3) lsl (48 - sh));
+      r.(j) <- !v land gmask
+    done;
+    r
+  in
+  let unpack a =
+    let r = Array.make limb_count 0 in
+    for i = 0 to limb_count - 1 do
+      let b = i * 16 in
+      let j = b / gb and sh = b mod gb in
+      let v = ref (a.(j) lsr sh) in
+      if j + 1 < gl then v := !v lor (a.(j + 1) lsl (gb - sh));
+      r.(i) <- !v land limb_mask
+    done;
+    r
+  in
+  let m52 = pack m in
+  let u = pack x and v = Array.copy m52 in
+  let x1 = Array.make gl 0 and x2 = Array.make gl 0 in
+  x1.(0) <- 1;
   let arr_is_one a =
-    a.(0) = 1
-    &&
-    let rec go i = i >= limb_count || (a.(i) = 0 && go (i + 1)) in
-    go 1
+    a.(0) = 1 && a.(1) = 0 && a.(2) = 0 && a.(3) = 0 && a.(4) = 0
   in
   let arr_is_zero a =
-    let rec go i = i >= limb_count || (a.(i) = 0 && go (i + 1)) in
-    go 0
+    a.(0) = 0 && a.(1) = 0 && a.(2) = 0 && a.(3) = 0 && a.(4) = 0
   in
   let arr_even a = a.(0) land 1 = 0 in
   let arr_ge a b =
     let rec go i =
       if i < 0 then true else if a.(i) <> b.(i) then a.(i) > b.(i) else go (i - 1)
     in
-    go (limb_count - 1)
+    go (gl - 1)
   in
   let arr_sub_inplace a b =
     let borrow = ref 0 in
-    for i = 0 to limb_count - 1 do
+    for i = 0 to gl - 1 do
       let s = a.(i) - b.(i) - !borrow in
       if s < 0 then begin
-        a.(i) <- s + (limb_mask + 1);
+        a.(i) <- s + gmask + 1;
         borrow := 1
-      end else begin
+      end
+      else begin
         a.(i) <- s;
         borrow := 0
       end
     done
   in
-  (* a := a / 2, where a may carry one extra bit in [carry]. *)
-  let arr_half a carry =
-    for i = 0 to limb_count - 2 do
-      a.(i) <- (a.(i) lsr 1) lor ((a.(i + 1) land 1) lsl (limb_bits - 1))
+  let arr_half a =
+    for i = 0 to gl - 2 do
+      a.(i) <- (a.(i) lsr 1) lor ((a.(i + 1) land 1) lsl (gb - 1))
     done;
-    a.(limb_count - 1) <-
-      (a.(limb_count - 1) lsr 1) lor (if carry then 1 lsl (limb_bits - 1) else 0)
+    a.(gl - 1) <- a.(gl - 1) lsr 1
   in
-  (* a := (a + m) with carry-out returned *)
   let arr_add_m a =
     let carry = ref 0 in
-    for i = 0 to limb_count - 1 do
-      let s = a.(i) + m.(i) + !carry in
-      a.(i) <- s land limb_mask;
-      carry := s lsr limb_bits
-    done;
-    !carry <> 0
+    for i = 0 to gl - 1 do
+      let s = a.(i) + m52.(i) + !carry in
+      a.(i) <- s land gmask;
+      carry := s lsr gb
+    done
   in
   let half_mod a =
-    if arr_even a then arr_half a false
-    else begin
-      let c = arr_add_m a in
-      arr_half a c
-    end
+    if not (arr_even a) then arr_add_m a;
+    arr_half a
   in
   let sub_mod_inplace a b =
-    (* a := (a - b) mod m *)
-    if arr_ge a b then arr_sub_inplace a b
-    else begin
-      (* a := a + m - b; a + m may exceed 2^256, handle via spare word *)
-      let tmp = Array.make (limb_count + 1) 0 in
-      Array.blit a 0 tmp 0 limb_count;
-      let carry = ref 0 in
-      for i = 0 to limb_count - 1 do
-        let s = tmp.(i) + m.(i) + !carry in
-        tmp.(i) <- s land limb_mask;
-        carry := s lsr limb_bits
-      done;
-      tmp.(limb_count) <- !carry;
-      let borrow = ref 0 in
-      for i = 0 to limb_count - 1 do
-        let s = tmp.(i) - b.(i) - !borrow in
-        if s < 0 then begin
-          tmp.(i) <- s + (limb_mask + 1);
-          borrow := 1
-        end else begin
-          tmp.(i) <- s;
-          borrow := 0
-        end
-      done;
-      Array.blit tmp 0 a 0 limb_count
-    end
+    (* a := (a - b) mod m; a + m fits the headroom of limb 4 *)
+    if not (arr_ge a b) then arr_add_m a;
+    arr_sub_inplace a b
   in
   while not (arr_is_one u) && not (arr_is_one v) do
     while arr_even u do
-      arr_half u false;
+      arr_half u;
       half_mod x1
     done;
     while arr_even v do
-      arr_half v false;
+      arr_half v;
       half_mod x2
     done;
     if arr_ge u v then begin
       arr_sub_inplace u v;
       sub_mod_inplace x1 x2
-    end else begin
+    end
+    else begin
       arr_sub_inplace v u;
       sub_mod_inplace x2 x1
     end;
@@ -409,7 +412,7 @@ let inv_mod x m =
       invalid_arg "Uint256.inv_mod: not coprime"
   done;
   let r = if arr_is_one u then x1 else x2 in
-  snd (div_mod r m)
+  unpack r
 
 let limbs x = x
 let of_limbs a =

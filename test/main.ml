@@ -4,6 +4,7 @@ let () =
   Alcotest.run "ledgerdb-repro"
     [
       ("crypto", Test_crypto.suite);
+      ("crypto-props", Test_crypto_props.suite);
       ("storage", Test_storage.suite);
       ("merkle", Test_merkle.suite);
       ("mpt", Test_mpt.suite);

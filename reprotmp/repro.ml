@@ -1,0 +1,16 @@
+open Ledger_crypto
+let () =
+  (* any point kG *)
+  let k = Uint256.of_int 12345 in
+  let pt = Secp256k1.scalar_mul_base k in
+  let x, _ =
+    match Secp256k1.to_affine pt with Some a -> a | None -> assert false
+  in
+  let t_n = fst (Uint256.sub Uint256.zero Secp256k1.n) in (* 2^256 - n *)
+  (* r = x + t_n as a 2^256-wrapped value; choose x small enough that r < n *)
+  let r, carry = Uint256.add x t_n in
+  Printf.printf "x+t_n carry: %b, r < n: %b\n" carry
+    (Uint256.compare r Secp256k1.n < 0);
+  (* correct answer: x mod n = r ?  i.e. is r ≡ x (mod n)?  t_n ≠ 0 mod n so NO *)
+  Printf.printf "has_x_mod_n pt r = %b (should be false)\n"
+    (Secp256k1.has_x_mod_n pt r)

@@ -1,0 +1,174 @@
+(* Verifiable query economics: proof size and verify cost (DESIGN.md §16).
+
+   Two sweeps over a synthetic clue index whose matching set is held
+   constant while the surrounding ledger grows:
+
+     scaling — the same 32-clue prefix scan against ever-larger indexes;
+               a complete scan of a fixed result set must cost O(k log N)
+               proof bytes, so the growth ratio between the smallest and
+               largest index is gated at half the index growth ratio
+               (linear leakage of non-matching keys would fail it);
+     page sweep — one index, one query, page sizes 1..32: smaller pages
+               buy streaming verification with more boundary proofs, and
+               the sweep prices that trade.
+
+   Every measured scan is verified against the index root before its
+   numbers are reported — timing an unverified proof would be timing
+   garbage. *)
+
+open Ledger_crypto
+open Ledger_query
+open Ledger_bench_util
+
+let matching = 32
+
+(* fixed-width keys so byte order is also numeric order *)
+let match_clue i = Printf.sprintf "q:%04d" i
+let filler_clue i = Printf.sprintf "f:%06d" i
+
+let build_index ~n =
+  let idx = Query_index.create () in
+  let jsn = ref 0 in
+  let add clue =
+    incr jsn;
+    Query_index.add idx ~clue ~jsn:!jsn
+      ~tx:(Hash.digest_string (Printf.sprintf "%s#%d" clue !jsn))
+  in
+  for i = 0 to matching - 1 do
+    add (match_clue i)
+  done;
+  for i = 0 to n - matching - 1 do
+    add (filler_clue i)
+  done;
+  (* a second epoch per matching clue, so result chains are non-trivial *)
+  for i = 0 to matching - 1 do
+    add (match_clue i)
+  done;
+  idx
+
+let spec = Range_query.Prefix "q:"
+
+let paginate idx ~page_size =
+  let rec go after acc =
+    let p = Range_query.page idx ~spec ?after ~page_size () in
+    match p.Range_query.cursor with
+    | Some c -> go (Some c) (p :: acc)
+    | None -> List.rev (p :: acc)
+  in
+  go None []
+
+let proof_bytes pages =
+  List.fold_left (fun acc p -> acc + Range_query.page_bytes p) 0 pages
+
+(* verified wall-clock cost of the client-side replay, averaged *)
+let verify_us ~reps ~root ~page_size pages =
+  let rows =
+    match Range_query.verify_pages ~root ~spec ~page_size pages with
+    | Ok rows -> List.length rows
+    | Error msg -> failwith ("bench_query: honest scan rejected: " ^ msg)
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    match Range_query.verify_pages ~root ~spec ~page_size pages with
+    | Ok _ -> ()
+    | Error msg -> failwith ("bench_query: honest scan rejected: " ^ msg)
+  done;
+  let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps in
+  (us, rows)
+
+let run ?(smoke = false) ?json () =
+  let sizes = if smoke then [ 64; 256; 1024 ] else [ 1024; 4096; 16384; 65536 ] in
+  let reps = if smoke then 3 else 20 in
+  Table.print_title
+    (Printf.sprintf
+       "Verifiable queries: %d-clue prefix scan vs index size (pages of 8)"
+       matching);
+  let scaling =
+    List.map
+      (fun n ->
+        let idx = build_index ~n in
+        let root = Query_index.root idx in
+        let pages = paginate idx ~page_size:8 in
+        let bytes = proof_bytes pages in
+        let us, rows = verify_us ~reps ~root ~page_size:8 pages in
+        (n, bytes, us, rows))
+      sizes
+  in
+  Table.print_table
+    ~header:[ "index clues"; "proof+result bytes"; "verify"; "rows" ]
+    (List.map
+       (fun (n, bytes, us, rows) ->
+         [ string_of_int n; string_of_int bytes; Table.human_ms (us /. 1000.);
+           string_of_int rows ])
+       scaling);
+  (* sublinearity gate: fixed result set, growing index — proof bytes
+     must grow far slower than the index does *)
+  let (n0, b0, _, _) = List.hd scaling
+  and (n1, b1, _, _) = List.nth scaling (List.length scaling - 1) in
+  let size_ratio = float_of_int n1 /. float_of_int n0
+  and bytes_ratio = float_of_int b1 /. float_of_int b0 in
+  let sublinear = bytes_ratio < size_ratio /. 2. in
+  if not sublinear then
+    failwith
+      (Printf.sprintf
+         "bench_query: proof size is not sublinear in ledger size \
+          (%d clues: %dB, %d clues: %dB)"
+         n0 b0 n1 b1);
+  let sweep_n = List.nth sizes (List.length sizes - 1) in
+  let idx = build_index ~n:sweep_n in
+  let root = Query_index.root idx in
+  Table.print_title
+    (Printf.sprintf "Page-size sweep (%d-clue index)" sweep_n);
+  let page_sweep =
+    List.map
+      (fun page_size ->
+        let pages = paginate idx ~page_size in
+        let bytes = proof_bytes pages in
+        let us, rows = verify_us ~reps ~root ~page_size pages in
+        ignore rows;
+        (page_size, List.length pages, bytes, us))
+      [ 1; 4; 16; 32 ]
+  in
+  Table.print_table
+    ~header:[ "page size"; "pages"; "proof+result bytes"; "verify" ]
+    (List.map
+       (fun (page_size, pages, bytes, us) ->
+         [ string_of_int page_size; string_of_int pages; string_of_int bytes;
+           Table.human_ms (us /. 1000.) ])
+       page_sweep);
+  match json with
+  | None -> ()
+  | Some path ->
+      let open Json_out in
+      write_file path
+        (Obj
+           [
+             ("figure", Str "query");
+             ("matching", Int matching);
+             ("sublinear", Bool sublinear);
+             ( "scaling",
+               List
+                 (List.map
+                    (fun (n, bytes, us, rows) ->
+                      Obj
+                        [
+                          ("n", Int n);
+                          ("proof_bytes", Int bytes);
+                          ("verify_us", Float us);
+                          ("rows", Int rows);
+                        ])
+                    scaling) );
+             ( "page_sweep",
+               List
+                 (List.map
+                    (fun (page_size, pages, bytes, us) ->
+                      Obj
+                        [
+                          ("page_size", Int page_size);
+                          ("pages", Int pages);
+                          ("proof_bytes", Int bytes);
+                          ("verify_us", Float us);
+                        ])
+                    page_sweep) );
+           ]);
+      Printf.printf "wrote %s\n" path

@@ -19,7 +19,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|recover|serve|all]\n\
+     [table1|fig5|fig7|fig8|fig9|fig10|table2|ablation|micro|batch|shard|par|recover|serve|query|all]\n\
     \       [--big] [--n <journals-for-fig7>] [--smoke] [--json <dir>]";
   exit 1
 
@@ -86,6 +86,7 @@ let () =
     | "par" | "multicore" -> Bench_par.run ~smoke ?json:(json "par") ()
     | "recover" | "repair" -> Bench_recover.run ~smoke ?json:(json "recover") ()
     | "serve" | "net" -> Bench_serve.run ~smoke ?json:(json "serve") ()
+    | "query" | "queries" -> Bench_query.run ~smoke ?json:(json "query") ()
     | "all" ->
         Bench_table1.run ();
         Bench_fig5.run ();
@@ -101,7 +102,8 @@ let () =
         Bench_shard.run ~smoke ();
         Bench_par.run ~smoke ();
         Bench_recover.run ~smoke ();
-        Bench_serve.run ~smoke ()
+        Bench_serve.run ~smoke ();
+        Bench_query.run ~smoke ()
     | other ->
         Printf.printf "unknown target: %s\n" other;
         usage ()

@@ -8,6 +8,8 @@
      stats    instrumented run: metrics dump, trace, verification coverage
      health   survivability walkthrough: quarantine, degraded seal, repair,
               and (with --equivocate) gossip fork evidence
+     query    verifiable range/prefix queries with completeness proofs and
+              verifiable pagination (optionally scattered across shards)
      serve    serve the wire protocol on a real TCP socket (multi-domain)
      load     drive a serving endpoint with verifying load clients
    Run `ledgerdb_cli <cmd> --help` for options. *)
@@ -743,6 +745,229 @@ let health_cmd =
              self-repair, fork evidence")
     Term.(const run_health $ shards $ journals $ equivocate)
 
+(* --- query ------------------------------------------------------------------ *)
+
+(* Build a workload whose clues exercise nested prefixes, run a
+   verifiable range/prefix query through the wire envelope, and replay
+   every completeness proof client-side.  The exit status is the
+   verification verdict: a page (or shard answer) that fails to verify
+   exits non-zero. *)
+module RQ = Ledger_query.Range_query
+
+let query_clue i =
+  let names = [| "alice"; "bob"; "carol"; "dave" |] in
+  match i mod 3 with
+  | 0 -> "acct:" ^ names.(i mod Array.length names)
+  | 1 -> "bank:" ^ string_of_int (i mod 4)
+  | _ -> "audit:epoch-" ^ string_of_int (i / 16)
+
+let print_rows rows =
+  List.iter
+    (fun (r : RQ.result_row) ->
+      Printf.printf "  %-16s total=%-3d jsns=[%s]\n" r.RQ.r_clue r.RQ.r_total
+        (String.concat ","
+           (List.map (fun (jsn, _) -> string_of_int jsn) r.RQ.r_entries)))
+    rows
+
+let spec_of_options prefix lo hi =
+  match (prefix, lo) with
+  | Some p, _ -> RQ.Prefix p
+  | None, Some lo -> RQ.Between { lo; hi }
+  | None, None -> RQ.Prefix ""
+
+let window_of_options t1 t2 =
+  match (t1, t2) with
+  | None, None -> None
+  | _ -> Some { RQ.t1 = Option.value t1 ~default:0;
+                t2 = Option.value t2 ~default:max_int }
+
+let run_query_single journals spec window page_size real_crypto =
+  let clock = Clock.create () in
+  let config =
+    { Ledger.default_config with name = "cli-query"; block_size = 16;
+      fam_delta = 8;
+      crypto =
+        (if real_crypto then Crypto_profile.Real
+         else Crypto_profile.default_simulated) }
+  in
+  let ledger = Ledger.create ~config ~clock () in
+  let user, key =
+    Ledger.new_member ledger ~name:"cli-user" ~role:Roles.Regular_user
+  in
+  for i = 0 to journals - 1 do
+    Clock.advance_ms clock 100.;
+    ignore
+      (Ledger.append ledger ~member:user ~priv:key ~clues:[ query_clue i ]
+         (Bytes.of_string (Printf.sprintf "record %d" i)))
+  done;
+  Ledger.seal_block ledger;
+  Printf.printf "ledger built: %d journals, query root %s\n"
+    (Ledger.size ledger)
+    (Hash.short_hex (Ledger.query_root ledger));
+  (* every page crosses the byte-level wire, cursors chain page to page *)
+  let rec fetch after acc guard =
+    if guard > 10_000 then Error "pagination did not terminate"
+    else
+      let reqb = Service.Client.make_query_page ~spec ?window ?after ~page_size () in
+      match Service.Client.parse (Service.handle ledger reqb) with
+      | Some (Service.Query_page_r { page; query_root; _ }) -> (
+          match page.RQ.cursor with
+          | Some c -> fetch (Some c) ((page, query_root) :: acc) (guard + 1)
+          | None -> Ok (List.rev ((page, query_root) :: acc)))
+      | Some (Service.Error_r e) -> Error e
+      | Some _ -> Error "unexpected response kind"
+      | None -> Error "malformed response"
+  in
+  match fetch None [] 0 with
+  | Error e ->
+      Printf.printf "query FAILED: %s\n" e;
+      1
+  | Ok pages ->
+      let root = snd (List.hd pages) in
+      if not (List.for_all (fun (_, r) -> Hash.equal r root) pages) then begin
+        Printf.printf "query FAILED: index root moved mid-scan (re-run)\n";
+        1
+      end
+      else begin
+        let bytes =
+          List.fold_left (fun a (pg, _) -> a + RQ.page_bytes pg) 0 pages
+        in
+        match RQ.verify_pages ~root ~spec ?window ~page_size (List.map fst pages) with
+        | Error e ->
+            Printf.printf "verification FAILED: %s\n" e;
+            1
+        | Ok rows ->
+            Printf.printf
+              "verified %d rows over %d pages (%d proof+result bytes):\n"
+              (List.length rows) (List.length pages) bytes;
+            print_rows rows;
+            (* same question through the unified Verify API, cached *)
+            let cache = Verify_cache.create () in
+            Verify_cache.attach cache ledger;
+            let target = Verify_api.Query_complete { spec; window; page_size } in
+            let o1 = Verify_api.verify ~cache ledger ~level:Verify_api.Client target in
+            let o2 = Verify_api.verify ~cache ledger ~level:Verify_api.Client target in
+            Format.printf "verify api: %a@." Verify_api.pp_outcome o2;
+            if o1.Verify_api.ok && o2.Verify_api.ok then 0 else 1
+      end
+
+let run_query_sharded journals spec window page_size shards real_crypto =
+  let module SL = Ledger_shard.Sharded_ledger in
+  let module SS = Ledger_shard.Sharded_service in
+  let module SQ = Ledger_shard.Sharded_query in
+  let clock = Clock.create () in
+  let config =
+    {
+      SL.base =
+        { Ledger.default_config with name = "cli-query"; block_size = 16;
+          fam_delta = 8;
+          crypto =
+            (if real_crypto then Crypto_profile.Real
+             else Crypto_profile.default_simulated) };
+      shards;
+    }
+  in
+  let fleet = SL.create ~config ~clock () in
+  let user, key = SL.new_member fleet ~name:"cli-user" ~role:Roles.Regular_user in
+  for i = 0 to journals - 1 do
+    Clock.advance_ms clock 100.;
+    ignore
+      (SL.append fleet ~member:user ~priv:key ~clues:[ query_clue i ]
+         (Bytes.of_string (Printf.sprintf "record %d" i)))
+  done;
+  match SL.seal_epoch fleet with
+  | Error msg ->
+      Printf.printf "epoch seal refused: %s\n" msg;
+      1
+  | Ok sealed -> (
+      Printf.printf "fleet built: %d journals over %d shards, super-root %s\n"
+        (SL.total_size fleet) shards
+        (Hash.short_hex (Ledger_shard.Super_root.commitment sealed));
+      let reqb = SS.Client.make_query_scatter ~spec ?window ~page_size () in
+      match SS.Client.parse (SS.handle fleet reqb) with
+      | Some (SS.Query_scatter_r sc) -> (
+          match SQ.merge ~sealed ~shards ~spec ?window ~page_size sc with
+          | Error e ->
+              Printf.printf "verification FAILED: %s\n" e;
+              1
+          | Ok rows ->
+              Printf.printf
+                "verified %d rows from %d shards (%d scatter bytes, pinned \
+                 to epoch %d):\n"
+                (List.length rows) shards
+                (Bytes.length (SQ.encode_scatter sc))
+                sealed.Ledger_shard.Super_root.epoch;
+              print_rows rows;
+              0)
+      | Some (SS.Error_r e) ->
+          Printf.printf "query FAILED: %s\n" e;
+          1
+      | Some _ | None ->
+          Printf.printf "query FAILED: unexpected response\n";
+          1)
+
+let run_query journals prefix lo hi t1 t2 page_size shards real_crypto =
+  if page_size <= 0 then begin
+    prerr_endline "ledgerdb query: --page-size must be positive";
+    2
+  end
+  else
+    let spec = spec_of_options prefix lo hi in
+    let window = window_of_options t1 t2 in
+    if shards > 1 then
+      run_query_sharded journals spec window page_size shards real_crypto
+    else run_query_single journals spec window page_size real_crypto
+
+let query_cmd =
+  let journals =
+    Arg.(value & opt int 48 & info [ "n"; "journals" ] ~doc:"Journals to append.")
+  in
+  let prefix =
+    Arg.(value & opt (some string) None
+         & info [ "prefix" ] ~docv:"P"
+             ~doc:"Scan every clue starting with $(docv) (e.g. acct:).")
+  in
+  let lo =
+    Arg.(value & opt (some string) None
+         & info [ "range" ] ~docv:"LO"
+             ~doc:"Scan clues from $(docv) (inclusive); pair with --range-hi.")
+  in
+  let hi =
+    Arg.(value & opt (some string) None
+         & info [ "range-hi" ] ~docv:"HI"
+             ~doc:"Upper bound (exclusive) for --range; absent = unbounded.")
+  in
+  let t1 =
+    Arg.(value & opt (some int) None
+         & info [ "t1" ] ~docv:"JSN" ~doc:"Window: keep entries with jsn >= $(docv).")
+  in
+  let t2 =
+    Arg.(value & opt (some int) None
+         & info [ "t2" ] ~docv:"JSN" ~doc:"Window: keep entries with jsn <= $(docv).")
+  in
+  let page_size =
+    Arg.(value & opt int 4
+         & info [ "page-size" ] ~docv:"N"
+             ~doc:"Clues per page; pages chain by cursor and each carries \
+                   its own completeness proof.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Scatter the query over $(docv) shards and merge the \
+                   verified answers under the epoch super-root.")
+  in
+  let real =
+    Arg.(value & flag
+         & info [ "real-crypto" ] ~doc:"Use real ECDSA instead of the simulated profile.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Verifiable range/prefix queries: completeness proofs, \
+             verifiable pagination, windowed filtering")
+    Term.(const run_query $ journals $ prefix $ lo $ hi $ t1 $ t2 $ page_size
+          $ shards $ real)
+
 (* --- serve ----------------------------------------------------------------- *)
 
 (* Serve the wire protocol on a real socket.  Members c0..c<N-1> are
@@ -1006,7 +1231,7 @@ let main =
     (Cmd.info "ledgerdb_cli" ~version:"1.0.0"
        ~doc:"LedgerDB ubiquitous-verification reproduction CLI")
     [ demo_cmd; attack_cmd; systems_cmd; snapshot_cmd; stats_cmd; health_cmd;
-      serve_cmd; load_cmd ]
+      query_cmd; serve_cmd; load_cmd ]
 
 let () =
   (* -v / --verbosity via LEDGERDB_VERBOSE; cmdliner subcommands keep their

@@ -3,6 +3,7 @@ open Ledger_storage
 open Ledger_merkle
 open Ledger_cmtree
 module Cm_tree_index = Clue_skiplist
+module Query_index = Ledger_query.Query_index
 open Ledger_timenotary
 
 let log = Logs.Src.create "ledgerdb.ledger" ~doc:"LedgerDB kernel events"
@@ -66,6 +67,7 @@ type t = {
   tsa : Tsa.pool option;
   clue_index : (string, Cm_tree_index.t) Hashtbl.t; (* clue -> jsn skip list *)
   state_index : (string, int list ref) Hashtbl.t; (* clue -> world-state leaves *)
+  query : Query_index.t; (* ordered clue trie for verifiable range scans *)
   mutable time_journals : int list; (* jsns, newest first *)
   mutable pseudo_genesis_jsn : int option;
   mutable survivor_jsns : int list;
@@ -125,6 +127,7 @@ let create ?(config = default_config) ?t_ledger ?tsa ~clock () =
     tsa;
     clue_index = Hashtbl.create 64;
     state_index = Hashtbl.create 64;
+    query = Query_index.create ();
     time_journals = [];
     pseudo_genesis_jsn = None;
     survivor_jsns = [];
@@ -268,6 +271,7 @@ let index_clues t (j : Journal.t) tx =
             sl
       in
       Cm_tree_index.append index j.Journal.jsn;
+      Query_index.add t.query ~clue ~jsn:j.Journal.jsn ~tx;
       (* world-state: one entry per clue-state transition *)
       let leaf_index =
         Accumulator.append t.world_state (Hash.combine (Hash.scatter clue) tx)
@@ -682,6 +686,8 @@ let verify_anchored t anchor ~leaf proof =
 (* --- clues -------------------------------------------------------------- *)
 
 let cm_tree t = t.cm
+let query_index t = t.query
+let query_root t = Query_index.root t.query
 
 let clue_jsns t clue =
   match Hashtbl.find_opt t.clue_index clue with

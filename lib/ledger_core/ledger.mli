@@ -196,6 +196,16 @@ val verify_anchored : t -> Fam.anchor -> leaf:Hash.t -> Fam.anchored_proof -> bo
 
 val cm_tree : t -> Cm_tree.t
 
+val query_index : t -> Ledger_query.Query_index.t
+(** The ordered clue trie backing verifiable range/prefix queries
+    (DESIGN.md §16).  A deterministic pure function of committed journal
+    history: replaying the journal stream rebuilds the same index, so its
+    root needs no separate commitment in the block chain. *)
+
+val query_root : t -> Hash.t
+(** Root of {!query_index} — the trust anchor a client verifies
+    range-query pages against. *)
+
 val clue_jsns : t -> string -> int list
 (** All jsns of a clue, ascending — served from the cSL index (§IV-A). *)
 

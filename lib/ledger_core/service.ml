@@ -1,6 +1,7 @@
 open Ledger_crypto
 open Ledger_cmtree
 open Ledger_merkle
+module Range_query = Ledger_query.Range_query
 
 type request =
   | Append of {
@@ -27,6 +28,12 @@ type request =
   | Get_checkpoint
   | Get_proof_bundle of { jsn : int }
   | Get_clue_bundle of { clue : string; first : int option; last : int option }
+  | Query_page of {
+      spec : Range_query.spec;
+      window : Range_query.window option;
+      after : string option;
+      page_size : int;
+    }
 
 type response =
   | Receipt_r of Receipt.t
@@ -51,6 +58,12 @@ type response =
     }
   | Proof_bundle_r of { proof : Fam.proof; commitment : Hash.t; size : int }
   | Clue_bundle_r of { proof : Cm_tree.clue_proof option; clue_root : Hash.t }
+  | Query_page_r of {
+      page : Range_query.page;
+      query_root : Hash.t;
+      commitment : Hash.t;
+      size : int;
+    }
   | Error_r of string
 
 (* --- codecs ------------------------------------------------------------- *)
@@ -107,6 +120,12 @@ let encode_request req =
       Wire.w_string w clue;
       Wire.w_option w (Wire.w_int w) first;
       Wire.w_option w (Wire.w_int w) last
+  | Query_page { spec; window; after; page_size } ->
+      Wire.w_u8 w 14;
+      Range_query.w_spec w spec;
+      Wire.w_option w (Range_query.w_window w) window;
+      Wire.w_option w (Wire.w_string w) after;
+      Wire.w_int w page_size
   | Append_batch { member_id; entries } ->
       Wire.w_u8 w 11;
       Wire.w_hash w member_id;
@@ -151,6 +170,12 @@ let decode_request data =
           let first = Wire.r_option r (fun () -> Wire.r_int r) in
           let last = Wire.r_option r (fun () -> Wire.r_int r) in
           Get_clue_bundle { clue; first; last }
+      | 14 ->
+          let spec = Range_query.r_spec r in
+          let window = Wire.r_option r (fun () -> Range_query.r_window r) in
+          let after = Wire.r_option r (fun () -> Wire.r_string r) in
+          let page_size = Wire.r_int r in
+          Query_page { spec; window; after; page_size }
       | 11 ->
           let member_id = Wire.r_hash r in
           let entries =
@@ -251,7 +276,13 @@ let encode_response resp =
   | Clue_bundle_r { proof; clue_root } ->
       Wire.w_u8 w 13;
       Wire.w_option w (Cm_tree.w_clue_proof w) proof;
-      Wire.w_hash w clue_root);
+      Wire.w_hash w clue_root
+  | Query_page_r { page; query_root; commitment; size } ->
+      Wire.w_u8 w 14;
+      Range_query.w_page w page;
+      Wire.w_hash w query_root;
+      Wire.w_hash w commitment;
+      Wire.w_int w size);
   Wire.contents w
 
 let decode_response data =
@@ -312,6 +343,12 @@ let decode_response data =
           let proof = Wire.r_option r (fun () -> Cm_tree.r_clue_proof r) in
           let clue_root = Wire.r_hash r in
           Clue_bundle_r { proof; clue_root }
+      | 14 ->
+          let page = Range_query.r_page r in
+          let query_root = Wire.r_hash r in
+          let commitment = Wire.r_hash r in
+          let size = Wire.r_int r in
+          Query_page_r { page; query_root; commitment; size }
       | _ -> raise Wire.Corrupt)
 
 (* --- server ---------------------------------------------------------------- *)
@@ -331,6 +368,7 @@ let request_kind = function
   | Get_checkpoint -> "get_checkpoint"
   | Get_proof_bundle _ -> "get_proof_bundle"
   | Get_clue_bundle _ -> "get_clue_bundle"
+  | Query_page _ -> "query_page"
 
 let dispatch ledger = function
   | Append { member_id; payload; clues; client_ts; nonce; signature } -> (
@@ -408,6 +446,22 @@ let dispatch ledger = function
           proof = Ledger.prove_clue ledger ~clue ?first ?last ();
           clue_root = Cm_tree.root_hash (Ledger.cm_tree ledger);
         }
+  | Query_page { spec; window; after; page_size } ->
+      if page_size <= 0 || page_size > 65536 then Error_r "bad page_size"
+      else
+        (* page + root under one dispatch, same snapshot contract as
+           Get_proof_bundle *)
+        Query_page_r
+          {
+            page =
+              Range_query.page (Ledger.query_index ledger) ~spec ?window
+                ?after ~page_size ();
+            query_root = Ledger.query_root ledger;
+            commitment =
+              (if Ledger.size ledger = 0 then Hash.zero
+               else Ledger.commitment ledger);
+            size = Ledger.size ledger;
+          }
   | Get_checkpoint ->
       Checkpoint_r
         {
@@ -529,6 +583,9 @@ module Client = struct
 
   let make_get_clue_bundle ~clue ?first ?last () =
     encode_request (Get_clue_bundle { clue; first; last })
+
+  let make_query_page ~spec ?window ?after ~page_size () =
+    encode_request (Query_page { spec; window; after; page_size })
 
   let parse = decode_response
 end

@@ -42,6 +42,14 @@ type request =
   | Get_clue_bundle of { clue : string; first : int option; last : int option }
       (** clue lineage proof with the CM-Tree root it hashes to, same
           atomic-snapshot contract as {!request.Get_proof_bundle} *)
+  | Query_page of {
+      spec : Ledger_query.Range_query.spec;
+      window : Ledger_query.Range_query.window option;
+      after : string option;
+      page_size : int;
+    }
+      (** one page of a verifiable range/prefix scan (DESIGN.md §16);
+          [after] is the cursor returned by the previous page *)
 
 type response =
   | Receipt_r of Receipt.t
@@ -73,6 +81,16 @@ type response =
           anchors (T-Ledger, gossip) — the bundle only removes the
           fetch-proof/fetch-root race under concurrent appends *)
   | Clue_bundle_r of { proof : Cm_tree.clue_proof option; clue_root : Hash.t }
+  | Query_page_r of {
+      page : Ledger_query.Range_query.page;
+      query_root : Hash.t;
+      commitment : Hash.t;
+      size : int;
+    }
+      (** the page verifies against exactly this [query_root], snapshotted
+          in the same dispatch; [commitment]/[size] pin the journal state
+          the index was derived from (same trust shape as
+          {!response.Proof_bundle_r}) *)
   | Error_r of string
 
 val encode_request : request -> bytes
@@ -145,6 +163,14 @@ module Client : sig
 
   val make_get_clue_bundle :
     clue:string -> ?first:int -> ?last:int -> unit -> bytes
+
+  val make_query_page :
+    spec:Ledger_query.Range_query.spec ->
+    ?window:Ledger_query.Range_query.window ->
+    ?after:string ->
+    page_size:int ->
+    unit ->
+    bytes
 
   val parse : bytes -> response option
 end

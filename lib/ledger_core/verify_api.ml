@@ -1,4 +1,7 @@
 open Ledger_crypto
+module Mpt = Ledger_mpt.Mpt
+module Query_index = Ledger_query.Query_index
+module Range_query = Ledger_query.Range_query
 
 type level = Server | Client
 
@@ -7,6 +10,11 @@ type target =
   | Clue of { key : string }
   | Clue_range of { key : string; first : int; last : int }
   | Receipt_check of Receipt.t
+  | Query_complete of {
+      spec : Range_query.spec;
+      window : Range_query.window option;
+      page_size : int;
+    }
 
 type outcome = {
   target : target;
@@ -67,6 +75,59 @@ let verify_clue ledger level key range =
                   Printf.sprintf "client: versions %d..%d verified" first last )
               else (false, "client: CM-Tree proof rejected"))
 
+let spec_str = function
+  | Range_query.Prefix p -> Printf.sprintf "prefix %S" p
+  | Range_query.Between { lo; hi } ->
+      Printf.sprintf "range %S..%s" lo
+        (match hi with Some h -> Printf.sprintf "%S" h | None -> "∞")
+
+let verify_query ledger level spec window page_size =
+  if page_size <= 0 then (false, "page_size must be positive")
+  else
+    let idx = Ledger.query_index ledger in
+    match level with
+    | Server ->
+        (* the server checks its own ordered index: every committed value
+           in the range must decode and agree with the in-memory log *)
+        let lo, hi = Range_query.bounds spec in
+        let ok = ref true and n = ref 0 in
+        Mpt.iter_range (Query_index.trie idx) ~lo ?hi (fun key value ->
+            incr n;
+            match Query_index.clue_of_key key with
+            | None -> ok := false
+            | Some clue -> (
+                match Query_index.decode_value value with
+                | Some (count, chain)
+                  when count = Query_index.clue_count idx ~clue
+                       && Hash.equal chain (Query_index.chain_at idx ~clue count)
+                  ->
+                    ()
+                | _ -> ok := false));
+        if !ok then (true, Printf.sprintf "server: %d clues consistent" !n)
+        else (false, "server: ordered index entry inconsistent")
+    | Client -> (
+        (* full paginated scan replayed through the client-side verifier *)
+        let root = Ledger.query_root ledger in
+        let rec collect after acc guard =
+          if guard > 1_000_000 then Error "pagination did not terminate"
+          else
+            let pg = Range_query.page idx ~spec ?window ?after ~page_size () in
+            match pg.Range_query.cursor with
+            | Some c -> collect (Some c) (pg :: acc) (guard + 1)
+            | None -> Ok (List.rev (pg :: acc))
+        in
+        match collect None [] 0 with
+        | Error e -> (false, e)
+        | Ok pages -> (
+            match
+              Range_query.verify_pages ~root ~spec ?window ~page_size pages
+            with
+            | Ok rows ->
+                ( true,
+                  Printf.sprintf "client: %d pages, %d rows verified"
+                    (List.length pages) (List.length rows) )
+            | Error e -> (false, "client: " ^ e)))
+
 let verify_receipt ledger (r : Receipt.t) =
   if not (Ledger.verify_receipt ledger r) then
     (false, "receipt signature invalid")
@@ -102,6 +163,15 @@ let cache_key ~level target =
         ( r.Receipt.jsn,
           Printf.sprintf "receipt:%s:%s" level_str
             (Hash.to_hex (Hash.combine rd sd)) )
+  | Query_complete { spec; window; page_size } ->
+      (* query verdicts are pinned by the journal commitment (the index is
+         a pure function of journal history) plus the canonical query
+         digest; jsn slot 0 keeps the key in the cache's (root, jsn,
+         verifier) shape *)
+      Some
+        ( 0,
+          Printf.sprintf "%s:%s" level_str
+            (Range_query.describe ~spec ?window ~page_size ()) )
   | Clue _ | Clue_range _ -> None
 
 let verify ?cache ledger ~level target =
@@ -130,6 +200,8 @@ let verify ?cache ledger ~level target =
           | Clue_range { key; first; last } ->
               verify_clue ledger level key (Some (first, last))
           | Receipt_check r -> verify_receipt ledger r
+          | Query_complete { spec; window; page_size } ->
+              verify_query ledger level spec window page_size
         in
         (match (cache, key) with
         | Some c, Some (jsn, verifier) ->
@@ -146,6 +218,8 @@ let verify ?cache ledger ~level target =
       | Existence { jsn; _ } -> Ledger_obs.Audit_log.Journal jsn
       | Clue { key } | Clue_range { key; _ } -> Ledger_obs.Audit_log.Clue key
       | Receipt_check r -> Ledger_obs.Audit_log.Receipt r.Receipt.jsn
+      | Query_complete { spec; _ } ->
+          Ledger_obs.Audit_log.Clue (spec_str spec)
     in
     Ledger_obs.Audit_log.record ~verifier subject
       (if ok then Ledger_obs.Audit_log.Verified
@@ -166,6 +240,12 @@ let pp_outcome fmt o =
     | Clue_range { key; first; last } ->
         Printf.sprintf "clue %s [%d..%d]" key first last
     | Receipt_check r -> Printf.sprintf "receipt jsn=%d" r.Receipt.jsn
+    | Query_complete { spec; window; page_size } ->
+        Printf.sprintf "query %s%s page_size=%d" (spec_str spec)
+          (match window with
+          | Some { Range_query.t1; t2 } -> Printf.sprintf " jsn∈[%d,%d]" t1 t2
+          | None -> "")
+          page_size
   in
   Format.fprintf fmt "%s @@ %s: %s (%s)" target
     (match o.level with Server -> "server" | Client -> "client")

@@ -25,6 +25,15 @@ type target =
       (** lineage within version boundaries *)
   | Receipt_check of Receipt.t
       (** an LSP receipt held by the client *)
+  | Query_complete of {
+      spec : Ledger_query.Range_query.spec;
+      window : Ledger_query.Range_query.window option;
+      page_size : int;
+    }
+      (** a full paginated range/prefix scan replayed with completeness
+          proofs against the ordered query index (DESIGN.md §16); at
+          [Server] level the ordered index is checked for internal
+          consistency instead *)
 
 type outcome = {
   target : target;
@@ -32,6 +41,10 @@ type outcome = {
   ok : bool;
   detail : string;
 }
+
+val spec_str : Ledger_query.Range_query.spec -> string
+(** Short human-readable rendering of a query spec (audit subjects,
+    outcome printing). *)
 
 val cache_key : level:level -> target -> (int * string) option
 (** The memoization key [(jsn, verifier-question)] for a target, or

@@ -1,10 +1,15 @@
 open Ledger_crypto
 open Ledger_merkle
 
+(* Per-clue jsn log: a growable array appended oldest-first, so bounded
+   slices ({!jsns_slice}) cost O(slice) instead of materializing the whole
+   list the way the original [int list ref] representation did. *)
+type cell = { mutable count : int; mutable arr : int array }
+
 type t = {
   trie : Mpt.t;
   acc : Accumulator.t;
-  index : (string, int list ref) Hashtbl.t; (* clue -> jsns, newest first *)
+  index : (string, cell) Hashtbl.t;
 }
 
 let create acc = { trie = Mpt.create (); acc; index = Hashtbl.create 64 }
@@ -16,27 +21,43 @@ let decode_counter b =
   | Some m -> m
   | None -> invalid_arg "Ccmpt: corrupt counter"
 
+let cell_push cell jsn =
+  let cap = Array.length cell.arr in
+  if cell.count = cap then begin
+    let bigger = Array.make (if cap = 0 then 4 else 2 * cap) 0 in
+    Array.blit cell.arr 0 bigger 0 cell.count;
+    cell.arr <- bigger
+  end;
+  cell.arr.(cell.count) <- jsn;
+  cell.count <- cell.count + 1
+
 let add t ~clue ~jsn =
   let cell =
     match Hashtbl.find_opt t.index clue with
-    | Some r -> r
+    | Some c -> c
     | None ->
-        let r = ref [] in
-        Hashtbl.replace t.index clue r;
-        r
+        let c = { count = 0; arr = [||] } in
+        Hashtbl.replace t.index clue c;
+        c
   in
-  cell := jsn :: !cell;
-  Mpt.insert_string t.trie ~key:clue (encode_counter (List.length !cell))
+  cell_push cell jsn;
+  Mpt.insert_string t.trie ~key:clue (encode_counter cell.count)
 
 let counter t ~clue =
   match Mpt.find_string t.trie ~key:clue with
   | Some b -> decode_counter b
   | None -> 0
 
-let jsns t ~clue =
+let jsns_slice t ~clue ~offset ~limit =
+  if offset < 0 || limit < 0 then invalid_arg "Ccmpt.jsns_slice";
   match Hashtbl.find_opt t.index clue with
-  | Some r -> List.rev !r
   | None -> []
+  | Some cell ->
+      let off = min offset cell.count in
+      let n = min limit (cell.count - off) in
+      Array.to_list (Array.sub cell.arr off n)
+
+let jsns t ~clue = jsns_slice t ~clue ~offset:0 ~limit:max_int
 
 let root_hash t = Mpt.root_hash t.trie
 
@@ -66,3 +87,28 @@ let verify_clue _t ~clue ~mpt_root ~acc_root proof =
        (fun (_jsn, digest, path) ->
          Accumulator.verify ~root:acc_root ~leaf:digest path)
        proof.journal_proofs
+
+(* --- wire codec --------------------------------------------------------- *)
+
+let w_proof w p =
+  Wire.w_int w p.counter;
+  Mpt.w_proof w p.counter_proof;
+  Wire.w_list w
+    (fun (jsn, digest, path) ->
+      Wire.w_int w jsn;
+      Wire.w_hash w digest;
+      Proof_codec.w_path w path)
+    p.journal_proofs
+
+let r_proof r =
+  let counter = Wire.r_int r in
+  if counter < 0 then raise Wire.Corrupt;
+  let counter_proof = Mpt.r_proof r in
+  let journal_proofs =
+    Wire.r_list ~max:100_000 r (fun () ->
+        let jsn = Wire.r_int r in
+        let digest = Wire.r_hash r in
+        let path = Proof_codec.r_path r in
+        (jsn, digest, path))
+  in
+  { counter; counter_proof; journal_proofs }

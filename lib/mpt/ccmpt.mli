@@ -22,6 +22,11 @@ val counter : t -> clue:string -> int
 val jsns : t -> clue:string -> int list
 (** Journal sequence numbers for a clue, oldest first. *)
 
+val jsns_slice : t -> clue:string -> offset:int -> limit:int -> int list
+(** At most [limit] jsns starting at position [offset] (oldest = 0),
+    allocating O(limit) — the pagination-friendly variant of {!jsns}.
+    @raise Invalid_argument on negative [offset] or [limit]. *)
+
 val root_hash : t -> Hash.t
 
 type proof = {
@@ -36,3 +41,8 @@ val prove_clue : t -> clue:string -> proof option
 val verify_clue : t -> clue:string -> mpt_root:Hash.t -> acc_root:Hash.t -> proof -> bool
 (** Checks the counter proof, that exactly [counter] journal proofs are
     present, and each journal's existence path. *)
+
+val w_proof : Wire.writer -> proof -> unit
+val r_proof : Wire.reader -> proof
+(** Wire codec for {!proof}; {!r_proof} raises {!Wire.Corrupt} on
+    malformed input. *)

@@ -63,3 +63,91 @@ val node_count : t -> int
 
 val w_proof : Ledger_crypto.Wire.writer -> proof -> unit
 val r_proof : Ledger_crypto.Wire.reader -> proof
+
+(** {1 Ordered keys}
+
+    Keys sort in prefix-first lexicographic order over nibble paths: a
+    proper prefix sorts before every extension of itself.  Raw byte-string
+    keys mapped through {!Nibble.of_string} therefore iterate in plain
+    lexicographic byte order.  All ranges are half-open [[lo, hi)]; [hi =
+    None] means unbounded. *)
+
+val compare_keys : int array -> int array -> int
+
+val key_in_range : int array -> lo:int array -> hi:int array option -> bool
+
+val iter_range :
+  t -> lo:int array -> ?hi:int array -> (int array -> bytes -> unit) -> unit
+(** Visit every binding in [[lo, hi)] in ascending key order. *)
+
+val fold_range :
+  t -> lo:int array -> ?hi:int array -> ('a -> int array -> bytes -> 'a) -> 'a -> 'a
+
+val take_range :
+  t -> lo:int array -> ?hi:int array -> int -> (int array * bytes) list * bool
+(** First [n] bindings of the range in key order, plus a flag telling
+    whether more remain — the pagination primitive. *)
+
+val min_binding : t -> (int array * bytes) option
+val max_binding : t -> (int array * bytes) option
+
+val predecessor : t -> key:int array -> (int array * bytes) option
+(** Largest binding strictly below [key] ([key] itself need not exist). *)
+
+val successor : t -> key:int array -> (int array * bytes) option
+
+(** {1 Non-membership proofs}
+
+    An absence proof is the root-to-divergence walk along the missing key
+    (the shared-prefix divergence witness) together with inclusion proofs
+    of the two adjacent keys.  {!verify_absence} checks that the walk
+    hash-chains to the root and genuinely diverges, and that the claimed
+    predecessor/successor are exactly adjacent to [key] — no binding can
+    hide between them. *)
+
+type absence_proof = {
+  ab_walk : proof;
+  ab_pred : (int array * bytes * proof) option;
+  ab_succ : (int array * bytes * proof) option;
+}
+
+val prove_absent : t -> key:int array -> absence_proof option
+(** [None] when the key is present. *)
+
+val verify_absence : root:Hash.t -> key:int array -> absence_proof -> bool
+
+(** {1 Range proofs (pruned subtrie)}
+
+    A range proof is the trie with every subtree disjoint from [[lo, hi)]
+    replaced by its bare hash.  The verifier recomputes the root digest,
+    accepting pruned hashes only for provably out-of-range subtrees, so a
+    matching digest certifies that the extracted bindings are {e complete}:
+    the service cannot omit, add or alter a row without changing the root.
+    Proof size is O(|result| + 16·depth) — sublinear in the trie. *)
+
+type range_entry =
+  | R_zero
+  | R_pruned of Hash.t
+  | R_leaf of { path : int array; value : bytes }
+  | R_ext of { path : int array; child : range_entry }
+  | R_branch of { children : range_entry array; value : bytes option }
+
+type range_proof = range_entry
+
+val prove_range : t -> lo:int array -> hi:int array option -> range_proof
+
+val verify_range :
+  root:Hash.t ->
+  lo:int array ->
+  hi:int array option ->
+  range_proof ->
+  (int array * bytes) list option
+(** [Some bindings] (in ascending key order) iff the proof re-hashes to
+    [root] and every pruned subtree is disjoint from the range. *)
+
+val range_proof_nodes : range_proof -> int
+
+val w_absence : Ledger_crypto.Wire.writer -> absence_proof -> unit
+val r_absence : Ledger_crypto.Wire.reader -> absence_proof
+val w_range_proof : Ledger_crypto.Wire.writer -> range_proof -> unit
+val r_range_proof : Ledger_crypto.Wire.reader -> range_proof

@@ -1,0 +1,140 @@
+open Ledger_crypto
+open Ledger_mpt
+
+type entry = { e_jsn : int; e_tx : Hash.t; e_chain : Hash.t }
+type cell = { mutable count : int; mutable arr : entry array }
+
+type t = {
+  trie : Mpt.t;
+  tbl : (string, cell) Hashtbl.t;
+  mutable entries : int;
+}
+
+let create () = { trie = Mpt.create (); tbl = Hashtbl.create 64; entries = 0 }
+let trie t = t.trie
+let root t = Mpt.root_hash t.trie
+let cardinal t = Mpt.cardinal t.trie
+let entries t = t.entries
+
+(* --- key and commitment formats ----------------------------------------- *)
+
+let key_of_clue clue = Nibble.of_string clue
+
+let clue_of_key key =
+  let n = Array.length key in
+  if n mod 2 <> 0 then None
+  else
+    let ok = ref true in
+    let b = Bytes.create (n / 2) in
+    for i = 0 to (n / 2) - 1 do
+      let hi = key.(2 * i) and lo = key.((2 * i) + 1) in
+      if hi < 0 || hi > 15 || lo < 0 || lo > 15 then ok := false
+      else Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+
+let chain_seed clue = Hash.scatter clue
+
+let chain_step prev jsn tx =
+  let w = Wire.writer ~initial:80 () in
+  Wire.w_hash w prev;
+  Wire.w_int w jsn;
+  Wire.w_hash w tx;
+  Hash.digest_bytes (Wire.contents w)
+
+let committed_value ~count ~chain =
+  let w = Wire.writer ~initial:48 () in
+  Wire.w_int w count;
+  Wire.w_hash w chain;
+  Wire.contents w
+
+let decode_value b =
+  Wire.decode b (fun r ->
+      let count = Wire.r_int r in
+      if count < 0 then raise Wire.Corrupt;
+      let chain = Wire.r_hash r in
+      (count, chain))
+
+(* --- maintenance --------------------------------------------------------- *)
+
+let cell_push cell e =
+  let cap = Array.length cell.arr in
+  if cell.count = cap then begin
+    let bigger =
+      Array.make (if cap = 0 then 4 else 2 * cap)
+        { e_jsn = 0; e_tx = Hash.zero; e_chain = Hash.zero }
+    in
+    Array.blit cell.arr 0 bigger 0 cell.count;
+    cell.arr <- bigger
+  end;
+  cell.arr.(cell.count) <- e;
+  cell.count <- cell.count + 1
+
+let add t ~clue ~jsn ~tx =
+  if String.length clue = 0 then ()
+  else begin
+    let cell =
+      match Hashtbl.find_opt t.tbl clue with
+      | Some c -> c
+      | None ->
+          let c = { count = 0; arr = [||] } in
+          Hashtbl.replace t.tbl clue c;
+          c
+    in
+    let prev =
+      if cell.count = 0 then chain_seed clue
+      else cell.arr.(cell.count - 1).e_chain
+    in
+    if cell.count > 0 && cell.arr.(cell.count - 1).e_jsn = jsn then
+      (* a journal listing the same clue twice contributes one entry *)
+      ()
+    else begin
+      if cell.count > 0 && cell.arr.(cell.count - 1).e_jsn > jsn then
+        invalid_arg "Query_index.add: jsns must be strictly increasing per clue";
+      cell_push cell { e_jsn = jsn; e_tx = tx; e_chain = chain_step prev jsn tx };
+      t.entries <- t.entries + 1;
+      Mpt.insert t.trie ~key:(key_of_clue clue)
+        (committed_value ~count:cell.count
+           ~chain:cell.arr.(cell.count - 1).e_chain)
+    end
+  end
+
+(* --- per-clue reads ------------------------------------------------------ *)
+
+let clue_count t ~clue =
+  match Hashtbl.find_opt t.tbl clue with Some c -> c.count | None -> 0
+
+let slice t ~clue ~offset ~limit =
+  if offset < 0 || limit < 0 then invalid_arg "Query_index.slice";
+  match Hashtbl.find_opt t.tbl clue with
+  | None -> []
+  | Some cell ->
+      let n = min limit (max 0 (cell.count - offset)) in
+      List.init n (fun i ->
+          let e = cell.arr.(offset + i) in
+          (e.e_jsn, e.e_tx))
+
+(* Chain digest after the first [n] entries (the seed for [n = 0]). *)
+let chain_at t ~clue n =
+  if n = 0 then chain_seed clue
+  else
+    match Hashtbl.find_opt t.tbl clue with
+    | Some cell when n <= cell.count -> cell.arr.(n - 1).e_chain
+    | _ -> invalid_arg "Query_index.chain_at"
+
+(* Index of the first entry with jsn >= [jsn]; [count] when none. *)
+let first_at_or_after t ~clue jsn =
+  match Hashtbl.find_opt t.tbl clue with
+  | None -> 0
+  | Some cell ->
+      let lo = ref 0 and hi = ref cell.count in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cell.arr.(mid).e_jsn < jsn then lo := mid + 1 else hi := mid
+      done;
+      !lo
+
+(* --- point proofs -------------------------------------------------------- *)
+
+let prove_clue t ~clue = Mpt.prove t.trie ~key:(key_of_clue clue)
+let prove_absent_clue t ~clue = Mpt.prove_absent t.trie ~key:(key_of_clue clue)

@@ -1,0 +1,75 @@
+(** Ordered clue index backing the verifiable query layer.
+
+    The main clue MPT ({!Ledger_mpt.Mpt.insert_string}) scatters keys with
+    SHA-3, which destroys lexicographic order — fine for point lookups,
+    useless for range scans.  This index keeps a second trie keyed by the
+    {e raw} nibble path of the clue, so trie order is plain byte
+    lexicographic order and {!Ledger_mpt.Mpt.prove_range} proofs certify
+    completeness of prefix/range scans.
+
+    Per clue the trie commits [(count, chain)] where [chain] is a rolling
+    hash over the clue's (jsn, tx-hash) pairs:
+    [h_0 = scatter clue], [h_i = H(h_(i-1) || jsn_i || tx_i)].  A verifier
+    holding a suffix of the list and the digest [h_k] preceding it can
+    replay the chain to the committed [h_count] — the basis for
+    time-windowed queries whose dropped epochs are detectable.
+
+    The index is a deterministic pure function of committed journal
+    history: any auditor or replica replaying the journal stream derives
+    the same root, which is what anchors query verification to the
+    ledger's receipts. *)
+
+open Ledger_crypto
+open Ledger_mpt
+
+type t
+
+val create : unit -> t
+
+val add : t -> clue:string -> jsn:int -> tx:Hash.t -> unit
+(** Record that journal [jsn] (in transaction [tx]) carries [clue].
+    Empty clues are ignored (they have no nibble path); a journal listing
+    the same clue twice contributes one entry.
+    @raise Invalid_argument if [jsn] decreases for a clue. *)
+
+val root : t -> Hash.t
+val cardinal : t -> int
+(** Distinct clues. *)
+
+val entries : t -> int
+(** Total (clue, jsn) pairs indexed. *)
+
+val trie : t -> Mpt.t
+(** The underlying ordered trie — range/absence proofs are taken here. *)
+
+(** {1 Key and commitment formats} *)
+
+val key_of_clue : string -> int array
+val clue_of_key : int array -> string option
+(** Inverse of {!key_of_clue}; [None] for odd-length or out-of-range
+    nibble paths. *)
+
+val chain_seed : string -> Hash.t
+val chain_step : Hash.t -> int -> Hash.t -> Hash.t
+val committed_value : count:int -> chain:Hash.t -> bytes
+val decode_value : bytes -> (int * Hash.t) option
+
+(** {1 Per-clue reads} *)
+
+val clue_count : t -> clue:string -> int
+
+val slice : t -> clue:string -> offset:int -> limit:int -> (int * Hash.t) list
+(** At most [limit] (jsn, tx) pairs from position [offset], oldest first;
+    O(limit) allocation. *)
+
+val chain_at : t -> clue:string -> int -> Hash.t
+(** Chain digest after the first [n] entries ({!chain_seed} for [n = 0]).
+    @raise Invalid_argument when [n] exceeds the clue's count. *)
+
+val first_at_or_after : t -> clue:string -> int -> int
+(** Index of the first entry with [jsn >= t]; the clue's count if none. *)
+
+(** {1 Point proofs} *)
+
+val prove_clue : t -> clue:string -> Mpt.proof option
+val prove_absent_clue : t -> clue:string -> Mpt.absence_proof option

@@ -10,6 +10,11 @@ type request =
   | Get_super_root of { epoch : int option }
   | Get_sharded_proof of { shard : int; jsn : int }
   | Get_announcement of { epoch : int option }
+  | Query_scatter of {
+      spec : Ledger_query.Range_query.spec;
+      window : Ledger_query.Range_query.window option;
+      page_size : int;
+    }
 
 type response =
   | From_shard of { shard : int; inner : bytes }
@@ -18,6 +23,7 @@ type response =
   | Super_root_r of Super_root.sealed option
   | Sharded_proof_r of Sharded_ledger.sharded_proof
   | Announcement_r of Gossip.announcement option
+  | Query_scatter_r of Sharded_query.scatter
   | Error_r of string
 
 let encode_request req =
@@ -41,7 +47,12 @@ let encode_request req =
       Wire.w_int w jsn
   | Get_announcement { epoch } ->
       Wire.w_u8 w 7;
-      Wire.w_option w (Wire.w_int w) epoch);
+      Wire.w_option w (Wire.w_int w) epoch
+  | Query_scatter { spec; window; page_size } ->
+      Wire.w_u8 w 8;
+      Ledger_query.Range_query.w_spec w spec;
+      Wire.w_option w (Ledger_query.Range_query.w_window w) window;
+      Wire.w_int w page_size);
   Wire.contents w
 
 let decode_request b =
@@ -61,6 +72,13 @@ let decode_request b =
           Get_sharded_proof { shard; jsn }
       | 7 ->
           Get_announcement { epoch = Wire.r_option r (fun () -> Wire.r_int r) }
+      | 8 ->
+          let spec = Ledger_query.Range_query.r_spec r in
+          let window =
+            Wire.r_option r (fun () -> Ledger_query.Range_query.r_window r)
+          in
+          let page_size = Wire.r_int r in
+          Query_scatter { spec; window; page_size }
       | _ -> raise Wire.Corrupt)
 
 let encode_response resp =
@@ -88,7 +106,10 @@ let encode_response resp =
       Sharded_ledger.w_sharded_proof w proof
   | Announcement_r ann ->
       Wire.w_u8 w 6;
-      Wire.w_option w (Gossip.w_announcement w) ann);
+      Wire.w_option w (Gossip.w_announcement w) ann
+  | Query_scatter_r sc ->
+      Wire.w_u8 w 7;
+      Sharded_query.w_scatter w sc);
   Wire.contents w
 
 let decode_response b =
@@ -109,6 +130,7 @@ let decode_response b =
       | 5 -> Sharded_proof_r (Sharded_ledger.r_sharded_proof r)
       | 6 ->
           Announcement_r (Wire.r_option r (fun () -> Gossip.r_announcement r))
+      | 7 -> Query_scatter_r (Sharded_query.r_scatter r)
       | _ -> raise Wire.Corrupt)
 
 (* The owning shard of an encoded append request, by the public
@@ -171,6 +193,9 @@ let dispatch t = function
       match epoch with
       | None -> Announcement_r (Sharded_ledger.announce t)
       | Some e -> Announcement_r (Sharded_ledger.announce_epoch t e))
+  | Query_scatter { spec; window; page_size } ->
+      if page_size <= 0 || page_size > 65536 then Error_r "bad page_size"
+      else Query_scatter_r (Sharded_query.scatter t ~spec ?window ~page_size ())
 
 let handle t b =
   Metrics.incr "sharded_service_requests_total";
@@ -225,6 +250,9 @@ module Client = struct
 
   let make_get_announcement ?epoch () =
     encode_request (Get_announcement { epoch })
+
+  let make_query_scatter ~spec ?window ~page_size () =
+    encode_request (Query_scatter { spec; window; page_size })
 
   let parse = decode_response
 

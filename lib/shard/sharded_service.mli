@@ -29,6 +29,14 @@ type request =
   | Get_announcement of { epoch : int option }
       (** the service-signed epoch announcement ([None] = latest) —
           gossip peers cross-check these for equivocation *)
+  | Query_scatter of {
+      spec : Ledger_query.Range_query.spec;
+      window : Ledger_query.Range_query.window option;
+      page_size : int;
+    }
+      (** fan a verifiable range/prefix scan out to every shard; the
+          response carries each shard's full pagination and proofs for
+          {!Sharded_query.merge} *)
 
 type response =
   | From_shard of { shard : int; inner : bytes }
@@ -38,6 +46,7 @@ type response =
   | Super_root_r of Super_root.sealed option
   | Sharded_proof_r of Sharded_ledger.sharded_proof
   | Announcement_r of Gossip.announcement option
+  | Query_scatter_r of Sharded_query.scatter
   | Error_r of string
 
 val encode_request : request -> bytes
@@ -82,6 +91,13 @@ module Client : sig
   val make_get_super_root : ?epoch:int -> unit -> bytes
   val make_get_sharded_proof : shard:int -> jsn:int -> bytes
   val make_get_announcement : ?epoch:int -> unit -> bytes
+
+  val make_query_scatter :
+    spec:Ledger_query.Range_query.spec ->
+    ?window:Ledger_query.Range_query.window ->
+    page_size:int ->
+    unit ->
+    bytes
 
   val parse : bytes -> response option
 

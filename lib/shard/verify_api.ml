@@ -20,6 +20,10 @@ let owning_shard t ?shard target =
       invalid_arg
         "Verify_api.verify_sharded: shard-local target needs ~shard (jsns \
          are shard-local)"
+  | None, Query_complete _ ->
+      invalid_arg
+        "Verify_api.verify_sharded: a range query spans shards — use \
+         Sharded_query.run, or name a ~shard to check one shard's index"
 
 (* A sealed epoch covers a shard's state only while the shard's current
    commitment still equals its sealed root: verification against the
@@ -102,6 +106,8 @@ let verify_sharded ?(use_cache = true) t ~level ?shard target =
       | Existence { jsn; _ } -> Ledger_obs.Audit_log.Journal jsn
       | Clue { key } | Clue_range { key; _ } -> Ledger_obs.Audit_log.Clue key
       | Receipt_check r -> Ledger_obs.Audit_log.Receipt r.Receipt.jsn
+      | Query_complete { spec; _ } ->
+          Ledger_obs.Audit_log.Clue (spec_str spec)
     in
     Ledger_obs.Audit_log.record ~verifier subject
       (if outcome.ok then Ledger_obs.Audit_log.Verified

@@ -8,6 +8,7 @@ let () =
       ("storage", Test_storage.suite);
       ("merkle", Test_merkle.suite);
       ("mpt", Test_mpt.suite);
+      ("query", Test_query.suite);
       ("cmtree", Test_cmtree.suite);
       ("timenotary", Test_timenotary.suite);
       ("ledger", Test_ledger.suite);

@@ -26,7 +26,7 @@ case "${1:-}" in
   exe=$2
   outdir=$3
   mkdir -p "$outdir"
-  "$exe" micro fig7 batch shard par recover serve --smoke --json "$outdir"
+  "$exe" micro fig7 batch shard par recover serve query --smoke --json "$outdir"
   ;;
 --check)
   [ $# -eq 3 ] || usage

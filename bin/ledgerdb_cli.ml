@@ -984,7 +984,7 @@ let run_serve host port workers name members seed_entries shards real_crypto
     if real_crypto then Crypto_profile.Real
     else Crypto_profile.default_simulated
   in
-  let backend, describe =
+  let backend, read, describe =
     if shards > 1 then begin
       let module SL = Ledger_shard.Sharded_ledger in
       let config =
@@ -1007,6 +1007,7 @@ let run_serve host port workers name members seed_entries shards real_crypto
       if seed_entries > 0 then
         (match SL.seal_epoch fleet with Ok _ -> () | Error _ -> ());
       ( Ledger_shard.Sharded_service.handle fleet,
+        Ledger_shard.Sharded_service.handle_read fleet,
         fun () ->
           Printf.sprintf "sharded fleet '%s' (%d shards, %d journals)" name
             shards (SL.total_size fleet) )
@@ -1031,6 +1032,7 @@ let run_serve host port workers name members seed_entries shards real_crypto
              (Bytes.of_string (Printf.sprintf "seed %d" i)))
       done;
       ( Service.handle ledger,
+        Service.handle_read ledger,
         fun () ->
           Printf.sprintf "ledger '%s' (%d journals)" name (Ledger.size ledger)
       )
@@ -1039,7 +1041,7 @@ let run_serve host port workers name members seed_entries shards real_crypto
   let server =
     Net_server.create
       ~config:{ Net_server.default_config with host; port; workers }
-      backend
+      ~read backend
   in
   Net_server.install_signal_handlers server;
   Printf.printf
@@ -1126,7 +1128,7 @@ let serve_cmd =
 (* --- load ------------------------------------------------------------------ *)
 
 let run_load host port clients connections ops rate payload clues zipf
-    append_w verify_w lineage_w pulls seed real_crypto =
+    append_w verify_w lineage_w read_ratio pulls seed real_crypto =
   let cfg =
     {
       Load_gen.default_config with
@@ -1140,6 +1142,7 @@ let run_load host port clients connections ops rate payload clues zipf
       clue_count = clues;
       zipf_s = zipf;
       mix = { Load_gen.append_w; verify_w; lineage_w };
+      read_ratio;
       pulls;
       seed;
       crypto =
@@ -1206,6 +1209,13 @@ let load_cmd =
     Arg.(value & opt int 1
          & info [ "lineage-weight" ] ~doc:"Lineage mix weight.")
   in
+  let read_ratio =
+    Arg.(value & opt (some float) None
+         & info [ "read-ratio" ] ~docv:"R"
+             ~doc:"Fraction of ops drawn as reads (verify/lineage), \
+                   overriding the mix weights' proportions — e.g. 0.95 for \
+                   a read-heavy 95/5 workload.  Omit to use the mix as-is.")
+  in
   let pulls =
     Arg.(value & opt int 1
          & info [ "pulls" ] ~docv:"N"
@@ -1223,8 +1233,8 @@ let load_cmd =
     (Cmd.info "load"
        ~doc:"Drive a serving endpoint with mixed verifying load")
     Term.(const run_load $ host $ port $ clients $ connections $ ops $ rate
-          $ payload $ clues $ zipf $ append_w $ verify_w $ lineage_w $ pulls
-          $ seed $ real)
+          $ payload $ clues $ zipf $ append_w $ verify_w $ lineage_w
+          $ read_ratio $ pulls $ seed $ real)
 
 let main =
   Cmd.group

@@ -3,12 +3,20 @@ open Ledger_merkle
 open Ledger_mpt
 module Wire = Ledger_crypto.Wire
 
+module SMap = Map.Make (String)
+
 type t = {
   trie : Mpt.t; (* CM-Tree1 *)
-  accumulators : (string, Shrubs.t) Hashtbl.t; (* CM-Tree2 per clue *)
+  accumulators : (string, Shrubs.t) Hashtbl.t; (* CM-Tree2, writer side *)
+  mutable fcells : Shrubs.t SMap.t;
+      (* read-side mirror: a {!Shrubs.freeze} of each clue's accumulator,
+         republished on every insert, so {!freeze} is O(1) and reads are
+         domain-safe against a concurrently-inserting writer *)
 }
 
-let create () = { trie = Mpt.create (); accumulators = Hashtbl.create 64 }
+let create () =
+  { trie = Mpt.create (); accumulators = Hashtbl.create 64;
+    fcells = SMap.empty }
 
 (* The CM-Tree1 value: size and peak set of the clue's CM-Tree2, so a
    verifier can rebuild the node-set commitment from the trie alone. *)
@@ -48,24 +56,33 @@ let accumulator t clue =
 let insert t ~clue digest =
   let shrubs = accumulator t clue in
   let version = Shrubs.append shrubs digest in
+  t.fcells <- SMap.add clue (Shrubs.freeze shrubs) t.fcells;
   Mpt.insert_string t.trie ~key:clue (encode_value shrubs);
   version
 
+let freeze t =
+  { trie = Mpt.freeze t.trie; accumulators = Hashtbl.create 1;
+    fcells = t.fcells }
+
+(* All reads resolve clue accumulators through the frozen mirror so they
+   behave identically on the live tree and on a {!freeze} snapshot. *)
+let find_accumulator t clue = SMap.find_opt clue t.fcells
+
 let entries t ~clue =
-  match Hashtbl.find_opt t.accumulators clue with
+  match find_accumulator t clue with
   | Some s -> Shrubs.size s
   | None -> 0
 
 let entry t ~clue i =
-  match Hashtbl.find_opt t.accumulators clue with
+  match find_accumulator t clue with
   | Some s -> Shrubs.leaf s i
   | None -> invalid_arg "Cm_tree.entry: unknown clue"
 
-let clue_count t = Hashtbl.length t.accumulators
+let clue_count t = SMap.cardinal t.fcells
 let root_hash t = Mpt.root_hash t.trie
 
 let clue_commitment t ~clue =
-  Option.map Shrubs.commitment (Hashtbl.find_opt t.accumulators clue)
+  Option.map Shrubs.commitment (find_accumulator t clue)
 
 let mpt_lookup_depth t ~clue =
   Mpt.lookup_depth t.trie ~key:(Nibble.of_hash (Hash.scatter clue))
@@ -79,7 +96,7 @@ type clue_proof = {
 }
 
 let prove_clue t ~clue ?first ?last () =
-  match Hashtbl.find_opt t.accumulators clue with
+  match find_accumulator t clue with
   | None -> None
   | Some shrubs ->
       let n = Shrubs.size shrubs in
@@ -114,7 +131,7 @@ let verify_clue ~root ~known proof =
            ~value:proof.committed_value proof.trie_proof
 
 let verify_clue_server t ~known ~clue =
-  match Hashtbl.find_opt t.accumulators clue with
+  match find_accumulator t clue with
   | None -> false
   | Some shrubs ->
       known <> []
@@ -124,7 +141,7 @@ let verify_clue_server t ~known ~clue =
            known
 
 let stored_digests t =
-  Hashtbl.fold (fun _ s acc -> acc + Shrubs.stored_digests s) t.accumulators 0
+  SMap.fold (fun _ s acc -> acc + Shrubs.stored_digests s) t.fcells 0
 
 (* --- wire codec ------------------------------------------------------------ *)
 
@@ -149,7 +166,7 @@ let r_clue_proof r =
 (* --- lineage extension proofs --------------------------------------------- *)
 
 let prove_clue_extension t ~clue ~old_size =
-  match Hashtbl.find_opt t.accumulators clue with
+  match find_accumulator t clue with
   | None -> None
   | Some shrubs ->
       if old_size <= 0 || old_size > Shrubs.size shrubs then None

@@ -26,6 +26,12 @@ val insert : t -> clue:string -> Hash.t -> int
     CM-Tree2 and refreshes CM-Tree1; returns the journal's version index
     (0-based) within the clue. *)
 
+val freeze : t -> t
+(** O(1) immutable snapshot: {!Ledger_mpt.Mpt.freeze} of CM-Tree1 plus
+    the persistent frozen-accumulator mirror.  All reads and proofs work
+    on the result from any domain while the original keeps inserting.
+    Only read on the result. *)
+
 val entries : t -> clue:string -> int
 (** Number of journals recorded under the clue. *)
 

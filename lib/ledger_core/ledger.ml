@@ -35,12 +35,43 @@ let default_config =
   }
 
 (* In-memory journal slot: the journal record survives purge/occult as a
-   tombstone so tx hashes and kinds stay available to verification. *)
+   tombstone so tx hashes and kinds stay available to verification.
+   Slots are immutable records — every mutation (purge/occult erasure,
+   compaction remap, the Unsafe forgeries) replaces the whole record with
+   a single pointer store, so a reader on another domain always sees a
+   coherent slot, never a half-updated one. *)
 type slot = {
-  mutable journal : Journal.t;
-  mutable tx : Hash.t;
-  mutable store_index : int; (* record index in the journal stream *)
-  mutable request_hash : Hash.t;
+  journal : Journal.t;
+  tx : Hash.t;
+  store_index : int; (* record index in the journal stream *)
+  request_hash : Hash.t;
+}
+
+(* Epoch-published read snapshot: a frozen, immutable view of committed
+   state, republished (a single [Atomic.set]) at every mutation boundary.
+   Worker domains serve proof/query reads against the current view with
+   no lock at all; the OCaml 5 memory model makes every (plain) write
+   performed before the atomic publication visible to any domain that
+   reads the view through [Atomic.get].  Purge/occult erasures remain
+   visible through old views (shared stream records and slot array) —
+   snapshots never resurrect erased payloads. *)
+type view = {
+  v_epoch : int;  (* publication counter; bumps at every publish *)
+  v_name : string;
+  v_size : int;
+  v_block_count : int;
+  v_blocks : Block.t list; (* newest first *)
+  v_slots : slot array; (* shared with the writer; guarded by v_size *)
+  v_fam : Fam.t; (* frozen *)
+  v_cm : Cm_tree.t; (* frozen *)
+  v_query : Query_index.t; (* frozen *)
+  v_members : (string * string * bytes) list; (* sorted wire form *)
+  v_pseudo_genesis : int option;
+  v_now : int64; (* clock pinned at publication *)
+  v_store : Stream_store.pinned;
+  v_lsp_priv : Ecdsa.private_key;
+  v_lsp_pub : Ecdsa.public_key;
+  v_crypto : Crypto_profile.t;
 }
 
 type t = {
@@ -75,6 +106,9 @@ type t = {
   mutable on_mutate : (unit -> unit) list;
       (* fired after purge/occult/reorganize — lets verification caches
          drop verdicts whose underlying data may have been erased *)
+  view : view option Atomic.t;
+      (* current read snapshot; [None] only transiently inside [create] *)
+  mutable view_epoch : int; (* next publication epoch (writer-only) *)
 }
 
 (* placeholder slot for unoccupied array cells; always overwritten before
@@ -100,10 +134,52 @@ let dummy_slot =
     request_hash = Hash.zero;
   }
 
+(* Build and atomically publish a fresh read snapshot.  Writer-only:
+   always called with the mutation already complete, so the view captures
+   a committed state.  O(members + dirty-trie-path) per call. *)
+let publish t =
+  let members =
+    Roles.members t.registry
+    |> List.sort (fun (a : Roles.member) (b : Roles.member) ->
+           String.compare a.Roles.name b.Roles.name)
+    |> List.map (fun (m : Roles.member) ->
+           ( m.Roles.name,
+             Roles.role_to_string m.Roles.role,
+             Ecdsa.public_key_to_bytes m.Roles.pub ))
+  in
+  let v =
+    {
+      v_epoch = t.view_epoch;
+      v_name = t.cfg.name;
+      v_size = t.count;
+      v_block_count = t.block_count;
+      v_blocks = t.blocks;
+      v_slots = t.slots;
+      v_fam = Fam.freeze t.fam;
+      v_cm = Cm_tree.freeze t.cm;
+      v_query = Query_index.freeze t.query;
+      v_members = members;
+      v_pseudo_genesis = t.pseudo_genesis_jsn;
+      v_now = Clock.now t.clock;
+      v_store = Stream_store.pin t.journal_stream;
+      v_lsp_priv = t.lsp_priv;
+      v_lsp_pub = t.lsp_pub;
+      v_crypto = t.cfg.crypto;
+    }
+  in
+  t.view_epoch <- t.view_epoch + 1;
+  Atomic.set t.view (Some v);
+  Metrics.incr "ledger_view_published_total"
+
+let read_view t =
+  match Atomic.get t.view with
+  | Some v -> v
+  | None -> assert false (* create/load publish before returning *)
+
 let create ?(config = default_config) ?t_ledger ?tsa ~clock () =
   let store = Stream_store.create () in
   let lsp_priv, lsp_pub = Ecdsa.generate ~seed:("lsp:" ^ config.name) in
-  {
+  let t = {
     cfg = config;
     clock;
     store;
@@ -133,7 +209,12 @@ let create ?(config = default_config) ?t_ledger ?tsa ~clock () =
     survivor_jsns = [];
     nonce = 0;
     on_mutate = [];
+    view = Atomic.make None;
+    view_epoch = 0;
   }
+  in
+  publish t;
+  t
 
 let on_mutate t f = t.on_mutate <- f :: t.on_mutate
 let notify_mutation t = List.iter (fun f -> f ()) t.on_mutate
@@ -159,6 +240,7 @@ let register_member t ?certificate ~name ~role pub =
   (match certificate with
   | Some cert -> Roles.record_certificate t.registry cert
   | None -> ());
+  publish t;
   member
 
 let new_member ?ca_priv t ~name ~role =
@@ -230,6 +312,7 @@ let seal_block t =
     t.blocks <- block :: t.blocks;
     t.block_count <- t.block_count + 1;
     t.pending_txs <- [];
+    publish t;
     Metrics.incr "ledger_blocks_sealed_total";
     Log.debug (fun m ->
         m "sealed block %d (%d journals, clue root %s)" block.Block.height
@@ -307,6 +390,7 @@ let commit_journal t (j : Journal.t) =
   let s = install_slot t j ~tx ~store_index in
   Trace.exit sp_acc;
   if List.length t.pending_txs >= t.cfg.block_size then seal_block t;
+  publish t;
   Trace.exit sp;
   s
 
@@ -359,6 +443,7 @@ let commit_batch ?(pool = Domain_pool.sequential) t journals =
         end
   in
   let slots = go [] journals in
+  publish t;
   Metrics.incr "ledger_batch_appends_total";
   Metrics.observe_int "ledger_batch_size" (List.length journals);
   Trace.exit sp;
@@ -995,8 +1080,9 @@ let purge t ~request ~signers =
       for i = 0 to upto_jsn - 1 do
         if not (List.mem i kept) && t.slots.(i).store_index >= 0 then begin
           Stream_store.erase t.journal_stream t.slots.(i).store_index;
-          let old = t.slots.(i).journal in
-          t.slots.(i).journal <- { old with Journal.payload = Bytes.empty }
+          let s = t.slots.(i) in
+          t.slots.(i) <-
+            { s with journal = { s.journal with Journal.payload = Bytes.empty } }
         end
       done;
       if erase_fam_nodes then begin
@@ -1005,6 +1091,7 @@ let purge t ~request ~signers =
       end;
       t.pseudo_genesis_jsn <- Some pg_jsn;
       seal_block t;
+      publish t;
       notify_mutation t;
       Metrics.incr "ledger_purges_total";
       Log.info (fun m ->
@@ -1066,11 +1153,12 @@ let occult t ~target_jsn ~mode ~signers ~reason =
             (match mode with Sync -> "sync" | Async -> "async"));
       (match mode with
       | Sync ->
-          Stream_store.erase t.journal_stream (slot t target_jsn).store_index;
-          let old = (slot t target_jsn).journal in
-          (slot t target_jsn).journal <-
-            { old with Journal.payload = Bytes.empty }
+          let s = slot t target_jsn in
+          Stream_store.erase t.journal_stream s.store_index;
+          t.slots.(target_jsn) <-
+            { s with journal = { s.journal with Journal.payload = Bytes.empty } }
       | Async -> t.occult_pending <- target_jsn :: t.occult_pending);
+      publish t;
       notify_mutation t;
       Ok j
     end
@@ -1100,30 +1188,44 @@ let reorganize t =
   let n = List.length t.occult_pending in
   List.iter
     (fun jsn ->
-      Stream_store.erase t.journal_stream (slot t jsn).store_index;
-      let old = (slot t jsn).journal in
-      (slot t jsn).journal <- { old with Journal.payload = Bytes.empty })
+      let s = slot t jsn in
+      Stream_store.erase t.journal_stream s.store_index;
+      t.slots.(jsn) <-
+        { s with journal = { s.journal with Journal.payload = Bytes.empty } })
     t.occult_pending;
   t.occult_pending <- [];
-  if n > 0 then notify_mutation t;
+  if n > 0 then begin
+    publish t;
+    notify_mutation t
+  end;
   n
 
 (* --- introspection --------------------------------------------------------- *)
 
 (* Reclaim storage slots of erased payloads (post-purge/occult): compact
-   the journal stream and remap the surviving slots' storage addresses. *)
+   the journal stream and remap the surviving slots' storage addresses.
+   The remapped slots go into a FRESH array (and the compaction itself
+   swaps in a fresh record array), so a read snapshot taken before the
+   compaction keeps a consistent pair — old slot addresses over the old
+   pinned records — while new snapshots see the compacted layout. *)
 let compact_storage t =
   let remap = Hashtbl.create 64 in
   let reclaimed =
     Stream_store.compact t.journal_stream (fun old_i new_i ->
         Hashtbl.replace remap old_i new_i)
   in
+  let fresh = Array.make (Array.length t.slots) dummy_slot in
   for jsn = 0 to t.count - 1 do
     let s = t.slots.(jsn) in
-    match Hashtbl.find_opt remap s.store_index with
-    | Some fresh -> s.store_index <- fresh
-    | None -> s.store_index <- -1 (* erased record: no backing slot *)
+    let store_index =
+      match Hashtbl.find_opt remap s.store_index with
+      | Some i -> i
+      | None -> -1 (* erased record: no backing slot *)
+    in
+    fresh.(jsn) <- { s with store_index }
   done;
+  t.slots <- fresh;
+  publish t;
   reclaimed
 
 let stored_digests t = Fam.stored_digests t.fam + Cm_tree.stored_digests t.cm
@@ -1132,7 +1234,9 @@ let journal_bytes t = Stream_store.total_bytes t.journal_stream
 module Unsafe = struct
   let rewrite_payload t ~jsn payload_bytes =
     let s = slot t jsn in
-    s.journal <- { s.journal with Journal.payload = payload_bytes }
+    t.slots.(jsn) <-
+      { s with journal = { s.journal with Journal.payload = payload_bytes } };
+    publish t
 
   let rewrite_payload_consistent t ~jsn payload_bytes =
     let s = slot t jsn in
@@ -1143,15 +1247,112 @@ module Unsafe = struct
         ~clues:j.Journal.clues ~client_ts:j.Journal.client_ts
         ~nonce:j.Journal.nonce
     in
-    s.journal <- { j with Journal.payload = payload_bytes; request_hash };
-    s.request_hash <- request_hash;
+    let journal = { j with Journal.payload = payload_bytes; request_hash } in
     (* a self-consistent LSP also refreshes its claimed leaf digest *)
-    s.tx <- Journal.tx_hash s.journal
+    t.slots.(jsn) <-
+      { s with journal; request_hash; tx = Journal.tx_hash journal };
+    publish t
 
   let forge_server_ts t ~jsn ts =
     let s = slot t jsn in
-    s.journal <- { s.journal with Journal.server_ts = ts }
+    t.slots.(jsn) <-
+      { s with journal = { s.journal with Journal.server_ts = ts } };
+    publish t
 end
+
+(* --- read snapshots --------------------------------------------------------- *)
+
+(* Accessors over a published view.  Each mirrors the corresponding
+   [Ledger] read accessor byte-for-byte (locked down by the differential
+   gate in test_read_view), except that payload reads go through the
+   stream pin (never the writer's latency clock) and receipts are signed
+   with the pure profile against the pinned publication time. *)
+module Read_view = struct
+  type nonrec t = view
+
+  let epoch v = v.v_epoch
+  let name v = v.v_name
+  let size v = v.v_size
+  let block_count v = v.v_block_count
+  let blocks v = List.rev v.v_blocks
+  let members_wire v = v.v_members
+  let pseudo_genesis_jsn v = v.v_pseudo_genesis
+  let published_at v = v.v_now
+
+  let block v h =
+    if h < 0 || h >= v.v_block_count then
+      invalid_arg "Ledger.block: out of range";
+    List.nth v.v_blocks (v.v_block_count - 1 - h)
+
+  let slot v jsn =
+    if jsn < 0 || jsn >= v.v_size then
+      invalid_arg
+        (Printf.sprintf "Ledger: jsn %d out of range [0,%d)" jsn v.v_size);
+    v.v_slots.(jsn)
+
+  let journal v jsn = (slot v jsn).journal
+  let tx_hash_of v jsn = (slot v jsn).tx
+
+  let payload v jsn =
+    let s = slot v jsn in
+    if s.store_index < 0 then None
+    else Stream_store.read_pinned v.v_store s.store_index
+
+  let commitment v = Fam.commitment v.v_fam
+
+  let get_proof v jsn =
+    let p = Fam.prove v.v_fam jsn in
+    if Obs.enabled () then begin
+      Metrics.incr "ledger_proofs_served_total";
+      let w = Wire.writer () in
+      Proof_codec.w_fam_proof w p;
+      Metrics.observe_int "ledger_proof_bytes" (Bytes.length (Wire.contents w))
+    end;
+    p
+
+  let prove_extension v ~old_size = Fam.prove_extension v.v_fam ~old_size
+  let cm_tree v = v.v_cm
+  let clue_root v = Cm_tree.root_hash v.v_cm
+
+  let prove_clue v ~clue ?first ?last () =
+    Cm_tree.prove_clue v.v_cm ~clue ?first ?last ()
+
+  let query_index v = v.v_query
+  let query_root v = Query_index.root v.v_query
+
+  let receipt v jsn =
+    Metrics.incr "ledger_receipts_issued_total";
+    let s = slot v jsn in
+    let block_hash =
+      let rec find = function
+        | [] -> Hash.zero
+        | (b : Block.t) :: rest ->
+            if
+              s.journal.Journal.jsn >= b.Block.start_jsn
+              && s.journal.Journal.jsn < b.Block.start_jsn + b.Block.count
+            then Block.hash b
+            else find rest
+      in
+      find v.v_blocks
+    in
+    let timestamp = v.v_now in
+    let digest =
+      Receipt.signing_digest ~jsn:s.journal.Journal.jsn
+        ~request_hash:s.request_hash ~tx_hash:s.tx ~block_hash ~timestamp
+    in
+    {
+      Receipt.jsn = s.journal.Journal.jsn;
+      request_hash = s.request_hash;
+      tx_hash = s.tx;
+      block_hash;
+      timestamp;
+      lsp_sig =
+        Crypto_profile.sign_pure v.v_crypto ~priv:v.v_lsp_priv
+          ~pub:v.v_lsp_pub digest;
+    }
+end
+
+let view_epoch t = (read_view t).v_epoch
 
 (* --- persistence ------------------------------------------------------------ *)
 
@@ -1529,6 +1730,7 @@ let load_verbose ?(config = default_config) ?t_ledger ?tsa ?(recover = false)
       (if partial then
          Audit_log.Degraded "torn tail: checkpoint not reproducible"
        else Audit_log.Verified);
+    publish t;
     Ok
       ( t,
         { replayed = t.count; declared_size; torn_tail = !torn_tail;

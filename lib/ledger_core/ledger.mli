@@ -63,6 +63,71 @@ val new_member :
 (** Convenience: generate a keypair (seeded by the name) and register;
     with [ca_priv], also mint and record the member's certificate. *)
 
+(** {1 Read snapshots (lock-free read path)}
+
+    Every mutation boundary — append, batch commit, block seal, member
+    registration, purge, occult, reorganize, storage compaction, the
+    Unsafe forgeries, and load — republishes an immutable {!Read_view.t}
+    with a single [Atomic.set].  Any domain can grab the current view
+    with {!read_view} (a single [Atomic.get], no lock) and serve proofs,
+    payloads, receipts and range-query pages against it; the view's
+    accessors mirror the corresponding [Ledger] reads byte-for-byte
+    (DESIGN.md §17).  Purge/occult erasures remain visible through
+    already-captured views: snapshots never resurrect erased payloads. *)
+
+module Read_view : sig
+  type t
+
+  val epoch : t -> int
+  (** Publication counter; strictly increases with every republish.
+      Pages of a query scan pinned to an epoch either all come from that
+      view or the scan is refused as stale. *)
+
+  val name : t -> string
+  val size : t -> int
+  val block_count : t -> int
+  val block : t -> int -> Block.t
+  val blocks : t -> Block.t list
+  val journal : t -> int -> Journal.t
+  val tx_hash_of : t -> int -> Hash.t
+
+  val payload : t -> int -> bytes option
+  (** Served from the pinned stream capture — no latency model is
+      charged (there is no writer clock to charge from a reader
+      domain). *)
+
+  val commitment : t -> Hash.t
+  val get_proof : t -> int -> Fam.proof
+  val prove_extension : t -> old_size:int -> Fam.extension_proof
+  val cm_tree : t -> Cm_tree.t
+  val clue_root : t -> Hash.t
+
+  val prove_clue :
+    t -> clue:string -> ?first:int -> ?last:int -> unit ->
+    Cm_tree.clue_proof option
+
+  val query_index : t -> Ledger_query.Query_index.t
+  val query_root : t -> Hash.t
+  val members_wire : t -> (string * string * bytes) list
+  (** (name, role tag, public-key bytes), sorted by name — the
+      [Get_members] wire form, precomputed at publication. *)
+
+  val pseudo_genesis_jsn : t -> int option
+  val published_at : t -> int64
+  (** Clock value pinned when the view was published; {!receipt}
+      timestamps carry it. *)
+
+  val receipt : t -> int -> Receipt.t
+  (** Receipt signed with the pure crypto profile (no clock charge)
+      against {!published_at}. *)
+end
+
+val read_view : t -> Read_view.t
+(** The current snapshot — one [Atomic.get], safe from any domain. *)
+
+val view_epoch : t -> int
+(** Epoch of the current snapshot. *)
+
 (** {1 Append (journal-level commitment, Fig. 1)} *)
 
 val append :

@@ -33,6 +33,9 @@ type request =
       window : Range_query.window option;
       after : string option;
       page_size : int;
+      pin : int option;
+          (* pin the scan to a snapshot epoch: a later page refusing with
+             [Stale_r] tells the client a write landed mid-scan *)
     }
 
 type response =
@@ -63,7 +66,13 @@ type response =
       query_root : Hash.t;
       commitment : Hash.t;
       size : int;
+      epoch : int;
+          (* snapshot epoch the page was served from; feed it back as
+             [pin] on follow-up pages for a single-snapshot scan *)
     }
+  | Stale_r of { pinned : int; current : int }
+      (* typed retryable refusal: the pinned epoch is no longer current —
+         restart the scan (or re-pin to [current]) *)
   | Error_r of string
 
 (* --- codecs ------------------------------------------------------------- *)
@@ -120,12 +129,13 @@ let encode_request req =
       Wire.w_string w clue;
       Wire.w_option w (Wire.w_int w) first;
       Wire.w_option w (Wire.w_int w) last
-  | Query_page { spec; window; after; page_size } ->
+  | Query_page { spec; window; after; page_size; pin } ->
       Wire.w_u8 w 14;
       Range_query.w_spec w spec;
       Wire.w_option w (Range_query.w_window w) window;
       Wire.w_option w (Wire.w_string w) after;
-      Wire.w_int w page_size
+      Wire.w_int w page_size;
+      Wire.w_option w (Wire.w_int w) pin
   | Append_batch { member_id; entries } ->
       Wire.w_u8 w 11;
       Wire.w_hash w member_id;
@@ -175,7 +185,8 @@ let decode_request data =
           let window = Wire.r_option r (fun () -> Range_query.r_window r) in
           let after = Wire.r_option r (fun () -> Wire.r_string r) in
           let page_size = Wire.r_int r in
-          Query_page { spec; window; after; page_size }
+          let pin = Wire.r_option r (fun () -> Wire.r_int r) in
+          Query_page { spec; window; after; page_size; pin }
       | 11 ->
           let member_id = Wire.r_hash r in
           let entries =
@@ -277,12 +288,17 @@ let encode_response resp =
       Wire.w_u8 w 13;
       Wire.w_option w (Cm_tree.w_clue_proof w) proof;
       Wire.w_hash w clue_root
-  | Query_page_r { page; query_root; commitment; size } ->
+  | Query_page_r { page; query_root; commitment; size; epoch } ->
       Wire.w_u8 w 14;
       Range_query.w_page w page;
       Wire.w_hash w query_root;
       Wire.w_hash w commitment;
-      Wire.w_int w size);
+      Wire.w_int w size;
+      Wire.w_int w epoch
+  | Stale_r { pinned; current } ->
+      Wire.w_u8 w 15;
+      Wire.w_int w pinned;
+      Wire.w_int w current);
   Wire.contents w
 
 let decode_response data =
@@ -348,7 +364,12 @@ let decode_response data =
           let query_root = Wire.r_hash r in
           let commitment = Wire.r_hash r in
           let size = Wire.r_int r in
-          Query_page_r { page; query_root; commitment; size }
+          let epoch = Wire.r_int r in
+          Query_page_r { page; query_root; commitment; size; epoch }
+      | 15 ->
+          let pinned = Wire.r_int r in
+          let current = Wire.r_int r in
+          Stale_r { pinned; current }
       | _ -> raise Wire.Corrupt)
 
 (* --- server ---------------------------------------------------------------- *)
@@ -446,22 +467,30 @@ let dispatch ledger = function
           proof = Ledger.prove_clue ledger ~clue ?first ?last ();
           clue_root = Cm_tree.root_hash (Ledger.cm_tree ledger);
         }
-  | Query_page { spec; window; after; page_size } ->
+  | Query_page { spec; window; after; page_size; pin } ->
       if page_size <= 0 || page_size > 65536 then Error_r "bad page_size"
-      else
+      else begin
         (* page + root under one dispatch, same snapshot contract as
-           Get_proof_bundle *)
-        Query_page_r
-          {
-            page =
-              Range_query.page (Ledger.query_index ledger) ~spec ?window
-                ?after ~page_size ();
-            query_root = Ledger.query_root ledger;
-            commitment =
-              (if Ledger.size ledger = 0 then Hash.zero
-               else Ledger.commitment ledger);
-            size = Ledger.size ledger;
-          }
+           Get_proof_bundle.  Under the writer lock the published epoch
+           is stable, so the pin check here agrees byte-for-byte with
+           the lock-free path. *)
+        let epoch = Ledger.view_epoch ledger in
+        match pin with
+        | Some e when e <> epoch -> Stale_r { pinned = e; current = epoch }
+        | Some _ | None ->
+            Query_page_r
+              {
+                page =
+                  Range_query.page (Ledger.query_index ledger) ~spec ?window
+                    ?after ~page_size ();
+                query_root = Ledger.query_root ledger;
+                commitment =
+                  (if Ledger.size ledger = 0 then Hash.zero
+                   else Ledger.commitment ledger);
+                size = Ledger.size ledger;
+                epoch;
+              }
+      end
   | Get_checkpoint ->
       Checkpoint_r
         {
@@ -479,6 +508,118 @@ let dispatch ledger = function
               (Ledger.pseudo_genesis ledger);
         }
 
+(* --- read/mutate split (lock-free read path) -------------------------------- *)
+
+let classify = function
+  | Append _ | Append_batch _ -> `Mutate
+  | Get_payload _ | Get_proof _ | Get_receipt _ | Get_clue_proof _
+  | Get_commitment | Get_extension _ | Get_journal _ | Get_block _
+  | Get_members | Get_checkpoint | Get_proof_bundle _ | Get_clue_bundle _
+  | Query_page _ ->
+      `Read
+
+module RV = Ledger.Read_view
+
+(* Mirror of every read arm of {!dispatch}, served from an immutable
+   snapshot.  Guard conditions and error strings must stay byte-identical
+   to the locked path — the differential gate in the test suite compares
+   encoded responses from both. *)
+let dispatch_view v = function
+  | Append _ | Append_batch _ ->
+      (* mutations are routed through {!dispatch} by {!classify}; reaching
+         here is a dispatcher bug, not a client error *)
+      assert false
+  | Get_payload { jsn } ->
+      if jsn < 0 || jsn >= RV.size v then Error_r "jsn out of range"
+      else Payload_r (RV.payload v jsn)
+  | Get_proof { jsn } ->
+      if jsn < 0 || jsn >= RV.size v then Error_r "jsn out of range"
+      else Proof_r (RV.get_proof v jsn)
+  | Get_receipt { jsn } ->
+      if jsn < 0 || jsn >= RV.size v then Error_r "jsn out of range"
+      else Receipt_r (RV.receipt v jsn)
+  | Get_clue_proof { clue; first; last } ->
+      Clue_proof_r (RV.prove_clue v ~clue ?first ?last ())
+  | Get_commitment ->
+      if RV.size v = 0 then Error_r "empty ledger"
+      else Commitment_r { commitment = RV.commitment v; size = RV.size v }
+  | Get_extension { old_size } ->
+      if old_size <= 0 || old_size > RV.size v then
+        Error_r "old_size out of range"
+      else Extension_r (RV.prove_extension v ~old_size)
+  | Get_journal { jsn } ->
+      if jsn < 0 || jsn >= RV.size v then Error_r "jsn out of range"
+      else begin
+        let j = RV.journal v jsn in
+        (* the shipped payload reflects erasures *)
+        let payload =
+          match RV.payload v jsn with Some p -> p | None -> Bytes.empty
+        in
+        let j = { j with Journal.payload } in
+        Journal_r
+          { tx = RV.tx_hash_of v jsn; encoded = Journal_codec.encode j }
+      end
+  | Get_block { height } ->
+      if height < 0 || height >= RV.block_count v then
+        Error_r "block out of range"
+      else Block_r (RV.block v height)
+  | Get_members ->
+      (* the view stores the registry pre-sorted in wire form *)
+      Members_r (RV.members_wire v)
+  | Get_proof_bundle { jsn } ->
+      if jsn < 0 || jsn >= RV.size v then Error_r "jsn out of range"
+      else
+        Proof_bundle_r
+          {
+            proof = RV.get_proof v jsn;
+            commitment = RV.commitment v;
+            size = RV.size v;
+          }
+  | Get_clue_bundle { clue; first; last } ->
+      Clue_bundle_r
+        {
+          proof = RV.prove_clue v ~clue ?first ?last ();
+          clue_root = RV.clue_root v;
+        }
+  | Query_page { spec; window; after; page_size; pin } ->
+      if page_size <= 0 || page_size > 65536 then Error_r "bad page_size"
+      else begin
+        let epoch = RV.epoch v in
+        match pin with
+        | Some e when e <> epoch -> Stale_r { pinned = e; current = epoch }
+        | Some _ | None ->
+            Query_page_r
+              {
+                page =
+                  Range_query.page (RV.query_index v) ~spec ?window ?after
+                    ~page_size ();
+                query_root = RV.query_root v;
+                commitment =
+                  (if RV.size v = 0 then Hash.zero else RV.commitment v);
+                size = RV.size v;
+                epoch;
+              }
+      end
+  | Get_checkpoint ->
+      Checkpoint_r
+        {
+          name = RV.name v;
+          size = RV.size v;
+          block_count = RV.block_count v;
+          commitment =
+            (if RV.size v = 0 then Hash.zero else RV.commitment v);
+          clue_root = RV.clue_root v;
+          nonce = RV.size v;
+          pseudo_genesis = RV.pseudo_genesis_jsn v;
+        }
+
+let response_of_exn = function
+  | Invalid_argument msg | Failure msg -> Error_r msg
+  | Not_found -> Error_r "not found"
+  | Ledger_storage.Stream_store.Read_error e ->
+      Error_r (Ledger_storage.Stream_store.read_error_to_string e)
+  | e -> raise e
+
 let handle ledger data =
   let sp = Ledger_obs.Trace.enter "service.handle" in
   Ledger_obs.Metrics.incr "service_requests_total";
@@ -487,14 +628,37 @@ let handle ledger data =
     | None -> Error_r "malformed request"
     | Some req ->
         Ledger_obs.Trace.attr sp "kind" (request_kind req);
-        (try dispatch ledger req
-         with Invalid_argument msg | Failure msg -> Error_r msg)
+        (try dispatch ledger req with e -> response_of_exn e)
   in
   (match resp with
   | Error_r _ -> Ledger_obs.Metrics.incr "service_errors_total"
   | _ -> ());
   Ledger_obs.Trace.exit sp;
   encode_response resp
+
+let handle_view v data =
+  match decode_request data with
+  | None ->
+      (* malformed frames carry no mutation; answer them lock-free with
+         the same counters the locked path would bump *)
+      Ledger_obs.Metrics.incr "service_requests_total";
+      Ledger_obs.Metrics.incr "service_errors_total";
+      Some (encode_response (Error_r "malformed request"))
+  | Some req -> (
+      match classify req with
+      | `Mutate -> None
+      | `Read ->
+          let sp = Ledger_obs.Trace.enter "service.handle" in
+          Ledger_obs.Metrics.incr "service_requests_total";
+          Ledger_obs.Trace.attr sp "kind" (request_kind req);
+          let resp = try dispatch_view v req with e -> response_of_exn e in
+          (match resp with
+          | Error_r _ -> Ledger_obs.Metrics.incr "service_errors_total"
+          | _ -> ());
+          Ledger_obs.Trace.exit sp;
+          Some (encode_response resp))
+
+let handle_read ledger data = handle_view (Ledger.read_view ledger) data
 
 (* --- client ----------------------------------------------------------------- *)
 
@@ -584,8 +748,8 @@ module Client = struct
   let make_get_clue_bundle ~clue ?first ?last () =
     encode_request (Get_clue_bundle { clue; first; last })
 
-  let make_query_page ~spec ?window ?after ~page_size () =
-    encode_request (Query_page { spec; window; after; page_size })
+  let make_query_page ~spec ?window ?after ?pin ~page_size () =
+    encode_request (Query_page { spec; window; after; page_size; pin })
 
   let parse = decode_response
 end

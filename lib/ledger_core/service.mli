@@ -47,9 +47,15 @@ type request =
       window : Ledger_query.Range_query.window option;
       after : string option;
       page_size : int;
+      pin : int option;
     }
       (** one page of a verifiable range/prefix scan (DESIGN.md §16);
-          [after] is the cursor returned by the previous page *)
+          [after] is the cursor returned by the previous page.  [pin]
+          (the [epoch] of a previous {!response.Query_page_r}) asks the
+          server to answer only from that same snapshot: if a write has
+          republished the view since, the reply is a typed
+          {!response.Stale_r} refusal instead of a silently
+          cross-snapshot page *)
 
 type response =
   | Receipt_r of Receipt.t
@@ -86,11 +92,17 @@ type response =
       query_root : Hash.t;
       commitment : Hash.t;
       size : int;
+      epoch : int;
     }
       (** the page verifies against exactly this [query_root], snapshotted
           in the same dispatch; [commitment]/[size] pin the journal state
           the index was derived from (same trust shape as
-          {!response.Proof_bundle_r}) *)
+          {!response.Proof_bundle_r}).  [epoch] identifies the snapshot;
+          feed it back as {!request.Query_page}[.pin] on follow-up pages
+          for a single-snapshot multi-page scan *)
+  | Stale_r of { pinned : int; current : int }
+      (** retryable refusal: the [pinned] snapshot epoch is no longer
+          [current] — restart the scan, or accept the new epoch *)
   | Error_r of string
 
 val encode_request : request -> bytes
@@ -104,6 +116,29 @@ val r_receipt : Wire.reader -> Receipt.t
 val handle : Ledger.t -> bytes -> bytes
 (** The server: malformed input or failed dispatch yields an encoded
     {!Error_r}; this function never raises. *)
+
+(** {1 Lock-free read path}
+
+    Every request is either a {e read} (answerable from an immutable
+    {!Ledger.Read_view.t} without any lock) or a {e mutation} (must be
+    serialized by the caller).  {!handle_read} is the read-only half of
+    {!handle}: byte-identical responses for reads, [None] for mutations. *)
+
+val classify : request -> [ `Read | `Mutate ]
+(** [`Mutate] for {!request.Append}/{!request.Append_batch}, [`Read]
+    for everything else. *)
+
+val handle_read : Ledger.t -> bytes -> bytes option
+(** Serve a read (or a malformed frame) from the current published
+    snapshot — safe to call from any domain, concurrently with a writer.
+    Returns [None] iff the frame decodes to a mutation, which the caller
+    must route through {!handle} under its write serialization.  Never
+    raises. *)
+
+val handle_view : Ledger.Read_view.t -> bytes -> bytes option
+(** {!handle_read} against an explicitly captured snapshot — for
+    callers (the sharded fleet) that pin one view across several inner
+    dispatches. *)
 
 (** Client-side request building and response interpretation. *)
 module Client : sig
@@ -168,9 +203,12 @@ module Client : sig
     spec:Ledger_query.Range_query.spec ->
     ?window:Ledger_query.Range_query.window ->
     ?after:string ->
+    ?pin:int ->
     page_size:int ->
     unit ->
     bytes
+  (** [pin] repeats the [epoch] of an earlier page so the whole scan is
+      served from one snapshot (see {!request.Query_page}). *)
 
   val parse : bytes -> response option
 end

@@ -106,8 +106,13 @@ let verify_query ledger level spec window page_size =
         if !ok then (true, Printf.sprintf "server: %d clues consistent" !n)
         else (false, "server: ordered index entry inconsistent")
     | Client -> (
-        (* full paginated scan replayed through the client-side verifier *)
-        let root = Ledger.query_root ledger in
+        (* full paginated scan replayed through the client-side verifier.
+           Root and pages come from one published snapshot, so the replay
+           cannot straddle a concurrent append: the completeness verdict
+           is about a single index state. *)
+        let v = Ledger.read_view ledger in
+        let idx = Ledger.Read_view.query_index v in
+        let root = Ledger.Read_view.query_root v in
         let rec collect after acc guard =
           if guard > 1_000_000 then Error "pagination did not terminate"
           else

@@ -216,6 +216,26 @@ let stored_digests t =
   done;
   !total
 
+(* Immutable snapshot.  Sealed epochs are append-final (Rule 1 rolls a
+   *full* tree and never appends to it again), so their live Shrubs can
+   be shared directly; only the live last epoch needs a {!Shrubs.freeze}
+   to pin its counts against concurrent appends.  The sealed-roots array
+   is shared with a pinned count (writes only land at indices >= the
+   pinned count; resizes swap in a new array).  Purge erasures
+   ({!purge_epochs_before}) stay visible through snapshots. *)
+let freeze t =
+  let epochs = Array.copy t.epochs in
+  epochs.(t.epoch_count - 1) <- Shrubs.freeze (current t);
+  {
+    delta = t.delta;
+    epoch_capacity = t.epoch_capacity;
+    epochs;
+    epoch_count = t.epoch_count;
+    sealed_roots = t.sealed_roots;
+    sealed_count = t.sealed_count;
+    size = t.size;
+  }
+
 (* --- extension proofs -------------------------------------------------------- *)
 
 type extension_proof =

@@ -109,6 +109,12 @@ val purge_epochs_before : t -> int -> unit
 
 val stored_digests : t -> int
 
+val freeze : t -> t
+(** Immutable snapshot: sealed epochs are shared (they are append-final),
+    the live epoch is {!Shrubs.freeze}d.  Safe to prove/verify against
+    from other domains while the original keeps appending; purge
+    erasures remain visible.  Only read on the result. *)
+
 (** {1 Extension (consistency) proofs}
 
     Prove that the current commitment is an append-only extension of the

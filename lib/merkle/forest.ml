@@ -225,6 +225,21 @@ let forget_subtree t ~level:l ~index =
 
 let stored_digests t = t.stored
 
+(* Immutable snapshot by structural sharing: pin every level's count and
+   share its node array.  The live forest only writes at indices >= the
+   pinned count (appends) or swaps in a bigger array on resize (the old
+   array survives for the snapshot), so reads through the frozen counts
+   never observe in-flight growth.  {!forget_subtree} erasures DO show
+   through (shared arrays) — snapshots deliberately cannot resurrect
+   purged digests. *)
+let freeze t =
+  {
+    levels =
+      Array.map (fun lv -> { nodes = lv.nodes; count = lv.count }) t.levels;
+    size = t.size;
+    stored = t.stored;
+  }
+
 (* --- consistency proofs ---------------------------------------------------- *)
 
 type consistency_proof = Hash.t list list

@@ -68,6 +68,14 @@ val forget_subtree : t -> level:int -> index:int -> unit
 val stored_digests : t -> int
 (** Number of digests currently held — the storage-overhead metric. *)
 
+val freeze : t -> t
+(** O(levels) immutable snapshot by structural sharing: per-level node
+    arrays are shared with pinned counts, so later appends to the live
+    forest are invisible through the snapshot, which stays safe to read
+    from other domains.  {!forget_subtree} erasures remain visible
+    (purged digests cannot be resurrected through an old snapshot).
+    Only read on the result. *)
+
 (** {1 Consistency (append-only extension) proofs}
 
     Prove that the forest at its current size is an append-only extension

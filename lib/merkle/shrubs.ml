@@ -61,6 +61,7 @@ let verify ~commitment ~leaf proof =
 
 let stored_digests t = Forest.stored_digests t.forest
 let forest t = t.forest
+let freeze t = { forest = Forest.freeze t.forest; height = t.height }
 
 let prove_consistency t ~old_size = Forest.prove_consistency t.forest ~old_size
 let verify_consistency = Forest.verify_consistency

@@ -59,6 +59,10 @@ val stored_digests : t -> int
 val forest : t -> Forest.t
 (** Underlying forest, exposed for fam's epoch sealing. *)
 
+val freeze : t -> t
+(** Immutable snapshot ({!Forest.freeze} of the underlying forest):
+    read-only, safe to share across domains. *)
+
 (** {1 Consistency proofs} *)
 
 val prove_consistency : t -> old_size:int -> Forest.consistency_proof

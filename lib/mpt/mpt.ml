@@ -102,17 +102,18 @@ let attach_to_branch t branch path value =
     branch.children.(path.(0)) <-
       Some (mk_leaf t (Nibble.sub path 1 (Array.length path - 1)) value)
 
+(* Insertion is path-copying: every node along the descent is replaced
+   by a fresh record rather than mutated, so any previously captured
+   root ({!freeze}) keeps denoting the exact pre-insert trie.  Off-path
+   subtrees are shared structurally between versions. *)
 let rec insert_node t node key ki value =
   match node with
   | Leaf l ->
       let rest_new = Nibble.sub key ki (Array.length key - ki) in
       let cp = Nibble.common_prefix_length l.lpath 0 rest_new 0 in
-      if cp = Array.length l.lpath && cp = Array.length rest_new then begin
-        (* same key: replace *)
-        l.lvalue <- value;
-        l.lhash <- None;
-        node
-      end
+      if cp = Array.length l.lpath && cp = Array.length rest_new then
+        (* same key: fresh leaf, snapshots keep the old value *)
+        Leaf { lpath = l.lpath; lvalue = value; lhash = None }
       else begin
         let branch = mk_branch t in
         let old_rest = Nibble.sub l.lpath cp (Array.length l.lpath - cp) in
@@ -126,11 +127,13 @@ let rec insert_node t node key ki value =
       end
   | Ext e ->
       let cp = Nibble.common_prefix_length e.epath 0 key ki in
-      if cp = Array.length e.epath then begin
-        e.echild <- insert_node t e.echild key (ki + cp) value;
-        e.ehash <- None;
-        node
-      end
+      if cp = Array.length e.epath then
+        Ext
+          {
+            epath = e.epath;
+            echild = insert_node t e.echild key (ki + cp) value;
+            ehash = None;
+          }
       else begin
         (* split the extension *)
         let branch = mk_branch t in
@@ -151,20 +154,19 @@ let rec insert_node t node key ki value =
   | Branch b ->
       if ki = Array.length key then begin
         if b.bvalue = None then t.cardinal <- t.cardinal + 1;
-        b.bvalue <- Some value;
-        b.bhash <- None;
-        node
+        Branch
+          { children = Array.copy b.children; bvalue = Some value; bhash = None }
       end
       else begin
         let c = key.(ki) in
+        let children = Array.copy b.children in
         (match b.children.(c) with
         | None ->
-            b.children.(c) <-
+            children.(c) <-
               Some (mk_leaf t (Nibble.sub key (ki + 1) (Array.length key - ki - 1)) value);
             t.cardinal <- t.cardinal + 1
-        | Some child -> b.children.(c) <- Some (insert_node t child key (ki + 1) value));
-        b.bhash <- None;
-        node
+        | Some child -> children.(c) <- Some (insert_node t child key (ki + 1) value));
+        Branch { children; bvalue = b.bvalue; bhash = None }
       end
 
 let insert t ~key value =
@@ -176,6 +178,15 @@ let insert t ~key value =
   | Some root -> t.root <- Some (insert_node t root key 0 value)
 
 let insert_string t ~key value = insert t ~key:(Nibble.of_hash (Hash.scatter key)) value
+
+(* Immutable snapshot.  Forcing the root hash memoizes every reachable
+   node's digest, so a reader walking the frozen version never writes a
+   memo field — the snapshot is safe to share across domains while the
+   writer keeps inserting (inserts path-copy, they never touch nodes a
+   frozen root can reach). *)
+let freeze t =
+  ignore (root_hash t);
+  { root = t.root; cardinal = t.cardinal; nodes = t.nodes }
 
 (* --- lookup ------------------------------------------------------------ *)
 

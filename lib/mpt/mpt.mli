@@ -26,6 +26,14 @@ val insert : t -> key:int array -> bytes -> unit
 val insert_string : t -> key:string -> bytes -> unit
 (** Convenience: scatter the key with SHA-3 first (clue-key behaviour). *)
 
+val freeze : t -> t
+(** O(path) immutable snapshot.  Inserts are path-copying, so the frozen
+    trie keeps denoting the exact capture-time state while the original
+    keeps mutating.  Freezing forces every reachable hash memo, making
+    the snapshot safe to read from other domains without synchronisation
+    (readers never write).  Only read on the result — inserting into a
+    frozen trie is not meaningful. *)
+
 val find : t -> key:int array -> bytes option
 val find_string : t -> key:string -> bytes option
 

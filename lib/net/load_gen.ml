@@ -28,6 +28,10 @@ type config = {
   clue_count : int;
   zipf_s : float;
   mix : mix;
+  read_ratio : float option;
+      (* [Some r]: draw a read op (verify/lineage, split by their mix
+         weights) with probability r, an append otherwise — overrides
+         the mix proportions; [None]: use the mix as-is *)
   pulls : int;
   seed : int;
   crypto : Crypto_profile.t;
@@ -47,6 +51,7 @@ let default_config =
     clue_count = 128;
     zipf_s = 1.1;
     mix = { append_w = 3; verify_w = 2; lineage_w = 1 };
+    read_ratio = None;
     pulls = 1;
     seed = 42;
     crypto = Crypto_profile.Real;
@@ -61,6 +66,8 @@ type result = {
   appends : int;
   verifies : int;
   lineages : int;
+  read_ops : int;
+  write_ops : int;
   pulls_ok : int;
   pulls_failed : int;
   transport_failures : int;
@@ -73,6 +80,16 @@ type result = {
   p99_us : float;
   p999_us : float;
   max_us : float;
+  read_mean_us : float;
+  read_p50_us : float;
+  read_p95_us : float;
+  read_p99_us : float;
+  read_max_us : float;
+  write_mean_us : float;
+  write_p50_us : float;
+  write_p95_us : float;
+  write_p99_us : float;
+  write_max_us : float;
 }
 
 (* growable (jsn, tx_hash) history for uniform verify-op picks *)
@@ -97,6 +114,21 @@ type cstate = {
   mutable own_n : int;
 }
 
+(* one growable latency sample series; reads and writes are kept apart
+   so the split percentiles are exact, not reconstructed *)
+type series = { mutable sa : float array; mutable sn : int }
+
+let series_create () = { sa = Array.make 1024 0.; sn = 0 }
+
+let series_add s v =
+  if s.sn = Array.length s.sa then begin
+    let bigger = Array.make (2 * s.sn) 0. in
+    Array.blit s.sa 0 bigger 0 s.sn;
+    s.sa <- bigger
+  end;
+  s.sa.(s.sn) <- v;
+  s.sn <- s.sn + 1
+
 type driver = {
   idx : int;
   ops : int ref;
@@ -105,18 +137,9 @@ type driver = {
   lineages : int ref;
   transport_failures : int ref;
   verify_failures : int ref;
-  mutable lat : float array;
-  mutable lat_n : int;
+  rlat : series; (* verify + lineage ops *)
+  wlat : series; (* append ops *)
 }
-
-let lat_add d v =
-  if d.lat_n = Array.length d.lat then begin
-    let bigger = Array.make (2 * d.lat_n) 0. in
-    Array.blit d.lat 0 bigger 0 d.lat_n;
-    d.lat <- bigger
-  end;
-  d.lat.(d.lat_n) <- v;
-  d.lat_n <- d.lat_n + 1
 
 let mkdir_p dir =
   let rec go d =
@@ -167,6 +190,10 @@ let percentile sorted q =
 let run (cfg : config) : result =
   if cfg.connections < 1 then invalid_arg "Load_gen.run: connections < 1";
   if cfg.logical_clients < 1 then invalid_arg "Load_gen.run: no clients";
+  (match cfg.read_ratio with
+  | Some r when r < 0. || r > 1. ->
+      invalid_arg "Load_gen.run: read_ratio must be in [0,1]"
+  | Some _ | None -> ());
   (* -- discover the served ledger: name, members, LSP key ------------- *)
   let ctl = Net_transport.connect ~host:cfg.host ~port:cfg.port () in
   let ctl_tr = Net_transport.transport ctl in
@@ -271,8 +298,8 @@ let run (cfg : config) : result =
           lineages = ref 0;
           transport_failures = ref 0;
           verify_failures = ref 0;
-          lat = Array.make 1024 0.;
-          lat_n = 0;
+          rlat = series_create ();
+          wlat = series_create ();
         })
   in
   let drive d () =
@@ -392,14 +419,35 @@ let run (cfg : config) : result =
           if due > now then Thread.delay (due -. now));
       incr k;
       let c = pick_client () in
+      (* pick the intended op class up front: its latency sample goes to
+         the read or write series even when the op internally falls back
+         to an append (empty history) *)
+      let op =
+        match cfg.read_ratio with
+        | None ->
+            let w = Det_rng.int rng w_total in
+            if w < cfg.mix.append_w then `Append
+            else if w < cfg.mix.append_w + cfg.mix.verify_w then `Verify
+            else `Lineage
+        | Some r ->
+            if Det_rng.int rng 1_000_000 < int_of_float (r *. 1e6) then begin
+              let rw = cfg.mix.verify_w + cfg.mix.lineage_w in
+              if rw <= 0 || Det_rng.int rng rw < cfg.mix.verify_w then `Verify
+              else `Lineage
+            end
+            else `Append
+      in
       let t0 = Unix.gettimeofday () in
-      let w = Det_rng.int rng w_total in
       (try
-         if w < cfg.mix.append_w then do_append c
-         else if w < cfg.mix.append_w + cfg.mix.verify_w then do_verify c
-         else do_lineage c
+         match op with
+         | `Append -> do_append c
+         | `Verify -> do_verify c
+         | `Lineage -> do_lineage c
        with Transport.Timeout _ | Failure _ -> fail_transport ());
-      lat_add d ((Unix.gettimeofday () -. t0) *. 1e6);
+      let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      (match op with
+      | `Append -> series_add d.wlat dt_us
+      | `Verify | `Lineage -> series_add d.rlat dt_us);
       incr d.ops
     done;
     Net_transport.close ep
@@ -414,20 +462,29 @@ let run (cfg : config) : result =
   (* -- aggregate ------------------------------------------------------ *)
   let sum f = Array.fold_left (fun acc d -> acc + !(f d)) 0 drivers in
   let ops = sum (fun d -> d.ops) in
-  let lat_total = Array.fold_left (fun acc d -> acc + d.lat_n) 0 drivers in
-  let lat = Array.make (max 1 lat_total) 0. in
-  let off = ref 0 in
-  Array.iter
-    (fun d ->
-      Array.blit d.lat 0 lat !off d.lat_n;
-      off := !off + d.lat_n)
-    drivers;
-  let lat = if lat_total = 0 then [||] else Array.sub lat 0 lat_total in
-  Array.sort compare lat;
-  let mean =
-    if lat_total = 0 then 0.
-    else Array.fold_left ( +. ) 0. lat /. float_of_int lat_total
+  let collect f =
+    let total = Array.fold_left (fun acc d -> acc + (f d).sn) 0 drivers in
+    let a = Array.make (max 1 total) 0. in
+    let off = ref 0 in
+    Array.iter
+      (fun d ->
+        let s = f d in
+        Array.blit s.sa 0 a !off s.sn;
+        off := !off + s.sn)
+      drivers;
+    let a = if total = 0 then [||] else Array.sub a 0 total in
+    Array.sort compare a;
+    a
   in
+  let rlat = collect (fun d -> d.rlat) in
+  let wlat = collect (fun d -> d.wlat) in
+  let lat = Array.append rlat wlat in
+  Array.sort compare lat;
+  let mean_of a =
+    if Array.length a = 0 then 0.
+    else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+  in
+  let max_of a = if Array.length a = 0 then 0. else a.(Array.length a - 1) in
   {
     logical_clients = cfg.logical_clients;
     connections = cfg.connections;
@@ -435,28 +492,46 @@ let run (cfg : config) : result =
     appends = sum (fun d -> d.appends);
     verifies = sum (fun d -> d.verifies);
     lineages = sum (fun d -> d.lineages);
+    read_ops = Array.length rlat;
+    write_ops = Array.length wlat;
     pulls_ok = !pulls_ok;
     pulls_failed = !pulls_failed;
     transport_failures = sum (fun d -> d.transport_failures);
     verify_failures = sum (fun d -> d.verify_failures);
     duration_s;
     tps = (if duration_s > 0. then float_of_int ops /. duration_s else 0.);
-    mean_us = mean;
+    mean_us = mean_of lat;
     p50_us = percentile lat 0.50;
     p95_us = percentile lat 0.95;
     p99_us = percentile lat 0.99;
     p999_us = percentile lat 0.999;
-    max_us = (if lat_total = 0 then 0. else lat.(lat_total - 1));
+    max_us = max_of lat;
+    read_mean_us = mean_of rlat;
+    read_p50_us = percentile rlat 0.50;
+    read_p95_us = percentile rlat 0.95;
+    read_p99_us = percentile rlat 0.99;
+    read_max_us = max_of rlat;
+    write_mean_us = mean_of wlat;
+    write_p50_us = percentile wlat 0.50;
+    write_p95_us = percentile wlat 0.95;
+    write_p99_us = percentile wlat 0.99;
+    write_max_us = max_of wlat;
   }
 
 let pp_result ppf (r : result) =
   Format.fprintf ppf
     "@[<v>logical clients  %d over %d connections@,\
      ops              %d (%d append / %d verify / %d lineage)@,\
+     read/write       %d read ops, %d write ops@,\
      replica pulls    %d ok, %d failed@,\
      failures         %d transport, %d verification@,\
      duration         %.2f s  (%.0f ops/s sustained)@,\
-     latency µs       p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f@]"
+     latency µs       p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f@,\
+     read µs          p50 %.0f  p95 %.0f  p99 %.0f  max %.0f@,\
+     write µs         p50 %.0f  p95 %.0f  p99 %.0f  max %.0f@]"
     r.logical_clients r.connections r.ops r.appends r.verifies r.lineages
-    r.pulls_ok r.pulls_failed r.transport_failures r.verify_failures
-    r.duration_s r.tps r.p50_us r.p95_us r.p99_us r.p999_us r.max_us
+    r.read_ops r.write_ops r.pulls_ok r.pulls_failed r.transport_failures
+    r.verify_failures r.duration_s r.tps r.p50_us r.p95_us r.p99_us
+    r.p999_us r.max_us r.read_p50_us r.read_p95_us r.read_p99_us
+    r.read_max_us r.write_p50_us r.write_p95_us r.write_p99_us
+    r.write_max_us

@@ -46,6 +46,11 @@ type config = {
   clue_count : int;  (** shared-clue population for the Zipfian skew *)
   zipf_s : float;  (** skew exponent; 0 = uniform *)
   mix : mix;
+  read_ratio : float option;
+      (** [Some r] (in [\[0,1\]]): each op is a read (verify/lineage,
+          split by their [mix] weights) with probability [r], an append
+          otherwise — e.g. [Some 0.95] is a 95/5 read-heavy workload;
+          [None] (default): use the [mix] proportions unchanged *)
   pulls : int;  (** full replica pulls run concurrently with the ops *)
   seed : int;
   crypto : Crypto_profile.t;
@@ -69,6 +74,8 @@ type result = {
   appends : int;
   verifies : int;
   lineages : int;
+  read_ops : int;  (** ops drawn as verify/lineage (read-path bound) *)
+  write_ops : int;  (** ops drawn as appends (serialized on the server) *)
   pulls_ok : int;
   pulls_failed : int;
   transport_failures : int;
@@ -83,6 +90,19 @@ type result = {
   p999_us : float;
   max_us : float;
       (** latency percentiles are exact (sorted sample), not bucketed *)
+  read_mean_us : float;
+  read_p50_us : float;
+  read_p95_us : float;
+  read_p99_us : float;
+  read_max_us : float;
+  write_mean_us : float;
+  write_p50_us : float;
+  write_p95_us : float;
+  write_p99_us : float;
+  write_max_us : float;
+      (** the same exact percentiles, split by intended op class — the
+          lock-free read path and the serialized write path have very
+          different latency profiles under contention *)
 }
 
 val run : config -> result

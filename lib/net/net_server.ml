@@ -4,9 +4,12 @@
    Worker domains are deliberately plain [Domain.spawn] loops rather
    than Domain_pool tasks: a pool schedules finite chunks, and parking a
    persistent accept loop inside one would let a single long-lived task
-   starve the pool's other users.  Parallelism here buys concurrent
-   framing and socket I/O; dispatch into the (single-writer) ledger
-   state machine is serialized by [dispatch_mu]. *)
+   starve the pool's other users.  Parallelism buys concurrent framing
+   and socket I/O on every request; with a [read] handler installed it
+   also buys parallel read {e dispatch} — reads are answered from the
+   ledger's published snapshot on whichever domain owns the connection,
+   no lock taken.  Only mutations (and all requests when no [read]
+   handler is given) are serialized by [dispatch_mu]. *)
 
 open Ledger_core
 open Ledger_obs
@@ -39,6 +42,7 @@ type conn = {
 type t = {
   config : config;
   backend : bytes -> bytes;
+  read : (bytes -> bytes option) option;
   listener : Unix.file_descr;
   bound_port : int;
   stopping : bool Atomic.t;
@@ -51,6 +55,7 @@ type t = {
   n_refused : int Atomic.t;
   n_active : int Atomic.t;
   n_served : int Atomic.t;
+  n_read_served : int Atomic.t;
   n_framing_errors : int Atomic.t;
 }
 
@@ -59,6 +64,7 @@ type stats = {
   refused : int;
   active : int;
   served : int;
+  read_served : int;
   framing_errors : int;
 }
 
@@ -68,6 +74,7 @@ let stats t =
     refused = Atomic.get t.n_refused;
     active = Atomic.get t.n_active;
     served = Atomic.get t.n_served;
+    read_served = Atomic.get t.n_read_served;
     framing_errors = Atomic.get t.n_framing_errors;
   }
 
@@ -104,9 +111,23 @@ let close_conn t c =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
-let dispatch t c req =
+(* Fast path first: a read handler answering [Some _] never touches
+   [dispatch_mu] — it ran entirely against the published snapshot on
+   this worker's domain.  [None] (a mutation, or no read handler
+   installed) falls back to the serialized backend. *)
+let dispatch t wid c req =
   let t0 = Unix.gettimeofday () in
-  let resp = protect t.dispatch_mu (fun () -> t.backend req) in
+  let resp =
+    match Option.bind t.read (fun read -> read req) with
+    | Some resp ->
+        Atomic.incr t.n_read_served;
+        Metrics.incr "net_read_dispatch_total";
+        Metrics.incr (Printf.sprintf "net_read_dispatch_domain_%d" wid);
+        resp
+    | None ->
+        Metrics.incr "net_locked_dispatch_total";
+        protect t.dispatch_mu (fun () -> t.backend req)
+  in
   let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   Atomic.incr t.n_served;
   Metrics.incr "net_requests_total";
@@ -118,12 +139,12 @@ let dispatch t c req =
 (* Decode and answer every complete frame currently buffered.  A framing
    error gets one framed refusal, then the connection dies: the decoder
    cannot resynchronise an untrusted stream. *)
-let drain_frames t c =
+let drain_frames t wid c =
   let continue = ref true in
   while !continue && c.alive do
     match Net_framing.next c.dec with
     | Net_framing.Frame req -> (
-        try dispatch t c req
+        try dispatch t wid c req
         with Unix.Unix_error _ | Sys_error _ -> close_conn t c)
     | Net_framing.Awaiting _ -> continue := false
     | Net_framing.Fail e ->
@@ -140,7 +161,7 @@ let scratch_len = 16 * 1024
 
 (* One readable event: pull bytes until the kernel buffer is dry (the
    fd is non-blocking), then serve what framed up. *)
-let handle_readable t c scratch =
+let handle_readable t wid c scratch =
   let eof = ref false and again = ref false in
   while c.alive && (not !eof) && not !again do
     match Unix.read c.fd scratch 0 scratch_len with
@@ -151,7 +172,7 @@ let handle_readable t c scratch =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error _ -> eof := true
   done;
-  drain_frames t c;
+  drain_frames t wid c;
   if !eof then close_conn t c
 
 let accept_ready t conns =
@@ -192,24 +213,26 @@ let accept_ready t conns =
   done
 
 (* Graceful drain: requests whose bytes already reached us (socket
-   buffers included) are served before the connection closes. *)
-let drain_and_exit t conns scratch =
+   buffers included) are served before the connection closes — reads
+   still on the lock-free path, so a frame that lands mid-drain is
+   answered even while other workers contend on the mutation lock. *)
+let drain_and_exit t wid conns scratch =
   List.iter
     (fun c ->
       if c.alive then begin
-        handle_readable t c scratch;
+        handle_readable t wid c scratch;
         close_conn t c
       end)
     !conns;
   conns := []
 
-let worker t () =
+let worker t wid () =
   let conns = ref [] in
   let scratch = Bytes.create scratch_len in
   let live = ref true in
   while !live do
     if Atomic.get t.stopping then begin
-      drain_and_exit t conns scratch;
+      drain_and_exit t wid conns scratch;
       live := false
     end
     else begin
@@ -224,13 +247,13 @@ let worker t () =
           List.iter
             (fun c ->
               if c.alive && List.memq c.fd readable then
-                handle_readable t c scratch)
+                handle_readable t wid c scratch)
             !conns;
           conns := List.filter (fun c -> c.alive) !conns
     end
   done
 
-let create ?(config = default_config) backend =
+let create ?(config = default_config) ?read backend =
   if config.workers < 1 then invalid_arg "Net_server.create: workers < 1";
   (* a peer closing mid-write must surface as EPIPE, not kill the
      process *)
@@ -256,6 +279,7 @@ let create ?(config = default_config) backend =
     {
       config;
       backend;
+      read;
       listener;
       bound_port;
       stopping = Atomic.make false;
@@ -267,10 +291,11 @@ let create ?(config = default_config) backend =
       n_refused = Atomic.make 0;
       n_active = Atomic.make 0;
       n_served = Atomic.make 0;
+      n_read_served = Atomic.make 0;
       n_framing_errors = Atomic.make 0;
     }
   in
-  t.domains <- List.init config.workers (fun _ -> Domain.spawn (worker t));
+  t.domains <- List.init config.workers (fun wid -> Domain.spawn (worker t wid));
   t
 
 let stop t =

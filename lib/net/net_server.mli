@@ -17,13 +17,19 @@
     an over-capacity connection is refused the same way, and a peer
     disappearing mid-write is reaped silently.
 
-    Dispatch is serialized by a global lock — the ledger structures are
-    single-writer — so worker parallelism buys concurrent {e framing,
-    I/O and socket wrangling}, while the state machine stays
-    sequentially consistent.  Graceful shutdown ({!stop}) closes the
-    listener first (freeing the port for an immediate restart —
-    [SO_REUSEADDR] is set), then lets every worker drain buffered
-    requests to completion before its connections are closed. *)
+    Dispatch is split.  Mutations — and every request when no [read]
+    handler is installed — are serialized by a global lock, keeping the
+    single-writer ledger structures sequentially consistent.  Reads go
+    through the optional [read] handler
+    ({!Ledger_core.Service.handle_read},
+    {!Ledger_shard.Sharded_service.handle_read}) {e without taking any
+    lock}: they are answered from the ledger's atomically-published
+    immutable snapshot on whichever worker domain owns the connection,
+    so read throughput scales with [workers] instead of queueing behind
+    the writer.  Graceful shutdown ({!stop}) closes the listener first
+    (freeing the port for an immediate restart — [SO_REUSEADDR] is
+    set), then lets every worker drain buffered requests to completion
+    — reads still lock-free — before its connections are closed. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -40,10 +46,18 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> (bytes -> bytes) -> t
+val create : ?config:config -> ?read:(bytes -> bytes option) -> (bytes -> bytes) -> t
 (** Bind, listen and spawn the worker domains.  The backend runs under
     the server's dispatch lock and must never raise (both [handle]
     entry points already guarantee this).
+
+    [read] is the lock-free fast path: it is called first on every
+    frame, concurrently from all worker domains, with no lock held.
+    [Some resp] answers the request; [None] routes it to the locked
+    backend.  Pass {!Ledger_core.Service.handle_read} (or the sharded
+    equivalent) partially applied to the same state as the backend —
+    it must be domain-safe and never raise.  Omitting [read] restores
+    fully serialized dispatch.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int
@@ -64,11 +78,15 @@ type stats = {
   accepted : int;  (** connections accepted over the server's lifetime *)
   refused : int;  (** connections refused at [max_conns] *)
   active : int;  (** connections currently open *)
-  served : int;  (** requests dispatched *)
+  served : int;  (** requests dispatched (both paths) *)
+  read_served : int;  (** requests answered on the lock-free read path *)
   framing_errors : int;  (** connections dropped on a decode failure *)
 }
 
 val stats : t -> stats
 (** Lifetime counters, readable while serving; independent of the
     {!Ledger_obs.Obs} sink state.  The same events also feed the
-    [net_*] metrics when recording is enabled. *)
+    [net_*] metrics when recording is enabled — including
+    [net_read_dispatch_total] / [net_locked_dispatch_total] and the
+    per-domain [net_read_dispatch_domain_<i>] counters that make
+    "reads never took the lock" checkable from a test. *)

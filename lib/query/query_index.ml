@@ -4,13 +4,25 @@ open Ledger_mpt
 type entry = { e_jsn : int; e_tx : Hash.t; e_chain : Hash.t }
 type cell = { mutable count : int; mutable arr : entry array }
 
+module SMap = Map.Make (String)
+
+(* Frozen view of a cell: the entry array is shared with the live cell
+   (the writer appends only at indices >= [fn]; capacity growth swaps in
+   a fresh array), the count is pinned.  Kept in a persistent map that is
+   republished on every {!add}, so {!freeze} is O(1) and reads never
+   touch the writer's hashtable. *)
+type fcell = { fa : entry array; fn : int }
+
 type t = {
   trie : Mpt.t;
-  tbl : (string, cell) Hashtbl.t;
+  tbl : (string, cell) Hashtbl.t;  (* writer-side mutable cells *)
+  mutable fcells : fcell SMap.t;  (* read-side frozen mirror *)
   mutable entries : int;
 }
 
-let create () = { trie = Mpt.create (); tbl = Hashtbl.create 64; entries = 0 }
+let create () =
+  { trie = Mpt.create (); tbl = Hashtbl.create 64; fcells = SMap.empty;
+    entries = 0 }
 let trie t = t.trie
 let root t = Mpt.root_hash t.trie
 let cardinal t = Mpt.cardinal t.trie
@@ -93,44 +105,52 @@ let add t ~clue ~jsn ~tx =
         invalid_arg "Query_index.add: jsns must be strictly increasing per clue";
       cell_push cell { e_jsn = jsn; e_tx = tx; e_chain = chain_step prev jsn tx };
       t.entries <- t.entries + 1;
+      t.fcells <- SMap.add clue { fa = cell.arr; fn = cell.count } t.fcells;
       Mpt.insert t.trie ~key:(key_of_clue clue)
         (committed_value ~count:cell.count
            ~chain:cell.arr.(cell.count - 1).e_chain)
     end
   end
 
+let freeze t =
+  { trie = Mpt.freeze t.trie; tbl = Hashtbl.create 1; fcells = t.fcells;
+    entries = t.entries }
+
 (* --- per-clue reads ------------------------------------------------------ *)
 
+(* All reads go through the frozen mirror so they behave identically on
+   the live index and on a {!freeze} snapshot read from another domain. *)
+
 let clue_count t ~clue =
-  match Hashtbl.find_opt t.tbl clue with Some c -> c.count | None -> 0
+  match SMap.find_opt clue t.fcells with Some c -> c.fn | None -> 0
 
 let slice t ~clue ~offset ~limit =
   if offset < 0 || limit < 0 then invalid_arg "Query_index.slice";
-  match Hashtbl.find_opt t.tbl clue with
+  match SMap.find_opt clue t.fcells with
   | None -> []
-  | Some cell ->
-      let n = min limit (max 0 (cell.count - offset)) in
+  | Some c ->
+      let n = min limit (max 0 (c.fn - offset)) in
       List.init n (fun i ->
-          let e = cell.arr.(offset + i) in
+          let e = c.fa.(offset + i) in
           (e.e_jsn, e.e_tx))
 
 (* Chain digest after the first [n] entries (the seed for [n = 0]). *)
 let chain_at t ~clue n =
   if n = 0 then chain_seed clue
   else
-    match Hashtbl.find_opt t.tbl clue with
-    | Some cell when n <= cell.count -> cell.arr.(n - 1).e_chain
+    match SMap.find_opt clue t.fcells with
+    | Some c when n <= c.fn -> c.fa.(n - 1).e_chain
     | _ -> invalid_arg "Query_index.chain_at"
 
 (* Index of the first entry with jsn >= [jsn]; [count] when none. *)
 let first_at_or_after t ~clue jsn =
-  match Hashtbl.find_opt t.tbl clue with
+  match SMap.find_opt clue t.fcells with
   | None -> 0
-  | Some cell ->
-      let lo = ref 0 and hi = ref cell.count in
+  | Some c ->
+      let lo = ref 0 and hi = ref c.fn in
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
-        if cell.arr.(mid).e_jsn < jsn then lo := mid + 1 else hi := mid
+        if c.fa.(mid).e_jsn < jsn then lo := mid + 1 else hi := mid
       done;
       !lo
 

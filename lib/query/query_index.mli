@@ -42,6 +42,13 @@ val entries : t -> int
 val trie : t -> Mpt.t
 (** The underlying ordered trie — range/absence proofs are taken here. *)
 
+val freeze : t -> t
+(** O(1) immutable snapshot: {!Ledger_mpt.Mpt.freeze} of the trie plus
+    the persistent per-clue mirror.  Every read ({!clue_count}, {!slice},
+    {!chain_at}, {!first_at_or_after}, proofs, range scans) works on the
+    result from any domain while the original keeps indexing.  Only read
+    on the result. *)
+
 (** {1 Key and commitment formats} *)
 
 val key_of_clue : string -> int array

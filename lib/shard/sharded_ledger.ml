@@ -31,8 +31,11 @@ type t = {
   fleet_clock : Clock.t;
   service_priv : Ecdsa.private_key;
   service_pub : Ecdsa.public_key;
-  mutable sealed_rev : Super_root.sealed list; (* newest first *)
-  mutable sealed_count : int;
+  sealed : (Super_root.sealed list * int) Atomic.t;
+      (* (newest-first sealed epochs, count).  Written only by the
+         serialized mutation path, read from any domain: the pair is
+         immutable once published, so one [Atomic.get] is a coherent
+         snapshot of the fleet's sealed history. *)
 }
 
 (* The fleet's own signing identity (epoch announcements): derived from
@@ -64,8 +67,7 @@ let create ?(config = default_config) ~clock () =
     fleet_clock = clock;
     service_priv;
     service_pub;
-    sealed_rev = [];
-    sealed_count = 0;
+    sealed = Atomic.make ([], 0);
   }
 
 let config t = t.cfg
@@ -164,15 +166,16 @@ type seal_policy = All_or_nothing | Degraded_skip
    sealed root and size, or — if the shard never sealed — a
    domain-separated placeholder over an empty history. *)
 let carried_entry t i =
-  match t.sealed_rev with
+  match fst (Atomic.get t.sealed) with
   | s :: _ -> (s.Super_root.shard_roots.(i), s.Super_root.shard_sizes.(i))
   | [] ->
       (Hash.digest_string (Printf.sprintf "ledgerdb:carried-empty:%d" i), 0)
 
 let seal_epoch ?(pool = Domain_pool.default ()) ?(policy = All_or_nothing)
     ?(skip = []) t =
+  let sealed_rev, sealed_count = Atomic.get t.sealed in
   let sp = Trace.enter "super_root_seal" in
-  Trace.attr_int sp "epoch" t.sealed_count;
+  Trace.attr_int sp "epoch" sealed_count;
   let n = Array.length t.members in
   List.iter
     (fun i ->
@@ -230,15 +233,14 @@ let seal_epoch ?(pool = Domain_pool.default ()) ?(policy = All_or_nothing)
                 if absent.(i) then Super_root.Carried else Super_root.Sealed)
           in
           let sealed =
-            Super_root.seal ~epoch:t.sealed_count ~at:horizon ~presence
+            Super_root.seal ~epoch:sealed_count ~at:horizon ~presence
               (Array.init n (fun i ->
                    if absent.(i) then carried_entry t i
                    else
                      let m = t.members.(i) in
                      (Ledger.commitment m.ledger, Ledger.size m.ledger)))
           in
-          t.sealed_rev <- sealed :: t.sealed_rev;
-          t.sealed_count <- t.sealed_count + 1;
+          Atomic.set t.sealed (sealed :: sealed_rev, sealed_count + 1);
           Metrics.incr "shard_epochs_sealed_total";
           if dead <> [] then begin
             Metrics.incr "shard_epochs_degraded_total";
@@ -252,12 +254,14 @@ let seal_epoch ?(pool = Domain_pool.default ()) ?(policy = All_or_nothing)
   Trace.exit sp;
   result
 
-let epochs t = List.rev t.sealed_rev
-let latest t = match t.sealed_rev with [] -> None | s :: _ -> Some s
+let epochs t = List.rev (fst (Atomic.get t.sealed))
+
+let latest t =
+  match fst (Atomic.get t.sealed) with [] -> None | s :: _ -> Some s
 
 let epoch t e =
   List.find_opt (fun (s : Super_root.sealed) -> s.Super_root.epoch = e)
-    t.sealed_rev
+    (fst (Atomic.get t.sealed))
 
 let super_digest t = Option.map Super_root.commitment (latest t)
 
@@ -367,3 +371,64 @@ let encode_sharded_proof p =
   Wire.contents w
 
 let decode_sharded_proof b = Wire.decode b r_sharded_proof
+
+(* --- fleet read view (lock-free read path) ---------------------------------- *)
+
+module RV = Ledger.Read_view
+
+type fleet_view = {
+  fv_name : string;
+  fv_shards : RV.t array;
+      (* each shard's currently-published snapshot; shard views advance
+         independently between epoch seals — cross-shard atomicity is
+         exactly what [fv_sealed_rev] provides *)
+  fv_sealed_rev : Super_root.sealed list; (* newest first *)
+  fv_sealed_count : int;
+}
+
+let fleet_view t =
+  let fv_sealed_rev, fv_sealed_count = Atomic.get t.sealed in
+  {
+    fv_name = t.cfg.base.Ledger.name;
+    fv_shards = Array.map (fun m -> Ledger.read_view m.ledger) t.members;
+    fv_sealed_rev;
+    fv_sealed_count;
+  }
+
+let view_shard_count fv = Array.length fv.fv_shards
+
+let view_latest fv =
+  match fv.fv_sealed_rev with [] -> None | s :: _ -> Some s
+
+let view_epoch_sealed fv e =
+  List.find_opt (fun (s : Super_root.sealed) -> s.Super_root.epoch = e)
+    fv.fv_sealed_rev
+
+let announce_view t fv = Option.map (announce_sealed t) (view_latest fv)
+
+let announce_epoch_view t fv e =
+  Option.map (announce_sealed t) (view_epoch_sealed fv e)
+
+(* Mirror of {!prove} against the view; error strings must match the
+   live path for the differential gate. *)
+let prove_view fv ~shard:i ~jsn =
+  let v = fv.fv_shards.(i) in
+  match view_latest fv with
+  | None -> Error "no sealed epoch: seal_epoch before proving"
+  | Some sealed ->
+      if not (Hash.equal (RV.commitment v) sealed.Super_root.shard_roots.(i))
+      then
+        Error
+          (Printf.sprintf
+             "shard %d has committed past epoch %d's sealed root; reseal" i
+             sealed.Super_root.epoch)
+      else if jsn < 0 || jsn >= RV.size v then
+        Error (Printf.sprintf "jsn %d out of range on shard %d" jsn i)
+      else
+        Ok
+          {
+            shard = i;
+            jsn;
+            fam = RV.get_proof v jsn;
+            inclusion = Super_root.prove sealed ~shard:i;
+          }

@@ -42,6 +42,26 @@ let scatter t ~spec ?window ~page_size () =
   in
   { shards = n; answers }
 
+(* Same scatter, from a captured fleet view: every per-shard answer is
+   internally coherent (root, commitment, size and pages from one
+   snapshot), even while the shard's writer keeps appending. *)
+let scatter_view fv ~spec ?window ~page_size () =
+  if page_size <= 0 then invalid_arg "Sharded_query.scatter: bad page_size";
+  let module RV = Ledger.Read_view in
+  let n = Sharded_ledger.view_shard_count fv in
+  let answers =
+    List.init n (fun i ->
+        let v = fv.Sharded_ledger.fv_shards.(i) in
+        {
+          shard = i;
+          query_root = RV.query_root v;
+          commitment = RV.commitment v;
+          size = RV.size v;
+          pages = paginate (RV.query_index v) ~spec ?window ~page_size ();
+        })
+  in
+  { shards = n; answers }
+
 (* Client-side gather: each shard's pagination is verified against that
    shard's query root, each verified clue is re-routed through the public
    placement function (a shard cannot answer for keys it does not own —

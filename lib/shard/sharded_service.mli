@@ -60,6 +60,18 @@ val handle : Sharded_ledger.t -> bytes -> bytes
     request) → encode.  Never raises; malformed input or a refused
     epoch seal yields an encoded {!response.Error_r}. *)
 
+val classify : request -> [ `Read | `Mutate ]
+(** [`Mutate] for {!request.Routed_append}, {!request.Seal_epoch} and a
+    {!request.To_shard} whose inner envelope is a mutation; [`Read] for
+    everything else (including malformed inner envelopes, which err the
+    same way on either path). *)
+
+val handle_read : Sharded_ledger.t -> bytes -> bytes option
+(** The read-only half of {!handle}, served from a
+    {!Sharded_ledger.fleet_view} with no lock — byte-identical
+    responses for reads, [None] for mutations.  Safe from any domain
+    concurrently with appends and seals.  Never raises. *)
+
 (** Client-side routing, signing and response interpretation.  Holds one
     {!Ledger_core.Service.Client} per shard — each shard is a distinct
     signing domain (its own URI and nonce sequence). *)

@@ -141,6 +141,40 @@ let is_erased s i =
   check_range s i;
   s.records.(i).payload = None
 
+(* Pinned read handle: capture (records array, count) so readers on
+   other domains index a stable prefix while the writer keeps appending
+   (appends land at indices >= the pinned count; resizes and {!compact}
+   swap in fresh arrays, leaving the captured one intact).  Record
+   objects are shared, so {!erase} is visible through a pin — erased
+   payloads cannot be resurrected from an old capture.  Pinned reads
+   never charge a latency model (there is no writer clock to charge from
+   a concurrent reader). *)
+type pinned = {
+  p_name : string;
+  p_records : record array;
+  p_count : int;
+  p_killed : bool ref;
+}
+
+let pin s =
+  stream_alive s;
+  { p_name = s.name; p_records = s.records; p_count = s.count;
+    p_killed = s.killed }
+
+let pinned_length p = p.p_count
+
+let read_pinned p i =
+  check_alive p.p_killed;
+  if i < 0 || i >= p.p_count then
+    raise
+      (Read_error
+         (Out_of_range { stream = p.p_name; index = i; length = p.p_count }));
+  match p.p_records.(i).payload with
+  | None -> None
+  | Some bytes ->
+      charge None (Bytes.length bytes);
+      Some (Bytes.copy bytes)
+
 let erase s i =
   check_range s i;
   (match s.records.(i).payload with

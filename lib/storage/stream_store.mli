@@ -88,6 +88,28 @@ val read_opt : ?latency:Latency_model.t * Clock.t -> stream -> int -> bytes opti
 
 val is_erased : stream -> int -> bool
 
+(** {1 Pinned reads}
+
+    A {!pinned} handle captures the stream's current record prefix so
+    other domains can read it without synchronizing against the writer:
+    appends land beyond the pinned count, and capacity resizes /
+    {!compact} swap in fresh arrays, leaving the capture intact.  Record
+    objects are shared, so {!erase} remains visible through a pin —
+    occulted/purged payloads cannot be resurrected from an old capture.
+    Pinned reads never charge a latency model. *)
+
+type pinned
+
+val pin : stream -> pinned
+(** Capture the stream's current length as an immutable read prefix. *)
+
+val pinned_length : pinned -> int
+
+val read_pinned : pinned -> int -> bytes option
+(** Like {!read_opt} against the pinned prefix: [None] for erased
+    records.  @raise Read_error when the index is outside the pinned
+    range; raises [Sys_error] if the owning store was killed. *)
+
 val erase : stream -> int -> unit
 (** Blank record [i]'s payload (idempotent).  Its index remains occupied. *)
 

@@ -30,4 +30,5 @@ let () =
       ("shard", Test_shard.suite);
       ("par", Test_par.suite);
       ("net", Test_net.suite);
+      ("read-view", Test_read_view.suite);
     ]

@@ -160,8 +160,8 @@ let build_ledger ~name ?(crypto = Crypto_profile.Real) ?(members = 2)
   done;
   (clock, config, ledger, creds)
 
-let with_server ?config backend f =
-  let server = Net_server.create ?config backend in
+let with_server ?config ?read backend f =
+  let server = Net_server.create ?config ?read backend in
   Fun.protect ~finally:(fun () -> Net_server.stop server) (fun () -> f server)
 
 let loopback_transport server =
@@ -331,6 +331,134 @@ let test_graceful_shutdown () =
   Net_server.stop server2
 
 (* ------------------------------------------------------------------ *)
+(* lock-free read dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_reads_never_take_the_lock () =
+  let module Metrics = Ledger_obs.Metrics in
+  let module Obs = Ledger_obs.Obs in
+  let _, _, ledger, creds = build_ledger ~name:"lockfree" () in
+  Obs.enable ();
+  Metrics.reset ();
+  with_server ~read:(Service.handle_read ledger) (Service.handle ledger)
+    (fun server ->
+      let ep, transport = loopback_transport server in
+      let reads =
+        [
+          Service.Client.make_get_commitment ();
+          Service.Client.make_get_proof ~jsn:2;
+          Service.Client.make_get_proof_bundle ~jsn:5;
+          Service.Client.make_get_members ();
+          Service.Client.make_get_checkpoint ();
+          (* an out-of-range read errors, but still without the lock *)
+          Service.Client.make_get_payload ~jsn:999;
+        ]
+      in
+      List.iter (fun req -> ignore (transport req)) reads;
+      let n = List.length reads in
+      let stats = Net_server.stats server in
+      Alcotest.(check int) "every read served lock-free" n
+        stats.Net_server.read_served;
+      Alcotest.(check int) "read dispatch metric counts them" n
+        (Metrics.counter_value "net_read_dispatch_total");
+      Alcotest.(check int) "no read acquired the dispatch lock" 0
+        (Metrics.counter_value "net_locked_dispatch_total");
+      let domain_sum =
+        List.fold_left
+          (fun acc (name, _) ->
+            if String.starts_with ~prefix:"net_read_dispatch_domain_" name
+            then acc + Metrics.counter_value name
+            else acc)
+          0 (Metrics.names ())
+      in
+      Alcotest.(check int) "per-domain counters cover every read" n
+        domain_sum;
+      (* a mutation takes the locked path, and only the mutation *)
+      let member, priv = List.hd creds in
+      let svc =
+        Service.Client.create ~ledger_uri:(Ledger.uri ledger) ~member ~priv ()
+      in
+      (match
+         Service.Client.parse
+           (transport
+              (Service.Client.make_append svc ~client_ts:1L
+                 (Bytes.of_string "locked")))
+       with
+      | Some (Service.Receipt_r _) -> ()
+      | _ -> Alcotest.fail "append over the split dispatch failed");
+      Alcotest.(check int) "exactly the append took the lock" 1
+        (Metrics.counter_value "net_locked_dispatch_total");
+      Alcotest.(check int) "the append did not count as a read" n
+        (Net_server.stats server).Net_server.read_served;
+      Net_transport.close ep);
+  Metrics.reset ();
+  Obs.disable ()
+
+(* regression: frames still queued (or arriving) while [stop] drains the
+   connections must be answered on the lock-free read path, not dropped *)
+let test_drain_answers_reads () =
+  let _, _, ledger, _ = build_ledger ~name:"drainread" () in
+  let server =
+    Net_server.create ~read:(Service.handle_read ledger)
+      (Service.handle ledger)
+  in
+  let port = Net_server.port server in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float sock Unix.SO_RCVTIMEO 5.0;
+  let n = 5 in
+  let frame = Net_framing.encode (Service.Client.make_get_commitment ()) in
+  for _ = 1 to n do
+    let len = Bytes.length frame in
+    if Unix.write sock frame 0 len <> len then Alcotest.fail "short write"
+  done;
+  (* wait until a worker has accepted the connection: a connection still
+     in the listen backlog is legitimately refused by a stopping server,
+     and the drain guarantee only covers accepted connections *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Net_server.stats server).Net_server.accepted < 1
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "connection accepted before stop" true
+    ((Net_server.stats server).Net_server.accepted >= 1);
+  (* stop while the frames are in flight: the drain must answer them *)
+  let stopper = Thread.create (fun () -> Net_server.stop server) () in
+  let dec = Net_framing.create_decoder () in
+  let buf = Bytes.create 4096 in
+  let got = ref [] in
+  (try
+     while List.length !got < n do
+       let k = try Unix.read sock buf 0 4096 with Unix.Unix_error _ -> 0 in
+       if k = 0 then raise Exit;
+       Net_framing.feed dec buf ~pos:0 ~len:k;
+       let rec drain () =
+         match Net_framing.next dec with
+         | Net_framing.Frame p ->
+             got := p :: !got;
+             drain ()
+         | _ -> ()
+       in
+       drain ()
+     done
+   with Exit -> ());
+  Thread.join stopper;
+  Unix.close sock;
+  Alcotest.(check int) "every queued frame answered through the drain" n
+    (List.length !got);
+  List.iter
+    (fun resp ->
+      match Service.Client.parse resp with
+      | Some (Service.Commitment_r _) -> ()
+      | _ -> Alcotest.fail "drained frame answered with a wrong response")
+    !got;
+  let stats = Net_server.stats server in
+  Alcotest.(check bool) "drained reads used the lock-free path" true
+    (stats.Net_server.read_served >= n)
+
+(* ------------------------------------------------------------------ *)
 (* socket-level faults                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -448,7 +576,11 @@ let test_mini_load_run () =
   let _, _, ledger, _ =
     build_ledger ~name:"mini-load" ~crypto ~members:8 ~entries:4 ()
   in
-  with_server (Service.handle ledger) (fun server ->
+  with_server
+    ~config:{ Net_server.default_config with port = 0; workers = 4 }
+    ~read:(Service.handle_read ledger)
+    (Service.handle ledger)
+    (fun server ->
       let cfg =
         {
           Load_gen.default_config with
@@ -486,7 +618,58 @@ let test_mini_load_run () =
         && r.Load_gen.p95_us <= r.Load_gen.p99_us
         && r.Load_gen.p99_us <= r.Load_gen.max_us);
       Alcotest.(check bool) "sustained tps reported" true
-        (r.Load_gen.tps > 0.))
+        (r.Load_gen.tps > 0.);
+      Alcotest.(check int) "read/write split covers all ops" 160
+        (r.Load_gen.read_ops + r.Load_gen.write_ops);
+      Alcotest.(check bool) "4-worker server answered reads lock-free" true
+        ((Net_server.stats server).Net_server.read_served > 0))
+
+let test_read_ratio_knob () =
+  let crypto = Crypto_profile.default_simulated in
+  let _, _, ledger, _ =
+    build_ledger ~name:"read-heavy" ~crypto ~members:4 ~entries:4 ()
+  in
+  with_server
+    ~config:{ Net_server.default_config with port = 0; workers = 2 }
+    ~read:(Service.handle_read ledger)
+    (Service.handle ledger)
+    (fun server ->
+      let cfg =
+        {
+          Load_gen.default_config with
+          port = Net_server.port server;
+          logical_clients = 100;
+          connections = 2;
+          total_ops = 120;
+          clue_count = 16;
+          payload_size = 32;
+          pulls = 0;
+          read_ratio = Some 0.9;
+          seed = 11;
+          crypto;
+          ledger_config =
+            Some
+              { Ledger.default_config with name = "read-heavy";
+                block_size = 4; fam_delta = 3; crypto };
+        }
+      in
+      let r = Load_gen.run cfg in
+      Alcotest.(check int) "all ops completed" 120 r.Load_gen.ops;
+      Alcotest.(check int) "no verification failures" 0
+        r.Load_gen.verify_failures;
+      Alcotest.(check int) "no transport failures" 0
+        r.Load_gen.transport_failures;
+      Alcotest.(check int) "split covers all ops" 120
+        (r.Load_gen.read_ops + r.Load_gen.write_ops);
+      Alcotest.(check bool) "the mix skews read-heavy" true
+        (r.Load_gen.read_ops > 3 * r.Load_gen.write_ops);
+      Alcotest.(check bool) "read percentiles ordered" true
+        (r.Load_gen.read_p50_us <= r.Load_gen.read_p95_us
+        && r.Load_gen.read_p95_us <= r.Load_gen.read_p99_us
+        && r.Load_gen.read_p99_us <= r.Load_gen.read_max_us);
+      Alcotest.(check bool) "reads served on the lock-free path" true
+        ((Net_server.stats server).Net_server.read_served
+        >= r.Load_gen.verifies + r.Load_gen.lineages))
 
 (* ------------------------------------------------------------------ *)
 (* metrics satellites                                                  *)
@@ -557,6 +740,10 @@ let suite =
     tc "server: concurrent verifying clients" `Quick test_concurrent_clients;
     tc "server: graceful drain, refusal, same-port restart" `Quick
       test_graceful_shutdown;
+    tc "server: reads never take the dispatch lock" `Quick
+      test_reads_never_take_the_lock;
+    tc "server: stop-drain answers queued reads lock-free" `Quick
+      test_drain_answers_reads;
     tc "transport: killed server surfaces attempts" `Quick
       test_killed_server_mid_request;
     tc "replica: pull resumes over TCP after reconnect" `Quick
@@ -564,6 +751,8 @@ let suite =
     tc "sharded: fleet pull over TCP" `Quick test_sharded_pull_over_tcp;
     tc "load: mini closed-loop run, all proofs verify" `Quick
       test_mini_load_run;
+    tc "load: read-ratio knob drives a read-heavy mix" `Quick
+      test_read_ratio_knob;
     tc "metrics: summary + prometheus quantiles" `Quick test_metrics_summary;
     tc "workload: zipf sampler" `Quick test_zipf;
   ]
